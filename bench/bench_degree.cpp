@@ -1,0 +1,81 @@
+// Ablation bench **S5**: the paper's run-counting degree computation
+// (Algorithms 2/3, requires sorted input) against an atomic histogram and
+// per-thread private histograms (which work on unsorted input too).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "csr/degree.hpp"
+#include "graph/generators.hpp"
+#include "par/reduce.hpp"
+
+namespace {
+
+using pcq::graph::VertexId;
+
+constexpr VertexId kNodes = 1 << 16;
+constexpr std::size_t kEdges = 2'000'000;
+
+const std::vector<VertexId>& sorted_sources() {
+  static const std::vector<VertexId> sources = [] {
+    pcq::graph::EdgeList g =
+        pcq::graph::rmat(kNodes, kEdges, 0.57, 0.19, 0.19, 3, 0);
+    g.sort(0);
+    std::vector<VertexId> s(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) s[i] = g.edges()[i].u;
+    return s;
+  }();
+  return sources;
+}
+
+void BM_Degree_Sequential(benchmark::State& state) {
+  const auto& src = sorted_sources();
+  for (auto _ : state) {
+    auto deg = pcq::csr::sequential_degree_from_sorted(src, kNodes);
+    benchmark::DoNotOptimize(deg.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Degree_Sequential);
+
+void BM_Degree_RunCounting(benchmark::State& state) {
+  const auto& src = sorted_sources();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto deg = pcq::csr::parallel_degree_from_sorted(src, kNodes, threads);
+    benchmark::DoNotOptimize(deg.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Degree_RunCounting)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_Degree_AtomicHistogram(benchmark::State& state) {
+  const auto& src = sorted_sources();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto deg = pcq::par::histogram_atomic(src, kNodes, threads);
+    benchmark::DoNotOptimize(deg.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Degree_AtomicHistogram)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_Degree_PerThreadHistogram(benchmark::State& state) {
+  const auto& src = sorted_sources();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto deg = pcq::par::histogram_per_thread(src, kNodes, threads);
+    benchmark::DoNotOptimize(deg.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Degree_PerThreadHistogram)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

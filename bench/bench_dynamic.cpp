@@ -1,0 +1,121 @@
+// Extension bench **S8**: the dynamic overlay CSR (src/csr/dynamic.hpp),
+// which addresses the static-format limitation §II raises against CSR.
+// Measures update latency through the overlay, query latency as the
+// overlay grows, and the cost of the parallel rebuild (re-compression)
+// that amortises updates — the trade-off PCSR/PPCSR solve with a packed
+// memory array instead.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "csr/builder.hpp"
+#include "csr/dynamic.hpp"
+#include "csr/pcsr.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pcq::graph::VertexId;
+
+constexpr VertexId kNodes = 1 << 15;
+constexpr std::size_t kEdges = 400'000;
+
+pcq::csr::BitPackedCsr base_csr() {
+  pcq::graph::EdgeList g =
+      pcq::graph::rmat(kNodes, kEdges, 0.57, 0.19, 0.19, 3, 0);
+  g.sort(0);
+  g.dedupe();
+  return pcq::csr::build_bitpacked_csr_from_sorted(g, kNodes, 0);
+}
+
+void BM_Dynamic_AddEdge(benchmark::State& state) {
+  pcq::csr::DynamicCsr g(base_csr());
+  pcq::util::SplitMix64 rng(7);
+  for (auto _ : state) {
+    const auto u = static_cast<VertexId>(rng.next_below(kNodes));
+    const auto v = static_cast<VertexId>(rng.next_below(kNodes));
+    g.add_edge(u, v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Dynamic_AddEdge);
+
+void BM_Dynamic_QueryWithOverlay(benchmark::State& state) {
+  // Query latency with an overlay of `range(0)` pending updates.
+  pcq::csr::DynamicCsr g(base_csr());
+  pcq::util::SplitMix64 rng(9);
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    g.add_edge(static_cast<VertexId>(rng.next_below(kNodes)),
+               static_cast<VertexId>(rng.next_below(kNodes)));
+  for (auto _ : state) {
+    const auto u = static_cast<VertexId>(rng.next_below(kNodes));
+    const auto v = static_cast<VertexId>(rng.next_below(kNodes));
+    benchmark::DoNotOptimize(g.has_edge(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Dynamic_QueryWithOverlay)->Arg(0)->Arg(1024)->Arg(65536);
+
+pcq::graph::EdgeList base_edges() {
+  pcq::graph::EdgeList g =
+      pcq::graph::rmat(kNodes, kEdges, 0.57, 0.19, 0.19, 3, 0);
+  g.sort(0);
+  g.dedupe();
+  return g;
+}
+
+void BM_Pma_AddEdge(benchmark::State& state) {
+  pcq::csr::PmaCsr pma(base_edges());
+  pcq::util::SplitMix64 rng(7);
+  for (auto _ : state) {
+    const auto u = static_cast<VertexId>(rng.next_below(kNodes));
+    const auto v = static_cast<VertexId>(rng.next_below(kNodes));
+    pma.add_edge(u, v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Pma_AddEdge);
+
+void BM_Pma_HasEdge(benchmark::State& state) {
+  pcq::csr::PmaCsr pma(base_edges());
+  pcq::util::SplitMix64 rng(9);
+  for (auto _ : state) {
+    const auto u = static_cast<VertexId>(rng.next_below(kNodes));
+    const auto v = static_cast<VertexId>(rng.next_below(kNodes));
+    benchmark::DoNotOptimize(pma.has_edge(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Pma_HasEdge);
+
+void BM_Pma_Neighbors(benchmark::State& state) {
+  pcq::csr::PmaCsr pma(base_edges());
+  pcq::util::SplitMix64 rng(11);
+  for (auto _ : state) {
+    const auto u = static_cast<VertexId>(rng.next_below(kNodes));
+    benchmark::DoNotOptimize(pma.neighbors(u));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Pma_Neighbors);
+
+void BM_Dynamic_Rebuild(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    pcq::csr::DynamicCsr g(base_csr());
+    pcq::util::SplitMix64 rng(11);
+    for (int i = 0; i < 10'000; ++i)
+      g.add_edge(static_cast<VertexId>(rng.next_below(kNodes)),
+                 static_cast<VertexId>(rng.next_below(kNodes)));
+    state.ResumeTiming();
+    g.rebuild(threads);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_Dynamic_Rebuild)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Reproduces **Figure 6** of the paper: execution time of parallel CSR
+// construction versus number of processors, one series per graph.
+//
+// Output is one block per graph with "p time_ms model_ms" rows plus an
+// ASCII rendering of the curves, so the figure can be eyeballed in a
+// terminal or re-plotted from the numeric columns.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+/// Crude terminal bar chart: one bar per thread count, length proportional
+/// to time (the visual shape of Figure 6's declining curves).
+void print_bars(const pcq::bench::GraphResult& g, bool use_model) {
+  double max_time = 0;
+  for (const auto& s : g.samples)
+    max_time = std::max(max_time, use_model ? s.modeled_seconds : s.seconds);
+  for (const auto& s : g.samples) {
+    const double t = use_model ? s.modeled_seconds : s.seconds;
+    const int width =
+        max_time > 0 ? static_cast<int>(56.0 * t / max_time) : 0;
+    std::printf("  p=%-3d |%s %s\n", s.threads,
+                std::string(static_cast<std::size_t>(width), '#').c_str(),
+                pcq::util::human_seconds(t).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pcq;
+
+  util::Flags flags(argc, argv, bench::experiment_flag_spec());
+  const bench::ExperimentConfig config = bench::parse_experiment_config(flags);
+  const auto results = bench::run_all_experiments(config);
+  const bool multicore = bench::host_is_multicore();
+
+  std::printf("Figure 6: execution time vs number of processors "
+              "(scale %.4f)\n", config.scale);
+  std::printf("Curve shape uses %s times.\n\n",
+              multicore ? "measured" : "modeled (single-core host)");
+
+  for (const auto& g : results) {
+    std::printf("%s (%s nodes, %s edges)\n", g.name.c_str(),
+                util::with_commas(g.nodes).c_str(),
+                util::with_commas(g.edges).c_str());
+    std::printf("  %-4s %12s %12s\n", "p", "time_ms", "model_ms");
+    for (const auto& s : g.samples)
+      std::printf("  %-4d %12.3f %12.3f\n", s.threads, s.seconds * 1e3,
+                  s.modeled_seconds * 1e3);
+    print_bars(g, !multicore);
+    std::printf("\n");
+  }
+  if (flags.get_bool("csv", false)) bench::print_csv(results);
+  return 0;
+}

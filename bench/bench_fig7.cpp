@@ -1,0 +1,43 @@
+// Reproduces **Figure 7** of the paper: speed-up (%) gained using multiple
+// processors to compress the graphs to CSR, one series per graph.
+//
+// Speed-up is the paper's Table II definition: (1 - T_p / T_1) * 100.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcq;
+
+  util::Flags flags(argc, argv, bench::experiment_flag_spec());
+  const bench::ExperimentConfig config = bench::parse_experiment_config(flags);
+  const auto results = bench::run_all_experiments(config);
+  const bool multicore = bench::host_is_multicore();
+
+  std::printf("Figure 7: speed-up (%%) vs number of processors "
+              "(scale %.4f)\n", config.scale);
+  std::printf("Speed-up uses %s times.\n\n",
+              multicore ? "measured" : "modeled (single-core host)");
+
+  for (const auto& g : results) {
+    const auto& base = g.samples.front();
+    std::printf("%s\n", g.name.c_str());
+    std::printf("  %-4s %14s %14s\n", "p", "speedup_meas", "speedup_model");
+    for (const auto& s : g.samples) {
+      if (s.threads == base.threads) continue;
+      const double meas = bench::speedup_percent(base.seconds, s.seconds);
+      const double model =
+          bench::speedup_percent(base.modeled_seconds, s.modeled_seconds);
+      const double shown = multicore ? meas : model;
+      const int width = std::max(0, static_cast<int>(shown / 2));
+      std::printf("  %-4d %13.2f%% %13.2f%%  |%s\n", s.threads, meas, model,
+                  std::string(static_cast<std::size_t>(width), '#').c_str());
+    }
+    std::printf("\n");
+  }
+  if (flags.get_bool("csv", false)) bench::print_csv(results);
+  return 0;
+}

@@ -1,0 +1,244 @@
+// Supplementary bench **S1**: query performance of the bit-packed CSR
+// against the traditional structures (abstract: "faster querying compared
+// to traditional storage structures"), plus the Algorithm 8 linear/binary
+// intra-row ablation (S6).
+//
+// google-benchmark binary; the per-iteration work is a fixed batch of
+// queries so the reported time is comparable across structures.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "csr/builder.hpp"
+#include "csr/query.hpp"
+#include "graph/baselines.hpp"
+#include "graph/generators.hpp"
+#include "graph/k2tree.hpp"
+#include "graph/webgraph.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pcq::graph::Edge;
+using pcq::graph::VertexId;
+
+constexpr VertexId kNodes = 1 << 15;
+constexpr std::size_t kEdges = 500'000;
+constexpr std::size_t kQueryBatch = 4096;
+
+/// All structures built once from the same R-MAT graph.
+struct Workload {
+  Workload() {
+    pcq::graph::EdgeList list =
+        pcq::graph::rmat(kNodes, kEdges, 0.57, 0.19, 0.19, 7, 0);
+    list.sort(0);
+    list.dedupe();
+    plain = pcq::csr::build_csr_from_sorted(list, kNodes, 0);
+    packed = pcq::csr::BitPackedCsr::from_csr(plain, 0);
+    adj = pcq::graph::AdjacencyListGraph(list, kNodes);
+    zeta = pcq::graph::GapZetaGraph::build_from_sorted(list, kNodes, 3, 0);
+    k2 = pcq::graph::K2Tree::build(list, kNodes, 4, 0);
+    raw = pcq::graph::EdgeListGraph(list);
+
+    pcq::util::SplitMix64 rng(99);
+    nodes.resize(kQueryBatch);
+    for (auto& u : nodes) u = static_cast<VertexId>(rng.next_below(kNodes));
+    edges.resize(kQueryBatch);
+    for (auto& e : edges) {
+      // ~50% hits so both branches are exercised.
+      const auto u = static_cast<VertexId>(rng.next_below(kNodes));
+      const auto row = plain.neighbors(u);
+      if (!row.empty() && rng.next_bool(0.5))
+        e = {u, row[rng.next_below(row.size())]};
+      else
+        e = {u, static_cast<VertexId>(rng.next_below(kNodes))};
+    }
+    // The hub: the highest-degree node, for the intra-row benches.
+    std::uint32_t best = 0;
+    for (VertexId u = 0; u < kNodes; ++u)
+      if (plain.degree(u) > best) {
+        best = plain.degree(u);
+        hub = u;
+      }
+    hub_last = plain.neighbors(hub).back();
+  }
+
+  pcq::csr::CsrGraph plain;
+  pcq::csr::BitPackedCsr packed;
+  pcq::graph::AdjacencyListGraph adj;
+  pcq::graph::GapZetaGraph zeta;
+  pcq::graph::K2Tree k2;
+  pcq::graph::EdgeListGraph raw;
+  std::vector<VertexId> nodes;
+  std::vector<Edge> edges;
+  VertexId hub = 0;
+  VertexId hub_last = 0;
+};
+
+const Workload& workload() {
+  static const Workload w;
+  return w;
+}
+
+// --- Algorithm 6: batch neighbour queries ----------------------------------
+
+void BM_BatchNeighbors_PackedCsr(benchmark::State& state) {
+  const auto& w = workload();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = pcq::csr::batch_neighbors(w.packed, w.nodes, threads);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_BatchNeighbors_PackedCsr)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BatchNeighbors_AdjacencyList(benchmark::State& state) {
+  const auto& w = workload();
+  for (auto _ : state) {
+    std::vector<std::vector<VertexId>> result(w.nodes.size());
+    for (std::size_t i = 0; i < w.nodes.size(); ++i) {
+      const auto nbrs = w.adj.neighbors(w.nodes[i]);
+      result[i].assign(nbrs.begin(), nbrs.end());
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_BatchNeighbors_AdjacencyList);
+
+void BM_BatchNeighbors_GapZeta(benchmark::State& state) {
+  const auto& w = workload();
+  for (auto _ : state) {
+    std::vector<std::vector<VertexId>> result(w.nodes.size());
+    for (std::size_t i = 0; i < w.nodes.size(); ++i)
+      result[i] = w.zeta.neighbors(w.nodes[i]);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_BatchNeighbors_GapZeta);
+
+void BM_BatchNeighbors_K2Tree(benchmark::State& state) {
+  const auto& w = workload();
+  for (auto _ : state) {
+    std::vector<std::vector<VertexId>> result(w.nodes.size());
+    for (std::size_t i = 0; i < w.nodes.size(); ++i)
+      result[i] = w.k2.neighbors(w.nodes[i]);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_BatchNeighbors_K2Tree);
+
+void BM_BatchNeighbors_EdgeList(benchmark::State& state) {
+  const auto& w = workload();
+  for (auto _ : state) {
+    std::vector<std::vector<VertexId>> result(w.nodes.size());
+    for (std::size_t i = 0; i < w.nodes.size(); ++i)
+      result[i] = w.raw.neighbors(w.nodes[i]);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_BatchNeighbors_EdgeList);
+
+// --- Algorithm 7: batch edge-existence queries ------------------------------
+
+void BM_BatchEdgeExistence_PackedCsr(benchmark::State& state) {
+  const auto& w = workload();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = pcq::csr::batch_edge_existence(w.packed, w.edges, threads);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_BatchEdgeExistence_PackedCsr)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BatchEdgeExistence_AdjacencyList(benchmark::State& state) {
+  const auto& w = workload();
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const Edge& e : w.edges) hits += w.adj.has_edge(e.u, e.v);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_BatchEdgeExistence_AdjacencyList);
+
+void BM_BatchEdgeExistence_GapZeta(benchmark::State& state) {
+  const auto& w = workload();
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const Edge& e : w.edges) hits += w.zeta.has_edge(e.u, e.v);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_BatchEdgeExistence_GapZeta);
+
+void BM_BatchEdgeExistence_K2Tree(benchmark::State& state) {
+  const auto& w = workload();
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const Edge& e : w.edges) hits += w.k2.has_edge(e.u, e.v);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_BatchEdgeExistence_K2Tree);
+
+void BM_BatchEdgeExistence_SortedEdgeList(benchmark::State& state) {
+  const auto& w = workload();
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const Edge& e : w.edges) hits += w.raw.has_edge(e.u, e.v);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_BatchEdgeExistence_SortedEdgeList);
+
+// --- Algorithm 8 ablation: intra-row linear vs binary (S6) ------------------
+
+void BM_SingleEdge_IntraRowLinear(benchmark::State& state) {
+  const auto& w = workload();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pcq::csr::edge_exists_intra_row(
+        w.packed, w.hub, w.hub_last, threads, pcq::csr::RowSearch::kLinear));
+  }
+}
+BENCHMARK(BM_SingleEdge_IntraRowLinear)->Arg(1)->Arg(4);
+
+void BM_SingleEdge_IntraRowBinary(benchmark::State& state) {
+  const auto& w = workload();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pcq::csr::edge_exists_intra_row(
+        w.packed, w.hub, w.hub_last, threads, pcq::csr::RowSearch::kBinary));
+  }
+}
+BENCHMARK(BM_SingleEdge_IntraRowBinary)->Arg(1)->Arg(4);
+
+void BM_SingleEdge_PackedBinarySearch(benchmark::State& state) {
+  const auto& w = workload();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(w.packed.has_edge(w.hub, w.hub_last));
+}
+BENCHMARK(BM_SingleEdge_PackedBinarySearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

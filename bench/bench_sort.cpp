@@ -1,0 +1,74 @@
+// Ablation bench **S7**: edge-list sorting strategies. Sorting is the
+// dominant preprocessing cost of the unsorted pipeline (the paper assumes
+// pre-sorted input; real SNAP files are not), so the choice matters:
+// std::sort, the chunked parallel merge sort, and the parallel LSD radix
+// sort on the packed (u, v) key.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "par/radix_sort.hpp"
+#include "par/sort.hpp"
+
+namespace {
+
+using pcq::graph::Edge;
+
+std::vector<Edge> make_edges(std::size_t m) {
+  const pcq::graph::EdgeList g =
+      pcq::graph::rmat(1 << 20, m, 0.57, 0.19, 0.19, 7, 0);
+  return {g.edges().begin(), g.edges().end()};
+}
+
+void BM_Sort_Std(benchmark::State& state) {
+  const auto input = make_edges(static_cast<std::size_t>(state.range(0)));
+  std::vector<Edge> v;
+  for (auto _ : state) {
+    v = input;
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sort_Std)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_Sort_ParallelMerge(benchmark::State& state) {
+  const auto input = make_edges(static_cast<std::size_t>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
+  std::vector<Edge> v;
+  for (auto _ : state) {
+    v = input;
+    pcq::par::parallel_sort(std::span<Edge>(v), threads);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sort_ParallelMerge)
+    ->Args({1 << 18, 4})
+    ->Args({1 << 21, 4})
+    ->Args({1 << 21, 16});
+
+void BM_Sort_ParallelRadix(benchmark::State& state) {
+  const auto input = make_edges(static_cast<std::size_t>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
+  std::vector<Edge> v;
+  for (auto _ : state) {
+    v = input;
+    pcq::par::parallel_radix_sort(std::span<Edge>(v), threads, [](const Edge& e) {
+      return (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+    });
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sort_ParallelRadix)
+    ->Args({1 << 18, 1})
+    ->Args({1 << 18, 4})
+    ->Args({1 << 21, 4})
+    ->Args({1 << 21, 16});
+
+}  // namespace
+
+BENCHMARK_MAIN();

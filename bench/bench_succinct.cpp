@@ -1,0 +1,111 @@
+// Micro-bench **S9**: the succinct building blocks behind the k²-tree and
+// CAS comparators — rank/select, wavelet-tree rank/access, packed-array
+// random access — against their plain-array equivalents. Quantifies the
+// per-operation cost the compressed structures pay relative to the
+// bit-packed CSR's direct fixed-width reads.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bits/packed_array.hpp"
+#include "bits/rank_select.hpp"
+#include "bits/wavelet_tree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr std::size_t kBits = 1 << 22;
+constexpr std::size_t kSymbols = 1 << 20;
+constexpr std::uint32_t kSigma = 1 << 12;
+
+const pcq::bits::RankBitVector& rank_fixture() {
+  static const pcq::bits::RankBitVector rb = [] {
+    pcq::util::SplitMix64 rng(3);
+    pcq::bits::BitVector bv(kBits);
+    for (std::size_t i = 0; i < kBits; ++i)
+      if (rng.next_bool(0.5)) bv.set(i, true);
+    return pcq::bits::RankBitVector(std::move(bv));
+  }();
+  return rb;
+}
+
+const pcq::bits::WaveletTree& wavelet_fixture() {
+  static const pcq::bits::WaveletTree wt = [] {
+    pcq::util::SplitMix64 rng(5);
+    std::vector<std::uint32_t> v(kSymbols);
+    for (auto& x : v) x = static_cast<std::uint32_t>(rng.next_below(kSigma));
+    return pcq::bits::WaveletTree::build(v, kSigma);
+  }();
+  return wt;
+}
+
+void BM_Rank1(benchmark::State& state) {
+  const auto& rb = rank_fixture();
+  pcq::util::SplitMix64 rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rb.rank1(rng.next_below(kBits)));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rank1);
+
+void BM_Select1(benchmark::State& state) {
+  const auto& rb = rank_fixture();
+  pcq::util::SplitMix64 rng(9);
+  const std::size_t ones = rb.ones();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rb.select1(rng.next_below(ones)));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Select1);
+
+void BM_WaveletAccess(benchmark::State& state) {
+  const auto& wt = wavelet_fixture();
+  pcq::util::SplitMix64 rng(11);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(wt.access(rng.next_below(kSymbols)));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaveletAccess);
+
+void BM_WaveletRank(benchmark::State& state) {
+  const auto& wt = wavelet_fixture();
+  pcq::util::SplitMix64 rng(13);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        wt.rank(static_cast<std::uint32_t>(rng.next_below(kSigma)),
+                rng.next_below(kSymbols)));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaveletRank);
+
+void BM_PackedArrayGet(benchmark::State& state) {
+  static const pcq::bits::FixedWidthArray packed = [] {
+    pcq::util::SplitMix64 rng(15);
+    std::vector<std::uint64_t> v(kSymbols);
+    for (auto& x : v) x = rng.next_below(kSigma);
+    return pcq::bits::FixedWidthArray::pack(v, 0);
+  }();
+  pcq::util::SplitMix64 rng(17);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(packed.get(rng.next_below(kSymbols)));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PackedArrayGet);
+
+void BM_PlainVectorGet(benchmark::State& state) {
+  static const std::vector<std::uint32_t> plain = [] {
+    pcq::util::SplitMix64 rng(19);
+    std::vector<std::uint32_t> v(kSymbols);
+    for (auto& x : v) x = static_cast<std::uint32_t>(rng.next_below(kSigma));
+    return v;
+  }();
+  pcq::util::SplitMix64 rng(21);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(plain[rng.next_below(kSymbols)]);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlainVectorGet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

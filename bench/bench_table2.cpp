@@ -1,0 +1,67 @@
+// Reproduces **Table II** of the paper: for each evaluation graph, the
+// node/edge counts, edge-list and bit-packed-CSR sizes, and the CSR
+// construction time and speed-up at p ∈ {1, 4, 8, 16, 64} processors.
+//
+// Usage:
+//   bench_table2 [--scale 0.0625] [--threads 1,4,8,16,64] [--repeats 3]
+//                [--graphs LiveJournal,Pokec] [--seed 42]
+//
+// The "Time" column is the measured wall time on this host; "Model" is the
+// analytic projection calibrated from the measured p = 1 phase split (used
+// for the speed-up column when the host has a single core — see
+// DESIGN.md §1.3 and EXPERIMENTS.md).
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcq;
+
+  util::Flags flags(argc, argv, bench::experiment_flag_spec());
+  const bench::ExperimentConfig config = bench::parse_experiment_config(flags);
+  const auto results = bench::run_all_experiments(config);
+
+  const bool multicore = bench::host_is_multicore();
+  std::printf("Table II: parallel bit-packed CSR construction (scale %.4f of "
+              "the SNAP originals, seed %llu)\n",
+              config.scale,
+              static_cast<unsigned long long>(config.seed));
+  std::printf("Speed-up uses %s times (host has %s).\n\n",
+              multicore ? "measured" : "modeled",
+              multicore ? "multiple cores" : "a single core; see DESIGN.md §1.3");
+
+  util::Table table({"Graphs", "# of Nodes", "# of Edges", "EdgeList Size",
+                     "CSR", "# of Processors", "Time (ms)", "Model (ms)",
+                     "Speed-Up (%)"});
+  for (const auto& g : results) {
+    bool first = true;
+    const double t1_measured = g.samples.front().seconds;
+    const double t1_modeled = g.samples.front().modeled_seconds;
+    for (const auto& s : g.samples) {
+      const double speedup =
+          s.threads == g.samples.front().threads
+              ? 0
+              : (multicore
+                     ? bench::speedup_percent(t1_measured, s.seconds)
+                     : bench::speedup_percent(t1_modeled, s.modeled_seconds));
+      table.add_row({
+          first ? g.name : "",
+          first ? util::with_commas(g.nodes) : "",
+          first ? util::with_commas(g.edges) : "",
+          first ? util::human_bytes(g.edge_list_text_bytes) : "",
+          first ? util::human_bytes(g.csr_bytes) : "",
+          std::to_string(s.threads),
+          util::fixed(s.seconds * 1e3, 2),
+          util::fixed(s.modeled_seconds * 1e3, 2),
+          s.threads == g.samples.front().threads ? "-" : util::fixed(speedup, 2),
+      });
+      first = false;
+    }
+    table.add_rule();
+  }
+  table.print();
+  if (flags.get_bool("csv", false)) bench::print_csv(results);
+  return 0;
+}

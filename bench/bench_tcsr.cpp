@@ -1,0 +1,158 @@
+// Supplementary bench **S3**: time-evolving CSR (Section IV) —
+// construction scaling over processors, per-phase split, and temporal
+// query latency of the differential TCSR vs the snapshot-sequence and
+// EveLog baselines.
+//
+// Usage: bench_tcsr [--nodes 50000] [--events 500000] [--frames 32]
+//                   [--threads 1,4,8,16,64] [--seed 42]
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "tcsr/baselines.hpp"
+#include "tcsr/cas_index.hpp"
+#include "tcsr/contact_index.hpp"
+#include "tcsr/edgelog.hpp"
+#include "tcsr/tcsr.hpp"
+#include "util/flags.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcq;
+
+  util::Flags flags(argc, argv,
+                    {{"nodes", "node count (default 50000)"},
+                     {"events", "temporal event count (default 500000)"},
+                     {"frames", "time-frame count (default 32)"},
+                     {"threads", "processor counts (default 1,4,8,16,64)"},
+                     {"seed", "generator seed"},
+                     {"workload", "uniform|churn (default churn)"},
+                     {"queries", "temporal queries per structure (default 2000)"}});
+  const auto nodes = static_cast<graph::VertexId>(flags.get_int("nodes", 50'000));
+  const auto events_n = static_cast<std::size_t>(flags.get_int("events", 500'000));
+  const auto frames = static_cast<graph::TimeFrame>(flags.get_int("frames", 32));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto queries_n = static_cast<std::size_t>(flags.get_int("queries", 2000));
+  const std::vector<int> threads = flags.get_int_list("threads", {1, 4, 8, 16, 64});
+  const std::string workload = flags.get("workload", "churn");
+
+  std::printf("S3: differential TCSR (Section IV) — %s nodes, %s events, "
+              "%u frames, %s workload\n\n",
+              util::with_commas(nodes).c_str(),
+              util::with_commas(events_n).c_str(), frames, workload.c_str());
+
+  // Churn (default): one initial burst then small per-frame deltas — the
+  // persistent-edge shape §IV motivates the differential form with.
+  // Uniform: events spread evenly over frames (heavier deltas).
+  const graph::TemporalEdgeList events =
+      workload == "uniform"
+          ? graph::evolving_graph(nodes, events_n, frames, seed, 0)
+          : graph::evolving_graph_churn(
+                nodes, events_n / 2, frames,
+                frames > 1 ? events_n / 2 / (frames - 1) : 0, 0.4, seed);
+
+  // Construction scaling (Algorithm 5) across processor counts.
+  util::Table build_table({"# of Processors", "Total (ms)", "frame-split (ms)",
+                           "frame-build (ms)", "pack (ms)"});
+  for (int p : threads) {
+    tcsr::TcsrBuildTimings best{};
+    double best_total = -1;
+    for (int rep = 0; rep < 3; ++rep) {
+      tcsr::TcsrBuildTimings t;
+      util::Timer timer;
+      const auto built = tcsr::DifferentialTcsr::build(events, nodes, frames, p, &t);
+      const double total = timer.seconds();
+      if (best_total < 0 || total < best_total) {
+        best_total = total;
+        best = t;
+      }
+    }
+    build_table.add_row({std::to_string(p), util::fixed(best_total * 1e3, 2),
+                         util::fixed(best.frame_split * 1e3, 2),
+                         util::fixed(best.frame_build * 1e3, 2),
+                         util::fixed(best.pack * 1e3, 2)});
+  }
+  build_table.print();
+
+  // Temporal query latency: same random battery on all three structures.
+  const auto tcsr_s = tcsr::DifferentialTcsr::build(events, nodes, frames, 0);
+  const auto snaps = tcsr::SnapshotSequence::build(events, nodes, frames, 0);
+  const auto evelog = tcsr::EveLog::build(events, nodes, 0);
+  const auto cas = tcsr::CasIndex::build(events, nodes, 0);
+  const auto contacts = tcsr::ContactIndex::build(events, nodes, frames, 0);
+  const auto edgelog = tcsr::EdgeLog::build(events, nodes, frames, 0);
+
+  // Half the battery targets pairs that actually occur in the history
+  // (so positive and negative paths are both exercised), half is random.
+  std::vector<tcsr::TemporalEdgeQuery> queries(queries_n);
+  util::SplitMix64 rng(seed + 1);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (i % 2 == 0 && !events.empty()) {
+      const auto& e = events.edges()[rng.next_below(events.size())];
+      queries[i] = {e.u, e.v,
+                    static_cast<graph::TimeFrame>(rng.next_below(frames))};
+    } else {
+      queries[i] = {static_cast<graph::VertexId>(rng.next_below(nodes)),
+                    static_cast<graph::VertexId>(rng.next_below(nodes)),
+                    static_cast<graph::TimeFrame>(rng.next_below(frames))};
+    }
+  }
+
+  auto time_queries = [&](auto&& fn) {
+    util::Timer timer;
+    std::size_t hits = 0;
+    for (const auto& q : queries) hits += fn(q) ? 1 : 0;
+    const double us_per_query = timer.micros() / static_cast<double>(queries.size());
+    return std::pair<double, std::size_t>(us_per_query, hits);
+  };
+
+  const auto [t_diff, h_diff] = time_queries(
+      [&](const auto& q) { return tcsr_s.edge_active(q.u, q.v, q.t); });
+  const auto [t_snap, h_snap] = time_queries(
+      [&](const auto& q) { return snaps.edge_active(q.u, q.v, q.t); });
+  const auto [t_log, h_log] = time_queries(
+      [&](const auto& q) { return evelog.edge_active(q.u, q.v, q.t); });
+  const auto [t_cas, h_cas] = time_queries(
+      [&](const auto& q) { return cas.edge_active(q.u, q.v, q.t); });
+
+  std::printf("\nedge_active latency over %s random queries:\n",
+              util::with_commas(queries.size()).c_str());
+  std::printf("  differential TCSR : %8.2f us/query (%zu active)\n", t_diff, h_diff);
+  std::printf("  snapshot sequence : %8.2f us/query (%zu active)\n", t_snap, h_snap);
+  std::printf("  EveLog replay     : %8.2f us/query (%zu active)\n", t_log, h_log);
+  std::printf("  CAS wavelet index : %8.2f us/query (%zu active)\n", t_cas, h_cas);
+  const auto [t_ct, h_ct] = time_queries(
+      [&](const auto& q) { return contacts.edge_active(q.u, q.v, q.t); });
+  const auto [t_el, h_el] = time_queries(
+      [&](const auto& q) { return edgelog.edge_active(q.u, q.v, q.t); });
+  std::printf("  contact index     : %8.2f us/query (%zu active)\n", t_ct, h_ct);
+  std::printf("  EdgeLog intervals : %8.2f us/query (%zu active)\n", t_el, h_el);
+
+  // Batch (Algorithm 7/9 analogue) across thread counts.
+  std::printf("\nbatch_edge_active (differential TCSR):\n");
+  for (int p : threads) {
+    util::Timer timer;
+    const auto result = tcsr_s.batch_edge_active(queries, p);
+    std::printf("  p=%-3d %8.2f us/query\n", p,
+                timer.micros() / static_cast<double>(result.size()));
+  }
+
+  std::printf("\nstorage:\n");
+  std::printf("  raw event list    : %10s\n",
+              util::human_bytes(events.size_bytes()).c_str());
+  std::printf("  differential TCSR : %10s\n",
+              util::human_bytes(tcsr_s.size_bytes()).c_str());
+  std::printf("  snapshot sequence : %10s\n",
+              util::human_bytes(snaps.size_bytes()).c_str());
+  std::printf("  EveLog events     : %10s\n",
+              util::human_bytes(evelog.size_bytes()).c_str());
+  std::printf("  CAS wavelet index : %10s\n",
+              util::human_bytes(cas.size_bytes()).c_str());
+  std::printf("  contact index     : %10s\n",
+              util::human_bytes(contacts.size_bytes()).c_str());
+  std::printf("  EdgeLog intervals : %10s\n",
+              util::human_bytes(edgelog.size_bytes()).c_str());
+  return 0;
+}

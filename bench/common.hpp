@@ -1,0 +1,85 @@
+// Shared infrastructure for the paper-style benchmark harnesses
+// (bench_table2 / bench_fig6 / bench_fig7 all report the same underlying
+// experiment: bit-packed CSR construction time vs processor count on the
+// four Table II graphs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/flags.hpp"
+
+namespace pcq::bench {
+
+/// One (graph, p) measurement.
+struct ConstructionSample {
+  int threads = 1;
+  double seconds = 0;          ///< measured wall time (min over repeats)
+  double modeled_seconds = 0;  ///< analytic model, see scaling_model below
+  csr::CsrBuildTimings phases; ///< per-phase split of the measured run
+};
+
+/// Everything Table II reports for one graph.
+struct GraphResult {
+  std::string name;
+  graph::VertexId nodes = 0;
+  std::size_t edges = 0;
+  std::size_t edge_list_bytes = 0;       ///< binary pairs, 8 B/edge
+  std::size_t edge_list_text_bytes = 0;  ///< SNAP text file (paper's unit)
+  std::size_t csr_bytes = 0;
+  std::vector<ConstructionSample> samples;  ///< one per thread count
+};
+
+/// Experiment configuration assembled from command-line flags shared by
+/// every harness: --scale, --seed, --threads, --repeats, --graphs.
+struct ExperimentConfig {
+  double scale = 1.0 / 16;          ///< fraction of the full SNAP sizes
+  std::uint64_t seed = 42;
+  std::vector<int> threads = {1, 4, 8, 16, 64};  ///< the paper's sweep
+  int repeats = 3;
+  std::vector<std::string> graphs;  ///< empty = all four presets
+};
+
+/// Flag spec shared by the table/figure harnesses.
+std::map<std::string, std::string> experiment_flag_spec();
+
+/// Parses the shared flags.
+ExperimentConfig parse_experiment_config(const pcq::util::Flags& flags);
+
+/// Runs the Table II experiment for one preset: generates the graph at
+/// config.scale, then times bit-packed CSR construction at each thread
+/// count (min of config.repeats runs, as the paper's methodology of
+/// best-observed timing suggests).
+GraphResult run_construction_experiment(const graph::GraphPreset& preset,
+                                        const ExperimentConfig& config);
+
+/// Runs the experiment for every configured graph.
+std::vector<GraphResult> run_all_experiments(const ExperimentConfig& config);
+
+/// Speed-up in the paper's Table II sense: percentage of the p = 1 time
+/// saved, (1 - T_p / T_1) * 100.
+double speedup_percent(double t1, double tp);
+
+/// Analytic scaling model, calibrated from the measured p = 1 per-phase
+/// times. This container exposes a single core, so oversubscribed OpenMP
+/// cannot exhibit real parallel speedup; the model projects what the same
+/// phase structure yields with p real processors (see DESIGN.md §1.3):
+///
+///   T(p) = Σ_phase T_phase(1) * ((1 - f_phase) + f_phase / p) + c_sync·p
+///
+/// where f_phase is the parallelisable fraction implied by each
+/// algorithm's structure (the O(p) merge/carry steps are the serial
+/// remainder) and c_sync models barrier/fork cost growing with p.
+double scaling_model(const csr::CsrBuildTimings& t1, int p);
+
+/// True when the host machine has more than one hardware thread, i.e.
+/// measured numbers are expected to show real speedup.
+bool host_is_multicore();
+
+/// Emits one CSV row per (graph, thread count) for replotting
+/// (the --csv flag of the table/figure harnesses).
+void print_csv(const std::vector<GraphResult>& results);
+
+}  // namespace pcq::bench

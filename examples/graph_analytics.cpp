@@ -1,0 +1,150 @@
+// Full analytics pass over a compressed social network.
+//
+// Demonstrates that the bit-packed CSR is a first-class analytics
+// substrate: BFS, connected components, PageRank, triangle counting and
+// degree statistics all run against the (bit-packed or plain) CSR built by
+// the parallel pipeline — the paper's end goal of "efficient parallel
+// graph processing" (§VII).
+//
+//   $ ./graph_analytics [--graph LiveJournal] [--scale 0.005] [--threads 4]
+#include <algorithm>
+#include <cstdio>
+
+#include "algos/anf.hpp"
+#include "algos/bfs.hpp"
+#include "algos/betweenness.hpp"
+#include "algos/clustering.hpp"
+#include "algos/communities.hpp"
+#include "algos/components.hpp"
+#include "algos/kcore.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/stats.hpp"
+#include "algos/triangles.hpp"
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/flags.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcq;
+  using graph::VertexId;
+
+  util::Flags flags(argc, argv,
+                    {{"graph", "preset name (default LiveJournal)"},
+                     {"scale", "fraction of full size (default 0.005)"},
+                     {"threads", "processors (default 4)"}});
+  const auto& preset = graph::preset_by_name(flags.get("graph", "LiveJournal"));
+  const double scale = flags.get_double("scale", 0.005);
+  const int threads = static_cast<int>(flags.get_int("threads", 4));
+
+  graph::EdgeList list = graph::make_preset_graph(preset, scale, 42, threads);
+  list.symmetrize();
+  list.sort(threads);
+  list.dedupe();
+  const VertexId n = list.num_nodes();
+
+  util::Timer timer;
+  const csr::CsrGraph csr = csr::build_csr_from_sorted(list, n, threads);
+  const csr::BitPackedCsr packed = csr::BitPackedCsr::from_csr(csr, threads);
+  std::printf("%s @ scale %.4f: %s nodes, %s directed edges\n",
+              preset.name.c_str(), scale, util::with_commas(n).c_str(),
+              util::with_commas(csr.num_edges()).c_str());
+  std::printf("compressed to %s (%.2f bits/edge) in %s\n\n",
+              util::human_bytes(packed.size_bytes()).c_str(),
+              8.0 * packed.size_bytes() / csr.num_edges(),
+              util::human_seconds(timer.seconds()).c_str());
+
+  // Degree profile (validates the social-network skew of the workload).
+  const auto stats = algos::degree_stats(csr, threads);
+  std::printf("degrees: mean %.2f, median %.0f, p99 %.0f, max %u, "
+              "gini %.3f\n",
+              stats.mean, stats.p50, stats.p99, stats.max, stats.gini);
+
+  // BFS from the highest-degree hub, straight off the packed structure.
+  VertexId hub = 0;
+  for (VertexId u = 0; u < n; ++u)
+    if (csr.degree(u) > csr.degree(hub)) hub = u;
+  timer.restart();
+  const auto dist = algos::bfs(packed, hub, threads);
+  std::size_t reached = 0;
+  std::uint32_t eccentricity = 0;
+  for (auto d : dist)
+    if (d != algos::kUnreachable) {
+      ++reached;
+      eccentricity = std::max(eccentricity, d);
+    }
+  std::printf("BFS from hub %u: reached %s nodes, eccentricity %u (%s, on "
+              "the packed CSR)\n",
+              hub, util::with_commas(reached).c_str(), eccentricity,
+              util::human_seconds(timer.seconds()).c_str());
+
+  // Connected components.
+  timer.restart();
+  const auto labels = algos::connected_components_label_prop(csr, threads);
+  std::printf("connected components: %s (%s)\n",
+              util::with_commas(algos::count_components(labels)).c_str(),
+              util::human_seconds(timer.seconds()).c_str());
+
+  // PageRank top-5.
+  timer.restart();
+  const auto pr = algos::pagerank(csr, {}, threads);
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+  std::partial_sort(order.begin(), order.begin() + std::min<VertexId>(5, n),
+                    order.end(), [&](VertexId a, VertexId b) {
+                      return pr.scores[a] > pr.scores[b];
+                    });
+  std::printf("pagerank (%d iterations, %s): top nodes ", pr.iterations,
+              util::human_seconds(timer.seconds()).c_str());
+  for (VertexId i = 0; i < std::min<VertexId>(5, n); ++i)
+    std::printf("%u ", order[i]);
+  std::printf("\n");
+
+  // Cohesion metrics: k-core decomposition and clustering coefficients.
+  timer.restart();
+  const auto coreness = algos::kcore_peeling(csr);
+  std::printf("degeneracy (max k-core): %u (%s)\n",
+              algos::degeneracy(coreness),
+              util::human_seconds(timer.seconds()).c_str());
+  timer.restart();
+  const auto clustering = algos::clustering_coefficients(csr, threads);
+  std::printf("clustering: average %.4f, global %.4f (%s)\n",
+              clustering.average, clustering.global,
+              util::human_seconds(timer.seconds()).c_str());
+
+  // Sampled betweenness centrality (the intro's "edge betweenness of the
+  // highways" analysis, node flavour, estimated from 64 sources).
+  timer.restart();
+  const auto bc = algos::betweenness_sampled(csr, 64, 7, threads);
+  VertexId most_central = 0;
+  for (VertexId v = 1; v < n; ++v)
+    if (bc[v] > bc[most_central]) most_central = v;
+  std::printf("most central node (sampled betweenness): %u (%s)\n",
+              most_central, util::human_seconds(timer.seconds()).c_str());
+
+  // Effective diameter via HyperLogLog sketches (ANF) and communities via
+  // label propagation.
+  timer.restart();
+  const auto nf = algos::approximate_neighborhood_function(csr, 16, 7, threads);
+  std::printf("effective diameter (90%%): %.2f over %zu hops measured (%s)\n",
+              nf.effective_diameter(), nf.pairs.size() - 1,
+              util::human_seconds(timer.seconds()).c_str());
+  timer.restart();
+  const auto communities = algos::label_propagation_communities(csr, 50, threads);
+  std::printf("communities (LPA): %s in %d rounds, modularity %.3f (%s)\n",
+              util::with_commas(communities.communities).c_str(),
+              communities.rounds, algos::modularity(csr, communities.label),
+              util::human_seconds(timer.seconds()).c_str());
+
+  // Triangles on the upper-triangular form.
+  graph::EdgeList tri_list(
+      std::vector<graph::Edge>(list.edges().begin(), list.edges().end()));
+  tri_list.to_upper_triangle();
+  const csr::CsrGraph tri_csr = csr::build_csr_from_sorted(tri_list, n, threads);
+  timer.restart();
+  const auto triangles = algos::count_triangles(tri_csr, threads);
+  std::printf("triangles: %s (%s)\n", util::with_commas(triangles).c_str(),
+              util::human_seconds(timer.seconds()).c_str());
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Tour of every time-evolving representation in the library.
+//
+// Builds one history and indexes it six ways — the paper's differential
+// TCSR (Section IV) and the five related-work comparators from §II —
+// then runs an identical query battery through each, cross-checking that
+// they all agree and printing the storage/latency trade-off table. Use
+// this example to pick the structure for your own workload.
+//
+//   $ ./temporal_structures_tour [--nodes 20000] [--events 200000]
+//                                [--frames 24] [--threads 4]
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "tcsr/baselines.hpp"
+#include "tcsr/cas_index.hpp"
+#include "tcsr/contact_index.hpp"
+#include "tcsr/edgelog.hpp"
+#include "tcsr/tcsr.hpp"
+#include "util/flags.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcq;
+  using graph::TimeFrame;
+  using graph::VertexId;
+
+  util::Flags flags(argc, argv,
+                    {{"nodes", "node count (default 20000)"},
+                     {"events", "event count (default 200000)"},
+                     {"frames", "history frames (default 24)"},
+                     {"threads", "processors (default 4)"},
+                     {"queries", "query battery size (default 4000)"}});
+  const auto nodes = static_cast<VertexId>(flags.get_int("nodes", 20'000));
+  const auto events_n = static_cast<std::size_t>(flags.get_int("events", 200'000));
+  const auto frames = static_cast<TimeFrame>(flags.get_int("frames", 24));
+  const int threads = static_cast<int>(flags.get_int("threads", 4));
+  const auto queries_n = static_cast<std::size_t>(flags.get_int("queries", 4000));
+
+  // A persistent-edge history: initial burst, then light churn.
+  const graph::TemporalEdgeList history = graph::evolving_graph_churn(
+      nodes, events_n / 2, frames,
+      frames > 1 ? events_n / 2 / (frames - 1) : 0, 0.4, 7);
+  std::printf("History: %s events over %u frames (%s raw)\n\n",
+              util::with_commas(history.size()).c_str(), frames,
+              util::human_bytes(history.size_bytes()).c_str());
+
+  // Build all six structures, timing each.
+  struct Entry {
+    const char* name;
+    double build_s;
+    std::size_t bytes;
+    double query_us;
+    std::size_t hits;
+  };
+  std::vector<Entry> entries;
+
+  util::Timer timer;
+  const auto tcsr = tcsr::DifferentialTcsr::build(history, nodes, frames, threads);
+  const double t_tcsr = timer.seconds();
+  timer.restart();
+  const auto snaps = tcsr::SnapshotSequence::build(history, nodes, frames, threads);
+  const double t_snaps = timer.seconds();
+  timer.restart();
+  const auto evelog = tcsr::EveLog::build(history, nodes, threads);
+  const double t_evelog = timer.seconds();
+  timer.restart();
+  const auto cas = tcsr::CasIndex::build(history, nodes, threads);
+  const double t_cas = timer.seconds();
+  timer.restart();
+  const auto contact = tcsr::ContactIndex::build(history, nodes, frames, threads);
+  const double t_contact = timer.seconds();
+  timer.restart();
+  const auto edgelog = tcsr::EdgeLog::build(history, nodes, frames, threads);
+  const double t_edgelog = timer.seconds();
+
+  // Query battery: half real pairs, half random, identical for everyone.
+  util::SplitMix64 rng(11);
+  std::vector<tcsr::TemporalEdgeQuery> queries(queries_n);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (i % 2 == 0) {
+      const auto& e = history.edges()[rng.next_below(history.size())];
+      queries[i] = {e.u, e.v, static_cast<TimeFrame>(rng.next_below(frames))};
+    } else {
+      queries[i] = {static_cast<VertexId>(rng.next_below(nodes)),
+                    static_cast<VertexId>(rng.next_below(nodes)),
+                    static_cast<TimeFrame>(rng.next_below(frames))};
+    }
+  }
+  auto battery = [&](auto&& fn) {
+    util::Timer t;
+    std::size_t hits = 0;
+    for (const auto& q : queries) hits += fn(q) ? 1 : 0;
+    return std::pair<double, std::size_t>(
+        t.micros() / static_cast<double>(queries.size()), hits);
+  };
+
+  {
+    auto [us, h] = battery([&](const auto& q) { return tcsr.edge_active(q.u, q.v, q.t); });
+    entries.push_back({"differential TCSR (Sec. IV)", t_tcsr, tcsr.size_bytes(), us, h});
+  }
+  {
+    auto [us, h] = battery([&](const auto& q) { return snaps.edge_active(q.u, q.v, q.t); });
+    entries.push_back({"snapshot sequence", t_snaps, snaps.size_bytes(), us, h});
+  }
+  {
+    auto [us, h] = battery([&](const auto& q) { return evelog.edge_active(q.u, q.v, q.t); });
+    entries.push_back({"EveLog event replay", t_evelog, evelog.size_bytes(), us, h});
+  }
+  {
+    auto [us, h] = battery([&](const auto& q) { return cas.edge_active(q.u, q.v, q.t); });
+    entries.push_back({"CAS wavelet index", t_cas, cas.size_bytes(), us, h});
+  }
+  {
+    auto [us, h] = battery([&](const auto& q) { return contact.edge_active(q.u, q.v, q.t); });
+    entries.push_back({"contact index (ck-d model)", t_contact, contact.size_bytes(), us, h});
+  }
+  {
+    auto [us, h] = battery([&](const auto& q) { return edgelog.edge_active(q.u, q.v, q.t); });
+    entries.push_back({"EdgeLog interval lists", t_edgelog, edgelog.size_bytes(), us, h});
+  }
+
+  // Cross-check: every structure must report the same number of hits.
+  const std::size_t expect_hits = entries.front().hits;
+  bool all_agree = true;
+  for (const auto& e : entries) all_agree = all_agree && e.hits == expect_hits;
+
+  util::Table table({"Structure", "Build", "Size", "edge_active", "Hits"});
+  for (const auto& e : entries) {
+    table.add_row({e.name, util::human_seconds(e.build_s),
+                   util::human_bytes(e.bytes),
+                   util::fixed(e.query_us, 2) + " us",
+                   util::with_commas(e.hits)});
+  }
+  table.print();
+  std::printf("\nAll six structures agree on every query: %s\n",
+              all_agree ? "yes" : "NO — BUG");
+  return all_agree ? 0 : 1;
+}

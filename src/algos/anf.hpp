@@ -1,0 +1,60 @@
+// Approximate Neighbourhood Function (ANF / HyperANF style).
+//
+// N(h) = number of ordered pairs (u, v) with distance(u, v) <= h. Exact
+// computation needs all-pairs BFS; the sketch approach (Palmer et al.'s
+// ANF, Boldi-Vigna's HyperANF — the WebGraph authors of ref [2]) keeps a
+// HyperLogLog counter per node and iterates "my counter |= union of my
+// neighbours' counters", h rounds for radius h. Gives the effective
+// diameter of million-node graphs in seconds — one of the §I analyses
+// ("how a user's influence would change his connections") this library is
+// meant to serve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csr/csr_graph.hpp"
+
+namespace pcq::algos {
+
+/// HyperLogLog counter with 2^kRegisterBitsLog registers of 8 bits.
+class HllCounter {
+ public:
+  static constexpr unsigned kRegistersLog2 = 6;  // 64 registers, ~13% error
+  static constexpr std::size_t kRegisters = 1u << kRegistersLog2;
+
+  HllCounter() : registers_(kRegisters, 0) {}
+
+  /// Adds an element by its 64-bit hash.
+  void add_hash(std::uint64_t hash);
+
+  /// Register-wise max (set union).
+  void merge(const HllCounter& other);
+
+  /// Cardinality estimate.
+  [[nodiscard]] double estimate() const;
+
+  friend bool operator==(const HllCounter&, const HllCounter&) = default;
+
+ private:
+  std::vector<std::uint8_t> registers_;
+};
+
+struct NeighborhoodFunction {
+  /// pairs[h] ≈ N(h): reachable ordered pairs within h hops (h = 0
+  /// counts the n self-pairs). Monotone non-decreasing.
+  std::vector<double> pairs;
+
+  /// Smallest h with N(h) >= fraction * N(max); the "effective diameter"
+  /// at the conventional fraction 0.9.
+  [[nodiscard]] double effective_diameter(double fraction = 0.9) const;
+};
+
+/// Runs `max_hops` sketch iterations (or stops early when the estimate
+/// plateaus). Deterministic given `seed`. `g` should be symmetric for the
+/// usual undirected reading.
+NeighborhoodFunction approximate_neighborhood_function(
+    const csr::CsrGraph& g, unsigned max_hops, std::uint64_t seed,
+    int num_threads);
+
+}  // namespace pcq::algos

@@ -1,0 +1,115 @@
+#include "algos/betweenness.hpp"
+
+#include <omp.h>
+
+#include <vector>
+
+#include "par/threads.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::algos {
+
+using graph::VertexId;
+
+namespace {
+
+/// One Brandes source iteration: BFS computes shortest-path counts, then
+/// dependencies are accumulated walking the BFS order backwards.
+/// Adds this source's contributions into `score`.
+void brandes_from_source(const csr::CsrGraph& g, VertexId s,
+                         std::vector<double>& score,
+                         std::vector<std::uint32_t>& dist,
+                         std::vector<double>& sigma,
+                         std::vector<double>& delta,
+                         std::vector<VertexId>& order) {
+  const VertexId n = g.num_nodes();
+  constexpr std::uint32_t kUnset = ~std::uint32_t{0};
+  dist.assign(n, kUnset);
+  sigma.assign(n, 0.0);
+  delta.assign(n, 0.0);
+  order.clear();
+
+  dist[s] = 0;
+  sigma[s] = 1.0;
+  std::size_t head = 0;
+  order.push_back(s);
+  while (head < order.size()) {
+    const VertexId v = order[head++];
+    for (VertexId w : g.neighbors(v)) {
+      if (dist[w] == kUnset) {
+        dist[w] = dist[v] + 1;
+        order.push_back(w);
+      }
+      if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+    }
+  }
+
+  // Dependency accumulation in reverse BFS order: for each predecessor v
+  // of w (dist[v] + 1 == dist[w]),
+  // delta[v] += sigma[v] / sigma[w] * (1 + delta[w]).
+  for (std::size_t i = order.size(); i-- > 1;) {  // skip the source itself
+    const VertexId w = order[i];
+    for (VertexId v : g.neighbors(w)) {
+      if (dist[v] + 1 == dist[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+    }
+    if (w != s) score[w] += delta[w];
+  }
+}
+
+std::vector<double> run_sources(const csr::CsrGraph& g,
+                                const std::vector<VertexId>& sources,
+                                int num_threads) {
+  const VertexId n = g.num_nodes();
+  const int p = pcq::par::clamp_threads(num_threads);
+
+  // Coarse-grained: each thread owns a private score vector and a set of
+  // sources; scores are reduced at the end.
+  std::vector<std::vector<double>> partial(
+      static_cast<std::size_t>(p), std::vector<double>(n, 0.0));
+#pragma omp parallel num_threads(p)
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    std::vector<std::uint32_t> dist;
+    std::vector<double> sigma, delta;
+    std::vector<VertexId> order;
+#pragma omp for schedule(dynamic, 1)
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      brandes_from_source(g, sources[i], partial[tid], dist, sigma, delta,
+                          order);
+    }
+  }
+
+  std::vector<double> score(n, 0.0);
+  for (const auto& part : partial)
+    for (VertexId v = 0; v < n; ++v) score[v] += part[v];
+  return score;
+}
+
+}  // namespace
+
+std::vector<double> betweenness_exact(const csr::CsrGraph& g,
+                                      int num_threads) {
+  std::vector<VertexId> sources(g.num_nodes());
+  for (VertexId v = 0; v < g.num_nodes(); ++v) sources[v] = v;
+  return run_sources(g, sources, num_threads);
+}
+
+std::vector<double> betweenness_sampled(const csr::CsrGraph& g,
+                                        std::size_t samples,
+                                        std::uint64_t seed, int num_threads) {
+  const VertexId n = g.num_nodes();
+  PCQ_CHECK(n > 0);
+  pcq::util::SplitMix64 rng(seed);
+  std::vector<VertexId> sources(samples);
+  for (auto& s : sources) s = static_cast<VertexId>(rng.next_below(n));
+  std::vector<double> score = run_sources(g, sources, num_threads);
+  const double scale =
+      samples == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(samples);
+  for (double& x : score) x *= scale;
+  return score;
+}
+
+}  // namespace pcq::algos

@@ -1,0 +1,29 @@
+// Breadth-first search on CSR graphs.
+//
+// Level-synchronous parallel BFS; one variant traverses the plain CSR,
+// the other traverses the bit-packed CSR *without unpacking it* — each
+// frontier expansion decodes exactly the rows it touches, demonstrating
+// the paper's claim that the compressed structure is directly queryable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csr/bitpacked_csr.hpp"
+#include "csr/csr_graph.hpp"
+
+namespace pcq::algos {
+
+/// Distance label for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+/// Parallel BFS from `source`; result[v] is the hop distance (kUnreachable
+/// if v is not reachable).
+std::vector<std::uint32_t> bfs(const csr::CsrGraph& g, graph::VertexId source,
+                               int num_threads);
+
+/// Same traversal over the bit-packed CSR.
+std::vector<std::uint32_t> bfs(const csr::BitPackedCsr& g,
+                               graph::VertexId source, int num_threads);
+
+}  // namespace pcq::algos

@@ -1,0 +1,26 @@
+// Clustering coefficients on CSR.
+//
+// Local coefficient of v: triangles through v divided by the pairs of
+// neighbours C(deg, 2); the average over nodes and the global (transitivity)
+// ratio are the usual social-cohesion summaries. Rows are intersected the
+// same way as triangle counting; everything runs on the symmetric CSR.
+#pragma once
+
+#include <vector>
+
+#include "csr/csr_graph.hpp"
+
+namespace pcq::algos {
+
+struct ClusteringResult {
+  std::vector<double> local;  ///< per-node coefficient, 0 for degree < 2
+  double average = 0;         ///< mean of local over all nodes
+  double global = 0;          ///< 3*triangles / open+closed wedges
+};
+
+/// `g` must be a symmetric, duplicate-free CSR with sorted rows.
+/// Parallel over nodes.
+ClusteringResult clustering_coefficients(const csr::CsrGraph& g,
+                                         int num_threads);
+
+}  // namespace pcq::algos

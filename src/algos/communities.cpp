@@ -1,0 +1,86 @@
+#include "algos/communities.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "par/parallel_for.hpp"
+
+namespace pcq::algos {
+
+using graph::VertexId;
+
+CommunityResult label_propagation_communities(const csr::CsrGraph& g,
+                                              int max_rounds,
+                                              int num_threads) {
+  const VertexId n = g.num_nodes();
+  CommunityResult result;
+  result.label.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.label[v] = v;
+  if (n == 0) return result;
+
+  std::vector<VertexId> next(n);
+  for (int round = 0; round < max_rounds; ++round) {
+    std::atomic<bool> changed{false};
+    pcq::par::parallel_for(n, num_threads, [&](std::size_t vi) {
+      const auto v = static_cast<VertexId>(vi);
+      const auto row = g.neighbors(v);
+      if (row.empty()) {
+        next[vi] = result.label[vi];
+        return;
+      }
+      // Majority label among neighbours *and self* (the self-vote damps
+      // the synchronous schedule's oscillation on bipartite structures);
+      // ties break to the smallest label, making the result
+      // deterministic.
+      std::unordered_map<VertexId, std::uint32_t> freq;
+      freq.reserve(row.size() + 1);
+      for (VertexId u : row) ++freq[result.label[u]];
+      ++freq[result.label[vi]];
+      VertexId best = result.label[vi];
+      std::uint32_t best_count = 0;
+      for (const auto& [label, count] : freq) {
+        if (count > best_count || (count == best_count && label < best)) {
+          best = label;
+          best_count = count;
+        }
+      }
+      next[vi] = best;
+      if (next[vi] != result.label[vi])
+        changed.store(true, std::memory_order_relaxed);
+    });
+    result.label.swap(next);
+    result.rounds = round + 1;
+    if (!changed.load(std::memory_order_relaxed)) break;
+  }
+
+  std::unordered_set<VertexId> distinct(result.label.begin(),
+                                        result.label.end());
+  result.communities = distinct.size();
+  return result;
+}
+
+double modularity(const csr::CsrGraph& g,
+                  const std::vector<VertexId>& label) {
+  const VertexId n = g.num_nodes();
+  const double m2 = static_cast<double>(g.num_edges());  // 2m directed-sum
+  if (m2 == 0) return 0;
+
+  std::unordered_map<VertexId, double> intra;   // directed intra edges
+  std::unordered_map<VertexId, double> degree;  // community degree sum
+  for (VertexId u = 0; u < n; ++u) {
+    degree[label[u]] += g.degree(u);
+    for (VertexId v : g.neighbors(u))
+      if (label[u] == label[v]) intra[label[u]] += 1.0;
+  }
+  double q = 0;
+  for (const auto& [community, d] : degree) {
+    const auto it = intra.find(community);
+    const double e = it == intra.end() ? 0.0 : it->second;
+    q += e / m2 - (d / m2) * (d / m2);
+  }
+  return q;
+}
+
+}  // namespace pcq::algos

@@ -1,0 +1,37 @@
+// Community detection by label propagation (LPA, Raghavan et al.).
+//
+// Each node repeatedly adopts the most frequent label among its
+// neighbours (ties to the smallest label, giving a deterministic
+// fixed point given the synchronous schedule). Unlike connected-component
+// label propagation (min-label), LPA's majority rule splits dense regions
+// into communities — the "influence" analyses the paper's introduction
+// motivates. Synchronous parallel schedule: all nodes update from a
+// snapshot of the previous round's labels; the node's own label casts a
+// vote too (self-vote), which damps the oscillation fully synchronous LPA
+// exhibits on bipartite structures, and `max_rounds` bounds the rest.
+#pragma once
+
+#include <vector>
+
+#include "csr/csr_graph.hpp"
+
+namespace pcq::algos {
+
+struct CommunityResult {
+  std::vector<graph::VertexId> label;  ///< community id per node
+  std::size_t communities = 0;         ///< distinct labels
+  int rounds = 0;                      ///< iterations until stable
+};
+
+/// `g` should be symmetric. `max_rounds` bounds oscillating cases.
+CommunityResult label_propagation_communities(const csr::CsrGraph& g,
+                                              int max_rounds,
+                                              int num_threads);
+
+/// Modularity of a labeling on a symmetric graph (each undirected edge
+/// stored in both directions): Q = Σ_c (e_c / m − (d_c / 2m)²), where e_c
+/// counts intra-community directed edges and d_c the community degree.
+double modularity(const csr::CsrGraph& g,
+                  const std::vector<graph::VertexId>& label);
+
+}  // namespace pcq::algos

@@ -1,0 +1,108 @@
+#include "algos/components.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "par/parallel_for.hpp"
+
+namespace pcq::algos {
+
+using graph::VertexId;
+
+std::vector<VertexId> connected_components_label_prop(const csr::CsrGraph& g,
+                                                      int num_threads) {
+  const VertexId n = g.num_nodes();
+  std::vector<std::atomic<VertexId>> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v].store(v, std::memory_order_relaxed);
+
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
+    pcq::par::parallel_for(n, num_threads, [&](std::size_t ui) {
+      const auto u = static_cast<VertexId>(ui);
+      VertexId mine = label[u].load(std::memory_order_relaxed);
+      for (VertexId v : g.neighbors(u)) {
+        const VertexId theirs = label[v].load(std::memory_order_relaxed);
+        if (theirs < mine) {
+          mine = theirs;
+        } else if (mine < theirs) {
+          // Push the smaller label to the neighbour (monotone decrease, so
+          // a lost race only delays convergence, never breaks it).
+          VertexId expected = theirs;
+          while (expected > mine && !label[v].compare_exchange_weak(
+                                        expected, mine, std::memory_order_relaxed)) {
+          }
+          changed.store(true, std::memory_order_relaxed);
+        }
+      }
+      VertexId expected = label[u].load(std::memory_order_relaxed);
+      while (expected > mine && !label[u].compare_exchange_weak(
+                                    expected, mine, std::memory_order_relaxed)) {
+      }
+    });
+    // Pointer-jumping style shortcut: compress label chains each round.
+    pcq::par::parallel_for(n, num_threads, [&](std::size_t vi) {
+      const auto v = static_cast<VertexId>(vi);
+      VertexId l = label[v].load(std::memory_order_relaxed);
+      VertexId ll = label[l].load(std::memory_order_relaxed);
+      while (ll < l) {
+        l = ll;
+        ll = label[l].load(std::memory_order_relaxed);
+      }
+      if (l < label[v].load(std::memory_order_relaxed)) {
+        label[v].store(l, std::memory_order_relaxed);
+        changed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<VertexId> out(n);
+  for (VertexId v = 0; v < n; ++v) out[v] = label[v].load(std::memory_order_relaxed);
+  return out;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(VertexId n) : parent_(n) {
+    for (VertexId v = 0; v < n; ++v) parent_[v] = v;
+  }
+  VertexId find(VertexId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];  // path halving
+      v = parent_[v];
+    }
+    return v;
+  }
+  void unite(VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent_[b] = a;  // smaller id becomes the root -> canonical min labels
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+std::vector<VertexId> connected_components_union_find(const csr::CsrGraph& g) {
+  const VertexId n = g.num_nodes();
+  UnionFind uf(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v : g.neighbors(u)) uf.unite(u, v);
+  std::vector<VertexId> out(n);
+  for (VertexId v = 0; v < n; ++v) out[v] = uf.find(v);
+  return out;
+}
+
+std::size_t count_components(const std::vector<VertexId>& labels) {
+  std::unordered_set<VertexId> distinct(labels.begin(), labels.end());
+  return distinct.size();
+}
+
+}  // namespace pcq::algos

@@ -1,0 +1,28 @@
+// Connected components.
+//
+// Parallel label propagation on CSR (iterates min-label exchange until a
+// fixed point) plus a sequential union-find reference used to validate it.
+// Both treat the graph as undirected (labels flow along both edge
+// directions if the CSR was built from a symmetrized list; on a directed
+// CSR they compute weakly connected components only if symmetrized first).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csr/csr_graph.hpp"
+
+namespace pcq::algos {
+
+/// result[v] is the smallest vertex id in v's component.
+std::vector<graph::VertexId> connected_components_label_prop(
+    const csr::CsrGraph& g, int num_threads);
+
+/// Union-find reference implementation (sequential).
+std::vector<graph::VertexId> connected_components_union_find(
+    const csr::CsrGraph& g);
+
+/// Number of distinct components in a label array.
+std::size_t count_components(const std::vector<graph::VertexId>& labels);
+
+}  // namespace pcq::algos

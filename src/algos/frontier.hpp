@@ -1,0 +1,106 @@
+// Ligra-style frontier processing (§II, Shun & Blelloch's Ligra [14]).
+//
+// The related work positions Ligra as the standard shared-memory framework
+// for the traversal workloads CSR serves. This is that abstraction on top
+// of this library's CSR: a VertexSubset that switches between sparse
+// (id list) and dense (bitmap) representations, and an edge_map with
+// Ligra's direction optimization — *push* from a small frontier along
+// out-edges, *pull* into the unvisited set along in-edges when the
+// frontier covers a large fraction of the edges. bfs_frontier and
+// cc_frontier re-derive BFS and connected components on the abstraction
+// (tests pin them to the direct implementations in bfs.hpp /
+// components.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "csr/csr_graph.hpp"
+
+namespace pcq::algos {
+
+/// A set of vertices with dual sparse/dense representation.
+class VertexSubset {
+ public:
+  VertexSubset() = default;
+
+  /// Empty subset over a universe of n vertices.
+  explicit VertexSubset(graph::VertexId universe) : universe_(universe) {}
+
+  static VertexSubset single(graph::VertexId universe, graph::VertexId v);
+  static VertexSubset from_ids(graph::VertexId universe,
+                               std::vector<graph::VertexId> ids);
+
+  [[nodiscard]] graph::VertexId universe() const { return universe_; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] bool is_dense() const { return dense_valid_; }
+
+  /// Membership test (works in either representation).
+  [[nodiscard]] bool contains(graph::VertexId v) const;
+
+  /// Sorted id list (materialises from dense if needed).
+  [[nodiscard]] std::vector<graph::VertexId> ids() const;
+
+  /// Converts in place.
+  void to_dense();
+  void to_sparse();
+
+ private:
+  friend class FrontierEngine;
+
+  graph::VertexId universe_ = 0;
+  std::size_t count_ = 0;
+  bool sparse_valid_ = true;
+  bool dense_valid_ = false;
+  std::vector<graph::VertexId> sparse_;  ///< sorted when valid
+  std::vector<std::uint8_t> dense_;      ///< one byte per vertex when valid
+};
+
+/// Frontier engine bound to a graph (and its transpose for pull mode).
+/// For symmetric graphs pass the same CSR twice.
+class FrontierEngine {
+ public:
+  FrontierEngine(const csr::CsrGraph& out_graph, const csr::CsrGraph& in_graph,
+                 int num_threads);
+
+  /// Ligra's edgeMap. For each edge (u, v) with u in `frontier` and
+  /// cond(v) true, calls update(u, v); vertices for which update returns
+  /// true (the "claim") join the output subset exactly once.
+  ///
+  /// update must be thread-safe and return true at most once per target
+  /// (use a CAS, as bfs_frontier does). Direction optimisation: if the
+  /// frontier's out-degree sum exceeds |E| / 20, iterates dense/pull over
+  /// in-edges of unclaimed vertices; otherwise sparse/push.
+  VertexSubset edge_map(
+      const VertexSubset& frontier,
+      const std::function<bool(graph::VertexId, graph::VertexId)>& update,
+      const std::function<bool(graph::VertexId)>& cond);
+
+  /// Ligra's vertexMap: fn over every member.
+  void vertex_map(const VertexSubset& subset,
+                  const std::function<void(graph::VertexId)>& fn) const;
+
+  /// Members satisfying pred.
+  VertexSubset vertex_filter(
+      const VertexSubset& subset,
+      const std::function<bool(graph::VertexId)>& pred) const;
+
+ private:
+  const csr::CsrGraph& out_;
+  const csr::CsrGraph& in_;
+  int threads_;
+};
+
+/// BFS on the frontier abstraction; equals algos::bfs.
+std::vector<std::uint32_t> bfs_frontier(const csr::CsrGraph& g,
+                                        graph::VertexId source,
+                                        int num_threads);
+
+/// Connected components by frontier-based label propagation; labels equal
+/// algos::connected_components_label_prop on symmetric graphs.
+std::vector<graph::VertexId> cc_frontier(const csr::CsrGraph& g,
+                                         int num_threads);
+
+}  // namespace pcq::algos

@@ -1,0 +1,109 @@
+#include "algos/kcore.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "par/parallel_for.hpp"
+
+namespace pcq::algos {
+
+using graph::VertexId;
+
+std::vector<std::uint32_t> kcore_peeling(const csr::CsrGraph& g) {
+  const VertexId n = g.num_nodes();
+  std::vector<std::uint32_t> degree(n);
+  std::uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort nodes by degree (bin[d] = start of degree-d block).
+  std::vector<std::uint32_t> bin(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v] + 1];
+  for (std::size_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+  std::vector<VertexId> order(n);       // nodes sorted by current degree
+  std::vector<std::uint32_t> pos(n);    // node -> index in order
+  {
+    std::vector<std::uint32_t> next = bin;
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = next[degree[v]];
+      order[pos[v]] = v;
+      ++next[degree[v]];
+    }
+  }
+
+  // Peel in degree order; each processed node lowers its unprocessed
+  // neighbours' degrees, swapping them down a bucket in O(1).
+  std::vector<std::uint32_t> coreness(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    coreness[v] = degree[v];
+    for (VertexId u : g.neighbors(v)) {
+      if (degree[u] > degree[v]) {
+        // Swap u with the first node of its degree bucket, then shrink it.
+        const std::uint32_t du = degree[u];
+        const std::uint32_t pu = pos[u];
+        const std::uint32_t pw = bin[du];
+        const VertexId w = order[pw];
+        if (u != w) {
+          order[pu] = w;
+          order[pw] = u;
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bin[du];
+        --degree[u];
+      }
+    }
+  }
+  return coreness;
+}
+
+std::vector<std::uint32_t> kcore_hindex(const csr::CsrGraph& g,
+                                        int num_threads) {
+  const VertexId n = g.num_nodes();
+  std::vector<std::uint32_t> core(n);
+  pcq::par::parallel_for(n, num_threads, [&](std::size_t v) {
+    core[v] = g.degree(static_cast<VertexId>(v));
+  });
+
+  std::vector<std::uint32_t> next(n);
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
+    pcq::par::parallel_for(n, num_threads, [&](std::size_t vi) {
+      const auto v = static_cast<VertexId>(vi);
+      // h-index of neighbour core values: the largest h such that at
+      // least h neighbours have core >= h. Counting sort over the small
+      // bounded range [0, degree(v)].
+      const auto row = g.neighbors(v);
+      std::vector<std::uint32_t> count(core[v] + 2, 0);
+      for (VertexId u : row) {
+        const std::uint32_t c = std::min(core[u], core[v]);
+        ++count[c];
+      }
+      std::uint32_t total = 0;
+      std::uint32_t h = 0;
+      for (std::uint32_t k = core[v] + 1; k-- > 0;) {
+        total += count[k];
+        if (total >= k) {
+          h = k;
+          break;
+        }
+      }
+      next[vi] = h;
+      if (h != core[v]) changed.store(true, std::memory_order_relaxed);
+    });
+    core.swap(next);
+  }
+  return core;
+}
+
+std::uint32_t degeneracy(const std::vector<std::uint32_t>& coreness) {
+  std::uint32_t best = 0;
+  for (std::uint32_t c : coreness) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace pcq::algos

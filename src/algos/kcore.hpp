@@ -1,0 +1,30 @@
+// k-core decomposition (coreness of every node).
+//
+// The k-core is the maximal subgraph where every node has degree >= k;
+// coreness(v) is the largest k whose core contains v. A standard
+// social-network cohesion metric (the paper's intro motivates influence
+// analysis), computed here on an undirected CSR by bucket peeling —
+// O(n + m) — plus a parallel iterative variant for the ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csr/csr_graph.hpp"
+
+namespace pcq::algos {
+
+/// Exact coreness by Batagelj–Zaveršnik bucket peeling (sequential).
+/// `g` must be a symmetric CSR (each undirected edge stored both ways).
+std::vector<std::uint32_t> kcore_peeling(const csr::CsrGraph& g);
+
+/// Parallel fixed-point variant: iteratively computes the h-index of each
+/// node's neighbour corenesses until stable (Lü et al.); converges to the
+/// same coreness values, trading extra passes for full parallelism.
+std::vector<std::uint32_t> kcore_hindex(const csr::CsrGraph& g,
+                                        int num_threads);
+
+/// Largest k with a non-empty k-core.
+std::uint32_t degeneracy(const std::vector<std::uint32_t>& coreness);
+
+}  // namespace pcq::algos

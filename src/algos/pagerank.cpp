@@ -1,0 +1,64 @@
+#include "algos/pagerank.hpp"
+
+#include <cmath>
+
+#include "csr/builder.hpp"
+#include "graph/edge_list.hpp"
+#include "par/parallel_for.hpp"
+
+namespace pcq::algos {
+
+using graph::VertexId;
+
+PageRankResult pagerank(const csr::CsrGraph& g, const PageRankOptions& opts,
+                        int num_threads) {
+  const VertexId n = g.num_nodes();
+  PageRankResult result;
+  if (n == 0) return result;
+
+  // Pull-based iteration needs in-neighbour rows; build the transpose once.
+  // (The pull phase is then race-free: node v writes only next[v].)
+  graph::EdgeList reversed;
+  reversed.reserve(g.num_edges());
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v : g.neighbors(u)) reversed.push_back({v, u});
+  reversed.sort(num_threads);
+  const csr::CsrGraph transpose =
+      csr::build_csr_from_sorted(reversed, n, num_threads);
+
+  const double base = (1.0 - opts.damping) / n;
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  // contrib[u] = rank[u] / outdegree(u), refreshed each iteration.
+  std::vector<double> contrib(n, 0.0);
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    double dangling = 0.0;
+    for (VertexId u = 0; u < n; ++u)
+      if (g.degree(u) == 0) dangling += rank[u];
+    const double dangling_share = opts.damping * dangling / n;
+
+    pcq::par::parallel_for(n, num_threads, [&](std::size_t u) {
+      const auto deg = g.degree(static_cast<VertexId>(u));
+      contrib[u] = deg == 0 ? 0.0 : rank[u] / deg;
+    });
+
+    pcq::par::parallel_for(n, num_threads, [&](std::size_t vi) {
+      const auto v = static_cast<VertexId>(vi);
+      double sum = 0.0;
+      for (VertexId u : transpose.neighbors(v)) sum += contrib[u];
+      next[v] = base + dangling_share + opts.damping * sum;
+    });
+
+    double delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) delta += std::fabs(next[v] - rank[v]);
+    rank.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < opts.tolerance) break;
+  }
+  result.scores = std::move(rank);
+  return result;
+}
+
+}  // namespace pcq::algos

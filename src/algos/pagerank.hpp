@@ -1,0 +1,29 @@
+// PageRank by parallel power iteration on CSR.
+#pragma once
+
+#include <vector>
+
+#include "csr/csr_graph.hpp"
+
+namespace pcq::algos {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-7;  ///< L1 change per iteration that counts as converged
+  int max_iterations = 100;
+};
+
+struct PageRankResult {
+  std::vector<double> scores;  ///< sums to ~1
+  int iterations = 0;
+  double final_delta = 0;  ///< L1 change of the last iteration
+};
+
+/// Pull-based power iteration: scores[v] = (1-d)/n + d * sum of
+/// rank[u]/outdeg(u) over in-neighbours u. The transpose is materialised
+/// internally so directed graphs are handled correctly; dangling mass is
+/// redistributed uniformly, so the scores always sum to 1.
+PageRankResult pagerank(const csr::CsrGraph& g, const PageRankOptions& opts,
+                        int num_threads);
+
+}  // namespace pcq::algos

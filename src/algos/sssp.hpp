@@ -1,0 +1,31 @@
+// Single-source shortest paths on the weighted CSR (vA array, §III).
+//
+// Two algorithms: binary-heap Dijkstra (the sequential reference) and a
+// frontier-based parallel Bellman-Ford, whose per-round relaxation
+// parallelises over the frontier exactly like the BFS expansion. Both
+// return the same distances on non-negative weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csr/weighted.hpp"
+
+namespace pcq::algos {
+
+/// Distance label for unreachable nodes.
+inline constexpr std::uint64_t kInfDistance = ~std::uint64_t{0};
+
+/// Dijkstra with a binary heap; O((n + m) log n). Sequential reference.
+std::vector<std::uint64_t> sssp_dijkstra(const csr::WeightedCsr& g,
+                                         graph::VertexId source);
+
+/// Frontier-parallel Bellman-Ford: each round relaxes all edges out of the
+/// nodes whose distance improved last round (CAS-min on the target).
+/// O(rounds * frontier edges); terminates because weights are >= 0 and
+/// distances only decrease.
+std::vector<std::uint64_t> sssp_bellman_ford(const csr::WeightedCsr& g,
+                                             graph::VertexId source,
+                                             int num_threads);
+
+}  // namespace pcq::algos

@@ -1,0 +1,28 @@
+// Degree statistics and distribution summaries, used by examples and by
+// DESIGN.md's workload validation (the synthetic graphs must show the
+// heavy-tailed degree skew of the SNAP originals).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csr/csr_graph.hpp"
+
+namespace pcq::algos {
+
+struct DegreeStats {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double mean = 0;
+  double p50 = 0;   ///< median degree
+  double p99 = 0;   ///< 99th percentile degree
+  double gini = 0;  ///< inequality of the degree distribution, [0, 1)
+};
+
+DegreeStats degree_stats(const csr::CsrGraph& g, int num_threads);
+
+/// Log2-bucketed degree histogram: result[k] = #nodes with degree in
+/// [2^k, 2^(k+1)) (bucket 0 additionally holds degree-0 nodes).
+std::vector<std::uint64_t> degree_histogram_log2(const csr::CsrGraph& g);
+
+}  // namespace pcq::algos

@@ -1,0 +1,56 @@
+#include "algos/triangles.hpp"
+
+#include "par/chunking.hpp"
+#include "par/parallel_for.hpp"
+#include "par/threads.hpp"
+
+namespace pcq::algos {
+
+using graph::VertexId;
+
+namespace {
+
+/// |row_a ∩ row_b| for two sorted spans.
+std::uint64_t intersect_count(std::span<const VertexId> a,
+                              std::span<const VertexId> b) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::uint64_t count_triangles(const csr::CsrGraph& g, int num_threads) {
+  const VertexId n = g.num_nodes();
+  const auto p = static_cast<std::size_t>(pcq::par::clamp_threads(num_threads));
+  const std::size_t chunks = pcq::par::num_nonempty_chunks(n, p);
+  std::vector<std::uint64_t> partial(chunks == 0 ? 1 : chunks, 0);
+
+  pcq::par::parallel_for_chunks(
+      n, static_cast<int>(p), [&](std::size_t c, pcq::par::ChunkRange r) {
+        std::uint64_t local = 0;
+        for (std::size_t ui = r.begin; ui < r.end; ++ui) {
+          const auto u = static_cast<VertexId>(ui);
+          const auto row_u = g.neighbors(u);
+          for (VertexId v : row_u) local += intersect_count(row_u, g.neighbors(v));
+        }
+        partial[c] = local;
+      });
+
+  std::uint64_t total = 0;
+  for (std::uint64_t x : partial) total += x;
+  return total;
+}
+
+}  // namespace pcq::algos

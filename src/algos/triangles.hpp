@@ -1,0 +1,18 @@
+// Triangle counting on CSR via sorted-row intersection.
+#pragma once
+
+#include <cstdint>
+
+#include "csr/csr_graph.hpp"
+
+namespace pcq::algos {
+
+/// Counts triangles in an undirected graph given as an upper-triangular
+/// CSR (every edge stored once with u < v, rows sorted — the form
+/// EdgeList::to_upper_triangle produces, matching the paper's Figure 1
+/// storage). Each triangle {a < b < c} is counted exactly once by
+/// intersecting row(a) with row(b) for every edge (a, b). Parallel over
+/// nodes.
+std::uint64_t count_triangles(const csr::CsrGraph& g, int num_threads);
+
+}  // namespace pcq::algos

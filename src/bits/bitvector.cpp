@@ -1,0 +1,70 @@
+#include "bits/bitvector.hpp"
+
+#include <bit>
+
+namespace pcq::bits {
+
+void BitVector::append_bits(std::uint64_t value, unsigned width) {
+  PCQ_DCHECK(width <= 64);
+  if (width == 0) return;
+  if (width < 64) value &= (1ULL << width) - 1;
+
+  const unsigned offset = nbits_ & 63;
+  if (offset == 0) words_.push_back(0);
+  words_[nbits_ >> 6] |= value << offset;
+  const unsigned room = 64 - offset;
+  if (width > room) words_.push_back(value >> room);
+  nbits_ += width;
+}
+
+std::uint64_t BitVector::read_bits(std::size_t pos, unsigned width) const {
+  PCQ_DCHECK(width <= 64);
+  if (width == 0) return 0;
+  PCQ_DCHECK(pos + width <= nbits_);
+
+  const std::size_t word = pos >> 6;
+  const unsigned offset = pos & 63;
+  std::uint64_t value = words_[word] >> offset;
+  const unsigned room = 64 - offset;
+  if (width > room) value |= words_[word + 1] << room;
+  if (width < 64) value &= (1ULL << width) - 1;
+  return value;
+}
+
+void BitVector::append(const BitVector& other) {
+  // Fast path: this vector is word-aligned, so whole words can be copied.
+  if ((nbits_ & 63) == 0) {
+    words_.insert(words_.end(), other.words_.begin(), other.words_.end());
+    nbits_ += other.nbits_;
+    return;
+  }
+  std::size_t remaining = other.nbits_;
+  std::size_t pos = 0;
+  while (remaining > 0) {
+    const unsigned take = remaining >= 64 ? 64 : static_cast<unsigned>(remaining);
+    append_bits(other.read_bits(pos, take), take);
+    pos += take;
+    remaining -= take;
+  }
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool operator==(const BitVector& a, const BitVector& b) {
+  if (a.nbits_ != b.nbits_) return false;
+  const std::size_t full = a.nbits_ >> 6;
+  for (std::size_t i = 0; i < full; ++i)
+    if (a.words_[i] != b.words_[i]) return false;
+  const unsigned tail = a.nbits_ & 63;
+  if (tail != 0) {
+    const std::uint64_t mask = (1ULL << tail) - 1;
+    if ((a.words_[full] & mask) != (b.words_[full] & mask)) return false;
+  }
+  return true;
+}
+
+}  // namespace pcq::bits

@@ -1,0 +1,96 @@
+// Dynamic bit vector backed by 64-bit words.
+//
+// This is the raw storage for every compressed structure in the library:
+// the bit-packed CSR arrays, the TCSR frames and the codec outputs all
+// bottom out in a BitVector.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pcq::bits {
+
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// A vector of `nbits` zero bits.
+  explicit BitVector(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  /// Adopts a raw word buffer (deserialization); `words` must hold exactly
+  /// ceil(nbits / 64) entries.
+  static BitVector from_words(std::vector<std::uint64_t> words,
+                              std::size_t nbits) {
+    PCQ_CHECK(words.size() == (nbits + 63) / 64);
+    BitVector bv;
+    bv.nbits_ = nbits;
+    bv.words_ = std::move(words);
+    return bv;
+  }
+
+  /// Number of bits.
+  [[nodiscard]] std::size_t size() const { return nbits_; }
+  [[nodiscard]] bool empty() const { return nbits_ == 0; }
+
+  /// Heap bytes used by the payload (what the size benchmarks report).
+  [[nodiscard]] std::size_t size_bytes() const { return words_.size() * 8; }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    PCQ_DCHECK(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i, bool value) {
+    PCQ_DCHECK(i < nbits_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  /// Appends a single bit.
+  void push_back(bool value) {
+    if ((nbits_ & 63) == 0) words_.push_back(0);
+    if (value) words_[nbits_ >> 6] |= 1ULL << (nbits_ & 63);
+    ++nbits_;
+  }
+
+  /// Appends the low `width` bits of `value` (LSB-first layout).
+  /// width must be in [0, 64]; width 0 appends nothing.
+  void append_bits(std::uint64_t value, unsigned width);
+
+  /// Reads `width` (<= 64) bits starting at bit offset `pos`, LSB-first.
+  [[nodiscard]] std::uint64_t read_bits(std::size_t pos, unsigned width) const;
+
+  /// Appends all of `other`'s bits to this vector. Used by the Algorithm 4
+  /// merge step, where per-chunk bit arrays are concatenated into the final
+  /// global array.
+  void append(const BitVector& other);
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const;
+
+  [[nodiscard]] std::span<const std::uint64_t> words() const { return words_; }
+  /// Mutable word access for parallel merges (word-aligned OR writes).
+  [[nodiscard]] std::span<std::uint64_t> mutable_words() { return words_; }
+
+  friend bool operator==(const BitVector& a, const BitVector& b);
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Minimum width (>= 1) able to represent `max_value`.
+inline unsigned bits_for(std::uint64_t max_value) {
+  if (max_value == 0) return 1;
+  return static_cast<unsigned>(64 - std::countl_zero(max_value));
+}
+
+}  // namespace pcq::bits

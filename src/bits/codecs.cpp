@@ -1,0 +1,211 @@
+#include "bits/codecs.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace pcq::bits {
+
+void varint_encode(std::uint64_t value, std::vector<std::uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t varint_decode(std::span<const std::uint8_t> in, std::size_t& pos) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (;;) {
+    PCQ_CHECK_MSG(pos < in.size(), "truncated varint");
+    const std::uint8_t byte = in[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    PCQ_CHECK_MSG(shift < 64, "varint overflow");
+  }
+  return value;
+}
+
+namespace {
+
+/// Position of the highest set bit; value must be >= 1.
+unsigned log2_floor(std::uint64_t value) {
+  return 63u - static_cast<unsigned>(std::countl_zero(value));
+}
+
+}  // namespace
+
+void elias_gamma_encode(std::uint64_t value, BitVector& out) {
+  PCQ_CHECK_MSG(value >= 1, "gamma code undefined for 0");
+  const unsigned n = log2_floor(value);
+  for (unsigned i = 0; i < n; ++i) out.push_back(false);  // unary prefix
+  out.push_back(true);                                    // terminator
+  out.append_bits(value & ((n == 0) ? 0 : ((1ULL << n) - 1)), n);  // low bits
+}
+
+std::uint64_t elias_gamma_decode(const BitVector& in, std::size_t& pos) {
+  unsigned n = 0;
+  while (!in.get(pos)) {
+    ++pos;
+    ++n;
+    PCQ_CHECK_MSG(n <= 64, "corrupt gamma code");
+  }
+  ++pos;  // terminator
+  std::uint64_t low = 0;
+  if (n > 0) {
+    low = in.read_bits(pos, n);
+    pos += n;
+  }
+  return (1ULL << n) | low;
+}
+
+void elias_delta_encode(std::uint64_t value, BitVector& out) {
+  PCQ_CHECK_MSG(value >= 1, "delta code undefined for 0");
+  const unsigned n = log2_floor(value);
+  elias_gamma_encode(n + 1, out);  // length, gamma coded
+  out.append_bits(value & ((n == 0) ? 0 : ((1ULL << n) - 1)), n);
+}
+
+std::uint64_t elias_delta_decode(const BitVector& in, std::size_t& pos) {
+  const auto n = static_cast<unsigned>(elias_gamma_decode(in, pos) - 1);
+  std::uint64_t low = 0;
+  if (n > 0) {
+    low = in.read_bits(pos, n);
+    pos += n;
+  }
+  return (1ULL << n) | low;
+}
+
+namespace {
+
+/// MSB-first fixed-width bit append — prefix codes are only prefix-free in
+/// MSB-first order, so the minimal binary layer cannot reuse the LSB-first
+/// append_bits fast path.
+void append_msb_first(std::uint64_t value, unsigned width, BitVector& out) {
+  for (unsigned i = width; i-- > 0;) out.push_back((value >> i) & 1);
+}
+
+std::uint64_t read_msb_first(const BitVector& in, std::size_t& pos,
+                             unsigned width) {
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < width; ++i) value = (value << 1) | in.get(pos++);
+  return value;
+}
+
+}  // namespace
+
+void minimal_binary_encode(std::uint64_t x, std::uint64_t n, BitVector& out) {
+  PCQ_DCHECK(n >= 1);
+  PCQ_DCHECK(x < n);
+  if (n == 1) return;  // zero-bit codeword
+  const unsigned b = 64 - static_cast<unsigned>(std::countl_zero(n - 1));
+  const std::uint64_t shorts =
+      (b == 64 ? 0 : (std::uint64_t{1} << b)) - n;  // # short codes (mod 2^64)
+  if (x < shorts) {
+    append_msb_first(x, b - 1, out);
+  } else {
+    append_msb_first(x + shorts, b, out);
+  }
+}
+
+std::uint64_t minimal_binary_decode(const BitVector& in, std::size_t& pos,
+                                    std::uint64_t n) {
+  PCQ_DCHECK(n >= 1);
+  if (n == 1) return 0;
+  const unsigned b = 64 - static_cast<unsigned>(std::countl_zero(n - 1));
+  const std::uint64_t shorts = (b == 64 ? 0 : (std::uint64_t{1} << b)) - n;
+  const std::uint64_t head = read_msb_first(in, pos, b - 1);
+  if (head < shorts) return head;
+  // Long codeword: one more bit extends the head.
+  const std::uint64_t full = (head << 1) | in.get(pos++);
+  return full - shorts;
+}
+
+void zeta_encode(std::uint64_t value, unsigned k, BitVector& out) {
+  PCQ_CHECK_MSG(value >= 1, "zeta code undefined for 0");
+  PCQ_DCHECK(k >= 1 && k <= 32);
+  // h: the k-sized exponent block containing value.
+  unsigned h = 0;
+  while (h * k + k < 64 && value >= (std::uint64_t{1} << (h * k + k))) ++h;
+  for (unsigned i = 0; i < h; ++i) out.push_back(false);  // unary h
+  out.push_back(true);
+  const std::uint64_t base = std::uint64_t{1} << (h * k);
+  const std::uint64_t interval =
+      (h * k + k >= 64) ? (0ULL - base)  // top block: rest of the range
+                        : (std::uint64_t{1} << (h * k + k)) - base;
+  minimal_binary_encode(value - base, interval, out);
+}
+
+std::uint64_t zeta_decode(const BitVector& in, std::size_t& pos, unsigned k) {
+  unsigned h = 0;
+  while (!in.get(pos)) {
+    ++pos;
+    ++h;
+    PCQ_CHECK_MSG(h * k < 64, "corrupt zeta code");
+  }
+  ++pos;
+  const std::uint64_t base = std::uint64_t{1} << (h * k);
+  const std::uint64_t interval =
+      (h * k + k >= 64) ? (0ULL - base)
+                        : (std::uint64_t{1} << (h * k + k)) - base;
+  return base + minimal_binary_decode(in, pos, interval);
+}
+
+GapEncodedSequence GapEncodedSequence::encode(
+    std::span<const std::uint64_t> values, GapCodec codec) {
+  GapEncodedSequence seq;
+  seq.codec_ = codec;
+  seq.count_ = values.size();
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    PCQ_CHECK_MSG(i == 0 || values[i] >= prev, "gap encoding needs sorted input");
+    // +1 so a zero first value / zero gap is representable in Elias codes.
+    const std::uint64_t gap = (i == 0 ? values[0] : values[i] - prev) + 1;
+    switch (codec) {
+      case GapCodec::kVarint:
+        varint_encode(gap, seq.bytes_);
+        break;
+      case GapCodec::kGamma:
+        elias_gamma_encode(gap, seq.bits_);
+        break;
+      case GapCodec::kDelta:
+        elias_delta_encode(gap, seq.bits_);
+        break;
+    }
+    prev = values[i];
+  }
+  return seq;
+}
+
+std::vector<std::uint64_t> GapEncodedSequence::decode() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(count_);
+  std::size_t pos = 0;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    std::uint64_t gap = 0;
+    switch (codec_) {
+      case GapCodec::kVarint:
+        gap = varint_decode(bytes_, pos);
+        break;
+      case GapCodec::kGamma:
+        gap = elias_gamma_decode(bits_, pos);
+        break;
+      case GapCodec::kDelta:
+        gap = elias_delta_decode(bits_, pos);
+        break;
+    }
+    const std::uint64_t value = (i == 0 ? 0 : prev) + (gap - 1);
+    out.push_back(value);
+    prev = value;
+  }
+  return out;
+}
+
+std::size_t GapEncodedSequence::size_bytes() const {
+  return bytes_.size() + bits_.size_bytes();
+}
+
+}  // namespace pcq::bits

@@ -1,0 +1,78 @@
+// Variable-length integer codecs: LEB128 varints, Elias gamma/delta, and
+// gap encoding of sorted sequences.
+//
+// The paper's own structures use fixed-width packing (packed_array.hpp);
+// these codecs implement the encodings of the related-work baselines —
+// EveLog/EdgeLog compress time-frame logs with gap encoding (§II) — and
+// give the compression benchmark a spectrum of size/speed trade-offs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bits/bitvector.hpp"
+
+namespace pcq::bits {
+
+// --- LEB128 varint (byte-aligned) -----------------------------------------
+
+/// Appends `value` to `out` as a little-endian base-128 varint (1-10 bytes).
+void varint_encode(std::uint64_t value, std::vector<std::uint8_t>& out);
+
+/// Decodes one varint starting at out[pos]; advances pos past it.
+std::uint64_t varint_decode(std::span<const std::uint8_t> in, std::size_t& pos);
+
+// --- Elias gamma / delta (bit-aligned, for values >= 1) --------------------
+
+/// Gamma: unary length prefix + binary remainder; ~2*log2(v)+1 bits.
+void elias_gamma_encode(std::uint64_t value, BitVector& out);
+std::uint64_t elias_gamma_decode(const BitVector& in, std::size_t& pos);
+
+/// Delta: gamma-coded length + binary remainder; ~log2(v)+2*log2(log2(v))
+/// bits — smaller than gamma for large values.
+void elias_delta_encode(std::uint64_t value, BitVector& out);
+std::uint64_t elias_delta_decode(const BitVector& in, std::size_t& pos);
+
+// --- Minimal binary + zeta codes (WebGraph, Boldi & Vigna — ref [2]) --------
+
+/// Minimal binary code of x in [0, n), n >= 1: the optimal fixed-interval
+/// code (short codewords of ceil(log2 n) - 1 bits for the first values
+/// when n is not a power of two).
+void minimal_binary_encode(std::uint64_t x, std::uint64_t n, BitVector& out);
+std::uint64_t minimal_binary_decode(const BitVector& in, std::size_t& pos,
+                                    std::uint64_t n);
+
+/// Zeta_k code (value >= 1): unary-coded h with 2^(hk) <= value <
+/// 2^((h+1)k), then the offset in minimal binary. Tuned for the power-law
+/// gap distributions of web/social graphs; k = 3 is WebGraph's default.
+void zeta_encode(std::uint64_t value, unsigned k, BitVector& out);
+std::uint64_t zeta_decode(const BitVector& in, std::size_t& pos, unsigned k);
+
+// --- Gap encoding of sorted sequences --------------------------------------
+
+enum class GapCodec { kVarint, kGamma, kDelta };
+
+/// A strictly/weakly increasing sequence stored as first value + gaps.
+/// This is how EveLog compresses per-vertex time-frame lists.
+class GapEncodedSequence {
+ public:
+  GapEncodedSequence() = default;
+
+  /// `values` must be non-decreasing.
+  static GapEncodedSequence encode(std::span<const std::uint64_t> values,
+                                   GapCodec codec = GapCodec::kDelta);
+
+  [[nodiscard]] std::vector<std::uint64_t> decode() const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t size_bytes() const;
+
+ private:
+  GapCodec codec_ = GapCodec::kDelta;
+  std::size_t count_ = 0;
+  std::vector<std::uint8_t> bytes_;  // varint payload
+  BitVector bits_;                   // gamma/delta payload
+};
+
+}  // namespace pcq::bits

@@ -1,0 +1,88 @@
+// Fixed-width bit packing — the codec of the paper's reference [7]
+// ("On Compressing Time-Evolving Networks", Gopal Krishna et al. 2021).
+//
+// Every integer in the array is stored in exactly `width` bits, where
+// `width = bits_for(max value)`. Because the width is fixed, element i
+// lives at bit offset i*width: random access needs no decoding of earlier
+// elements, which is what makes the bit-packed CSR of Section III-A3
+// queryable without decompression.
+//
+// `pack` follows Algorithm 4: the input is split into one chunk per
+// processor, each chunk is packed into a private bit array, and the
+// per-chunk arrays are merged into the final global bit array.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bits/bitvector.hpp"
+
+namespace pcq::bits {
+
+class FixedWidthArray {
+ public:
+  FixedWidthArray() = default;
+
+  /// Packs `values` with the minimum width for its maximum element, using
+  /// `num_threads` chunks (Algorithm 4).
+  static FixedWidthArray pack(std::span<const std::uint64_t> values,
+                              int num_threads);
+
+  /// Packs with an explicit width; every value must fit in `width` bits.
+  static FixedWidthArray pack_with_width(std::span<const std::uint64_t> values,
+                                         unsigned width, int num_threads);
+
+  /// Adopts already-packed storage (deserialization); storage must hold at
+  /// least size * width bits.
+  static FixedWidthArray from_bits(BitVector storage, std::size_t size,
+                                   unsigned width) {
+    PCQ_CHECK(width >= 1 && width <= 64);
+    PCQ_CHECK(storage.size() >= size * width);
+    return FixedWidthArray(std::move(storage), size, width);
+  }
+
+  /// Element count.
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Bits per element.
+  [[nodiscard]] unsigned width() const { return width_; }
+
+  /// Payload bytes (what the compression benchmarks report).
+  [[nodiscard]] std::size_t size_bytes() const { return storage_.size_bytes(); }
+
+  /// Random access decode of element i.
+  [[nodiscard]] std::uint64_t get(std::size_t i) const {
+    PCQ_DCHECK(i < size_);
+    return storage_.read_bits(i * width_, width_);
+  }
+  std::uint64_t operator[](std::size_t i) const { return get(i); }
+
+  /// Decodes elements [begin, begin+count) into `out`. This is the bulk
+  /// row decode behind GetRowFromCSR: neighbours of one node are `count`
+  /// consecutive packed values.
+  void get_range(std::size_t begin, std::size_t count,
+                 std::span<std::uint64_t> out) const;
+
+  /// Decodes the whole array.
+  [[nodiscard]] std::vector<std::uint64_t> unpack() const;
+
+  /// Underlying bit storage (exposed for the query algorithms, which the
+  /// paper phrases in terms of "an array of unsigned bits A").
+  [[nodiscard]] const BitVector& bits() const { return storage_; }
+
+  friend bool operator==(const FixedWidthArray& a, const FixedWidthArray& b) {
+    return a.size_ == b.size_ && a.width_ == b.width_ && a.storage_ == b.storage_;
+  }
+
+ private:
+  FixedWidthArray(BitVector storage, std::size_t size, unsigned width)
+      : storage_(std::move(storage)), size_(size), width_(width) {}
+
+  BitVector storage_;
+  std::size_t size_ = 0;
+  unsigned width_ = 1;
+};
+
+}  // namespace pcq::bits

@@ -1,0 +1,70 @@
+#include "bits/rank_select.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace pcq::bits {
+
+RankBitVector::RankBitVector(BitVector bits) : bits_(std::move(bits)) {
+  const auto words = bits_.words();
+  const std::size_t num_blocks = (bits_.size() + kBlockBits - 1) / kBlockBits;
+  blocks_.resize(num_blocks + 1, 0);
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    blocks_[b] = running;
+    const std::size_t first_word = b * (kBlockBits / 64);
+    const std::size_t last_word =
+        std::min(first_word + kBlockBits / 64, words.size());
+    for (std::size_t w = first_word; w < last_word; ++w)
+      running += static_cast<std::uint64_t>(std::popcount(words[w]));
+  }
+  blocks_[num_blocks] = running;
+  total_ones_ = running;
+}
+
+std::size_t RankBitVector::rank1(std::size_t i) const {
+  PCQ_DCHECK(i <= bits_.size());
+  const std::size_t block = i / kBlockBits;
+  std::uint64_t count = blocks_[block];
+  const auto words = bits_.words();
+  const std::size_t first_word = block * (kBlockBits / 64);
+  const std::size_t word = i / 64;
+  for (std::size_t w = first_word; w < word; ++w)
+    count += static_cast<std::uint64_t>(std::popcount(words[w]));
+  const unsigned offset = i & 63;
+  if (offset != 0)
+    count += static_cast<std::uint64_t>(
+        std::popcount(words[word] & ((std::uint64_t{1} << offset) - 1)));
+  return static_cast<std::size_t>(count);
+}
+
+std::size_t RankBitVector::select1(std::size_t j) const {
+  PCQ_CHECK_MSG(j < total_ones_, "select1 out of range");
+  // Binary search over superblocks, then linear within.
+  std::size_t lo = 0, hi = blocks_.size() - 1;
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (blocks_[mid] <= j)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  std::uint64_t remaining = j - blocks_[lo];
+  const auto words = bits_.words();
+  for (std::size_t w = lo * (kBlockBits / 64); w < words.size(); ++w) {
+    const auto pop = static_cast<std::uint64_t>(std::popcount(words[w]));
+    if (remaining < pop) {
+      // Find the (remaining+1)-th set bit in this word.
+      std::uint64_t word = words[w];
+      for (std::uint64_t r = 0; r < remaining; ++r) word &= word - 1;
+      return w * 64 +
+             static_cast<std::size_t>(std::countr_zero(word));
+    }
+    remaining -= pop;
+  }
+  PCQ_CHECK_MSG(false, "select1 internal inconsistency");
+  __builtin_unreachable();
+}
+
+}  // namespace pcq::bits

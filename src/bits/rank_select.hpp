@@ -1,0 +1,54 @@
+// Bit vector with O(1) rank and O(log n) select.
+//
+// rank1(i) = number of set bits in [0, i) — the navigation primitive of
+// every succinct tree structure; the k²-tree (§II, Brisaboa et al. [18])
+// locates a node's children at position rank1(node_index) * k². Block
+// counts are absolute per 512-bit superblock with 64-bit words popcounted
+// on the fly: 12.5% space overhead, one cache line per query.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitvector.hpp"
+
+namespace pcq::bits {
+
+class RankBitVector {
+ public:
+  RankBitVector() = default;
+
+  /// Takes ownership of `bits` and builds the rank directory.
+  explicit RankBitVector(BitVector bits);
+
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+  [[nodiscard]] bool get(std::size_t i) const { return bits_.get(i); }
+
+  /// Number of 1-bits in [0, i). rank1(size()) == total ones.
+  [[nodiscard]] std::size_t rank1(std::size_t i) const;
+
+  /// Number of 0-bits in [0, i).
+  [[nodiscard]] std::size_t rank0(std::size_t i) const { return i - rank1(i); }
+
+  /// Position of the (j+1)-th set bit (j is 0-based); j < ones().
+  [[nodiscard]] std::size_t select1(std::size_t j) const;
+
+  /// Total set bits.
+  [[nodiscard]] std::size_t ones() const { return total_ones_; }
+
+  [[nodiscard]] const BitVector& bits() const { return bits_; }
+
+  /// Payload + directory bytes.
+  [[nodiscard]] std::size_t size_bytes() const {
+    return bits_.size_bytes() + blocks_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  static constexpr std::size_t kBlockBits = 512;  // 8 words per superblock
+
+  BitVector bits_;
+  std::vector<std::uint64_t> blocks_;  ///< ones before each superblock
+  std::size_t total_ones_ = 0;
+};
+
+}  // namespace pcq::bits

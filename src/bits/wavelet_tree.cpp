@@ -1,0 +1,119 @@
+#include "bits/wavelet_tree.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+// Implementation note: this is the pointerless "wavelet matrix" layout
+// (Claude & Navarro): each level is one global stable partition on one
+// symbol bit (MSB first), zeros before ones, with zeros_[l] recording the
+// split point. All node intervals stay contiguous under this mapping, and
+// every query is O(levels) rank operations.
+
+namespace pcq::bits {
+
+WaveletTree WaveletTree::build(std::span<const std::uint32_t> values,
+                               std::uint32_t alphabet_size) {
+  WaveletTree wt;
+  wt.size_ = values.size();
+  std::uint32_t max_value = 0;
+  for (std::uint32_t v : values) max_value = std::max(max_value, v);
+  wt.sigma_ = alphabet_size == 0 ? max_value + 1 : alphabet_size;
+  PCQ_CHECK_MSG(alphabet_size == 0 || max_value < wt.sigma_,
+                "symbol exceeds alphabet size");
+
+  const unsigned num_levels = bits_for(wt.sigma_ == 0 ? 0 : wt.sigma_ - 1);
+  wt.levels_.reserve(num_levels);
+  wt.zeros_.reserve(num_levels);
+
+  std::vector<std::uint32_t> cur(values.begin(), values.end());
+  std::vector<std::uint32_t> next(cur.size());
+  for (unsigned level = 0; level < num_levels; ++level) {
+    const unsigned shift = num_levels - 1 - level;
+    BitVector bits(cur.size());
+    std::size_t zeros = 0;
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      const bool bit = (cur[i] >> shift) & 1u;
+      if (bit)
+        bits.set(i, true);
+      else
+        ++zeros;
+    }
+    // Stable partition: zeros keep relative order on the left, ones on
+    // the right.
+    std::size_t z = 0, o = zeros;
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      if ((cur[i] >> shift) & 1u)
+        next[o++] = cur[i];
+      else
+        next[z++] = cur[i];
+    }
+    cur.swap(next);
+    wt.zeros_.push_back(zeros);
+    wt.levels_.emplace_back(std::move(bits));
+  }
+  return wt;
+}
+
+std::uint32_t WaveletTree::access(std::size_t i) const {
+  PCQ_DCHECK(i < size_);
+  std::uint32_t symbol = 0;
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    const RankBitVector& bits = levels_[level];
+    const bool bit = bits.get(i);
+    symbol = (symbol << 1) | (bit ? 1u : 0u);
+    i = bit ? zeros_[level] + bits.rank1(i) : bits.rank0(i);
+  }
+  return symbol;
+}
+
+std::size_t WaveletTree::rank(std::uint32_t symbol, std::size_t i) const {
+  PCQ_DCHECK(i <= size_);
+  if (symbol >= sigma_) return 0;
+  std::size_t p = 0;  // start of the current node's interval
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    const RankBitVector& bits = levels_[level];
+    const unsigned shift =
+        static_cast<unsigned>(levels_.size() - 1 - level);
+    if ((symbol >> shift) & 1u) {
+      p = zeros_[level] + bits.rank1(p);
+      i = zeros_[level] + bits.rank1(i);
+    } else {
+      p = bits.rank0(p);
+      i = bits.rank0(i);
+    }
+  }
+  return i - p;
+}
+
+void WaveletTree::enumerate(
+    unsigned level, std::size_t lo, std::size_t hi, std::uint32_t prefix,
+    const std::function<void(std::uint32_t, std::size_t)>& fn) const {
+  if (lo >= hi) return;
+  if (level == levels_.size()) {
+    fn(prefix, hi - lo);
+    return;
+  }
+  const RankBitVector& bits = levels_[level];
+  const std::size_t lo0 = bits.rank0(lo);
+  const std::size_t hi0 = bits.rank0(hi);
+  enumerate(level + 1, lo0, hi0, prefix << 1, fn);
+  const std::size_t lo1 = zeros_[level] + (lo - lo0);  // rank1 = i - rank0
+  const std::size_t hi1 = zeros_[level] + (hi - hi0);
+  enumerate(level + 1, lo1, hi1, (prefix << 1) | 1u, fn);
+}
+
+void WaveletTree::for_each_distinct(
+    std::size_t lo, std::size_t hi,
+    const std::function<void(std::uint32_t, std::size_t)>& fn) const {
+  PCQ_DCHECK(lo <= hi && hi <= size_);
+  enumerate(0, lo, hi, 0, fn);
+}
+
+std::size_t WaveletTree::size_bytes() const {
+  std::size_t bytes = zeros_.size() * sizeof(std::size_t);
+  for (const auto& level : levels_) bytes += level.size_bytes();
+  return bytes;
+}
+
+}  // namespace pcq::bits

@@ -1,0 +1,76 @@
+// Wavelet tree over an integer sequence.
+//
+// §II: the CAS/CET temporal indexes of Caro et al. "add a Wavelet Tree
+// data structure to allow for logarithmic time queries" over event logs.
+// This is that structure: a balanced binary decomposition of the alphabet,
+// one rank-indexed bitmap per level, supporting in O(log σ):
+//
+//   * access(i)          — the i-th symbol,
+//   * rank(symbol, i)    — occurrences of symbol in [0, i),
+//   * count(lo, hi, sym) — occurrences in [lo, hi),
+//
+// plus an output-sensitive enumeration of the distinct symbols in a range
+// with their counts (the primitive behind neighbors-at-time queries).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bits/rank_select.hpp"
+
+namespace pcq::bits {
+
+class WaveletTree {
+ public:
+  WaveletTree() = default;
+
+  /// Builds over `values`; symbols must be < alphabet_size.
+  /// alphabet_size == 0 derives it from the maximum value + 1.
+  static WaveletTree build(std::span<const std::uint32_t> values,
+                           std::uint32_t alphabet_size = 0);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::uint32_t alphabet_size() const { return sigma_; }
+  [[nodiscard]] unsigned levels() const {
+    return static_cast<unsigned>(levels_.size());
+  }
+
+  /// The i-th symbol of the original sequence.
+  [[nodiscard]] std::uint32_t access(std::size_t i) const;
+
+  /// Occurrences of `symbol` in the prefix [0, i).
+  [[nodiscard]] std::size_t rank(std::uint32_t symbol, std::size_t i) const;
+
+  /// Occurrences of `symbol` in [lo, hi).
+  [[nodiscard]] std::size_t count(std::size_t lo, std::size_t hi,
+                                  std::uint32_t symbol) const {
+    return rank(symbol, hi) - rank(symbol, lo);
+  }
+
+  /// Calls fn(symbol, count) once per distinct symbol in [lo, hi), in
+  /// ascending symbol order. O(distinct * log σ).
+  void for_each_distinct(
+      std::size_t lo, std::size_t hi,
+      const std::function<void(std::uint32_t, std::size_t)>& fn) const;
+
+  /// Bitmap + rank-directory bytes across all levels.
+  [[nodiscard]] std::size_t size_bytes() const;
+
+ private:
+  void enumerate(unsigned level, std::size_t lo, std::size_t hi,
+                 std::uint32_t prefix,
+                 const std::function<void(std::uint32_t, std::size_t)>& fn) const;
+
+  std::size_t size_ = 0;
+  std::uint32_t sigma_ = 1;
+  /// levels_[0] partitions on the symbol's top bit; node boundaries are
+  /// implicit (every level is a stable partition of the previous one).
+  std::vector<RankBitVector> levels_;
+  /// zeros_[l]: total 0-bits at level l (the size of the left half of the
+  /// next level's layout).
+  std::vector<std::size_t> zeros_;
+};
+
+}  // namespace pcq::bits

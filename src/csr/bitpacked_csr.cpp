@@ -1,0 +1,73 @@
+#include "csr/bitpacked_csr.hpp"
+
+#include "par/parallel_for.hpp"
+
+namespace pcq::csr {
+
+using graph::VertexId;
+
+BitPackedCsr BitPackedCsr::from_csr(const CsrGraph& csr, int num_threads) {
+  BitPackedCsr packed;
+  packed.num_nodes_ = csr.num_nodes();
+  packed.num_edges_ = csr.num_edges();
+
+  // Algorithm 4, first pass: the degree array iA.
+  const auto offs = csr.offsets();
+  packed.offsets_ = pcq::bits::FixedWidthArray::pack_with_width(
+      offs, pcq::bits::bits_for(csr.num_edges()), num_threads);
+
+  // Second pass: the column array jA. Widened to u64 for the packer; the
+  // copy is parallel and transient.
+  std::vector<std::uint64_t> cols(csr.num_edges());
+  const auto src = csr.columns();
+  pcq::par::parallel_for(cols.size(), num_threads,
+                         [&](std::size_t i) { cols[i] = src[i]; });
+  const std::uint64_t max_col = csr.num_nodes() == 0 ? 0 : csr.num_nodes() - 1;
+  packed.columns_ = pcq::bits::FixedWidthArray::pack_with_width(
+      cols, pcq::bits::bits_for(max_col), num_threads);
+  return packed;
+}
+
+std::size_t BitPackedCsr::decode_row(VertexId u,
+                                     std::span<VertexId> out) const {
+  const std::uint64_t begin = offset(u);
+  const auto deg = static_cast<std::size_t>(offset(u + 1) - begin);
+  PCQ_CHECK(out.size() >= deg);
+  const unsigned width = columns_.width();
+  const auto& bits = columns_.bits();
+  std::size_t pos = begin * width;
+  for (std::size_t i = 0; i < deg; ++i, pos += width)
+    out[i] = static_cast<VertexId>(bits.read_bits(pos, width));
+  return deg;
+}
+
+std::vector<VertexId> BitPackedCsr::neighbors(VertexId u) const {
+  std::vector<VertexId> out(degree(u));
+  decode_row(u, out);
+  return out;
+}
+
+bool BitPackedCsr::has_edge(VertexId u, VertexId v) const {
+  std::uint64_t lo = offset(u);
+  std::uint64_t hi = offset(u + 1);
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    const VertexId c = column(mid);
+    if (c == v) return true;
+    if (c < v)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return false;
+}
+
+CsrGraph BitPackedCsr::to_csr() const {
+  std::vector<std::uint64_t> offs = offsets_.unpack();
+  std::vector<VertexId> cols(num_edges_);
+  for (std::size_t i = 0; i < num_edges_; ++i)
+    cols[i] = static_cast<VertexId>(columns_.get(i));
+  return CsrGraph(std::move(offs), std::move(cols));
+}
+
+}  // namespace pcq::csr

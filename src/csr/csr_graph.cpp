@@ -1,0 +1,12 @@
+#include "csr/csr_graph.hpp"
+
+#include <algorithm>
+
+namespace pcq::csr {
+
+bool CsrGraph::has_edge(graph::VertexId u, graph::VertexId v) const {
+  const auto row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+}  // namespace pcq::csr

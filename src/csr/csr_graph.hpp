@@ -1,0 +1,65 @@
+// Plain (unpacked) Compressed Sparse Row graph.
+//
+// Two flat arrays (§III): `offsets` — the cumulative degree array iA, with
+// offsets[u] the index of node u's first neighbour — and `columns` — the
+// neighbour array jA. The graphs here are unweighted, so the paper's value
+// array vA is omitted (§III: "an unweighted array is also a boolean
+// array"). This is both a usable structure in its own right and the
+// intermediate the bit-packed CSR is built from.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace pcq::csr {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  CsrGraph(std::vector<std::uint64_t> offsets, std::vector<graph::VertexId> columns)
+      : offsets_(std::move(offsets)), columns_(std::move(columns)) {
+    PCQ_CHECK(!offsets_.empty());
+    PCQ_CHECK(offsets_.back() == columns_.size());
+  }
+
+  [[nodiscard]] graph::VertexId num_nodes() const {
+    return static_cast<graph::VertexId>(offsets_.size() - 1);
+  }
+  [[nodiscard]] std::size_t num_edges() const { return columns_.size(); }
+
+  [[nodiscard]] std::uint32_t degree(graph::VertexId u) const {
+    PCQ_DCHECK(u < num_nodes());
+    return static_cast<std::uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Zero-copy view of u's neighbour row (sorted ascending when built from
+  /// a (u, v)-sorted edge list).
+  [[nodiscard]] std::span<const graph::VertexId> neighbors(graph::VertexId u) const {
+    PCQ_DCHECK(u < num_nodes());
+    return {columns_.data() + offsets_[u], columns_.data() + offsets_[u + 1]};
+  }
+
+  /// Binary search of u's sorted row.
+  [[nodiscard]] bool has_edge(graph::VertexId u, graph::VertexId v) const;
+
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const { return offsets_; }
+  [[nodiscard]] std::span<const graph::VertexId> columns() const { return columns_; }
+
+  /// Heap footprint: 8 bytes per offset + 4 bytes per column entry.
+  [[nodiscard]] std::size_t size_bytes() const {
+    return offsets_.size() * sizeof(std::uint64_t) +
+           columns_.size() * sizeof(graph::VertexId);
+  }
+
+ private:
+  // A default-constructed graph is the valid empty graph (0 nodes, 0
+  // edges): offsets always holds num_nodes + 1 entries.
+  std::vector<std::uint64_t> offsets_ = {0};
+  std::vector<graph::VertexId> columns_;
+};
+
+}  // namespace pcq::csr

@@ -1,0 +1,43 @@
+// Parallel degree-array computation — Algorithms 2 and 3.
+//
+// Input: the source-node column of a source-sorted edge list. The array is
+// split into one contiguous chunk per processor. Because the input is
+// sorted, equal source ids form consecutive runs, and a run can cross a
+// chunk boundary only at a chunk's *front*. Each processor therefore:
+//
+//   * counts its first run into a per-processor spill slot
+//     (globalTempDegree[pid] in the paper) — that run may belong to the
+//     left neighbour's node;
+//   * counts every other run directly into the shared degree array — no
+//     atomics are needed, because for any node at most one chunk sees its
+//     run as a non-first run (every other fragment of that run is some
+//     chunk's first run and goes to a spill slot).
+//
+// After a sync, the spill slots are merged back (Algorithm 3, Figure 3):
+// globalDegArray[first node of chunk c] += globalTempDegree[c]. The merge
+// is O(p) and done sequentially, which also handles the corner case the
+// paper glosses over — a run longer than an entire chunk contributes
+// several spill slots to the same node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace pcq::csr {
+
+/// Computes the degree of each node from a sorted source-id array
+/// (Algorithms 2 + 3). `sources[i]` is the source endpoint of edge i;
+/// `num_nodes` sizes the result. Aborts in debug builds if the input is
+/// not sorted.
+std::vector<std::uint32_t> parallel_degree_from_sorted(
+    std::span<const graph::VertexId> sources, graph::VertexId num_nodes,
+    int num_threads);
+
+/// Sequential run-counting baseline (the p == 1 configuration of Table II).
+std::vector<std::uint32_t> sequential_degree_from_sorted(
+    std::span<const graph::VertexId> sources, graph::VertexId num_nodes);
+
+}  // namespace pcq::csr

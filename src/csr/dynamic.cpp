@@ -1,0 +1,102 @@
+#include "csr/dynamic.hpp"
+
+#include <algorithm>
+
+#include "csr/builder.hpp"
+#include "util/check.hpp"
+
+namespace pcq::csr {
+
+using graph::Edge;
+using graph::VertexId;
+
+std::size_t DynamicCsr::num_edges() const {
+  // Every overlay entry either adds an edge absent from the base or
+  // removes one present in it.
+  std::size_t count = base_.num_edges();
+  for (const Edge& e : overlay_) {
+    if (base_.has_edge(e.u, e.v))
+      --count;
+    else
+      ++count;
+  }
+  return count;
+}
+
+void DynamicCsr::toggle(VertexId u, VertexId v) {
+  const Edge e{u, v};
+  const auto it = std::lower_bound(overlay_.begin(), overlay_.end(), e);
+  if (it != overlay_.end() && *it == e)
+    overlay_.erase(it);
+  else
+    overlay_.insert(it, e);
+}
+
+void DynamicCsr::add_edge(VertexId u, VertexId v) {
+  PCQ_CHECK_MSG(u < num_nodes() && v < num_nodes(),
+                "node id out of range; rebuild with a larger node count");
+  if (has_edge(u, v)) return;
+  toggle(u, v);
+}
+
+void DynamicCsr::remove_edge(VertexId u, VertexId v) {
+  PCQ_CHECK_MSG(u < num_nodes() && v < num_nodes(),
+                "node id out of range");
+  if (!has_edge(u, v)) return;
+  toggle(u, v);
+}
+
+bool DynamicCsr::has_edge(VertexId u, VertexId v) const {
+  const bool in_base = base_.has_edge(u, v);
+  const bool toggled =
+      std::binary_search(overlay_.begin(), overlay_.end(), Edge{u, v});
+  return in_base != toggled;  // XOR
+}
+
+std::vector<VertexId> DynamicCsr::neighbors(VertexId u) const {
+  std::vector<VertexId> row = base_.neighbors(u);
+  // Overlay entries for u form a contiguous sorted slice.
+  const auto lo = std::lower_bound(overlay_.begin(), overlay_.end(), Edge{u, 0});
+  std::vector<VertexId> merged;
+  merged.reserve(row.size());
+  std::size_t i = 0;
+  auto it = lo;
+  while (i < row.size() || (it != overlay_.end() && it->u == u)) {
+    const bool overlay_left = it != overlay_.end() && it->u == u;
+    if (!overlay_left) {
+      merged.push_back(row[i++]);
+    } else if (i >= row.size()) {
+      merged.push_back(it->v);  // pending addition past the row's end
+      ++it;
+    } else if (row[i] < it->v) {
+      merged.push_back(row[i++]);
+    } else if (it->v < row[i]) {
+      merged.push_back(it->v);  // pending addition
+      ++it;
+    } else {
+      ++i;  // pending removal cancels the base entry
+      ++it;
+    }
+  }
+  return merged;
+}
+
+bool DynamicCsr::needs_rebuild() const {
+  return static_cast<double>(overlay_.size()) >
+         rebuild_ratio_ * static_cast<double>(std::max<std::size_t>(
+                              1, base_.num_edges()));
+}
+
+void DynamicCsr::rebuild(int num_threads) {
+  graph::EdgeList merged;
+  merged.reserve(num_edges());
+  const VertexId n = base_.num_nodes();
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v : neighbors(u)) merged.push_back({u, v});
+  overlay_.clear();
+  // `merged` is emitted in (u, v) order, so the sorted-input pipeline
+  // applies directly.
+  base_ = build_bitpacked_csr_from_sorted(merged, n, num_threads);
+}
+
+}  // namespace pcq::csr

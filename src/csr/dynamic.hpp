@@ -1,0 +1,78 @@
+// Dynamic CSR: a compressed base plus a mutable overlay.
+//
+// §II notes CSR's weakness — "a static storage format that can require
+// shifting the entire edge array when adding an edge" — and cites PCSR/
+// PPCSR as heavyweight cures. This module is the lightweight alternative
+// the paper's own machinery suggests: keep the bulk of the graph in the
+// bit-packed CSR and buffer mutations in a small sorted overlay; when the
+// overlay grows past a threshold, merge and re-compress with the parallel
+// pipeline (which Table II shows is fast enough to amortise).
+//
+// Semantics: add_edge/remove_edge toggle the overlay (adding an edge that
+// is pending-removed cancels the removal and vice versa). Queries see
+// base XOR overlay — the same parity rule Section IV uses for time frames.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csr/bitpacked_csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace pcq::csr {
+
+class DynamicCsr {
+ public:
+  DynamicCsr() = default;
+
+  /// Wraps an existing compressed graph.
+  explicit DynamicCsr(BitPackedCsr base, double rebuild_ratio = 0.25)
+      : base_(std::move(base)), rebuild_ratio_(rebuild_ratio) {}
+
+  [[nodiscard]] graph::VertexId num_nodes() const { return base_.num_nodes(); }
+
+  /// Edges visible to queries (base plus pending additions, minus pending
+  /// removals).
+  [[nodiscard]] std::size_t num_edges() const;
+
+  /// Buffers the addition of (u, v); a pending removal of the same edge is
+  /// cancelled instead. No-op if the edge is already visible.
+  /// u and v must be < num_nodes() (grow the graph by rebuilding from an
+  /// edge list with a larger node count).
+  void add_edge(graph::VertexId u, graph::VertexId v);
+
+  /// Buffers the removal of (u, v); cancels a pending addition. No-op if
+  /// the edge is not visible.
+  void remove_edge(graph::VertexId u, graph::VertexId v);
+
+  /// Query through the overlay: base XOR pending toggles.
+  [[nodiscard]] bool has_edge(graph::VertexId u, graph::VertexId v) const;
+
+  /// Neighbour row with the overlay applied, sorted ascending.
+  [[nodiscard]] std::vector<graph::VertexId> neighbors(graph::VertexId u) const;
+
+  /// Pending (unmerged) toggles.
+  [[nodiscard]] std::size_t overlay_size() const { return overlay_.size(); }
+
+  /// True when the overlay exceeds rebuild_ratio * base edges and a
+  /// rebuild() is advised. add_edge/remove_edge never rebuild implicitly —
+  /// the caller controls when the (parallel, but non-trivial) compaction
+  /// runs.
+  [[nodiscard]] bool needs_rebuild() const;
+
+  /// Merges the overlay into the base by re-running the parallel pipeline
+  /// (Algorithms 1-4) on the merged edge list.
+  void rebuild(int num_threads);
+
+  [[nodiscard]] const BitPackedCsr& base() const { return base_; }
+
+ private:
+  /// Flips (u, v)'s presence in the sorted overlay.
+  void toggle(graph::VertexId u, graph::VertexId v);
+
+  BitPackedCsr base_;
+  std::vector<graph::Edge> overlay_;  ///< sorted; membership == pending toggle
+  double rebuild_ratio_ = 0.25;
+};
+
+}  // namespace pcq::csr

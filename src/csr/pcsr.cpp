@@ -1,0 +1,296 @@
+#include "csr/pcsr.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace pcq::csr {
+
+using graph::Edge;
+using graph::VertexId;
+
+namespace {
+
+std::size_t segment_size_for(std::size_t capacity) {
+  // Θ(log N) slots per leaf segment, rounded to a power of two >= 8.
+  std::size_t size = 8;
+  while (size * size < capacity) size *= 2;
+  return std::min(size, capacity);
+}
+
+}  // namespace
+
+PmaCsr::PmaCsr() {
+  slots_.assign(16, kEmpty);
+  segment_size_ = 8;
+  seg_min_.assign(num_segments(), kEmpty);
+  seg_count_.assign(num_segments(), 0);
+}
+
+PmaCsr::PmaCsr(const graph::EdgeList& sorted) : PmaCsr() {
+  PCQ_DCHECK(sorted.is_sorted());
+  const auto edges = sorted.edges();
+  if (edges.empty()) return;
+
+  // Capacity for 50% density.
+  std::size_t capacity = 16;
+  while (capacity < edges.size() * 2) capacity *= 2;
+  segment_size_ = segment_size_for(capacity);
+  slots_.assign(capacity, kEmpty);
+  count_ = edges.size();
+
+  // Spread evenly: element i goes to slot floor(i * capacity / count).
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::size_t slot = i * capacity / edges.size();
+    slots_[slot] = key_of(edges[i].u, edges[i].v);
+  }
+  seg_min_.assign(num_segments(), kEmpty);
+  seg_count_.assign(num_segments(), 0);
+  rebuild_directory(0, num_segments());
+}
+
+unsigned PmaCsr::tree_height() const {
+  const std::size_t segs = num_segments();
+  return segs <= 1 ? 0
+                   : static_cast<unsigned>(std::bit_width(segs - 1));
+}
+
+double PmaCsr::max_density(unsigned level) const {
+  // Leaf 1.0 down to root 0.75 (linear in level / height).
+  const unsigned h = tree_height();
+  if (h == 0) return 1.0;
+  return 1.0 - 0.25 * static_cast<double>(level) / static_cast<double>(h);
+}
+
+double PmaCsr::min_density(unsigned level) const {
+  // Leaf 0.10 up to root 0.30.
+  const unsigned h = tree_height();
+  if (h == 0) return 0.0;
+  return 0.10 + 0.20 * static_cast<double>(level) / static_cast<double>(h);
+}
+
+std::size_t PmaCsr::find_segment(std::uint64_t key) const {
+  // Effective min of segment m: the min of the nearest non-empty segment
+  // at or before m ("-inf" when that prefix is all empty). Effective
+  // minima are non-decreasing, so binary search finds the last segment
+  // with effective min <= key — the segment where `key` belongs.
+  std::size_t lo = 0, hi = num_segments() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    std::size_t probe = mid;
+    while (probe > 0 && seg_min_[probe] == kEmpty) --probe;
+    const bool le = seg_min_[probe] == kEmpty || seg_min_[probe] <= key;
+    if (le)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
+
+std::size_t PmaCsr::find_slot(std::uint64_t key) const {
+  // A key can only live in the nearest non-empty segment at or before the
+  // segment find_segment designates (empty segments carry no keys).
+  std::size_t seg = find_segment(key);
+  while (seg > 0 && seg_min_[seg] == kEmpty) --seg;
+  const std::size_t begin = seg * segment_size_;
+  const std::size_t end = begin + segment_size_;
+  for (std::size_t i = begin; i < end; ++i)
+    if (slots_[i] == key) return i;
+  return static_cast<std::size_t>(-1);
+}
+
+bool PmaCsr::has_edge(VertexId u, VertexId v) const {
+  return find_slot(key_of(u, v)) != static_cast<std::size_t>(-1);
+}
+
+void PmaCsr::insert_into_segment(std::size_t seg, std::uint64_t key) {
+  const std::size_t begin = seg * segment_size_;
+  const std::size_t end = begin + segment_size_;
+  // Compact the segment right-to-left while finding the insertion point:
+  // gather live keys, insert sorted, rewrite left-packed.
+  std::vector<std::uint64_t> live;
+  live.reserve(segment_size_);
+  for (std::size_t i = begin; i < end; ++i)
+    if (slots_[i] != kEmpty) live.push_back(slots_[i]);
+  live.insert(std::lower_bound(live.begin(), live.end(), key), key);
+  PCQ_DCHECK(live.size() <= segment_size_);
+  std::size_t i = begin;
+  for (std::uint64_t k : live) slots_[i++] = k;
+  for (; i < end; ++i) slots_[i] = kEmpty;
+  seg_min_[seg] = live.front();
+  seg_count_[seg] = static_cast<std::uint32_t>(live.size());
+}
+
+void PmaCsr::redistribute(std::size_t first_seg, std::size_t last_seg) {
+  const std::size_t begin = first_seg * segment_size_;
+  const std::size_t end = last_seg * segment_size_;
+  std::vector<std::uint64_t> live;
+  live.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i)
+    if (slots_[i] != kEmpty) live.push_back(slots_[i]);
+  const std::size_t window = end - begin;
+  std::fill(slots_.begin() + static_cast<std::ptrdiff_t>(begin),
+            slots_.begin() + static_cast<std::ptrdiff_t>(end), kEmpty);
+  for (std::size_t i = 0; i < live.size(); ++i)
+    slots_[begin + i * window / live.size()] = live[i];
+  rebuild_directory(first_seg, last_seg);
+}
+
+void PmaCsr::rebuild_directory(std::size_t first_seg, std::size_t last_seg) {
+  for (std::size_t s = first_seg; s < last_seg; ++s) {
+    seg_min_[s] = kEmpty;
+    std::uint32_t cnt = 0;
+    const std::size_t begin = s * segment_size_;
+    for (std::size_t i = begin; i < begin + segment_size_; ++i) {
+      if (slots_[i] == kEmpty) continue;
+      if (seg_min_[s] == kEmpty) seg_min_[s] = slots_[i];
+      ++cnt;
+    }
+    seg_count_[s] = cnt;
+  }
+}
+
+void PmaCsr::resize_capacity(std::size_t new_capacity) {
+  std::vector<std::uint64_t> live;
+  live.reserve(count_);
+  for (std::uint64_t k : slots_)
+    if (k != kEmpty) live.push_back(k);
+
+  segment_size_ = segment_size_for(new_capacity);
+  slots_.assign(new_capacity, kEmpty);
+  seg_min_.assign(num_segments(), kEmpty);
+  seg_count_.assign(num_segments(), 0);
+  if (!live.empty()) {
+    for (std::size_t i = 0; i < live.size(); ++i)
+      slots_[i * new_capacity / live.size()] = live[i];
+  }
+  rebuild_directory(0, num_segments());
+}
+
+bool PmaCsr::add_edge(VertexId u, VertexId v) {
+  const std::uint64_t key = key_of(u, v);
+  if (find_slot(key) != static_cast<std::size_t>(-1)) return false;
+
+  // Insert into the nearest non-empty segment at or before the designated
+  // one — that segment may hold keys larger than `key`, which inserting
+  // into a later (empty) segment would leapfrog.
+  auto target_segment = [this](std::uint64_t k) {
+    std::size_t s = find_segment(k);
+    while (s > 0 && seg_min_[s] == kEmpty) --s;
+    return s;
+  };
+  std::size_t seg = target_segment(key);
+  if (seg_count_[seg] >= segment_size_) {
+    // Find the smallest enclosing power-of-two window under its density
+    // threshold and redistribute it; grow if even the root is full.
+    const std::size_t segs = num_segments();
+    std::size_t window = 1;
+    unsigned level = 0;
+    std::size_t first = seg, last = seg + 1;
+    bool balanced = false;
+    while (window <= segs) {
+      first = (seg / window) * window;
+      last = std::min(first + window, segs);
+      std::size_t used = 0;
+      for (std::size_t s = first; s < last; ++s) used += seg_count_[s];
+      const double density = static_cast<double>(used + 1) /
+                             static_cast<double>((last - first) * segment_size_);
+      if (density <= max_density(level)) {
+        if (window > 1) redistribute(first, last);
+        balanced = true;
+        break;
+      }
+      window *= 2;
+      ++level;
+    }
+    if (!balanced) resize_capacity(slots_.size() * 2);
+    seg = target_segment(key);
+    if (seg_count_[seg] >= segment_size_) {
+      // Degenerate skew (all keys in one segment after redistribute):
+      // force growth.
+      resize_capacity(slots_.size() * 2);
+      seg = target_segment(key);
+    }
+  }
+  insert_into_segment(seg, key);
+  ++count_;
+  return true;
+}
+
+bool PmaCsr::remove_edge(VertexId u, VertexId v) {
+  const std::uint64_t key = key_of(u, v);
+  const std::size_t slot = find_slot(key);
+  if (slot == static_cast<std::size_t>(-1)) return false;
+  const std::size_t seg = slot / segment_size_;
+  slots_[slot] = kEmpty;
+  --count_;
+  rebuild_directory(seg, seg + 1);
+  // Shrink when globally sparse (quarter density), keeping a floor.
+  if (slots_.size() > 16 && count_ * 4 < slots_.size())
+    resize_capacity(std::max<std::size_t>(16, slots_.size() / 2));
+  return true;
+}
+
+std::vector<VertexId> PmaCsr::neighbors(VertexId u) const {
+  const std::uint64_t lo_key = key_of(u, 0);
+  std::vector<VertexId> out;
+  // Start scanning at the nearest non-empty segment at or before the one
+  // that would contain (u, 0).
+  std::size_t seg = find_segment(lo_key);
+  while (seg > 0 && seg_min_[seg] == kEmpty) --seg;
+  for (std::size_t i = seg * segment_size_; i < slots_.size(); ++i) {
+    const std::uint64_t k = slots_[i];
+    if (k == kEmpty) continue;
+    const auto ku = static_cast<VertexId>(k >> 32);
+    if (ku > u) break;
+    if (ku == u) out.push_back(static_cast<VertexId>(k & 0xffffffffu));
+  }
+  return out;
+}
+
+std::vector<Edge> PmaCsr::to_edges() const {
+  std::vector<Edge> out;
+  out.reserve(count_);
+  for (std::uint64_t k : slots_) {
+    if (k == kEmpty) continue;
+    out.push_back({static_cast<VertexId>(k >> 32),
+                   static_cast<VertexId>(k & 0xffffffffu)});
+  }
+  return out;
+}
+
+std::size_t PmaCsr::size_bytes() const {
+  return slots_.size() * sizeof(std::uint64_t) +
+         seg_min_.size() * sizeof(std::uint64_t) +
+         seg_count_.size() * sizeof(std::uint32_t);
+}
+
+bool PmaCsr::check_invariants() const {
+  // Sorted ignoring gaps; directory consistent; count matches.
+  std::uint64_t prev = 0;
+  bool first = true;
+  std::size_t live = 0;
+  for (std::uint64_t k : slots_) {
+    if (k == kEmpty) continue;
+    ++live;
+    if (!first && k <= prev) return false;
+    prev = k;
+    first = false;
+  }
+  if (live != count_) return false;
+  for (std::size_t s = 0; s < num_segments(); ++s) {
+    std::uint32_t cnt = 0;
+    std::uint64_t min = kEmpty;
+    for (std::size_t i = s * segment_size_; i < (s + 1) * segment_size_; ++i) {
+      if (slots_[i] == kEmpty) continue;
+      if (min == kEmpty) min = slots_[i];
+      ++cnt;
+    }
+    if (cnt != seg_count_[s] || min != seg_min_[s]) return false;
+  }
+  return true;
+}
+
+}  // namespace pcq::csr

@@ -1,0 +1,126 @@
+#include "csr/query.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "par/chunking.hpp"
+#include "par/parallel_for.hpp"
+#include "par/prefix_sum.hpp"
+#include "par/threads.hpp"
+
+namespace pcq::csr {
+
+using graph::Edge;
+using graph::VertexId;
+
+std::vector<std::vector<VertexId>> batch_neighbors(
+    const BitPackedCsr& csr, std::span<const VertexId> query_nodes,
+    int num_threads) {
+  std::vector<std::vector<VertexId>> result(query_nodes.size());
+  // Algorithm 9, first block: split the query array into p parts; each
+  // processor runs Algorithm 6 on its [startI, endI) slice.
+  pcq::par::parallel_for_chunks(
+      query_nodes.size(), num_threads,
+      [&](std::size_t, pcq::par::ChunkRange r) {
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          const VertexId u = query_nodes[i];
+          // GetRowFromCSR(A, startingIndex, degree, numBits).
+          std::vector<VertexId> row(csr.degree(u));
+          csr.decode_row(u, row);
+          result[i] = std::move(row);
+        }
+      });
+  return result;
+}
+
+BatchNeighborsResult batch_neighbors_flat(
+    const BitPackedCsr& csr, std::span<const VertexId> query_nodes,
+    int num_threads) {
+  BatchNeighborsResult result;
+  const std::size_t q = query_nodes.size();
+
+  // Pass 1: per-query degrees, then offsets by the chunked prefix sum.
+  std::vector<std::uint32_t> degrees(q);
+  pcq::par::parallel_for(q, num_threads, [&](std::size_t i) {
+    degrees[i] = csr.degree(query_nodes[i]);
+  });
+  result.offsets = pcq::par::offsets_from_degrees(degrees, num_threads);
+
+  // Pass 2: decode every row into its slot; rows are disjoint, so the
+  // writes are race-free.
+  result.values.resize(result.offsets.back());
+  pcq::par::parallel_for_chunks(
+      q, num_threads, [&](std::size_t, pcq::par::ChunkRange r) {
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          std::span<VertexId> slot(result.values.data() + result.offsets[i],
+                                   degrees[i]);
+          csr.decode_row(query_nodes[i], slot);
+        }
+      });
+  return result;
+}
+
+std::vector<std::uint8_t> batch_edge_existence(
+    const BitPackedCsr& csr, std::span<const Edge> query_edges,
+    int num_threads) {
+  std::vector<std::uint8_t> result(query_edges.size(), 0);
+  // Algorithm 9, second block: split the edge array into p parts; each
+  // processor runs Algorithm 7 on its slice.
+  pcq::par::parallel_for_chunks(
+      query_edges.size(), num_threads,
+      [&](std::size_t, pcq::par::ChunkRange r) {
+        std::vector<VertexId> row;
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          const auto [u, v] = query_edges[i];
+          // uNeighs = GetRowFromCSR(...); then scan for v (Algorithm 7
+          // lines 3-6). The row buffer is reused across queries.
+          row.resize(csr.degree(u));
+          csr.decode_row(u, row);
+          const bool found = std::find(row.begin(), row.end(), v) != row.end();
+          result[i] = found ? 1 : 0;
+        }
+      });
+  return result;
+}
+
+bool edge_exists_intra_row(const BitPackedCsr& csr, VertexId u, VertexId v,
+                           int num_threads, RowSearch search) {
+  const std::uint64_t row_begin = csr.offset(u);
+  const auto deg = static_cast<std::size_t>(csr.offset(u + 1) - row_begin);
+  if (deg == 0) return false;
+
+  // Algorithm 9, third block: retrieve u's neighbourhood bounds, split the
+  // row into p parts, and let every processor search its chunk. The packed
+  // row is decoded value-by-value in place — no materialisation.
+  std::atomic<bool> found{false};
+  pcq::par::parallel_for_chunks(
+      deg, num_threads, [&](std::size_t, pcq::par::ChunkRange r) {
+        if (found.load(std::memory_order_relaxed)) return;  // early exit
+        if (search == RowSearch::kLinear) {
+          for (std::size_t i = r.begin; i < r.end; ++i) {
+            if (csr.column(row_begin + i) == v) {
+              found.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
+        } else {
+          // Binary search within this processor's chunk (rows are sorted).
+          std::size_t lo = r.begin, hi = r.end;
+          while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            const VertexId c = csr.column(row_begin + mid);
+            if (c == v) {
+              found.store(true, std::memory_order_relaxed);
+              return;
+            }
+            if (c < v)
+              lo = mid + 1;
+            else
+              hi = mid;
+          }
+        }
+      });
+  return found.load(std::memory_order_relaxed);
+}
+
+}  // namespace pcq::csr

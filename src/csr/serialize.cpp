@@ -1,0 +1,96 @@
+#include "csr/serialize.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pcq::csr {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'C', 'Q', 'C', 'S', 'R', 'v', '1'};
+constexpr std::uint32_t kEndianCanary = 0x01020304;
+
+struct Header {
+  char magic[8];
+  std::uint32_t canary;
+  std::uint32_t offset_width;
+  std::uint32_t column_width;
+  std::uint32_t reserved;
+  std::uint64_t num_nodes;
+  std::uint64_t num_edges;
+  std::uint64_t offset_bits;
+  std::uint64_t column_bits;
+};
+static_assert(sizeof(Header) == 56);
+
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {
+    PCQ_CHECK_MSG(f_ != nullptr, "cannot open CSR file");
+  }
+  ~File() {
+    if (f_) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  std::FILE* get() const { return f_; }
+
+ private:
+  std::FILE* f_;
+};
+
+void write_bits(std::FILE* f, const pcq::bits::BitVector& bits) {
+  const auto words = bits.words();
+  if (!words.empty())
+    PCQ_CHECK(std::fwrite(words.data(), 8, words.size(), f) == words.size());
+}
+
+pcq::bits::BitVector read_bits(std::FILE* f, std::uint64_t nbits) {
+  std::vector<std::uint64_t> words((nbits + 63) / 64);
+  if (!words.empty())
+    PCQ_CHECK_MSG(std::fread(words.data(), 8, words.size(), f) == words.size(),
+                  "truncated CSR file");
+  return pcq::bits::BitVector::from_words(std::move(words), nbits);
+}
+
+}  // namespace
+
+void save_bitpacked_csr(const BitPackedCsr& csr, const std::string& path) {
+  File f(path, "wb");
+  Header h{};
+  std::memcpy(h.magic, kMagic, 8);
+  h.canary = kEndianCanary;
+  h.offset_width = csr.offset_bits();
+  h.column_width = csr.column_bits();
+  h.num_nodes = csr.num_nodes();
+  h.num_edges = csr.num_edges();
+  h.offset_bits = csr.packed_offsets().bits().size();
+  h.column_bits = csr.packed_columns().bits().size();
+  PCQ_CHECK(std::fwrite(&h, sizeof h, 1, f.get()) == 1);
+  write_bits(f.get(), csr.packed_offsets().bits());
+  write_bits(f.get(), csr.packed_columns().bits());
+}
+
+BitPackedCsr load_bitpacked_csr(const std::string& path) {
+  File f(path, "rb");
+  Header h{};
+  PCQ_CHECK_MSG(std::fread(&h, sizeof h, 1, f.get()) == 1, "truncated header");
+  PCQ_CHECK_MSG(std::memcmp(h.magic, kMagic, 8) == 0, "bad CSR magic");
+  PCQ_CHECK_MSG(h.canary == kEndianCanary, "endianness mismatch");
+
+  auto offsets = pcq::bits::FixedWidthArray::from_bits(
+      read_bits(f.get(), h.offset_bits),
+      static_cast<std::size_t>(h.num_nodes) + 1, h.offset_width);
+  auto columns = pcq::bits::FixedWidthArray::from_bits(
+      read_bits(f.get(), h.column_bits),
+      static_cast<std::size_t>(h.num_edges), h.column_width);
+  return BitPackedCsr::from_parts(static_cast<graph::VertexId>(h.num_nodes),
+                                  static_cast<std::size_t>(h.num_edges),
+                                  std::move(offsets), std::move(columns));
+}
+
+}  // namespace pcq::csr

@@ -1,0 +1,22 @@
+// On-disk persistence of the bit-packed CSR.
+//
+// Compression is only useful if the compressed artifact outlives the
+// process: these functions write/read the packed structure verbatim
+// (header + the two packed word arrays), so a graph compressed once can be
+// queried by later runs without re-running the pipeline. Little-endian
+// hosts only (checked via a header canary).
+#pragma once
+
+#include <string>
+
+#include "csr/bitpacked_csr.hpp"
+
+namespace pcq::csr {
+
+/// Writes `csr` to `path`. Aborts with a message on I/O failure.
+void save_bitpacked_csr(const BitPackedCsr& csr, const std::string& path);
+
+/// Reads a structure previously written by save_bitpacked_csr.
+BitPackedCsr load_bitpacked_csr(const std::string& path);
+
+}  // namespace pcq::csr

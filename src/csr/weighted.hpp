@@ -1,0 +1,125 @@
+// Weighted CSR — the paper's third array.
+//
+// §III: "vA: a value array (if the graph is weighted)". The unweighted
+// pipeline drops vA; this module carries it through both the plain and the
+// bit-packed form. Weights ride along the same parallel construction: the
+// edge list is sorted by (u, v), so vA — like jA — is a parallel copy of
+// the input's weight column, and Algorithm 4's fixed-width packing applies
+// to it unchanged (width = bits_for(max weight)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bits/packed_array.hpp"
+#include "csr/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace pcq::graph {
+
+/// A directed edge with an unsigned weight (capacities, counts,
+/// interaction strengths — social-network weights are non-negative).
+struct WeightedEdge {
+  VertexId u = 0;
+  VertexId v = 0;
+  std::uint32_t w = 0;
+
+  /// Ordering ignores the weight: (u, v) determines the CSR position.
+  friend constexpr bool operator<(const WeightedEdge& a, const WeightedEdge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+  friend constexpr bool operator==(const WeightedEdge&,
+                                   const WeightedEdge&) = default;
+};
+
+}  // namespace pcq::graph
+
+namespace pcq::csr {
+
+/// Plain weighted CSR: iA + jA + vA.
+class WeightedCsr {
+ public:
+  WeightedCsr() = default;
+
+  /// Builds from a (u, v)-sorted weighted edge list with `num_threads`
+  /// processors. num_nodes == 0 derives the count from the input.
+  static WeightedCsr build_from_sorted(
+      std::span<const graph::WeightedEdge> edges, graph::VertexId num_nodes,
+      int num_threads);
+
+  [[nodiscard]] graph::VertexId num_nodes() const { return csr_.num_nodes(); }
+  [[nodiscard]] std::size_t num_edges() const { return csr_.num_edges(); }
+  [[nodiscard]] std::uint32_t degree(graph::VertexId u) const {
+    return csr_.degree(u);
+  }
+
+  [[nodiscard]] std::span<const graph::VertexId> neighbors(graph::VertexId u) const {
+    return csr_.neighbors(u);
+  }
+
+  /// Weights aligned with neighbors(u): weights(u)[i] is the weight of the
+  /// edge to neighbors(u)[i].
+  [[nodiscard]] std::span<const std::uint32_t> weights(graph::VertexId u) const;
+
+  /// Weight lookup; returns false if the edge is absent.
+  bool edge_weight(graph::VertexId u, graph::VertexId v,
+                   std::uint32_t* weight_out) const;
+
+  [[nodiscard]] const CsrGraph& structure() const { return csr_; }
+  [[nodiscard]] std::span<const std::uint32_t> weight_array() const {
+    return weights_;
+  }
+
+  [[nodiscard]] std::size_t size_bytes() const {
+    return csr_.size_bytes() + weights_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  CsrGraph csr_;
+  std::vector<std::uint32_t> weights_;  // vA
+};
+
+/// Bit-packed weighted CSR: iA, jA and vA all fixed-width packed.
+class BitPackedWeightedCsr {
+ public:
+  BitPackedWeightedCsr() = default;
+
+  static BitPackedWeightedCsr from_weighted_csr(const WeightedCsr& csr,
+                                                int num_threads);
+
+  [[nodiscard]] graph::VertexId num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  [[nodiscard]] std::uint64_t offset(graph::VertexId u) const {
+    return offsets_.get(u);
+  }
+  [[nodiscard]] std::uint32_t degree(graph::VertexId u) const {
+    return static_cast<std::uint32_t>(offset(u + 1) - offset(u));
+  }
+  [[nodiscard]] graph::VertexId column(std::uint64_t i) const {
+    return static_cast<graph::VertexId>(columns_.get(i));
+  }
+  [[nodiscard]] std::uint32_t weight(std::uint64_t i) const {
+    return static_cast<std::uint32_t>(weights_.get(i));
+  }
+
+  /// Weight lookup via packed binary search of u's row.
+  bool edge_weight(graph::VertexId u, graph::VertexId v,
+                   std::uint32_t* weight_out) const;
+
+  [[nodiscard]] std::size_t size_bytes() const {
+    return offsets_.size_bytes() + columns_.size_bytes() + weights_.size_bytes();
+  }
+
+  [[nodiscard]] unsigned weight_bits() const { return weights_.width(); }
+
+ private:
+  graph::VertexId num_nodes_ = 0;
+  std::size_t num_edges_ = 0;
+  pcq::bits::FixedWidthArray offsets_;  // iA
+  pcq::bits::FixedWidthArray columns_;  // jA
+  pcq::bits::FixedWidthArray weights_;  // vA
+};
+
+}  // namespace pcq::csr

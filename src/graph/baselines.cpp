@@ -1,0 +1,69 @@
+#include "graph/baselines.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pcq::graph {
+
+AdjacencyListGraph::AdjacencyListGraph(const EdgeList& list, VertexId num_nodes) {
+  const VertexId n = num_nodes == 0 ? list.num_nodes() : num_nodes;
+  adj_.resize(n);
+  for (const Edge& e : list.edges()) adj_[e.u].push_back(e.v);
+  num_edges_ = list.size();
+}
+
+bool AdjacencyListGraph::has_edge(VertexId u, VertexId v) const {
+  PCQ_DCHECK(u < adj_.size());
+  const auto& nbrs = adj_[u];
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+std::size_t AdjacencyListGraph::size_bytes() const {
+  std::size_t bytes = adj_.size() * sizeof(std::vector<VertexId>);
+  for (const auto& nbrs : adj_) bytes += nbrs.capacity() * sizeof(VertexId);
+  return bytes;
+}
+
+DenseBitMatrixGraph::DenseBitMatrixGraph(const EdgeList& list, VertexId num_nodes) {
+  n_ = num_nodes == 0 ? list.num_nodes() : num_nodes;
+  PCQ_CHECK_MSG(n_ <= kMaxNodes, "dense matrix too large; use CSR");
+  bits_ = pcq::bits::BitVector(static_cast<std::size_t>(n_) * n_);
+  for (const Edge& e : list.edges())
+    bits_.set(static_cast<std::size_t>(e.u) * n_ + e.v, true);
+}
+
+std::vector<VertexId> DenseBitMatrixGraph::neighbors(VertexId u) const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < n_; ++v)
+    if (has_edge(u, v)) out.push_back(v);
+  return out;
+}
+
+EdgeListGraph::EdgeListGraph(EdgeList list) : list_(std::move(list)) {
+  sorted_ = list_.is_sorted();
+}
+
+bool EdgeListGraph::has_edge(VertexId u, VertexId v) const {
+  const auto edges = list_.edges();
+  if (sorted_) {
+    return std::binary_search(edges.begin(), edges.end(), Edge{u, v});
+  }
+  return std::find(edges.begin(), edges.end(), Edge{u, v}) != edges.end();
+}
+
+std::vector<VertexId> EdgeListGraph::neighbors(VertexId u) const {
+  const auto edges = list_.edges();
+  std::vector<VertexId> out;
+  if (sorted_) {
+    auto lo = std::lower_bound(edges.begin(), edges.end(), Edge{u, 0},
+                               [](const Edge& a, const Edge& b) { return a.u < b.u; });
+    for (; lo != edges.end() && lo->u == u; ++lo) out.push_back(lo->v);
+  } else {
+    for (const Edge& e : edges)
+      if (e.u == u) out.push_back(e.v);
+  }
+  return out;
+}
+
+}  // namespace pcq::graph

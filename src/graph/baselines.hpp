@@ -1,0 +1,90 @@
+// Traditional graph storage structures — the comparators for the paper's
+// "smaller memory footprint and faster querying than traditional storage
+// structures" claim (abstract, §VI). Each exposes the same two queries the
+// paper benchmarks: neighbours(u) and has_edge(u, v), plus size_bytes() for
+// the footprint comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bits/bitvector.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace pcq::graph {
+
+/// Per-node vectors of neighbours — the textbook adjacency list.
+class AdjacencyListGraph {
+ public:
+  AdjacencyListGraph() = default;
+  explicit AdjacencyListGraph(const EdgeList& list, VertexId num_nodes = 0);
+
+  [[nodiscard]] VertexId num_nodes() const {
+    return static_cast<VertexId>(adj_.size());
+  }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId u) const {
+    return adj_[u];
+  }
+
+  /// Linear scan of u's list.
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Heap footprint: per-node vector headers + neighbour payloads.
+  [[nodiscard]] std::size_t size_bytes() const;
+
+ private:
+  std::vector<std::vector<VertexId>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Dense n*n bit matrix. O(1) edge queries, O(n) neighbour queries,
+/// O(n^2 / 8) bytes — the structure whose footprint the paper's intro
+/// rules out (Friendster at 30 PB). Guarded to small n.
+class DenseBitMatrixGraph {
+ public:
+  DenseBitMatrixGraph() = default;
+  explicit DenseBitMatrixGraph(const EdgeList& list, VertexId num_nodes = 0);
+
+  /// Largest n accepted (n^2 bits = 512 MB at this bound).
+  static constexpr VertexId kMaxNodes = 65'536;
+
+  [[nodiscard]] VertexId num_nodes() const { return n_; }
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const {
+    return bits_.get(static_cast<std::size_t>(u) * n_ + v);
+  }
+
+  [[nodiscard]] std::vector<VertexId> neighbors(VertexId u) const;
+
+  [[nodiscard]] std::size_t size_bytes() const { return bits_.size_bytes(); }
+
+ private:
+  VertexId n_ = 0;
+  pcq::bits::BitVector bits_;
+};
+
+/// The raw edge list kept as the query structure ("EdgeList Size" column
+/// of Table II). Queries scan; if the list is sorted by (u, v), has_edge
+/// and neighbors use binary search instead.
+class EdgeListGraph {
+ public:
+  EdgeListGraph() = default;
+  explicit EdgeListGraph(EdgeList list);
+
+  [[nodiscard]] std::size_t num_edges() const { return list_.size(); }
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+  [[nodiscard]] std::vector<VertexId> neighbors(VertexId u) const;
+
+  [[nodiscard]] std::size_t size_bytes() const { return list_.size_bytes(); }
+
+ private:
+  EdgeList list_;
+  bool sorted_ = false;
+};
+
+}  // namespace pcq::graph

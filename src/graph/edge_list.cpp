@@ -1,0 +1,95 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "par/radix_sort.hpp"
+#include "par/reduce.hpp"
+#include "par/sort.hpp"
+
+namespace pcq::graph {
+
+VertexId EdgeList::num_nodes() const {
+  if (edges_.empty()) return 0;
+  VertexId max_id = 0;
+  for (const Edge& e : edges_) max_id = std::max({max_id, e.u, e.v});
+  return max_id + 1;
+}
+
+std::size_t EdgeList::text_size_bytes() const {
+  auto digits = [](VertexId v) {
+    std::size_t d = 1;
+    while (v >= 10) {
+      v /= 10;
+      ++d;
+    }
+    return d;
+  };
+  std::size_t bytes = 0;
+  for (const Edge& e : edges_) bytes += digits(e.u) + digits(e.v) + 2;
+  return bytes;
+}
+
+void EdgeList::sort(int num_threads) {
+  pcq::par::parallel_sort(std::span<Edge>(edges_), num_threads);
+}
+
+void EdgeList::sort_radix(int num_threads) {
+  pcq::par::parallel_radix_sort(
+      std::span<Edge>(edges_), num_threads, [](const Edge& e) {
+        return (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+      });
+}
+
+bool EdgeList::is_sorted() const {
+  return std::is_sorted(edges_.begin(), edges_.end());
+}
+
+void EdgeList::dedupe() {
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+void EdgeList::remove_self_loops() {
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const Edge& e) { return e.u == e.v; }),
+               edges_.end());
+}
+
+void EdgeList::symmetrize() {
+  const std::size_t n = edges_.size();
+  edges_.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i)
+    edges_.push_back({edges_[i].v, edges_[i].u});
+}
+
+void EdgeList::to_upper_triangle() {
+  for (Edge& e : edges_)
+    if (e.u > e.v) std::swap(e.u, e.v);
+  std::sort(edges_.begin(), edges_.end());
+  dedupe();
+  remove_self_loops();
+}
+
+VertexId TemporalEdgeList::num_nodes() const {
+  if (edges_.empty()) return 0;
+  VertexId max_id = 0;
+  for (const TemporalEdge& e : edges_) max_id = std::max({max_id, e.u, e.v});
+  return max_id + 1;
+}
+
+TimeFrame TemporalEdgeList::num_frames() const {
+  if (edges_.empty()) return 0;
+  TimeFrame max_t = 0;
+  for (const TemporalEdge& e : edges_) max_t = std::max(max_t, e.t);
+  return max_t + 1;
+}
+
+void TemporalEdgeList::sort(int num_threads) {
+  pcq::par::parallel_sort(std::span<TemporalEdge>(edges_), num_threads,
+                          TimeSourceOrder{});
+}
+
+bool TemporalEdgeList::is_sorted() const {
+  return std::is_sorted(edges_.begin(), edges_.end(), TimeSourceOrder{});
+}
+
+}  // namespace pcq::graph

@@ -1,0 +1,100 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on four public SNAP graphs (LiveJournal, Pokec,
+// Orkut, WebNotreDame). This environment has no network access, so the
+// benchmark harnesses use deterministic generators whose presets match each
+// graph's node/edge counts and degree skew (see DESIGN.md §1.3). SNAP text
+// files, if available, can be loaded instead via graph/io.hpp — the rest of
+// the pipeline is identical.
+//
+// All generators are seeded and deterministic; R-MAT and Erdős–Rényi draw
+// each edge from a stateless per-index stream, so results are independent
+// of thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace pcq::graph {
+
+/// G(n, m): m edges sampled uniformly (with replacement) among n nodes.
+/// Self-loops are excluded. Parallel.
+EdgeList erdos_renyi(VertexId n, std::size_t m, std::uint64_t seed,
+                     int num_threads);
+
+/// R-MAT (Chakrabarti et al.): recursive quadrant sampling with
+/// probabilities (a, b, c, d), a + b + c + d == 1. Produces the heavy-tailed
+/// degree distribution characteristic of social networks. Parallel.
+EdgeList rmat(VertexId n, std::size_t m, double a, double b, double c,
+              std::uint64_t seed, int num_threads);
+
+/// Barabási–Albert preferential attachment: each new node attaches
+/// `edges_per_node` edges to endpoints sampled uniformly from the existing
+/// edge multiset (degree-proportional). Inherently sequential.
+EdgeList barabasi_albert(VertexId n, unsigned edges_per_node,
+                         std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbours per side,
+/// each edge rewired with probability `beta`. Parallel over nodes.
+EdgeList watts_strogatz(VertexId n, unsigned k, double beta,
+                        std::uint64_t seed, int num_threads);
+
+/// Planted partition (stochastic block model with equal blocks): n nodes
+/// in `blocks` equal communities; each of the m edges is intra-community
+/// with probability `p_intra`, otherwise between two random communities.
+/// Ground truth for community detection: node v belongs to block
+/// v % blocks. Parallel, stateless per edge.
+EdgeList planted_partition(VertexId n, std::size_t m, unsigned blocks,
+                           double p_intra, std::uint64_t seed,
+                           int num_threads);
+
+/// Time-evolving workload for Section IV: `events` (u, v, t) triplets over
+/// `frames` time-frames. Edges are drawn R-MAT-skewed; repeated draws of
+/// the same pair across frames produce the activate/deactivate toggles the
+/// differential TCSR compresses. Output is (t, u, v)-sorted as §IV assumes.
+TemporalEdgeList evolving_graph(VertexId n, std::size_t events,
+                                TimeFrame frames, std::uint64_t seed,
+                                int num_threads);
+
+/// Churn-model history: `initial_edges` R-MAT edges appear in frame 0,
+/// then each later frame toggles `churn_per_frame` edges — a fraction
+/// `deletion_bias` of them re-toggles of currently live edges (deletions),
+/// the rest fresh additions. This matches the "mostly persistent edges,
+/// small per-frame delta" shape of real social histories, where the
+/// differential TCSR's advantage over per-frame snapshots is largest
+/// (§IV's motivation). Sequential across frames (the live set is stateful)
+/// but deterministic; output is (t, u, v)-sorted.
+TemporalEdgeList evolving_graph_churn(VertexId n, std::size_t initial_edges,
+                                      TimeFrame frames,
+                                      std::size_t churn_per_frame,
+                                      double deletion_bias,
+                                      std::uint64_t seed);
+
+// --- Presets shaped like the paper's evaluation graphs ---------------------
+
+struct GraphPreset {
+  std::string name;        ///< Paper's name for the graph.
+  VertexId nodes;          ///< Full-scale node count (Table II).
+  std::size_t edges;       ///< Full-scale edge count (Table II).
+  double rmat_a, rmat_b, rmat_c;  ///< Skew parameters.
+};
+
+/// The four Table II graphs, full scale.
+const std::vector<GraphPreset>& paper_presets();
+
+/// Looks a preset up by (case-insensitive) name; aborts if unknown.
+const GraphPreset& preset_by_name(const std::string& name);
+
+/// Instantiates a preset at `scale` in (0, 1]: node and edge counts are
+/// multiplied by `scale`. The generated list is source-sorted (the paper's
+/// input precondition) with duplicates kept — SNAP lists may also repeat
+/// edges, and CSR construction cost depends on list length, not
+/// distinctness.
+EdgeList make_preset_graph(const GraphPreset& preset, double scale,
+                           std::uint64_t seed, int num_threads);
+
+}  // namespace pcq::graph

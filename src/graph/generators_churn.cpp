@@ -1,0 +1,92 @@
+// evolving_graph_churn — split from generators.cpp because it maintains a
+// live-edge set across frames (stateful, sequential) unlike the other
+// generators' stateless per-index draws.
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::graph {
+
+using pcq::util::SplitMix64;
+
+TemporalEdgeList evolving_graph_churn(VertexId n, std::size_t initial_edges,
+                                      TimeFrame frames,
+                                      std::size_t churn_per_frame,
+                                      double deletion_bias,
+                                      std::uint64_t seed) {
+  PCQ_CHECK(n >= 2);
+  PCQ_CHECK(frames >= 1);
+  PCQ_CHECK(deletion_bias >= 0.0 && deletion_bias <= 1.0);
+  SplitMix64 rng(seed);
+
+  auto draw_edge = [&] {
+    // Mild skew: square one coordinate's distribution toward low ids so
+    // the live set has hub structure without needing the full R-MAT walk.
+    VertexId u = static_cast<VertexId>(
+        rng.next_below(n) * rng.next_below(n) / std::max<VertexId>(1, n));
+    VertexId v = static_cast<VertexId>(rng.next_below(n));
+    while (v == u) v = static_cast<VertexId>(rng.next_below(n));
+    return Edge{u, v};
+  };
+
+  std::vector<TemporalEdge> events;
+  events.reserve(initial_edges + static_cast<std::size_t>(frames) * churn_per_frame);
+
+  // `live` doubles as a sampling pool for deletions; lazy membership via
+  // sorting at frame boundaries is avoided by tolerating duplicates in
+  // the pool and checking liveness parity when sampling.
+  std::vector<Edge> live;
+  live.reserve(initial_edges);
+
+  for (std::size_t i = 0; i < initial_edges; ++i) {
+    const Edge e = draw_edge();
+    events.push_back({e.u, e.v, 0});
+    live.push_back(e);
+  }
+  // Initial duplicates cancel pairwise in the differential pipeline; drop
+  // them from the live pool so deletions target genuinely live edges.
+  std::sort(live.begin(), live.end());
+  std::vector<Edge> dedup;
+  for (std::size_t i = 0; i < live.size();) {
+    std::size_t j = i;
+    while (j < live.size() && live[j] == live[i]) ++j;
+    if ((j - i) % 2 == 1) dedup.push_back(live[i]);
+    i = j;
+  }
+  live.swap(dedup);
+
+  for (TimeFrame t = 1; t < frames; ++t) {
+    for (std::size_t c = 0; c < churn_per_frame; ++c) {
+      const bool remove = !live.empty() && rng.next_bool(deletion_bias);
+      if (remove) {
+        const std::size_t k = rng.next_below(live.size());
+        const Edge e = live[k];
+        live[k] = live.back();
+        live.pop_back();
+        events.push_back({e.u, e.v, t});
+      } else {
+        const Edge e = draw_edge();
+        // A duplicate addition of a live edge would be a deletion; accept
+        // the rare flip — parity semantics make it a valid deletion event
+        // — but keep the pool consistent.
+        const auto it = std::find(live.begin(), live.end(), e);
+        if (it != live.end()) {
+          *it = live.back();
+          live.pop_back();
+        } else {
+          live.push_back(e);
+        }
+        events.push_back({e.u, e.v, t});
+      }
+    }
+  }
+
+  TemporalEdgeList list(std::move(events));
+  list.sort(0);
+  return list;
+}
+
+}  // namespace pcq::graph

@@ -1,0 +1,36 @@
+// Graph file I/O.
+//
+// Text format is SNAP's edge-list convention ('#'-prefixed comment lines,
+// then one "u<whitespace>v" pair per line), so the paper's actual
+// evaluation inputs — downloaded from https://snap.stanford.edu/data/ —
+// can be fed to every bench via --input without any conversion. The binary
+// format is a fast round-trip cache. Temporal lists add a third column t.
+#pragma once
+
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace pcq::graph {
+
+/// Reads a SNAP text edge list. Aborts with a message on malformed input.
+EdgeList load_snap_text(const std::string& path);
+
+/// Writes SNAP text with a generator comment header.
+void save_snap_text(const EdgeList& list, const std::string& path);
+
+/// Reads "u v t" temporal triplets (SNAP temporal convention).
+TemporalEdgeList load_temporal_text(const std::string& path);
+
+void save_temporal_text(const TemporalEdgeList& list, const std::string& path);
+
+/// Binary round-trip format: magic, count, raw little-endian pairs.
+EdgeList load_binary(const std::string& path);
+void save_binary(const EdgeList& list, const std::string& path);
+
+/// Binary temporal round-trip: magic, count, raw (u, v, t) triplets.
+TemporalEdgeList load_temporal_binary(const std::string& path);
+void save_temporal_binary(const TemporalEdgeList& list,
+                          const std::string& path);
+
+}  // namespace pcq::graph

@@ -1,0 +1,185 @@
+#include "graph/k2tree.hpp"
+
+#include <bit>
+
+#include "par/radix_sort.hpp"
+#include "util/check.hpp"
+
+namespace pcq::graph {
+
+using pcq::bits::BitVector;
+
+namespace {
+
+/// Interleaved base-k digits of (u, v), most significant level first —
+/// sorting by this key makes every k²-tree node a contiguous edge range.
+std::uint64_t morton_key(VertexId u, VertexId v, unsigned log2k,
+                         unsigned height) {
+  std::uint64_t key = 0;
+  for (unsigned level = 0; level < height; ++level) {
+    const unsigned shift = (height - 1 - level) * log2k;
+    const std::uint64_t ru = (u >> shift) & ((1u << log2k) - 1);
+    const std::uint64_t rv = (v >> shift) & ((1u << log2k) - 1);
+    key = (key << (2 * log2k)) | (ru << log2k) | rv;
+  }
+  return key;
+}
+
+struct BuildNode {
+  std::size_t begin;  ///< edge range in the morton-sorted array
+  std::size_t end;
+  std::size_t row;  ///< submatrix origin
+  std::size_t col;
+};
+
+}  // namespace
+
+K2Tree K2Tree::build(const EdgeList& list, VertexId num_nodes, unsigned k,
+                     int num_threads) {
+  PCQ_CHECK_MSG(k == 2 || k == 4 || k == 8, "k must be 2, 4 or 8");
+  if (num_nodes == 0) num_nodes = list.num_nodes();
+
+  K2Tree t;
+  t.k_ = k;
+  t.n_ = num_nodes;
+  t.num_edges_ = list.size();
+  const auto log2k = static_cast<unsigned>(std::countr_zero(k));
+
+  // Side s = k^h >= max(n, k).
+  t.height_ = 1;
+  t.s_ = k;
+  while (t.s_ < num_nodes) {
+    t.s_ *= k;
+    ++t.height_;
+  }
+
+  // Morton-sort a copy of the edges.
+  std::vector<Edge> edges(list.edges().begin(), list.edges().end());
+  const unsigned height = t.height_;
+  pcq::par::parallel_radix_sort(
+      std::span<Edge>(edges), num_threads, [log2k, height](const Edge& e) {
+        return morton_key(e.u, e.v, log2k, height);
+      });
+
+  // Level-synchronous construction: every node emits k² child-occupancy
+  // bits; nonempty children become the next level's nodes. Both BFS and
+  // the morton order list nodes of one level identically, so per-level
+  // emission in node order is the canonical layout.
+  std::vector<BitVector> levels(height);
+  std::vector<BuildNode> frontier;
+  if (!edges.empty()) frontier.push_back({0, edges.size(), 0, 0});
+
+  std::size_t size = t.s_;
+  for (unsigned level = 0; level < height; ++level) {
+    const std::size_t half = size / k;
+    std::vector<BuildNode> next;
+    BitVector& bits = levels[level];
+    for (const BuildNode& node : frontier) {
+      // Children are contiguous sub-ranges; digits are non-decreasing in
+      // morton order, so one linear boundary walk partitions the slice.
+      std::size_t i = node.begin;
+      for (unsigned child = 0; child < k * k; ++child) {
+        const std::size_t child_row = node.row + (child / k) * half;
+        const std::size_t child_col = node.col + (child % k) * half;
+        std::size_t j = i;
+        while (j < node.end) {
+          const Edge& e = edges[j];
+          const unsigned digit =
+              static_cast<unsigned>((e.u - node.row) / half) * k +
+              static_cast<unsigned>((e.v - node.col) / half);
+          if (digit != child) break;
+          ++j;
+        }
+        const bool occupied = j > i;
+        bits.push_back(occupied);
+        if (occupied && half > 1) next.push_back({i, j, child_row, child_col});
+        i = j;
+      }
+      PCQ_DCHECK(i == node.end);
+    }
+    frontier.swap(next);
+    size = half;
+  }
+
+  // Concatenate: internal levels -> T, last level -> L.
+  BitVector tree_bits;
+  for (unsigned level = 0; level + 1 < height; ++level)
+    tree_bits.append(levels[level]);
+  t.tree_ = pcq::bits::RankBitVector(std::move(tree_bits));
+  t.leaves_ = std::move(levels[height - 1]);
+  return t;
+}
+
+bool K2Tree::has_edge(VertexId u, VertexId v) const {
+  if (num_edges_ == 0 || u >= s_ || v >= s_) return false;
+  std::size_t base = 0;
+  std::size_t size = s_;
+  std::size_t row = 0, col = 0;
+  for (unsigned level = 0; level < height_; ++level) {
+    const std::size_t half = size / k_;
+    const auto child = static_cast<std::size_t>((u - row) / half) * k_ +
+                       static_cast<std::size_t>((v - col) / half);
+    const std::size_t p = base + child;
+    if (p < tree_.size()) {
+      if (!tree_.get(p)) return false;
+      base = children_of(p);
+    } else {
+      return leaves_.get(p - tree_.size());
+    }
+    row += ((u - row) / half) * half;
+    col += ((v - col) / half) * half;
+    size = half;
+  }
+  return false;  // unreachable for height >= 1
+}
+
+void K2Tree::collect_row(std::size_t base, std::size_t row0, std::size_t col0,
+                         std::size_t size, VertexId u,
+                         std::vector<VertexId>* out) const {
+  const std::size_t half = size / k_;
+  const std::size_t r = (u - row0) / half;
+  for (unsigned j = 0; j < k_; ++j) {
+    const std::size_t p = base + r * k_ + j;
+    if (p < tree_.size()) {
+      if (tree_.get(p))
+        collect_row(children_of(p), row0 + r * half, col0 + j * half, half, u,
+                    out);
+    } else if (leaves_.get(p - tree_.size())) {
+      out->push_back(static_cast<VertexId>(col0 + j));  // half == 1
+    }
+  }
+}
+
+std::vector<VertexId> K2Tree::neighbors(VertexId u) const {
+  std::vector<VertexId> out;
+  if (num_edges_ == 0 || u >= s_) return out;
+  collect_row(0, 0, 0, s_, u, &out);
+  // Padding columns >= n_ can never be set (edges bound-checked on input).
+  return out;
+}
+
+void K2Tree::collect_col(std::size_t base, std::size_t row0, std::size_t col0,
+                         std::size_t size, VertexId v,
+                         std::vector<VertexId>* out) const {
+  const std::size_t half = size / k_;
+  const std::size_t c = (v - col0) / half;
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::size_t p = base + i * k_ + c;
+    if (p < tree_.size()) {
+      if (tree_.get(p))
+        collect_col(children_of(p), row0 + i * half, col0 + c * half, half, v,
+                    out);
+    } else if (leaves_.get(p - tree_.size())) {
+      out->push_back(static_cast<VertexId>(row0 + i));
+    }
+  }
+}
+
+std::vector<VertexId> K2Tree::reverse_neighbors(VertexId v) const {
+  std::vector<VertexId> out;
+  if (num_edges_ == 0 || v >= s_) return out;
+  collect_col(0, 0, 0, s_, v, &out);
+  return out;
+}
+
+}  // namespace pcq::graph

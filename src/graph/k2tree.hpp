@@ -1,0 +1,80 @@
+// k²-tree — the succinct adjacency-matrix representation of Brisaboa,
+// Ladra & Navarro (paper's §II, ref [18]; the ck-d-trees of ref [5] extend
+// it to temporal graphs).
+//
+// The adjacency matrix is padded to side s = k^h and partitioned
+// recursively into k × k submatrices. One bit per submatrix records
+// whether it contains any edge; internal levels are concatenated into a
+// rank-indexed bitmap T and the last level (single cells) into a plain
+// bitmap L. Children of the set bit at position p start at position
+// rank1(T, p + 1) * k² — which is why RankBitVector exists.
+//
+// Trade-off relative to the paper's bit-packed CSR: on sparse clustered
+// matrices the k²-tree can be smaller (empty regions cost one bit per
+// level), both edge queries and *reverse* neighbour queries are supported
+// in O(log_k n) descents, but forward row decoding is slower than the
+// CSR's contiguous packed row — the comparison bench_query quantifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/rank_select.hpp"
+#include "graph/edge_list.hpp"
+
+namespace pcq::graph {
+
+class K2Tree {
+ public:
+  K2Tree() = default;
+
+  /// Builds from a duplicate-free edge list (any order; builds sort a
+  /// Morton-keyed copy internally). `k` must be a power of two in
+  /// {2, 4, 8}. num_nodes == 0 derives the count.
+  static K2Tree build(const EdgeList& list, VertexId num_nodes, unsigned k,
+                      int num_threads);
+
+  [[nodiscard]] VertexId num_nodes() const { return n_; }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+  [[nodiscard]] unsigned k() const { return k_; }
+  [[nodiscard]] unsigned height() const { return height_; }
+
+  /// O(log_k n) descent.
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Row u of the matrix (out-neighbours), ascending.
+  [[nodiscard]] std::vector<VertexId> neighbors(VertexId u) const;
+
+  /// Column v of the matrix (in-neighbours), ascending — the query
+  /// adjacency lists cannot answer without a transpose.
+  [[nodiscard]] std::vector<VertexId> reverse_neighbors(VertexId v) const;
+
+  /// Bitmap payload + rank directory.
+  [[nodiscard]] std::size_t size_bytes() const {
+    return tree_.size_bytes() + leaves_.size_bytes();
+  }
+
+ private:
+  /// Descends one level: returns the children base position of the set
+  /// internal bit at position p.
+  [[nodiscard]] std::size_t children_of(std::size_t p) const {
+    return tree_.rank1(p + 1) * k_ * k_;
+  }
+
+  void collect_row(std::size_t base, std::size_t row0, std::size_t col0,
+                   std::size_t size, VertexId u,
+                   std::vector<VertexId>* out) const;
+  void collect_col(std::size_t base, std::size_t row0, std::size_t col0,
+                   std::size_t size, VertexId v,
+                   std::vector<VertexId>* out) const;
+
+  unsigned k_ = 2;
+  unsigned height_ = 0;  ///< levels; side s_ == k_^height_
+  VertexId n_ = 0;
+  std::size_t s_ = 1;
+  std::size_t num_edges_ = 0;
+  pcq::bits::RankBitVector tree_;  ///< T: internal levels, rank-indexed
+  pcq::bits::BitVector leaves_;    ///< L: last level (cell bits)
+};
+
+}  // namespace pcq::graph

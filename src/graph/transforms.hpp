@@ -1,0 +1,45 @@
+// Whole-graph transforms on edge lists.
+//
+// These are the preprocessing steps real pipelines run before compression:
+// transposition (in-link queries, PageRank), degree-descending relabeling
+// (the locality trick behind WebGraph-class compressors — hubs get small
+// ids, shrinking the fixed-width column array and tightening gap codes),
+// and induced-subgraph extraction (community / ego-network analysis).
+// All are parallel and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace pcq::graph {
+
+/// Reverses every edge: (u, v) -> (v, u). Output is NOT sorted.
+EdgeList transpose(const EdgeList& list, int num_threads);
+
+/// Result of a relabeling: the rewritten list plus the permutation that
+/// produced it (new_id[old] = position of old id in the new numbering).
+struct RelabelResult {
+  EdgeList list;                      ///< edges with ids rewritten, unsorted
+  std::vector<VertexId> new_id;       ///< old id -> new id
+  std::vector<VertexId> old_id;       ///< new id -> old id (inverse)
+};
+
+/// Renumbers nodes in order of non-increasing out-degree (ties broken by
+/// old id, so the result is deterministic). With heavy-tailed graphs this
+/// concentrates columns near 0, which both narrows the packed jA width for
+/// subgraphs and improves gap-coded baselines.
+RelabelResult relabel_by_degree(const EdgeList& list, VertexId num_nodes,
+                                int num_threads);
+
+/// Keeps only edges whose BOTH endpoints satisfy keep[node] != 0, and
+/// compacts the surviving node ids to a dense [0, k) range. Returns the
+/// compacted list; `old_id_out` (optional) receives the new->old mapping.
+EdgeList induced_subgraph(const EdgeList& list, std::span<const std::uint8_t> keep,
+                          int num_threads,
+                          std::vector<VertexId>* old_id_out = nullptr);
+
+}  // namespace pcq::graph

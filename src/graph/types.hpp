@@ -1,0 +1,49 @@
+// Fundamental graph value types shared across the library.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace pcq::graph {
+
+/// Node identifier. The paper's largest evaluation graph (LiveJournal) has
+/// 4.85M nodes, far inside 32 bits; CSR offsets are 64-bit (edge counts at
+/// full Orkut scale exceed 2^26 and sums of degrees must never overflow).
+using VertexId = std::uint32_t;
+
+/// Discrete time-frame index of a time-evolving graph (Section IV).
+using TimeFrame = std::uint32_t;
+
+/// A directed edge u -> v. Undirected graphs store both directions (or the
+/// upper triangle only, as in the paper's Figure 1 example — see
+/// EdgeList::to_upper_triangle).
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A temporal event: edge (u, v) toggles state at time-frame t. Per
+/// Section IV, an edge that has appeared an odd number of times in frames
+/// <= t is active at t; an even count means it has been deleted again.
+struct TemporalEdge {
+  VertexId u = 0;
+  VertexId v = 0;
+  TimeFrame t = 0;
+
+  friend constexpr auto operator<=>(const TemporalEdge&, const TemporalEdge&) = default;
+};
+
+/// Ordering used by the temporal pipeline: time-frame first, then source,
+/// then destination — the paper's §IV input assumption ("sorted with
+/// respect to the time-frames and then sorted by node numbers").
+struct TimeSourceOrder {
+  constexpr bool operator()(const TemporalEdge& a, const TemporalEdge& b) const {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  }
+};
+
+}  // namespace pcq::graph

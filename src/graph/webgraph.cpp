@@ -1,0 +1,131 @@
+#include "graph/webgraph.hpp"
+
+#include <algorithm>
+
+#include "bits/codecs.hpp"
+#include "par/chunking.hpp"
+#include "par/parallel_for.hpp"
+#include "par/threads.hpp"
+#include "util/check.hpp"
+
+namespace pcq::graph {
+
+using pcq::bits::BitVector;
+
+GapZetaGraph GapZetaGraph::build_from_sorted(const EdgeList& list,
+                                             VertexId num_nodes, unsigned k,
+                                             int num_threads) {
+  PCQ_DCHECK(list.is_sorted());
+  PCQ_CHECK(k >= 1 && k <= 16);
+  if (num_nodes == 0) num_nodes = list.num_nodes();
+  const auto edges = list.edges();
+
+  GapZetaGraph g;
+  g.k_ = k;
+  g.num_nodes_ = num_nodes;
+  g.num_edges_ = edges.size();
+  if (num_nodes == 0) {
+    const std::vector<std::uint64_t> zero{0};
+    g.row_offsets_ = pcq::bits::FixedWidthArray::pack(zero, 1);
+    return g;
+  }
+
+  // Row boundaries in the sorted edge array: rows[u] = first index of u.
+  std::vector<std::size_t> row_begin(num_nodes + 1, 0);
+  {
+    std::size_t i = 0;
+    for (VertexId u = 0; u < num_nodes; ++u) {
+      row_begin[u] = i;
+      while (i < edges.size() && edges[i].u == u) ++i;
+    }
+    row_begin[num_nodes] = edges.size();
+    PCQ_CHECK_MSG(row_begin[num_nodes] == edges.size(),
+                  "edge list references nodes >= num_nodes");
+  }
+
+  // Parallel encode: one chunk of rows per processor into a private
+  // stream, then concatenate (the Algorithm 4 pattern at row granularity).
+  const auto p = static_cast<std::size_t>(pcq::par::clamp_threads(num_threads));
+  const std::size_t chunks =
+      pcq::par::num_nonempty_chunks(num_nodes, p);
+  std::vector<BitVector> partial(chunks == 0 ? 1 : chunks);
+  std::vector<std::vector<std::uint64_t>> partial_offsets(chunks == 0 ? 1 : chunks);
+
+  pcq::par::parallel_for_chunks(
+      num_nodes, static_cast<int>(p), [&](std::size_t c, pcq::par::ChunkRange r) {
+        BitVector& out = partial[c];
+        auto& offs = partial_offsets[c];
+        offs.reserve(r.size());
+        for (std::size_t u = r.begin; u < r.end; ++u) {
+          offs.push_back(out.size());
+          const std::size_t lo = row_begin[u], hi = row_begin[u + 1];
+          pcq::bits::zeta_encode(hi - lo + 1, k, out);  // degree + 1
+          VertexId prev = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const VertexId v = edges[i].v;
+            PCQ_DCHECK(i == lo || v > prev);  // sorted, duplicate-free
+            const std::uint64_t gap =
+                i == lo ? static_cast<std::uint64_t>(v) + 1 : v - prev;
+            pcq::bits::zeta_encode(gap, k, out);
+            prev = v;
+          }
+        }
+      });
+
+  // Concatenate streams and rebase per-chunk offsets.
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(num_nodes) + 1);
+  BitVector stream;
+  for (std::size_t c = 0; c < partial.size(); ++c) {
+    const std::uint64_t base = stream.size();
+    for (std::uint64_t off : partial_offsets[c]) offsets.push_back(base + off);
+    stream.append(partial[c]);
+  }
+  offsets.push_back(stream.size());
+
+  g.stream_ = std::move(stream);
+  g.row_offsets_ = pcq::bits::FixedWidthArray::pack(offsets, num_threads);
+  return g;
+}
+
+std::uint32_t GapZetaGraph::degree(VertexId u) const {
+  PCQ_DCHECK(u < num_nodes_);
+  std::size_t pos = row_offsets_.get(u);
+  return static_cast<std::uint32_t>(pcq::bits::zeta_decode(stream_, pos, k_) - 1);
+}
+
+std::vector<VertexId> GapZetaGraph::neighbors(VertexId u) const {
+  PCQ_DCHECK(u < num_nodes_);
+  std::size_t pos = row_offsets_.get(u);
+  const auto deg =
+      static_cast<std::size_t>(pcq::bits::zeta_decode(stream_, pos, k_) - 1);
+  std::vector<VertexId> row(deg);
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < deg; ++i) {
+    const std::uint64_t gap = pcq::bits::zeta_decode(stream_, pos, k_);
+    value = i == 0 ? gap - 1 : value + gap;
+    row[i] = static_cast<VertexId>(value);
+  }
+  return row;
+}
+
+bool GapZetaGraph::has_edge(VertexId u, VertexId v) const {
+  PCQ_DCHECK(u < num_nodes_);
+  std::size_t pos = row_offsets_.get(u);
+  const auto deg =
+      static_cast<std::size_t>(pcq::bits::zeta_decode(stream_, pos, k_) - 1);
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < deg; ++i) {
+    const std::uint64_t gap = pcq::bits::zeta_decode(stream_, pos, k_);
+    value = i == 0 ? gap - 1 : value + gap;
+    if (value == v) return true;
+    if (value > v) return false;  // rows are ascending
+  }
+  return false;
+}
+
+std::size_t GapZetaGraph::size_bytes() const {
+  return stream_.size_bytes() + row_offsets_.size_bytes();
+}
+
+}  // namespace pcq::graph

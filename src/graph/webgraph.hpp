@@ -1,0 +1,63 @@
+// GapZetaGraph — a WebGraph-style compressed adjacency baseline.
+//
+// The paper's related work opens with Boldi & Vigna's WebGraph framework
+// (ref [2]): sorted adjacency lists stored as gaps, entropy-coded with
+// zeta_k codes tuned to power-law gap distributions. This class implements
+// that storage scheme (without WebGraph's reference-copying layer) so the
+// S2 compression bench can place the paper's fixed-width bit packing on
+// the spectrum between "raw" and "entropy-coded":
+//
+//   * usually *smaller* than the fixed-width packed CSR (gaps beat
+//     absolute ids when rows are long and clustered — especially after
+//     relabel_by_degree),
+//   * but *slower to query*: rows must be decoded gap-by-gap from the
+//     front; there is no O(1) random access into a row and no binary
+//     search, which is exactly the time/space trade-off the paper's
+//     fixed-width choice sits on the other side of.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitvector.hpp"
+#include "bits/packed_array.hpp"
+#include "graph/edge_list.hpp"
+
+namespace pcq::graph {
+
+class GapZetaGraph {
+ public:
+  GapZetaGraph() = default;
+
+  /// Builds from a (u, v)-sorted, duplicate-free edge list. `k` is the
+  /// zeta shrinking parameter (WebGraph's default 3 suits social graphs).
+  /// Row encoding: degree in zeta, first neighbour + 1 in zeta, then
+  /// gaps (v_i - v_{i-1}) in zeta. Parallel over per-chunk row groups.
+  static GapZetaGraph build_from_sorted(const EdgeList& list,
+                                        VertexId num_nodes, unsigned k,
+                                        int num_threads);
+
+  [[nodiscard]] VertexId num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+  [[nodiscard]] unsigned zeta_k() const { return k_; }
+
+  /// Decodes node u's full neighbour row (sequential gap walk).
+  [[nodiscard]] std::vector<VertexId> neighbors(VertexId u) const;
+
+  [[nodiscard]] std::uint32_t degree(VertexId u) const;
+
+  /// Gap-walks u's row until v is reached or passed. O(degree).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Payload bytes: the coded bit stream plus the packed row pointers.
+  [[nodiscard]] std::size_t size_bytes() const;
+
+ private:
+  unsigned k_ = 3;
+  VertexId num_nodes_ = 0;
+  std::size_t num_edges_ = 0;
+  pcq::bits::BitVector stream_;             ///< concatenated row codes
+  pcq::bits::FixedWidthArray row_offsets_;  ///< bit offset of each row, packed
+};
+
+}  // namespace pcq::graph

@@ -1,0 +1,45 @@
+// Contiguous chunk partitioning.
+//
+// Every parallel algorithm in the paper follows the same pattern: split an
+// array of n elements into p contiguous chunks, one per processor. This
+// header is the single definition of that split so all modules agree on
+// chunk boundaries (important for the degree-merge and TCSR overlap logic,
+// which reason about what a neighbouring chunk saw).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace pcq::par {
+
+/// Half-open index range [begin, end).
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin == end; }
+  friend bool operator==(const ChunkRange&, const ChunkRange&) = default;
+};
+
+/// Returns chunk `i` of `n` elements split into `p` balanced contiguous
+/// chunks. The first `n % p` chunks get one extra element, so chunk sizes
+/// differ by at most 1 and the union of all chunks is exactly [0, n).
+inline ChunkRange chunk_range(std::size_t n, std::size_t p, std::size_t i) {
+  PCQ_DCHECK(p > 0);
+  PCQ_DCHECK(i < p);
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  const std::size_t begin = i * base + (i < extra ? i : extra);
+  const std::size_t size = base + (i < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+/// Number of non-empty chunks when n elements are split into p chunks.
+inline std::size_t num_nonempty_chunks(std::size_t n, std::size_t p) {
+  return n >= p ? p : n;
+}
+
+}  // namespace pcq::par

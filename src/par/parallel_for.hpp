@@ -1,0 +1,53 @@
+// parallel_for / parallel_for_chunks — thin OpenMP wrappers.
+//
+// Two idioms cover everything in the paper:
+//   * parallel_for:        independent per-element loops (query batches),
+//   * parallel_for_chunks: the chunk-per-processor pattern of Algorithms
+//                          1-5, where the body needs to know its chunk id
+//                          and bounds (for spill arrays indexed by pid).
+#pragma once
+
+#include <omp.h>
+
+#include <cstddef>
+
+#include "par/chunking.hpp"
+#include "par/threads.hpp"
+
+namespace pcq::par {
+
+/// Runs fn(i) for i in [0, n) using `num_threads` threads with static
+/// scheduling. fn must be safe to call concurrently for distinct i.
+template <typename Fn>
+void parallel_for(std::size_t n, int num_threads, Fn&& fn) {
+  const int p = clamp_threads(num_threads);
+  if (p == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+#pragma omp parallel for num_threads(p) schedule(static)
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+/// Runs fn(chunk_id, range) once per chunk, with chunk `c` handled by
+/// thread `c`. This mirrors the paper's "do in parallel: for each
+/// processor" blocks: chunk id == processor id, and boundaries come from
+/// chunk_range so cooperating algorithms can reason about neighbours.
+template <typename Fn>
+void parallel_for_chunks(std::size_t n, int num_threads, Fn&& fn) {
+  const std::size_t p = static_cast<std::size_t>(clamp_threads(num_threads));
+  const std::size_t chunks = num_nonempty_chunks(n, p);
+  if (chunks <= 1) {
+    if (n > 0) fn(std::size_t{0}, ChunkRange{0, n});
+    return;
+  }
+  // A worksharing loop over chunk ids (rather than a bare parallel region
+  // keyed on omp_get_thread_num) guarantees every chunk runs even when the
+  // runtime delivers fewer threads than requested.
+#pragma omp parallel for num_threads(static_cast<int>(chunks)) schedule(static, 1)
+  for (std::size_t c = 0; c < chunks; ++c) {
+    fn(c, chunk_range(n, chunks, c));
+  }
+}
+
+}  // namespace pcq::par

@@ -1,0 +1,18 @@
+#include "par/prefix_sum.hpp"
+
+namespace pcq::par {
+
+std::vector<std::uint64_t> offsets_from_degrees(
+    std::span<const std::uint32_t> degrees, int num_threads) {
+  const std::size_t n = degrees.size();
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  // offsets[i + 1] starts as degree[i]; an inclusive scan over offsets[1..n]
+  // then yields cumulative degrees, and offsets[0] == 0 gives the exclusive
+  // form CSR indexing needs.
+  const int p = clamp_threads(num_threads);
+  parallel_for(n, p, [&](std::size_t i) { offsets[i + 1] = degrees[i]; });
+  chunked_inclusive_scan(std::span<std::uint64_t>(offsets.data() + 1, n), p);
+  return offsets;
+}
+
+}  // namespace pcq::par

@@ -1,0 +1,58 @@
+// Parallel merge sort.
+//
+// The paper assumes its edge lists arrive sorted (by source node, and for
+// temporal inputs by time-frame then source). Real inputs are not always
+// sorted, so the CSR builder's convenience path sorts first; this is the
+// sorter it uses. Chunk-local std::sort followed by log2(p) rounds of
+// pairwise parallel in-place merges: O((n log n)/p + n log p) time.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "par/chunking.hpp"
+#include "par/parallel_for.hpp"
+#include "par/threads.hpp"
+
+namespace pcq::par {
+
+template <typename T, typename Compare = std::less<T>>
+void parallel_sort(std::span<T> v, int num_threads, Compare cmp = {}) {
+  const std::size_t n = v.size();
+  const auto p = static_cast<std::size_t>(clamp_threads(num_threads));
+  const std::size_t chunks = num_nonempty_chunks(n, p);
+  if (chunks <= 1 || n < 2048) {
+    std::sort(v.begin(), v.end(), cmp);
+    return;
+  }
+
+  // Record chunk boundaries once; merges below coalesce adjacent runs.
+  std::vector<std::size_t> bounds(chunks + 1);
+  for (std::size_t c = 0; c < chunks; ++c) bounds[c] = chunk_range(n, chunks, c).begin;
+  bounds[chunks] = n;
+
+  parallel_for_chunks(n, static_cast<int>(chunks),
+                      [&](std::size_t, ChunkRange r) {
+                        std::sort(v.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                                  v.begin() + static_cast<std::ptrdiff_t>(r.end), cmp);
+                      });
+
+  // Pairwise merge rounds: after round k, runs of 2^k chunks are sorted.
+  for (std::size_t width = 1; width < chunks; width <<= 1) {
+    const std::size_t pairs = (chunks + 2 * width - 1) / (2 * width);
+    parallel_for(pairs, static_cast<int>(p), [&](std::size_t k) {
+      const std::size_t lo = k * 2 * width;
+      const std::size_t mid = std::min(lo + width, chunks);
+      const std::size_t hi = std::min(lo + 2 * width, chunks);
+      if (mid < hi) {
+        std::inplace_merge(v.begin() + static_cast<std::ptrdiff_t>(bounds[lo]),
+                           v.begin() + static_cast<std::ptrdiff_t>(bounds[mid]),
+                           v.begin() + static_cast<std::ptrdiff_t>(bounds[hi]), cmp);
+      }
+    });
+  }
+}
+
+}  // namespace pcq::par

@@ -1,0 +1,16 @@
+#include "par/threads.hpp"
+
+#include <omp.h>
+
+namespace pcq::par {
+
+int hardware_threads() { return omp_get_max_threads(); }
+
+int clamp_threads(int requested, int limit) {
+  if (requested <= 0) requested = hardware_threads();
+  if (requested < 1) requested = 1;
+  if (requested > limit) requested = limit;
+  return requested;
+}
+
+}  // namespace pcq::par

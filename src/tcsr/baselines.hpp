@@ -1,0 +1,81 @@
+// Baseline time-evolving representations, for the S3 size/query
+// comparison (related work, §II).
+//
+//   * SnapshotSequence — one full bit-packed CSR per frame ("a sequence of
+//     static graphs"). Fast queries, heavy storage; this is exactly the
+//     space blow-up §IV motivates the differential form with ("storing the
+//     CSR this way is space-consuming, as not all nodes have changed state
+//     from one time-frame to another").
+//   * EveLog — per-vertex log of (time-frame, neighbour) toggle events,
+//     time-frames gap-encoded, neighbour ids fixed-width packed (Caro et
+//     al.'s "log of events" strategy). Queries replay the log
+//     sequentially, which is why the paper calls this class slow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/codecs.hpp"
+#include "bits/packed_array.hpp"
+#include "csr/bitpacked_csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace pcq::tcsr {
+
+class SnapshotSequence {
+ public:
+  SnapshotSequence() = default;
+
+  /// Materialises the snapshot graph at every frame and bit-packs each.
+  static SnapshotSequence build(const graph::TemporalEdgeList& events,
+                                graph::VertexId num_nodes,
+                                graph::TimeFrame num_frames, int num_threads);
+
+  [[nodiscard]] graph::TimeFrame num_frames() const {
+    return static_cast<graph::TimeFrame>(snapshots_.size());
+  }
+  [[nodiscard]] const csr::BitPackedCsr& snapshot(graph::TimeFrame t) const {
+    return snapshots_[t];
+  }
+
+  [[nodiscard]] bool edge_active(graph::VertexId u, graph::VertexId v,
+                                 graph::TimeFrame t) const {
+    return snapshots_[t].has_edge(u, v);
+  }
+  [[nodiscard]] std::vector<graph::VertexId> neighbors_at(
+      graph::VertexId u, graph::TimeFrame t) const {
+    return snapshots_[t].neighbors(u);
+  }
+
+  [[nodiscard]] std::size_t size_bytes() const;
+
+ private:
+  std::vector<csr::BitPackedCsr> snapshots_;
+};
+
+class EveLog {
+ public:
+  EveLog() = default;
+
+  static EveLog build(const graph::TemporalEdgeList& events,
+                      graph::VertexId num_nodes, int num_threads);
+
+  /// Sequential log replay: parity of (v, <= t) events in u's log.
+  [[nodiscard]] bool edge_active(graph::VertexId u, graph::VertexId v,
+                                 graph::TimeFrame t) const;
+
+  /// Sequential log replay accumulating the active neighbour set.
+  [[nodiscard]] std::vector<graph::VertexId> neighbors_at(
+      graph::VertexId u, graph::TimeFrame t) const;
+
+  [[nodiscard]] std::size_t size_bytes() const;
+
+ private:
+  struct VertexLog {
+    pcq::bits::GapEncodedSequence times;     // non-decreasing frame ids
+    pcq::bits::FixedWidthArray neighbors;    // parallel array of targets
+  };
+  std::vector<VertexLog> logs_;
+};
+
+}  // namespace pcq::tcsr

@@ -1,0 +1,81 @@
+// ContactIndex — interval ("contact") representation of a temporal graph.
+//
+// Caro et al. (§II, ref [5]) model a temporal graph as a set of contacts
+// (u, v, t_begin, t_end) and compress the resulting 4D binary matrix with
+// a ck-d-tree. This module implements the contact model with flat packed
+// storage instead of the tree: contacts are derived from the event list
+// (maximal activity intervals per edge), sorted by (u, v, t_begin), and
+// stored as four fixed-width packed columns with a per-vertex offset
+// directory.
+//
+// Queries:
+//   edge_active(u, v, t)  — binary search u's slice for pair v, then its
+//                           intervals: O(log deg_c(u)).
+//   neighbors_at(u, t)    — scan u's contacts filtering t: O(deg_c(u)).
+//   contacts(u, v)        — the full lifetime of one relationship.
+//
+// For histories where edges persist (few long intervals instead of many
+// events), this is the most compact of the temporal structures — the
+// comparison bench_tcsr makes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/packed_array.hpp"
+#include "graph/edge_list.hpp"
+#include "tcsr/tcsr.hpp"
+
+namespace pcq::tcsr {
+
+/// One contact: edge (u, v) active during [begin, end], inclusive frames.
+struct Contact {
+  graph::VertexId u = 0;
+  graph::VertexId v = 0;
+  graph::TimeFrame begin = 0;
+  graph::TimeFrame end = 0;
+  friend constexpr bool operator==(const Contact&, const Contact&) = default;
+};
+
+class ContactIndex {
+ public:
+  ContactIndex() = default;
+
+  /// Builds from a (t, u, v)-sorted event list: events are converted to
+  /// maximal activity intervals (open intervals close at the last frame).
+  static ContactIndex build(const graph::TemporalEdgeList& events,
+                            graph::VertexId num_nodes,
+                            graph::TimeFrame num_frames, int num_threads);
+
+  [[nodiscard]] graph::VertexId num_nodes() const {
+    return static_cast<graph::VertexId>(
+        offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  [[nodiscard]] std::size_t num_contacts() const { return targets_.size(); }
+
+  [[nodiscard]] bool edge_active(graph::VertexId u, graph::VertexId v,
+                                 graph::TimeFrame t) const;
+
+  /// Active neighbours of u at frame t, ascending, deduplicated.
+  [[nodiscard]] std::vector<graph::VertexId> neighbors_at(
+      graph::VertexId u, graph::TimeFrame t) const;
+
+  /// All contacts of the pair (u, v), chronological.
+  [[nodiscard]] std::vector<ActivityInterval> contacts(
+      graph::VertexId u, graph::VertexId v) const;
+
+  /// Contacts overlapping the window [t_begin, t_end] from any source —
+  /// the "slice" query of the contact model. O(total contacts).
+  [[nodiscard]] std::vector<Contact> contacts_in_window(
+      graph::TimeFrame t_begin, graph::TimeFrame t_end) const;
+
+  [[nodiscard]] std::size_t size_bytes() const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;   ///< per-source contact slice bounds
+  pcq::bits::FixedWidthArray targets_;   ///< contact target v
+  pcq::bits::FixedWidthArray begins_;    ///< interval begin frames
+  pcq::bits::FixedWidthArray ends_;      ///< interval end frames
+};
+
+}  // namespace pcq::tcsr

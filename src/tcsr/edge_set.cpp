@@ -1,0 +1,54 @@
+#include "tcsr/edge_set.hpp"
+
+#include "util/check.hpp"
+
+namespace pcq::tcsr {
+
+using graph::Edge;
+
+SortedEdgeSet SortedEdgeSet::from_sorted(std::vector<Edge> edges) {
+  PCQ_DCHECK(std::is_sorted(edges.begin(), edges.end()));
+  PCQ_DCHECK(std::adjacent_find(edges.begin(), edges.end()) == edges.end());
+  SortedEdgeSet set;
+  set.edges_ = std::move(edges);
+  return set;
+}
+
+SortedEdgeSet SortedEdgeSet::from_multiset(std::vector<Edge> edges) {
+  std::sort(edges.begin(), edges.end());
+  std::vector<Edge> kept;
+  kept.reserve(edges.size());
+  std::size_t i = 0;
+  while (i < edges.size()) {
+    std::size_t j = i;
+    while (j < edges.size() && edges[j] == edges[i]) ++j;
+    if ((j - i) % 2 == 1) kept.push_back(edges[i]);  // odd count survives
+    i = j;
+  }
+  SortedEdgeSet set;
+  set.edges_ = std::move(kept);
+  return set;
+}
+
+SortedEdgeSet symmetric_difference(const SortedEdgeSet& a, const SortedEdgeSet& b) {
+  const auto ea = a.edges();
+  const auto eb = b.edges();
+  std::vector<Edge> out;
+  out.reserve(ea.size() + eb.size());
+  std::size_t i = 0, j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i] < eb[j]) {
+      out.push_back(ea[i++]);
+    } else if (eb[j] < ea[i]) {
+      out.push_back(eb[j++]);
+    } else {
+      ++i;  // present in both: cancels
+      ++j;
+    }
+  }
+  out.insert(out.end(), ea.begin() + static_cast<std::ptrdiff_t>(i), ea.end());
+  out.insert(out.end(), eb.begin() + static_cast<std::ptrdiff_t>(j), eb.end());
+  return SortedEdgeSet::from_sorted(std::move(out));
+}
+
+}  // namespace pcq::tcsr

@@ -1,0 +1,61 @@
+// SortedEdgeSet — a set of edges under symmetric difference.
+//
+// Section IV defines activity by parity: "if an edge appears an even
+// number of times, the edge is set to be inactive, and if the count is
+// odd, then the edge is set to be active". Combining two frames' edge sets
+// under that rule is exactly symmetric difference (XOR of indicator
+// vectors), which is associative with the empty set as identity — so the
+// paper's chunked prefix-sum schedule (Algorithm 1) applies verbatim with
+// + replaced by XOR. That instantiation is what reconstructs snapshots
+// from the differential TCSR in parallel.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace pcq::tcsr {
+
+class SortedEdgeSet {
+ public:
+  /// The identity element: the empty set.
+  SortedEdgeSet() = default;
+
+  /// Takes ownership of a (u, v)-sorted, duplicate-free edge vector.
+  static SortedEdgeSet from_sorted(std::vector<graph::Edge> edges);
+
+  /// Sorts and parity-cancels an arbitrary edge multiset: pairs of equal
+  /// edges annihilate (even count -> absent, odd -> present once).
+  static SortedEdgeSet from_multiset(std::vector<graph::Edge> edges);
+
+  [[nodiscard]] std::size_t size() const { return edges_.size(); }
+  [[nodiscard]] bool empty() const { return edges_.empty(); }
+  [[nodiscard]] std::span<const graph::Edge> edges() const { return edges_; }
+  [[nodiscard]] bool contains(graph::Edge e) const {
+    return std::binary_search(edges_.begin(), edges_.end(), e);
+  }
+
+  /// Releases the underlying sorted vector.
+  [[nodiscard]] std::vector<graph::Edge> take() && { return std::move(edges_); }
+
+  friend bool operator==(const SortedEdgeSet&, const SortedEdgeSet&) = default;
+
+ private:
+  std::vector<graph::Edge> edges_;
+};
+
+/// Symmetric difference: edges present in exactly one of a, b. A single
+/// sorted-merge pass, O(|a| + |b|).
+SortedEdgeSet symmetric_difference(const SortedEdgeSet& a, const SortedEdgeSet& b);
+
+/// Function object usable as the Op of par::chunked_inclusive_scan.
+struct SymmetricDifferenceOp {
+  SortedEdgeSet operator()(const SortedEdgeSet& a, const SortedEdgeSet& b) const {
+    return symmetric_difference(a, b);
+  }
+};
+
+}  // namespace pcq::tcsr

@@ -1,0 +1,181 @@
+#include "tcsr/edgelog.hpp"
+
+#include <algorithm>
+
+#include "bits/codecs.hpp"
+#include "par/parallel_for.hpp"
+#include "par/radix_sort.hpp"
+#include "tcsr/contact_index.hpp"
+#include "util/check.hpp"
+
+namespace pcq::tcsr {
+
+using graph::TemporalEdge;
+using graph::TimeFrame;
+using graph::VertexId;
+
+EdgeLog EdgeLog::build(const graph::TemporalEdgeList& events,
+                       VertexId num_nodes, TimeFrame num_frames,
+                       int num_threads) {
+  if (num_nodes == 0) num_nodes = events.num_nodes();
+  if (num_frames == 0) num_frames = events.num_frames();
+
+  // Reuse the contact derivation: group events by (u, v), convert toggle
+  // runs to maximal intervals.
+  std::vector<TemporalEdge> evs(events.edges().begin(), events.edges().end());
+  pcq::par::parallel_radix_sort(
+      std::span<TemporalEdge>(evs), num_threads,
+      [](const TemporalEdge& e) { return std::uint64_t{e.t}; });
+  pcq::par::parallel_radix_sort(
+      std::span<TemporalEdge>(evs), num_threads, [](const TemporalEdge& e) {
+        return (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+      });
+
+  // Per-vertex slices of the (u, v, t)-sorted event array.
+  std::vector<std::size_t> bounds(num_nodes + 1, 0);
+  {
+    std::size_t i = 0;
+    for (VertexId u = 0; u < num_nodes; ++u) {
+      bounds[u] = i;
+      while (i < evs.size() && evs[i].u == u) ++i;
+    }
+    bounds[num_nodes] = evs.size();
+  }
+
+  EdgeLog log;
+  log.logs_.resize(num_nodes);
+  pcq::par::parallel_for(num_nodes, num_threads, [&](std::size_t ui) {
+    // Derive (neighbour, intervals) pairs for this vertex.
+    struct NeighborIntervals {
+      VertexId v;
+      std::vector<ActivityInterval> intervals;
+    };
+    std::vector<NeighborIntervals> rows;
+    std::size_t i = bounds[ui];
+    while (i < bounds[ui + 1]) {
+      const VertexId v = evs[i].v;
+      NeighborIntervals row{v, {}};
+      bool active = false;
+      TimeFrame begin = 0;
+      while (i < bounds[ui + 1] && evs[i].v == v) {
+        const TimeFrame t = evs[i].t;
+        std::size_t reps = 0;
+        while (i < bounds[ui + 1] && evs[i].v == v && evs[i].t == t) {
+          ++reps;
+          ++i;
+        }
+        if (reps % 2 == 0) continue;
+        if (!active) {
+          active = true;
+          begin = t;
+        } else {
+          active = false;
+          row.intervals.push_back({begin, static_cast<TimeFrame>(t - 1)});
+        }
+      }
+      if (active)
+        row.intervals.push_back(
+            {begin, static_cast<TimeFrame>(num_frames - 1)});
+      if (!row.intervals.empty()) rows.push_back(std::move(row));
+    }
+
+    // Encode the vertex's stream.
+    pcq::bits::BitVector& out = log.logs_[ui].stream;
+    pcq::bits::elias_gamma_encode(rows.size() + 1, out);
+    VertexId prev_v = 0;
+    bool first_v = true;
+    for (const auto& row : rows) {
+      const std::uint64_t vgap =
+          first_v ? static_cast<std::uint64_t>(row.v) + 1 : row.v - prev_v;
+      pcq::bits::elias_gamma_encode(vgap, out);
+      pcq::bits::elias_gamma_encode(row.intervals.size(), out);
+      TimeFrame prev_end = 0;
+      bool first_iv = true;
+      for (const ActivityInterval& iv : row.intervals) {
+        const std::uint64_t bgap = first_iv
+                                       ? static_cast<std::uint64_t>(iv.begin) + 1
+                                       : iv.begin - prev_end;
+        pcq::bits::elias_gamma_encode(bgap, out);
+        pcq::bits::elias_gamma_encode(iv.end - iv.begin + 1, out);  // length
+        prev_end = iv.end;
+        first_iv = false;
+      }
+      prev_v = row.v;
+      first_v = false;
+    }
+  });
+  return log;
+}
+
+namespace {
+
+/// Streaming decoder over one vertex's log; fn(v, interval) per interval.
+/// Returning true from fn stops the walk early.
+template <typename Fn>
+void walk_log(const pcq::bits::BitVector& stream, Fn&& fn) {
+  if (stream.size() == 0) return;
+  std::size_t pos = 0;
+  const std::uint64_t rows = pcq::bits::elias_gamma_decode(stream, pos) - 1;
+  VertexId v = 0;
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    const std::uint64_t vgap = pcq::bits::elias_gamma_decode(stream, pos);
+    v = r == 0 ? static_cast<VertexId>(vgap - 1)
+               : v + static_cast<VertexId>(vgap);
+    const std::uint64_t count = pcq::bits::elias_gamma_decode(stream, pos);
+    TimeFrame end = 0;
+    for (std::uint64_t k = 0; k < count; ++k) {
+      const std::uint64_t bgap = pcq::bits::elias_gamma_decode(stream, pos);
+      const TimeFrame begin =
+          k == 0 ? static_cast<TimeFrame>(bgap - 1)
+                 : end + static_cast<TimeFrame>(bgap);
+      const std::uint64_t len = pcq::bits::elias_gamma_decode(stream, pos);
+      end = begin + static_cast<TimeFrame>(len) - 1;
+      if (fn(v, ActivityInterval{begin, end})) return;
+    }
+  }
+}
+
+}  // namespace
+
+bool EdgeLog::edge_active(VertexId u, VertexId v, TimeFrame t) const {
+  PCQ_DCHECK(u < logs_.size());
+  bool active = false;
+  walk_log(logs_[u].stream, [&](VertexId nv, ActivityInterval iv) {
+    if (nv > v) return true;  // neighbours ascend: v is absent
+    if (nv == v && iv.begin <= t && t <= iv.end) {
+      active = true;
+      return true;
+    }
+    return false;
+  });
+  return active;
+}
+
+std::vector<VertexId> EdgeLog::neighbors_at(VertexId u, TimeFrame t) const {
+  PCQ_DCHECK(u < logs_.size());
+  std::vector<VertexId> out;
+  walk_log(logs_[u].stream, [&](VertexId nv, ActivityInterval iv) {
+    if (iv.begin <= t && t <= iv.end) out.push_back(nv);
+    return false;
+  });
+  return out;  // intervals of one pair are disjoint -> no duplicates
+}
+
+std::vector<ActivityInterval> EdgeLog::intervals(VertexId u, VertexId v) const {
+  PCQ_DCHECK(u < logs_.size());
+  std::vector<ActivityInterval> out;
+  walk_log(logs_[u].stream, [&](VertexId nv, ActivityInterval iv) {
+    if (nv > v) return true;
+    if (nv == v) out.push_back(iv);
+    return false;
+  });
+  return out;
+}
+
+std::size_t EdgeLog::size_bytes() const {
+  std::size_t bytes = logs_.size() * sizeof(VertexLog);
+  for (const auto& log : logs_) bytes += log.stream.size_bytes();
+  return bytes;
+}
+
+}  // namespace pcq::tcsr

@@ -1,0 +1,66 @@
+// EdgeLog — the gap-encoded interval-adjacency baseline of §II.
+//
+// "In [22], the authors present a data structure of adjacency lists where
+//  each neighbour has a sublist indicating the time intervals when the arc
+//  is active, to improve query times. EdgeLog [21] compresses this idea
+//  using gap encoding."
+//
+// Layout per source vertex: a gap-encoded ascending neighbour list, and
+// per neighbour a gap-encoded interval sublist (begin, length pairs,
+// deltas between consecutive intervals). Queries decode one vertex's lists
+// front to back — cheaper than EveLog's full event replay (intervals
+// aggregate many events) but without ContactIndex's packed random access;
+// the three sit on distinct points of the space/time curve that
+// bench_tcsr measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitvector.hpp"
+#include "graph/edge_list.hpp"
+#include "tcsr/tcsr.hpp"
+
+namespace pcq::tcsr {
+
+class EdgeLog {
+ public:
+  EdgeLog() = default;
+
+  /// Builds from a (t, u, v)-sorted event list (open intervals close at
+  /// frame num_frames - 1).
+  static EdgeLog build(const graph::TemporalEdgeList& events,
+                       graph::VertexId num_nodes, graph::TimeFrame num_frames,
+                       int num_threads);
+
+  [[nodiscard]] graph::VertexId num_nodes() const {
+    return static_cast<graph::VertexId>(logs_.size());
+  }
+
+  [[nodiscard]] bool edge_active(graph::VertexId u, graph::VertexId v,
+                                 graph::TimeFrame t) const;
+
+  [[nodiscard]] std::vector<graph::VertexId> neighbors_at(
+      graph::VertexId u, graph::TimeFrame t) const;
+
+  /// All intervals of (u, v), chronological.
+  [[nodiscard]] std::vector<ActivityInterval> intervals(
+      graph::VertexId u, graph::VertexId v) const;
+
+  [[nodiscard]] std::size_t size_bytes() const;
+
+ private:
+  /// One vertex's compressed log. The stream holds, gamma-coded:
+  ///   #neighbours + 1,
+  ///   then per neighbour: neighbour-gap + 1, #intervals,
+  ///     then per interval: begin-gap + 1, length (frames, >= 1),
+  /// with neighbour gaps relative to the previous neighbour and interval
+  /// begin-gaps relative to the previous interval's end.
+  struct VertexLog {
+    pcq::bits::BitVector stream;
+  };
+
+  std::vector<VertexLog> logs_;
+};
+
+}  // namespace pcq::tcsr

@@ -1,0 +1,41 @@
+// Per-frame CSR construction from a time-sorted event list — the first two
+// steps of Algorithm 5.
+//
+// "Divide the input edge list, and construct CSR for each time-frame in
+//  the chunk. Merge overflowing CSR's between chunks."
+//
+// A frame's events can straddle a chunk boundary exactly the way a node's
+// run straddles one in the degree computation, so the same run-counting +
+// spill-merge machinery (Algorithms 2/3 applied to the *time* column)
+// locates every frame's slice of the global array; the per-frame CSRs are
+// then built in parallel over frames. The result is identical to merging
+// per-chunk partial CSRs — the merge is realised as slice arithmetic
+// instead of array stitching.
+#pragma once
+
+#include <vector>
+
+#include "csr/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+
+namespace pcq::tcsr {
+
+/// Finds each frame's slice [frame_offsets[t], frame_offsets[t+1]) in the
+/// (t, u, v)-sorted event list. Run-counting on the time column
+/// (Algorithms 2/3) + chunked prefix sum (Algorithm 1).
+std::vector<std::uint64_t> frame_offsets(const graph::TemporalEdgeList& events,
+                                         graph::TimeFrame num_frames,
+                                         int num_threads);
+
+/// Builds one event-CSR per frame from the sorted event list. CSR t holds
+/// the edges whose state toggles in frame t, with within-frame duplicate
+/// events parity-cancelled (an edge added and deleted inside one frame has
+/// not changed state). These are the paper's per-frame "differences".
+/// `precomputed_offsets` (optional) skips the frame_offsets pass when the
+/// caller already ran it.
+std::vector<csr::CsrGraph> build_frame_csrs(
+    const graph::TemporalEdgeList& events, graph::VertexId num_nodes,
+    graph::TimeFrame num_frames, int num_threads,
+    const std::vector<std::uint64_t>* precomputed_offsets = nullptr);
+
+}  // namespace pcq::tcsr

@@ -1,0 +1,98 @@
+#include "tcsr/journeys.hpp"
+
+#include <algorithm>
+
+#include "par/parallel_for.hpp"
+#include "util/check.hpp"
+
+namespace pcq::tcsr {
+
+using graph::TimeFrame;
+using graph::VertexId;
+
+std::vector<TimeFrame> foremost_arrival(const DifferentialTcsr& tcsr,
+                                        VertexId source,
+                                        TimeFrame start_frame,
+                                        int num_threads) {
+  const VertexId n = tcsr.num_nodes();
+  const TimeFrame frames = tcsr.num_frames();
+  PCQ_CHECK(source < n);
+  std::vector<TimeFrame> arrival(n, kNeverReached);
+
+  // Active snapshot maintained incrementally: adjacency[u] is u's sorted
+  // active row. XOR-merging a delta row toggles membership.
+  std::vector<std::vector<VertexId>> adjacency(n);
+  std::vector<VertexId> reached;  // BFS work queue over all frames
+
+  for (TimeFrame t = 0; t < frames; ++t) {
+    // Apply frame t's delta (parallel over nodes with a non-empty row).
+    const csr::BitPackedCsr& delta = tcsr.delta(t);
+    pcq::par::parallel_for(n, num_threads, [&](std::size_t ui) {
+      const auto u = static_cast<VertexId>(ui);
+      const auto deg = delta.degree(u);
+      if (deg == 0) return;
+      std::vector<VertexId> row(deg);
+      delta.decode_row(u, row);
+      auto& active = adjacency[u];
+      std::vector<VertexId> merged;
+      merged.reserve(active.size() + row.size());
+      std::size_t i = 0, j = 0;
+      while (i < active.size() && j < row.size()) {
+        if (active[i] < row[j]) {
+          merged.push_back(active[i++]);
+        } else if (row[j] < active[i]) {
+          merged.push_back(row[j++]);
+        } else {
+          ++i;  // toggle off
+          ++j;
+        }
+      }
+      merged.insert(merged.end(),
+                    active.begin() + static_cast<std::ptrdiff_t>(i),
+                    active.end());
+      merged.insert(merged.end(), row.begin() + static_cast<std::ptrdiff_t>(j),
+                    row.end());
+      active.swap(merged);
+    });
+
+    if (t < start_frame) continue;
+    if (t == start_frame && arrival[source] == kNeverReached) {
+      arrival[source] = start_frame;
+      reached.push_back(source);
+    }
+
+    // Close the reached set over the current snapshot: BFS restarted from
+    // every already-reached node, since this frame's edges may open new
+    // paths through old nodes.
+    std::vector<VertexId> queue = reached;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const VertexId v = queue[head++];
+      for (VertexId w : adjacency[v]) {
+        if (arrival[w] == kNeverReached) {
+          arrival[w] = t;
+          reached.push_back(w);
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return arrival;
+}
+
+std::vector<VertexId> reachable_in_window(const DifferentialTcsr& tcsr,
+                                          VertexId source,
+                                          TimeFrame start_frame,
+                                          TimeFrame end_frame,
+                                          int num_threads) {
+  PCQ_CHECK(start_frame <= end_frame);
+  const auto arrival =
+      foremost_arrival(tcsr, source, start_frame, num_threads);
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < tcsr.num_nodes(); ++v)
+    if (arrival[v] != kNeverReached && arrival[v] <= end_frame)
+      out.push_back(v);
+  return out;
+}
+
+}  // namespace pcq::tcsr

@@ -1,0 +1,39 @@
+// Journeys over time-evolving graphs.
+//
+// The related work (§II, Bui-Xuan/Ferreira/Jarry [22]) computes shortest,
+// fastest and *foremost* journeys in dynamic networks. This module
+// implements foremost (earliest-arrival) reachability directly on the
+// differential TCSR: frames are replayed in order, the active snapshot is
+// maintained incrementally by XOR-ing each frame's delta rows, and within
+// a frame the reached set closes transitively over the currently-active
+// edges (the non-strict journey model: traversal within a frame is
+// instantaneous, waiting at nodes is free).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tcsr/tcsr.hpp"
+
+namespace pcq::tcsr {
+
+/// Arrival label for nodes not reachable within the history.
+inline constexpr graph::TimeFrame kNeverReached = ~graph::TimeFrame{0};
+
+/// Earliest frame (>= start_frame) at which each node is reachable from
+/// `source`. result[source] == start_frame. Parallelises the per-frame
+/// delta application; the per-frame closure is a BFS.
+std::vector<graph::TimeFrame> foremost_arrival(const DifferentialTcsr& tcsr,
+                                               graph::VertexId source,
+                                               graph::TimeFrame start_frame,
+                                               int num_threads);
+
+/// Nodes reachable from `source` within the window [start_frame,
+/// end_frame] (inclusive), i.e. arrival <= end_frame.
+std::vector<graph::VertexId> reachable_in_window(const DifferentialTcsr& tcsr,
+                                                 graph::VertexId source,
+                                                 graph::TimeFrame start_frame,
+                                                 graph::TimeFrame end_frame,
+                                                 int num_threads);
+
+}  // namespace pcq::tcsr

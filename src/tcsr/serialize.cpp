@@ -1,0 +1,111 @@
+#include "tcsr/serialize.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bits/packed_array.hpp"
+#include "util/check.hpp"
+
+namespace pcq::tcsr {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'C', 'Q', 'T', 'C', 'S', 'R', '1'};
+
+struct FileHeader {
+  char magic[8];
+  std::uint64_t num_nodes;
+  std::uint64_t num_frames;
+};
+
+struct FrameHeader {
+  std::uint64_t num_edges;
+  std::uint32_t offset_width;
+  std::uint32_t column_width;
+  std::uint64_t offset_bits;
+  std::uint64_t column_bits;
+};
+
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {
+    PCQ_CHECK_MSG(f_ != nullptr, "cannot open TCSR file");
+  }
+  ~File() {
+    if (f_) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  std::FILE* get() const { return f_; }
+
+ private:
+  std::FILE* f_;
+};
+
+void write_bits(std::FILE* f, const pcq::bits::BitVector& bits) {
+  const auto words = bits.words();
+  if (!words.empty())
+    PCQ_CHECK(std::fwrite(words.data(), 8, words.size(), f) == words.size());
+}
+
+pcq::bits::BitVector read_bits(std::FILE* f, std::uint64_t nbits) {
+  std::vector<std::uint64_t> words((nbits + 63) / 64);
+  if (!words.empty())
+    PCQ_CHECK_MSG(std::fread(words.data(), 8, words.size(), f) == words.size(),
+                  "truncated TCSR file");
+  return pcq::bits::BitVector::from_words(std::move(words), nbits);
+}
+
+}  // namespace
+
+void save_tcsr(const DifferentialTcsr& tcsr, const std::string& path) {
+  File f(path, "wb");
+  FileHeader h{};
+  std::memcpy(h.magic, kMagic, 8);
+  h.num_nodes = tcsr.num_nodes();
+  h.num_frames = tcsr.num_frames();
+  PCQ_CHECK(std::fwrite(&h, sizeof h, 1, f.get()) == 1);
+  for (graph::TimeFrame t = 0; t < tcsr.num_frames(); ++t) {
+    const csr::BitPackedCsr& d = tcsr.delta(t);
+    FrameHeader fh{};
+    fh.num_edges = d.num_edges();
+    fh.offset_width = d.offset_bits();
+    fh.column_width = d.column_bits();
+    fh.offset_bits = d.packed_offsets().bits().size();
+    fh.column_bits = d.packed_columns().bits().size();
+    PCQ_CHECK(std::fwrite(&fh, sizeof fh, 1, f.get()) == 1);
+    write_bits(f.get(), d.packed_offsets().bits());
+    write_bits(f.get(), d.packed_columns().bits());
+  }
+}
+
+DifferentialTcsr load_tcsr(const std::string& path) {
+  File f(path, "rb");
+  FileHeader h{};
+  PCQ_CHECK_MSG(std::fread(&h, sizeof h, 1, f.get()) == 1, "truncated header");
+  PCQ_CHECK_MSG(std::memcmp(h.magic, kMagic, 8) == 0, "bad TCSR magic");
+
+  std::vector<csr::BitPackedCsr> deltas;
+  deltas.reserve(h.num_frames);
+  for (std::uint64_t t = 0; t < h.num_frames; ++t) {
+    FrameHeader fh{};
+    PCQ_CHECK_MSG(std::fread(&fh, sizeof fh, 1, f.get()) == 1,
+                  "truncated frame header");
+    auto offsets = pcq::bits::FixedWidthArray::from_bits(
+        read_bits(f.get(), fh.offset_bits),
+        static_cast<std::size_t>(h.num_nodes) + 1, fh.offset_width);
+    auto columns = pcq::bits::FixedWidthArray::from_bits(
+        read_bits(f.get(), fh.column_bits),
+        static_cast<std::size_t>(fh.num_edges), fh.column_width);
+    deltas.push_back(csr::BitPackedCsr::from_parts(
+        static_cast<graph::VertexId>(h.num_nodes),
+        static_cast<std::size_t>(fh.num_edges), std::move(offsets),
+        std::move(columns)));
+  }
+  return DifferentialTcsr::from_parts(static_cast<graph::VertexId>(h.num_nodes),
+                                      std::move(deltas));
+}
+
+}  // namespace pcq::tcsr

@@ -1,0 +1,16 @@
+// On-disk persistence of the differential TCSR: one header plus each
+// frame's bit-packed delta arrays, so a compressed history is built once
+// and queried by later runs.
+#pragma once
+
+#include <string>
+
+#include "tcsr/tcsr.hpp"
+
+namespace pcq::tcsr {
+
+void save_tcsr(const DifferentialTcsr& tcsr, const std::string& path);
+
+DifferentialTcsr load_tcsr(const std::string& path);
+
+}  // namespace pcq::tcsr

@@ -1,0 +1,211 @@
+#include "tcsr/tcsr.hpp"
+
+#include <numeric>
+
+#include "csr/builder.hpp"
+#include "par/chunking.hpp"
+#include "par/parallel_for.hpp"
+#include "par/prefix_sum.hpp"
+#include "tcsr/frame_builder.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pcq::tcsr {
+
+using graph::Edge;
+using graph::TemporalEdgeList;
+using graph::TimeFrame;
+using graph::VertexId;
+
+DifferentialTcsr DifferentialTcsr::build(const TemporalEdgeList& events,
+                                         VertexId num_nodes,
+                                         TimeFrame num_frames, int num_threads,
+                                         TcsrBuildTimings* timings) {
+  PCQ_CHECK_MSG(events.is_sorted(), "TCSR input must be (t, u, v)-sorted");
+  if (num_nodes == 0) num_nodes = events.num_nodes();
+  if (num_frames == 0) num_frames = events.num_frames();
+
+  DifferentialTcsr tcsr;
+  tcsr.num_nodes_ = num_nodes;
+  if (num_frames == 0) return tcsr;
+
+  pcq::util::Timer timer;
+  // Algorithm 5 steps 1-2: locate frame slices (overlap merge included).
+  const std::vector<std::uint64_t> offsets =
+      frame_offsets(events, num_frames, num_threads);
+  if (timings) timings->frame_split = timer.seconds();
+
+  // Step 3: per-frame differential CSRs (frame_builder handles the parity
+  // cancellation that makes each frame a pure state-change set).
+  timer.restart();
+  std::vector<csr::CsrGraph> frames =
+      build_frame_csrs(events, num_nodes, num_frames, num_threads, &offsets);
+  if (timings) timings->frame_build = timer.seconds();
+
+  // Step 4: bit-pack every frame (Algorithm 4). Frames are independent, so
+  // parallelism is over frames; each pack call runs single-threaded.
+  timer.restart();
+  tcsr.deltas_.resize(num_frames);
+  pcq::par::parallel_for(num_frames, num_threads, [&](std::size_t t) {
+    tcsr.deltas_[t] = csr::BitPackedCsr::from_csr(frames[t], 1);
+  });
+  if (timings) timings->pack = timer.seconds();
+  return tcsr;
+}
+
+std::size_t DifferentialTcsr::num_delta_edges() const {
+  return std::accumulate(deltas_.begin(), deltas_.end(), std::size_t{0},
+                         [](std::size_t acc, const csr::BitPackedCsr& d) {
+                           return acc + d.num_edges();
+                         });
+}
+
+std::size_t DifferentialTcsr::size_bytes() const {
+  return std::accumulate(deltas_.begin(), deltas_.end(), std::size_t{0},
+                         [](std::size_t acc, const csr::BitPackedCsr& d) {
+                           return acc + d.size_bytes();
+                         });
+}
+
+bool DifferentialTcsr::edge_active(VertexId u, VertexId v, TimeFrame t) const {
+  PCQ_DCHECK(t < deltas_.size());
+  bool active = false;
+  for (TimeFrame f = 0; f <= t; ++f)
+    if (deltas_[f].has_edge(u, v)) active = !active;
+  return active;
+}
+
+std::vector<VertexId> DifferentialTcsr::neighbors_at(VertexId u,
+                                                     TimeFrame t) const {
+  PCQ_DCHECK(t < deltas_.size());
+  // XOR-accumulate u's delta rows: a neighbour toggled an odd number of
+  // times is active. Rows are sorted, so a sorted symmetric-difference
+  // merge keeps the accumulator sorted.
+  std::vector<VertexId> active;
+  std::vector<VertexId> row;
+  std::vector<VertexId> merged;
+  for (TimeFrame f = 0; f <= t; ++f) {
+    const auto deg = deltas_[f].degree(u);
+    if (deg == 0) continue;
+    row.resize(deg);
+    deltas_[f].decode_row(u, row);
+    merged.clear();
+    merged.reserve(active.size() + row.size());
+    std::size_t i = 0, j = 0;
+    while (i < active.size() && j < row.size()) {
+      if (active[i] < row[j]) {
+        merged.push_back(active[i++]);
+      } else if (row[j] < active[i]) {
+        merged.push_back(row[j++]);
+      } else {
+        ++i;
+        ++j;  // cancels
+      }
+    }
+    merged.insert(merged.end(), active.begin() + static_cast<std::ptrdiff_t>(i),
+                  active.end());
+    merged.insert(merged.end(), row.begin() + static_cast<std::ptrdiff_t>(j),
+                  row.end());
+    active.swap(merged);
+  }
+  return active;
+}
+
+std::vector<std::uint8_t> DifferentialTcsr::batch_edge_active(
+    std::span<const TemporalEdgeQuery> queries, int num_threads) const {
+  std::vector<std::uint8_t> result(queries.size(), 0);
+  pcq::par::parallel_for_chunks(
+      queries.size(), num_threads, [&](std::size_t, pcq::par::ChunkRange r) {
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          const auto& q = queries[i];
+          result[i] = edge_active(q.u, q.v, q.t) ? 1 : 0;
+        }
+      });
+  return result;
+}
+
+std::vector<std::vector<VertexId>> DifferentialTcsr::batch_neighbors_at(
+    std::span<const TemporalNodeQuery> queries, int num_threads) const {
+  std::vector<std::vector<VertexId>> result(queries.size());
+  pcq::par::parallel_for_chunks(
+      queries.size(), num_threads, [&](std::size_t, pcq::par::ChunkRange r) {
+        for (std::size_t i = r.begin; i < r.end; ++i)
+          result[i] = neighbors_at(queries[i].u, queries[i].t);
+      });
+  return result;
+}
+
+bool DifferentialTcsr::edge_active_in_window(VertexId u, VertexId v,
+                                             TimeFrame t_begin,
+                                             TimeFrame t_end) const {
+  PCQ_CHECK(t_begin <= t_end && t_end < deltas_.size());
+  bool active = false;
+  for (TimeFrame f = 0; f <= t_end; ++f) {
+    if (deltas_[f].has_edge(u, v)) active = !active;
+    if (f >= t_begin && active) return true;
+  }
+  return false;
+}
+
+std::vector<ActivityInterval> DifferentialTcsr::activity_intervals(
+    VertexId u, VertexId v) const {
+  std::vector<ActivityInterval> intervals;
+  bool active = false;
+  TimeFrame begin = 0;
+  const auto frames = static_cast<TimeFrame>(deltas_.size());
+  for (TimeFrame f = 0; f < frames; ++f) {
+    if (!deltas_[f].has_edge(u, v)) continue;
+    if (!active) {
+      active = true;
+      begin = f;
+    } else {
+      active = false;
+      intervals.push_back({begin, f - 1});
+    }
+  }
+  if (active) intervals.push_back({begin, frames - 1});
+  return intervals;
+}
+
+std::vector<SortedEdgeSet> DifferentialTcsr::all_snapshots(
+    int num_threads) const {
+  const std::size_t frames = deltas_.size();
+  std::vector<SortedEdgeSet> sets(frames);
+  // Materialise each delta as a sorted edge set...
+  pcq::par::parallel_for(frames, num_threads, [&](std::size_t t) {
+    const csr::CsrGraph csr = deltas_[t].to_csr();
+    std::vector<Edge> edges;
+    edges.reserve(csr.num_edges());
+    for (VertexId u = 0; u < csr.num_nodes(); ++u)
+      for (VertexId v : csr.neighbors(u)) edges.push_back({u, v});
+    sets[t] = SortedEdgeSet::from_sorted(std::move(edges));
+  });
+  // ...then run the paper's chunked prefix-sum schedule with the
+  // symmetric-difference monoid: sets[t] becomes the snapshot at frame t.
+  pcq::par::chunked_inclusive_scan(std::span<SortedEdgeSet>(sets), num_threads,
+                                   SymmetricDifferenceOp{});
+  return sets;
+}
+
+csr::CsrGraph DifferentialTcsr::snapshot_at(TimeFrame t,
+                                            int num_threads) const {
+  PCQ_CHECK(t < deltas_.size());
+  // Scan only the prefix 0..t, then convert the accumulated set to CSR.
+  std::vector<SortedEdgeSet> sets(t + 1);
+  pcq::par::parallel_for(static_cast<std::size_t>(t) + 1, num_threads,
+                         [&](std::size_t f) {
+                           const csr::CsrGraph csr = deltas_[f].to_csr();
+                           std::vector<Edge> edges;
+                           edges.reserve(csr.num_edges());
+                           for (VertexId u = 0; u < csr.num_nodes(); ++u)
+                             for (VertexId v : csr.neighbors(u))
+                               edges.push_back({u, v});
+                           sets[f] = SortedEdgeSet::from_sorted(std::move(edges));
+                         });
+  pcq::par::chunked_inclusive_scan(std::span<SortedEdgeSet>(sets), num_threads,
+                                   SymmetricDifferenceOp{});
+  graph::EdgeList list(std::move(sets[t]).take());
+  return csr::build_csr_sequential(list, num_nodes_);
+}
+
+}  // namespace pcq::tcsr

@@ -1,0 +1,35 @@
+// Lightweight runtime checking macros.
+//
+// PCQ_CHECK is always on (argument validation at API boundaries); PCQ_DCHECK
+// compiles out in release builds (internal invariants on hot paths).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pcq::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "PCQ_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace pcq::util
+
+#define PCQ_CHECK(expr)                                                 \
+  do {                                                                  \
+    if (!(expr)) ::pcq::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PCQ_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) ::pcq::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PCQ_DCHECK(expr) ((void)0)
+#else
+#define PCQ_DCHECK(expr) PCQ_CHECK(expr)
+#endif

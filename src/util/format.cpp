@@ -1,0 +1,49 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace pcq::util {
+
+std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fixed(double v, int decimals) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", decimals, v);
+  return std::string(buf.data());
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  constexpr std::array<const char*, 5> units = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < units.size()) {
+    v /= 1024.0;
+    ++u;
+  }
+  const int decimals = (u == 0) ? 0 : 2;
+  return fixed(v, decimals) + " " + units[u];
+}
+
+std::string human_seconds(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a >= 1.0) return fixed(seconds, 2) + " s";
+  if (a >= 1e-3) return fixed(seconds * 1e3, 2) + " ms";
+  if (a >= 1e-6) return fixed(seconds * 1e6, 2) + " us";
+  return fixed(seconds * 1e9, 0) + " ns";
+}
+
+std::string percent(double fraction) { return fixed(fraction * 100.0, 2); }
+
+}  // namespace pcq::util

@@ -1,0 +1,26 @@
+// Human-readable formatting of byte counts, durations and large integers,
+// used by the paper-style benchmark tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pcq::util {
+
+/// 1234567 -> "1,234,567".
+std::string with_commas(std::uint64_t v);
+
+/// Bytes with binary-ish units as the paper prints them: "24.73 MB",
+/// "1.1 GB", "405 MB", "22 MB". Uses two decimals below 10 GB units.
+std::string human_bytes(std::uint64_t bytes);
+
+/// Seconds as "164.76 ms", "1.23 s", "577 us" — matched to the magnitude.
+std::string human_seconds(double seconds);
+
+/// Fixed-precision double, e.g. fixed(3.14159, 2) == "3.14".
+std::string fixed(double v, int decimals);
+
+/// Percentage with two decimals: pct(0.6483) == "64.83".
+std::string percent(double fraction);
+
+}  // namespace pcq::util

@@ -1,0 +1,36 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace pcq::util {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t SplitMix64::next_below(std::uint64_t bound) {
+  PCQ_DCHECK(bound > 0);
+  // Lemire's multiply-shift rejection method: unbiased and far cheaper than
+  // modulo for the tight generator loops in the graph generators.
+  std::uint64_t x = next();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<unsigned __int128>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+SplitMix64 SplitMix64::split(std::uint64_t index) const {
+  // Mixing the current state with a mixed index gives a decorrelated seed.
+  return SplitMix64(mix64(state_ ^ mix64(index + 0x9e3779b97f4a7c15ULL)));
+}
+
+}  // namespace pcq::util

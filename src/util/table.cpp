@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace pcq::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PCQ_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PCQ_CHECK_MSG(cells.size() == headers_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rows_.emplace_back(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+
+  std::string out = rule() + render_row(headers_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : render_row(row);
+  }
+  out += rule();
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace pcq::util

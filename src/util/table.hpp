@@ -1,0 +1,32 @@
+// Column-aligned plain-text table printer. The benchmark harnesses use this
+// to print rows in the same layout as the paper's Table II.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pcq::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; must have exactly as many cells as there are headers
+  /// (empty strings render as blanks, matching the paper's merged cells).
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next row (used between graphs).
+  void add_rule();
+
+  /// Renders the table with a header rule and column padding.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+}  // namespace pcq::util

@@ -1,0 +1,37 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace pcq::util {
+
+void TimingStats::add(double seconds) { samples_.push_back(seconds); }
+
+double TimingStats::min() const {
+  PCQ_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double TimingStats::max() const {
+  PCQ_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double TimingStats::mean() const {
+  PCQ_CHECK(!samples_.empty());
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double TimingStats::median() const {
+  PCQ_CHECK(!samples_.empty());
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) return sorted[mid];
+  return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+}  // namespace pcq::util

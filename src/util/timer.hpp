@@ -1,0 +1,64 @@
+// Wall-clock timing helpers used by benchmarks and examples.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcq::util {
+
+/// Monotonic wall-clock stopwatch with millisecond/microsecond readouts.
+///
+/// Started on construction; `restart()` resets the origin. All readouts are
+/// non-destructive, so a single Timer can report several intermediate splits.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates repeated timings of one phase and reports simple statistics.
+/// Used by the paper-style harnesses, which repeat each configuration a few
+/// times and report the minimum (least-noise) wall time.
+class TimingStats {
+ public:
+  void add(double seconds);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double median() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Runs `fn` `repeats` times (after `warmups` unrecorded warm-up runs) and
+/// returns the recorded statistics. `fn` must be idempotent.
+template <typename Fn>
+TimingStats time_repeated(Fn&& fn, int repeats = 3, int warmups = 1) {
+  TimingStats stats;
+  for (int i = 0; i < warmups; ++i) fn();
+  for (int i = 0; i < repeats; ++i) {
+    Timer t;
+    fn();
+    stats.add(t.seconds());
+  }
+  return stats;
+}
+
+}  // namespace pcq::util

@@ -1,0 +1,112 @@
+#include "algos/anf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algos/bfs.hpp"
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::algos {
+namespace {
+
+using graph::EdgeList;
+using graph::VertexId;
+
+csr::CsrGraph symmetric_csr(EdgeList g, VertexId n) {
+  g.symmetrize();
+  g.sort(4);
+  g.dedupe();
+  g.remove_self_loops();
+  return csr::build_csr_from_sorted(g, n, 4);
+}
+
+TEST(HllCounter, EstimatesSmallSetsExactly) {
+  // Linear-counting regime: small sets should be within ~1.
+  HllCounter c;
+  pcq::util::SplitMix64 rng(3);
+  for (int i = 0; i < 10; ++i) c.add_hash(rng.next());
+  EXPECT_NEAR(c.estimate(), 10.0, 2.5);
+}
+
+TEST(HllCounter, EstimatesLargeSetsWithinTolerance) {
+  HllCounter c;
+  pcq::util::SplitMix64 rng(5);
+  constexpr int kTrue = 100'000;
+  for (int i = 0; i < kTrue; ++i) c.add_hash(rng.next());
+  // 64 registers -> ~13% standard error; allow 3 sigma.
+  EXPECT_NEAR(c.estimate(), kTrue, kTrue * 0.4);
+}
+
+TEST(HllCounter, DuplicatesDoNotInflate) {
+  HllCounter c;
+  pcq::util::SplitMix64 rng(7);
+  const std::uint64_t h = rng.next();
+  for (int i = 0; i < 1000; ++i) c.add_hash(h);
+  EXPECT_LT(c.estimate(), 3.0);
+}
+
+TEST(HllCounter, MergeEqualsUnion) {
+  HllCounter a, b, u;
+  pcq::util::SplitMix64 rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t h = rng.next();
+    a.add_hash(h);
+    u.add_hash(h);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t h = rng.next();
+    b.add_hash(h);
+    u.add_hash(h);
+  }
+  a.merge(b);
+  EXPECT_EQ(a, u);
+}
+
+TEST(Anf, PathGraphNeighborhoodGrowsLinearly) {
+  EdgeList g;
+  for (VertexId v = 0; v + 1 < 32; ++v) g.push_back({v, v + 1});
+  const csr::CsrGraph csr = symmetric_csr(std::move(g), 32);
+  const auto nf = approximate_neighborhood_function(csr, 40, 3, 4);
+  // N(0) ~ 32 self-pairs; the function is monotone; N(31) ~ 32^2.
+  EXPECT_NEAR(nf.pairs.front(), 32.0, 12.0);
+  for (std::size_t h = 1; h < nf.pairs.size(); ++h)
+    EXPECT_GE(nf.pairs[h], nf.pairs[h - 1] * 0.999);
+  EXPECT_NEAR(nf.pairs.back(), 32.0 * 32.0, 32.0 * 32.0 * 0.45);
+}
+
+TEST(Anf, StarGraphDiameterTwo) {
+  EdgeList g;
+  for (VertexId v = 1; v < 200; ++v) g.push_back({0, v});
+  const csr::CsrGraph csr = symmetric_csr(std::move(g), 200);
+  const auto nf = approximate_neighborhood_function(csr, 10, 5, 4);
+  // Everything is reachable within 2 hops: the curve must plateau there.
+  ASSERT_GE(nf.pairs.size(), 3u);
+  EXPECT_LE(nf.effective_diameter(0.99), 2.3);
+}
+
+TEST(Anf, SmallWorldHasSmallEffectiveDiameter) {
+  const csr::CsrGraph g =
+      symmetric_csr(graph::rmat(1 << 11, 30'000, 0.57, 0.19, 0.19, 7, 4),
+                    1 << 11);
+  const auto nf = approximate_neighborhood_function(g, 16, 7, 4);
+  EXPECT_LT(nf.effective_diameter(0.9), 7.0);  // social graphs: ~4-6
+}
+
+TEST(Anf, DeterministicGivenSeed) {
+  const csr::CsrGraph g =
+      symmetric_csr(graph::erdos_renyi(256, 2000, 9, 4), 256);
+  const auto a = approximate_neighborhood_function(g, 8, 11, 1);
+  const auto b = approximate_neighborhood_function(g, 8, 11, 8);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t h = 0; h < a.pairs.size(); ++h)
+    EXPECT_DOUBLE_EQ(a.pairs[h], b.pairs[h]);
+}
+
+TEST(Anf, EmptyGraph) {
+  const auto nf = approximate_neighborhood_function(csr::CsrGraph{}, 4, 1, 2);
+  EXPECT_EQ(nf.pairs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pcq::algos

@@ -1,0 +1,109 @@
+#include "graph/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hpp"
+
+namespace pcq::graph {
+namespace {
+
+EdgeList small_sorted_graph() {
+  EdgeList g = erdos_renyi(64, 500, 9, 2);
+  g.sort(2);
+  g.dedupe();
+  return g;
+}
+
+TEST(AdjacencyListGraph, NeighborsMatchInput) {
+  const EdgeList g = small_sorted_graph();
+  AdjacencyListGraph adj(g);
+  std::size_t total = 0;
+  for (VertexId u = 0; u < adj.num_nodes(); ++u) total += adj.neighbors(u).size();
+  EXPECT_EQ(total, g.size());
+  for (const Edge& e : g.edges()) {
+    const auto nbrs = adj.neighbors(e.u);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), e.v), nbrs.end());
+  }
+}
+
+TEST(AdjacencyListGraph, HasEdgePositiveAndNegative) {
+  const EdgeList g = small_sorted_graph();
+  AdjacencyListGraph adj(g);
+  std::set<Edge> present(g.edges().begin(), g.edges().end());
+  for (const Edge& e : g.edges()) EXPECT_TRUE(adj.has_edge(e.u, e.v));
+  int checked = 0;
+  for (VertexId u = 0; u < 64 && checked < 100; ++u)
+    for (VertexId v = 0; v < 64 && checked < 100; ++v)
+      if (!present.count({u, v})) {
+        EXPECT_FALSE(adj.has_edge(u, v));
+        ++checked;
+      }
+}
+
+TEST(AdjacencyListGraph, ExplicitNodeCountAllowsIsolatedNodes) {
+  AdjacencyListGraph adj(EdgeList({{0, 1}}), 10);
+  EXPECT_EQ(adj.num_nodes(), 10u);
+  EXPECT_TRUE(adj.neighbors(9).empty());
+}
+
+TEST(AdjacencyListGraph, SizeBytesGrowsWithEdges) {
+  const EdgeList small = erdos_renyi(64, 100, 1, 2);
+  const EdgeList large = erdos_renyi(64, 10'000, 1, 2);
+  EXPECT_LT(AdjacencyListGraph(small).size_bytes(),
+            AdjacencyListGraph(large).size_bytes());
+}
+
+TEST(DenseBitMatrixGraph, QueriesMatchAdjacencyList) {
+  const EdgeList g = small_sorted_graph();
+  AdjacencyListGraph adj(g);
+  DenseBitMatrixGraph mat(g);
+  ASSERT_EQ(mat.num_nodes(), adj.num_nodes());
+  for (VertexId u = 0; u < mat.num_nodes(); ++u) {
+    for (VertexId v = 0; v < mat.num_nodes(); ++v)
+      EXPECT_EQ(mat.has_edge(u, v), adj.has_edge(u, v));
+    auto nbrs = adj.neighbors(u);
+    std::vector<VertexId> sorted(nbrs.begin(), nbrs.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    EXPECT_EQ(mat.neighbors(u), sorted);
+  }
+}
+
+TEST(DenseBitMatrixGraph, QuadraticFootprint) {
+  const EdgeList tiny({{0, 1}});
+  DenseBitMatrixGraph mat(tiny, 1024);
+  EXPECT_EQ(mat.size_bytes(), 1024u * 1024 / 8);
+}
+
+TEST(DenseBitMatrixGraphDeathTest, RejectsHugeGraphs) {
+  EXPECT_DEATH(DenseBitMatrixGraph(EdgeList({{0, 1}}), 100'000),
+               "dense matrix too large");
+}
+
+TEST(EdgeListGraph, SortedQueriesUseBinarySearch) {
+  EdgeList g = small_sorted_graph();
+  const EdgeList copy = g;
+  EdgeListGraph store(std::move(g));
+  for (const Edge& e : copy.edges()) EXPECT_TRUE(store.has_edge(e.u, e.v));
+  EXPECT_FALSE(store.has_edge(63, 63));
+}
+
+TEST(EdgeListGraph, UnsortedQueriesStillCorrect) {
+  EdgeList g({{5, 2}, {1, 9}, {5, 7}});
+  EdgeListGraph store(std::move(g));
+  EXPECT_TRUE(store.has_edge(5, 2));
+  EXPECT_TRUE(store.has_edge(1, 9));
+  EXPECT_FALSE(store.has_edge(2, 5));
+  EXPECT_EQ(store.neighbors(5), (std::vector<VertexId>{2, 7}));
+}
+
+TEST(EdgeListGraph, NeighborsOfIsolatedNodeEmpty) {
+  EdgeListGraph store(EdgeList({{0, 1}}));
+  EXPECT_TRUE(store.neighbors(5).empty());
+}
+
+}  // namespace
+}  // namespace pcq::graph

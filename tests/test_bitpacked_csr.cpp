@@ -1,0 +1,128 @@
+#include "csr/bitpacked_csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::csr {
+namespace {
+
+using graph::EdgeList;
+using graph::VertexId;
+
+EdgeList figure1_graph() {
+  return EdgeList({{0, 5}, {1, 6}, {1, 7}, {2, 7}, {3, 8}, {3, 9}, {4, 9}});
+}
+
+BitPackedCsr packed_random(VertexId n, std::size_t m, std::uint64_t seed,
+                           int threads) {
+  EdgeList g = graph::rmat(n, m, 0.57, 0.19, 0.19, seed, threads);
+  g.sort(threads);
+  return build_bitpacked_csr_from_sorted(g, n, threads);
+}
+
+TEST(BitPackedCsr, Figure1Widths) {
+  const CsrGraph csr = build_csr_from_sorted(figure1_graph(), 10, 2);
+  const BitPackedCsr packed = BitPackedCsr::from_csr(csr, 2);
+  // 7 edges -> iA entries fit in 3 bits; column ids up to 9 -> 4 bits.
+  EXPECT_EQ(packed.offset_bits(), 3u);
+  EXPECT_EQ(packed.column_bits(), 4u);
+  EXPECT_EQ(packed.num_nodes(), 10u);
+  EXPECT_EQ(packed.num_edges(), 7u);
+}
+
+TEST(BitPackedCsr, Figure1RoundTrip) {
+  const CsrGraph csr = build_csr_from_sorted(figure1_graph(), 10, 2);
+  const BitPackedCsr packed = BitPackedCsr::from_csr(csr, 2);
+  const CsrGraph back = packed.to_csr();
+  EXPECT_TRUE(std::equal(back.offsets().begin(), back.offsets().end(),
+                         csr.offsets().begin()));
+  EXPECT_TRUE(std::equal(back.columns().begin(), back.columns().end(),
+                         csr.columns().begin()));
+}
+
+TEST(BitPackedCsr, DecodeRowMatchesPlainRows) {
+  const BitPackedCsr packed = packed_random(512, 20'000, 3, 4);
+  const CsrGraph plain = packed.to_csr();
+  std::vector<VertexId> row;
+  for (VertexId u = 0; u < 512; ++u) {
+    row.resize(packed.degree(u));
+    EXPECT_EQ(packed.decode_row(u, row), plain.degree(u));
+    const auto expect = plain.neighbors(u);
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), expect.begin()));
+  }
+}
+
+TEST(BitPackedCsr, NeighborsConvenience) {
+  const BitPackedCsr packed = packed_random(128, 2000, 5, 4);
+  const CsrGraph plain = packed.to_csr();
+  for (VertexId u = 0; u < 128; u += 7) {
+    const auto got = packed.neighbors(u);
+    const auto expect = plain.neighbors(u);
+    ASSERT_EQ(got.size(), expect.size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), expect.begin()));
+  }
+}
+
+TEST(BitPackedCsr, HasEdgeMatchesPlain) {
+  const BitPackedCsr packed = packed_random(256, 5000, 7, 4);
+  const CsrGraph plain = packed.to_csr();
+  pcq::util::SplitMix64 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(256));
+    const auto v = static_cast<VertexId>(rng.next_below(256));
+    EXPECT_EQ(packed.has_edge(u, v), plain.has_edge(u, v)) << u << "," << v;
+  }
+}
+
+TEST(BitPackedCsr, SmallerThanPlainCsr) {
+  const BitPackedCsr packed = packed_random(1 << 12, 100'000, 9, 4);
+  const CsrGraph plain = packed.to_csr();
+  // 12-bit columns vs 32-bit, 17-bit offsets vs 64-bit: > 2x smaller.
+  EXPECT_LT(packed.size_bytes() * 2, plain.size_bytes());
+}
+
+TEST(BitPackedCsr, SmallerThanEdgeList) {
+  // The Table II comparison: bit-packed CSR vs the raw edge list.
+  EdgeList g = graph::rmat(1 << 12, 100'000, 0.57, 0.19, 0.19, 11, 4);
+  g.sort(4);
+  const std::size_t edge_list_bytes = g.size_bytes();
+  const BitPackedCsr packed = build_bitpacked_csr_from_sorted(g, 1 << 12, 4);
+  EXPECT_LT(packed.size_bytes(), edge_list_bytes);
+}
+
+TEST(BitPackedCsr, ThreadCountInvariance) {
+  const BitPackedCsr a = packed_random(512, 30'000, 13, 1);
+  for (int p : {2, 4, 8, 64}) {
+    const BitPackedCsr b = packed_random(512, 30'000, 13, p);
+    EXPECT_EQ(a.size_bytes(), b.size_bytes()) << "p=" << p;
+    EXPECT_TRUE(a.packed_offsets() == b.packed_offsets()) << "p=" << p;
+    EXPECT_TRUE(a.packed_columns() == b.packed_columns()) << "p=" << p;
+  }
+}
+
+TEST(BitPackedCsr, EmptyGraph) {
+  const CsrGraph csr = build_csr_from_sorted(EdgeList{}, 4, 2);
+  const BitPackedCsr packed = BitPackedCsr::from_csr(csr, 2);
+  EXPECT_EQ(packed.num_edges(), 0u);
+  for (VertexId u = 0; u < 4; ++u) {
+    EXPECT_EQ(packed.degree(u), 0u);
+    EXPECT_TRUE(packed.neighbors(u).empty());
+    EXPECT_FALSE(packed.has_edge(u, 0));
+  }
+}
+
+TEST(BitPackedCsr, IsolatedTailNodes) {
+  // Nodes after the last edge source still need valid offsets.
+  const CsrGraph csr = build_csr_from_sorted(EdgeList({{0, 1}}), 100, 2);
+  const BitPackedCsr packed = BitPackedCsr::from_csr(csr, 2);
+  EXPECT_EQ(packed.degree(0), 1u);
+  for (VertexId u = 1; u < 100; ++u) EXPECT_EQ(packed.degree(u), 0u);
+}
+
+}  // namespace
+}  // namespace pcq::csr

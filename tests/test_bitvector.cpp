@@ -1,0 +1,164 @@
+#include "bits/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pcq::bits {
+namespace {
+
+TEST(BitVector, EmptyProperties) {
+  BitVector bv;
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_TRUE(bv.empty());
+  EXPECT_EQ(bv.size_bytes(), 0u);
+  EXPECT_EQ(bv.popcount(), 0u);
+}
+
+TEST(BitVector, SizedConstructorZeroInitialises) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(bv.get(i));
+  EXPECT_EQ(bv.size_bytes(), 24u);  // ceil(130/64) = 3 words
+}
+
+TEST(BitVector, SetAndGet) {
+  BitVector bv(200);
+  bv.set(0, true);
+  bv.set(63, true);
+  bv.set(64, true);
+  bv.set(199, true);
+  EXPECT_TRUE(bv.get(0));
+  EXPECT_TRUE(bv.get(63));
+  EXPECT_TRUE(bv.get(64));
+  EXPECT_TRUE(bv.get(199));
+  EXPECT_FALSE(bv.get(1));
+  EXPECT_EQ(bv.popcount(), 4u);
+  bv.set(63, false);
+  EXPECT_FALSE(bv.get(63));
+  EXPECT_EQ(bv.popcount(), 3u);
+}
+
+TEST(BitVector, PushBackAcrossWordBoundary) {
+  BitVector bv;
+  for (int i = 0; i < 130; ++i) bv.push_back(i % 3 == 0);
+  EXPECT_EQ(bv.size(), 130u);
+  for (int i = 0; i < 130; ++i) EXPECT_EQ(bv.get(i), i % 3 == 0) << i;
+}
+
+TEST(BitVector, AppendBitsRoundTrip) {
+  BitVector bv;
+  bv.append_bits(0b1011, 4);
+  bv.append_bits(0xff, 8);
+  bv.append_bits(0, 3);
+  bv.append_bits(0x123456789abcdef0ULL, 64);
+  EXPECT_EQ(bv.size(), 4u + 8 + 3 + 64);
+  EXPECT_EQ(bv.read_bits(0, 4), 0b1011u);
+  EXPECT_EQ(bv.read_bits(4, 8), 0xffu);
+  EXPECT_EQ(bv.read_bits(12, 3), 0u);
+  EXPECT_EQ(bv.read_bits(15, 64), 0x123456789abcdef0ULL);
+}
+
+TEST(BitVector, AppendBitsMasksHighBits) {
+  BitVector bv;
+  bv.append_bits(0xffffffffffffffffULL, 5);  // only the low 5 bits count
+  EXPECT_EQ(bv.size(), 5u);
+  EXPECT_EQ(bv.read_bits(0, 5), 0x1fu);
+}
+
+TEST(BitVector, ZeroWidthAppendIsNoop) {
+  BitVector bv;
+  bv.append_bits(123, 0);
+  EXPECT_EQ(bv.size(), 0u);
+}
+
+TEST(BitVector, ReadBitsStraddlingWords) {
+  BitVector bv;
+  for (int rep = 0; rep < 4; ++rep) bv.append_bits(0xaaaaaaaaaaaaaaaaULL, 64);
+  // A 64-bit read at offset 33 crosses a word boundary.
+  const std::uint64_t v = bv.read_bits(33, 64);
+  EXPECT_EQ(v, 0x5555555555555555ULL);
+}
+
+TEST(BitVector, RandomRoundTripMixedWidths) {
+  pcq::util::SplitMix64 rng(42);
+  std::vector<std::pair<std::uint64_t, unsigned>> entries;
+  BitVector bv;
+  for (int i = 0; i < 2000; ++i) {
+    const auto width = static_cast<unsigned>(1 + rng.next_below(64));
+    const std::uint64_t value =
+        width == 64 ? rng.next() : rng.next() & ((1ULL << width) - 1);
+    entries.emplace_back(value, width);
+    bv.append_bits(value, width);
+  }
+  std::size_t pos = 0;
+  for (const auto& [value, width] : entries) {
+    EXPECT_EQ(bv.read_bits(pos, width), value);
+    pos += width;
+  }
+  EXPECT_EQ(bv.size(), pos);
+}
+
+TEST(BitVector, AppendWordAligned) {
+  BitVector a;
+  a.append_bits(0xdeadbeef, 64);
+  BitVector b;
+  b.append_bits(0x1234, 64);
+  a.append(b);
+  EXPECT_EQ(a.size(), 128u);
+  EXPECT_EQ(a.read_bits(0, 64), 0xdeadbeefULL);
+  EXPECT_EQ(a.read_bits(64, 64), 0x1234ULL);
+}
+
+TEST(BitVector, AppendUnaligned) {
+  BitVector a;
+  a.append_bits(0b101, 3);
+  BitVector b;
+  b.append_bits(0b11011, 5);
+  b.append_bits(0xabcdef, 24);
+  a.append(b);
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_EQ(a.read_bits(0, 3), 0b101u);
+  EXPECT_EQ(a.read_bits(3, 5), 0b11011u);
+  EXPECT_EQ(a.read_bits(8, 24), 0xabcdefu);
+}
+
+TEST(BitVector, AppendEmptyIsNoop) {
+  BitVector a;
+  a.append_bits(7, 3);
+  BitVector b;
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(BitVector, EqualityIgnoresPaddingGarbage) {
+  BitVector a, b;
+  a.append_bits(0b101, 3);
+  b.append_bits(0b101, 3);
+  EXPECT_TRUE(a == b);
+  b.set(2, false);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BitVector, EqualityDifferentLengths) {
+  BitVector a, b;
+  a.append_bits(1, 1);
+  b.append_bits(1, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BitVector, BitsForWidths) {
+  EXPECT_EQ(bits_for(0), 1u);
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 2u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 3u);
+  EXPECT_EQ(bits_for(255), 8u);
+  EXPECT_EQ(bits_for(256), 9u);
+  EXPECT_EQ(bits_for(0xffffffffffffffffULL), 64u);
+}
+
+}  // namespace
+}  // namespace pcq::bits

@@ -1,0 +1,96 @@
+#include "tcsr/cas_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "tcsr/tcsr.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::tcsr {
+namespace {
+
+using graph::TemporalEdge;
+using graph::TemporalEdgeList;
+using graph::TimeFrame;
+using graph::VertexId;
+
+TEST(CasIndex, KnownLifecycle) {
+  // (0,1): on at 0, off at 2; (0,2): on at 1.
+  TemporalEdgeList evs({{0, 1, 0}, {0, 2, 1}, {0, 1, 2}});
+  evs.sort(2);
+  const CasIndex cas = CasIndex::build(evs, 3, 2);
+  EXPECT_TRUE(cas.edge_active(0, 1, 0));
+  EXPECT_TRUE(cas.edge_active(0, 1, 1));
+  EXPECT_FALSE(cas.edge_active(0, 1, 2));
+  EXPECT_FALSE(cas.edge_active(0, 2, 0));
+  EXPECT_TRUE(cas.edge_active(0, 2, 2));
+  EXPECT_FALSE(cas.edge_active(1, 0, 2));  // directed
+  EXPECT_EQ(cas.neighbors_at(0, 1), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(cas.neighbors_at(0, 2), (std::vector<VertexId>{2}));
+}
+
+TEST(CasIndex, EmptyHistory) {
+  const CasIndex cas = CasIndex::build(TemporalEdgeList{}, 4, 2);
+  EXPECT_EQ(cas.num_events(), 0u);
+  EXPECT_FALSE(cas.edge_active(0, 1, 0));
+  EXPECT_TRUE(cas.neighbors_at(2, 0).empty());
+}
+
+TEST(CasIndex, AgreesWithDifferentialTcsr) {
+  const TemporalEdgeList evs = graph::evolving_graph(80, 4000, 12, 21, 4);
+  const auto tcsr = DifferentialTcsr::build(evs, 80, 12, 4);
+  const CasIndex cas = CasIndex::build(evs, 80, 4);
+
+  pcq::util::SplitMix64 rng(23);
+  for (int i = 0; i < 1500; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(80));
+    const auto v = static_cast<VertexId>(rng.next_below(80));
+    const auto t = static_cast<TimeFrame>(rng.next_below(12));
+    ASSERT_EQ(cas.edge_active(u, v, t), tcsr.edge_active(u, v, t))
+        << u << "->" << v << "@" << t;
+  }
+  for (VertexId u = 0; u < 80; u += 9)
+    for (TimeFrame t = 0; t < 12; t += 5)
+      EXPECT_EQ(cas.neighbors_at(u, t), tcsr.neighbors_at(u, t))
+          << "u=" << u << " t=" << t;
+}
+
+TEST(CasIndex, UnsortedInputHandled) {
+  // CAS re-sorts internally; feed events in reverse order.
+  std::vector<TemporalEdge> evs{{5, 6, 3}, {0, 1, 2}, {5, 6, 1}, {0, 1, 0}};
+  const CasIndex cas = CasIndex::build(TemporalEdgeList(std::move(evs)), 7, 2);
+  EXPECT_TRUE(cas.edge_active(0, 1, 0));
+  EXPECT_FALSE(cas.edge_active(0, 1, 2));  // toggled off at 2
+  EXPECT_TRUE(cas.edge_active(5, 6, 2));
+  EXPECT_FALSE(cas.edge_active(5, 6, 3));
+}
+
+TEST(CasIndex, ThreadCountInvariance) {
+  const TemporalEdgeList evs = graph::evolving_graph(60, 2500, 8, 27, 4);
+  const CasIndex ref = CasIndex::build(evs, 60, 1);
+  for (int p : {2, 4, 8}) {
+    const CasIndex cas = CasIndex::build(evs, 60, p);
+    EXPECT_EQ(cas.size_bytes(), ref.size_bytes()) << "p=" << p;
+    for (VertexId u = 0; u < 60; u += 13)
+      EXPECT_EQ(cas.neighbors_at(u, 5), ref.neighbors_at(u, 5)) << "p=" << p;
+  }
+}
+
+TEST(CasIndex, ChurnWorkloadAgreesWithTcsr) {
+  const TemporalEdgeList evs =
+      graph::evolving_graph_churn(100, 3000, 10, 100, 0.4, 31);
+  const auto tcsr = DifferentialTcsr::build(evs, 100, 10, 4);
+  const CasIndex cas = CasIndex::build(evs, 100, 4);
+  pcq::util::SplitMix64 rng(33);
+  for (int i = 0; i < 800; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(100));
+    const auto v = static_cast<VertexId>(rng.next_below(100));
+    const auto t = static_cast<TimeFrame>(rng.next_below(10));
+    ASSERT_EQ(cas.edge_active(u, v, t), tcsr.edge_active(u, v, t));
+  }
+}
+
+}  // namespace
+}  // namespace pcq::tcsr

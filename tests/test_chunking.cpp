@@ -1,0 +1,76 @@
+#include "par/chunking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace pcq::par {
+namespace {
+
+TEST(Chunking, SingleChunkCoversAll) {
+  EXPECT_EQ(chunk_range(10, 1, 0), (ChunkRange{0, 10}));
+}
+
+TEST(Chunking, EvenSplit) {
+  EXPECT_EQ(chunk_range(12, 4, 0), (ChunkRange{0, 3}));
+  EXPECT_EQ(chunk_range(12, 4, 1), (ChunkRange{3, 6}));
+  EXPECT_EQ(chunk_range(12, 4, 2), (ChunkRange{6, 9}));
+  EXPECT_EQ(chunk_range(12, 4, 3), (ChunkRange{9, 12}));
+}
+
+TEST(Chunking, RemainderGoesToFirstChunks) {
+  // 10 into 4: sizes 3,3,2,2.
+  EXPECT_EQ(chunk_range(10, 4, 0).size(), 3u);
+  EXPECT_EQ(chunk_range(10, 4, 1).size(), 3u);
+  EXPECT_EQ(chunk_range(10, 4, 2).size(), 2u);
+  EXPECT_EQ(chunk_range(10, 4, 3).size(), 2u);
+}
+
+TEST(Chunking, MoreChunksThanElements) {
+  // 3 into 5: the first 3 chunks get one element, the rest are empty.
+  EXPECT_EQ(chunk_range(3, 5, 0).size(), 1u);
+  EXPECT_EQ(chunk_range(3, 5, 2).size(), 1u);
+  EXPECT_TRUE(chunk_range(3, 5, 3).empty());
+  EXPECT_TRUE(chunk_range(3, 5, 4).empty());
+}
+
+TEST(Chunking, ZeroElements) {
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(chunk_range(0, 4, i).empty());
+  EXPECT_EQ(num_nonempty_chunks(0, 4), 0u);
+}
+
+TEST(Chunking, NumNonemptyChunks) {
+  EXPECT_EQ(num_nonempty_chunks(100, 4), 4u);
+  EXPECT_EQ(num_nonempty_chunks(3, 8), 3u);
+  EXPECT_EQ(num_nonempty_chunks(8, 8), 8u);
+}
+
+// Property sweep: chunks must partition [0, n) exactly — contiguous,
+// disjoint, complete, and balanced to within one element.
+class ChunkPartitionProperty
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ChunkPartitionProperty, PartitionIsExact) {
+  const auto [n, p] = GetParam();
+  std::size_t expected_begin = 0;
+  std::size_t min_size = n + 1, max_size = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    const ChunkRange r = chunk_range(n, p, i);
+    EXPECT_EQ(r.begin, expected_begin);
+    EXPECT_LE(r.begin, r.end);
+    expected_begin = r.end;
+    min_size = std::min(min_size, r.size());
+    max_size = std::max(max_size, r.size());
+  }
+  EXPECT_EQ(expected_begin, n);           // complete
+  EXPECT_LE(max_size - min_size, 1u);     // balanced
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChunkPartitionProperty,
+    testing::Combine(testing::Values<std::size_t>(0, 1, 2, 7, 16, 63, 64, 65,
+                                                  1000, 12345),
+                     testing::Values<std::size_t>(1, 2, 3, 4, 7, 8, 16, 64)));
+
+}  // namespace
+}  // namespace pcq::par

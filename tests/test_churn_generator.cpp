@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "tcsr/baselines.hpp"
+#include "tcsr/tcsr.hpp"
+
+namespace pcq::graph {
+namespace {
+
+TEST(ChurnGenerator, ShapeAndDeterminism) {
+  const TemporalEdgeList a = evolving_graph_churn(500, 5000, 16, 100, 0.4, 7);
+  EXPECT_TRUE(a.is_sorted());
+  EXPECT_EQ(a.size(), 5000u + 15u * 100u);
+  EXPECT_LE(a.num_frames(), 16u);
+  for (const TemporalEdge& e : a.edges()) {
+    EXPECT_LT(e.u, 500u);
+    EXPECT_LT(e.v, 500u);
+    EXPECT_NE(e.u, e.v);
+  }
+  const TemporalEdgeList b = evolving_graph_churn(500, 5000, 16, 100, 0.4, 7);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.edges()[i], b.edges()[i]);
+}
+
+TEST(ChurnGenerator, FrameZeroHoldsTheBurst) {
+  const TemporalEdgeList evs = evolving_graph_churn(200, 2000, 8, 50, 0.5, 3);
+  std::size_t frame0 = 0;
+  for (const TemporalEdge& e : evs.edges())
+    if (e.t == 0) ++frame0;
+  EXPECT_EQ(frame0, 2000u);
+}
+
+TEST(ChurnGenerator, DeletionsShrinkTheLiveGraph) {
+  // deletion_bias 1.0: after frame 0 every event removes a live edge, so
+  // the final snapshot is smaller than the initial one.
+  const TemporalEdgeList evs = evolving_graph_churn(300, 3000, 10, 150, 1.0, 5);
+  const auto tcsr = tcsr::DifferentialTcsr::build(evs, 300, 10, 4);
+  const auto first = tcsr.snapshot_at(0, 4);
+  const auto last = tcsr.snapshot_at(9, 4);
+  EXPECT_LT(last.num_edges(), first.num_edges());
+}
+
+TEST(ChurnGenerator, PureAdditionsGrowTheLiveGraph) {
+  const TemporalEdgeList evs = evolving_graph_churn(300, 1000, 10, 150, 0.0, 9);
+  const auto tcsr = tcsr::DifferentialTcsr::build(evs, 300, 10, 4);
+  const auto first = tcsr.snapshot_at(0, 4);
+  const auto last = tcsr.snapshot_at(9, 4);
+  EXPECT_GT(last.num_edges(), first.num_edges());
+}
+
+TEST(ChurnGenerator, DifferentialAdvantageOverSnapshots) {
+  // Persistent graph + small churn: the workload §IV motivates. The
+  // differential TCSR must be much smaller than per-frame snapshots.
+  const TemporalEdgeList evs = evolving_graph_churn(400, 8000, 20, 40, 0.5, 11);
+  const auto tcsr = tcsr::DifferentialTcsr::build(evs, 400, 20, 4);
+  const auto snaps = tcsr::SnapshotSequence::build(evs, 400, 20, 4);
+  EXPECT_LT(tcsr.size_bytes() * 5, snaps.size_bytes());
+}
+
+}  // namespace
+}  // namespace pcq::graph

@@ -1,0 +1,99 @@
+#include "algos/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace pcq::algos {
+namespace {
+
+using graph::EdgeList;
+using graph::VertexId;
+
+csr::CsrGraph symmetric_csr(EdgeList g, VertexId n) {
+  g.symmetrize();
+  g.sort(4);
+  g.dedupe();
+  g.remove_self_loops();
+  return csr::build_csr_from_sorted(g, n, 4);
+}
+
+TEST(Clustering, TriangleIsFullyClustered) {
+  const csr::CsrGraph g =
+      symmetric_csr(EdgeList({{0, 1}, {1, 2}, {0, 2}}), 3);
+  const auto r = clustering_coefficients(g, 4);
+  for (double c : r.local) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(r.average, 1.0);
+  EXPECT_DOUBLE_EQ(r.global, 1.0);
+}
+
+TEST(Clustering, PathHasNoTriangles) {
+  const csr::CsrGraph g = symmetric_csr(EdgeList({{0, 1}, {1, 2}, {2, 3}}), 4);
+  const auto r = clustering_coefficients(g, 4);
+  for (double c : r.local) EXPECT_DOUBLE_EQ(c, 0.0);
+  EXPECT_DOUBLE_EQ(r.global, 0.0);
+}
+
+TEST(Clustering, TriangleWithPendant) {
+  // Node 2 is in the triangle but also has pendant 3: its 3 neighbours
+  // {0, 1, 3} give 6 ordered pairs, 2 of which (0,1)/(1,0) are closed.
+  const csr::CsrGraph g =
+      symmetric_csr(EdgeList({{0, 1}, {1, 2}, {0, 2}, {2, 3}}), 4);
+  const auto r = clustering_coefficients(g, 4);
+  EXPECT_DOUBLE_EQ(r.local[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.local[1], 1.0);
+  EXPECT_NEAR(r.local[2], 1.0 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(r.local[3], 0.0);
+}
+
+TEST(Clustering, GlobalIsTriangleWedgeRatio) {
+  // Global transitivity of the pendant-triangle graph: 3 triangles * 3
+  // nodes * 2 orientations = wait — closed wedge count is 6 (2 per
+  // triangle node), wedge count is 2+2+6+0 = 10.
+  const csr::CsrGraph g =
+      symmetric_csr(EdgeList({{0, 1}, {1, 2}, {0, 2}, {2, 3}}), 4);
+  const auto r = clustering_coefficients(g, 4);
+  EXPECT_NEAR(r.global, 6.0 / 10.0, 1e-12);
+}
+
+TEST(Clustering, CompleteGraphGlobalOne) {
+  EdgeList g;
+  for (VertexId u = 0; u < 10; ++u)
+    for (VertexId v = u + 1; v < 10; ++v) g.push_back({u, v});
+  const auto r = clustering_coefficients(symmetric_csr(std::move(g), 10), 4);
+  EXPECT_NEAR(r.global, 1.0, 1e-12);
+  EXPECT_NEAR(r.average, 1.0, 1e-12);
+}
+
+TEST(Clustering, ThreadCountInvariance) {
+  const csr::CsrGraph g =
+      symmetric_csr(graph::rmat(256, 5000, 0.57, 0.19, 0.19, 13, 4), 256);
+  const auto ref = clustering_coefficients(g, 1);
+  for (int p : {2, 4, 8}) {
+    const auto got = clustering_coefficients(g, p);
+    EXPECT_DOUBLE_EQ(got.global, ref.global);
+    EXPECT_DOUBLE_EQ(got.average, ref.average);
+  }
+}
+
+TEST(Clustering, SocialGraphMoreClusteredThanRandom) {
+  // Watts-Strogatz at low beta retains the lattice's high clustering;
+  // G(n, m) with the same density has ~0 clustering.
+  const csr::CsrGraph ws =
+      symmetric_csr(graph::watts_strogatz(1000, 4, 0.05, 17, 4), 1000);
+  const csr::CsrGraph er =
+      symmetric_csr(graph::erdos_renyi(1000, 4000, 17, 4), 1000);
+  const auto rws = clustering_coefficients(ws, 4);
+  const auto rer = clustering_coefficients(er, 4);
+  EXPECT_GT(rws.global, 5 * rer.global);
+}
+
+TEST(Clustering, EmptyGraph) {
+  const auto r = clustering_coefficients(csr::CsrGraph{}, 4);
+  EXPECT_TRUE(r.local.empty());
+  EXPECT_DOUBLE_EQ(r.global, 0.0);
+}
+
+}  // namespace
+}  // namespace pcq::algos

@@ -1,0 +1,132 @@
+#include "bits/codecs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pcq::bits {
+namespace {
+
+TEST(Varint, SmallValuesOneByte) {
+  std::vector<std::uint8_t> out;
+  varint_encode(0, out);
+  varint_encode(127, out);
+  EXPECT_EQ(out.size(), 2u);
+  std::size_t pos = 0;
+  EXPECT_EQ(varint_decode(out, pos), 0u);
+  EXPECT_EQ(varint_decode(out, pos), 127u);
+  EXPECT_EQ(pos, 2u);
+}
+
+TEST(Varint, BoundaryValues) {
+  std::vector<std::uint8_t> out;
+  const std::vector<std::uint64_t> values{
+      128, 16383, 16384, 0xffffffffULL, 0xffffffffffffffffULL};
+  for (auto v : values) varint_encode(v, out);
+  std::size_t pos = 0;
+  for (auto v : values) EXPECT_EQ(varint_decode(out, pos), v);
+}
+
+TEST(Varint, MaxValueTakesTenBytes) {
+  std::vector<std::uint8_t> out;
+  varint_encode(0xffffffffffffffffULL, out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(EliasGamma, KnownCodewordLengths) {
+  // gamma(1) = "1" (1 bit), gamma(2) = "010" (3 bits), gamma(5) = 5 bits.
+  BitVector bv;
+  elias_gamma_encode(1, bv);
+  EXPECT_EQ(bv.size(), 1u);
+  elias_gamma_encode(2, bv);
+  EXPECT_EQ(bv.size(), 4u);
+  elias_gamma_encode(5, bv);
+  EXPECT_EQ(bv.size(), 9u);
+}
+
+TEST(EliasGamma, RoundTrip) {
+  BitVector bv;
+  const std::vector<std::uint64_t> values{1, 2, 3, 4, 7, 8, 100, 1023, 1024,
+                                          (1ULL << 40) + 12345};
+  for (auto v : values) elias_gamma_encode(v, bv);
+  std::size_t pos = 0;
+  for (auto v : values) EXPECT_EQ(elias_gamma_decode(bv, pos), v);
+  EXPECT_EQ(pos, bv.size());
+}
+
+TEST(EliasDelta, RoundTrip) {
+  BitVector bv;
+  const std::vector<std::uint64_t> values{1, 2, 3, 15, 16, 17, 1000000,
+                                          (1ULL << 50) + 99};
+  for (auto v : values) elias_delta_encode(v, bv);
+  std::size_t pos = 0;
+  for (auto v : values) EXPECT_EQ(elias_delta_decode(bv, pos), v);
+  EXPECT_EQ(pos, bv.size());
+}
+
+TEST(EliasDelta, ShorterThanGammaForLargeValues) {
+  BitVector g, d;
+  elias_gamma_encode(1'000'000, g);
+  elias_delta_encode(1'000'000, d);
+  EXPECT_LT(d.size(), g.size());
+}
+
+TEST(EliasCodes, RandomRoundTrip) {
+  pcq::util::SplitMix64 rng(21);
+  std::vector<std::uint64_t> values(500);
+  for (auto& v : values) v = 1 + rng.next_below(1ULL << 45);
+  BitVector g, d;
+  for (auto v : values) {
+    elias_gamma_encode(v, g);
+    elias_delta_encode(v, d);
+  }
+  std::size_t gp = 0, dp = 0;
+  for (auto v : values) {
+    EXPECT_EQ(elias_gamma_decode(g, gp), v);
+    EXPECT_EQ(elias_delta_decode(d, dp), v);
+  }
+}
+
+class GapSequenceTest : public testing::TestWithParam<GapCodec> {};
+
+TEST_P(GapSequenceTest, RoundTripSorted) {
+  const std::vector<std::uint64_t> values{0, 0, 1, 5, 5, 5, 100, 101, 1000000};
+  const auto seq = GapEncodedSequence::encode(values, GetParam());
+  EXPECT_EQ(seq.decode(), values);
+  EXPECT_EQ(seq.size(), values.size());
+}
+
+TEST_P(GapSequenceTest, EmptySequence) {
+  const auto seq = GapEncodedSequence::encode({}, GetParam());
+  EXPECT_TRUE(seq.decode().empty());
+}
+
+TEST_P(GapSequenceTest, RandomSortedRoundTrip) {
+  pcq::util::SplitMix64 rng(33);
+  std::vector<std::uint64_t> values(2000);
+  std::uint64_t acc = 0;
+  for (auto& v : values) {
+    acc += rng.next_below(50);
+    v = acc;
+  }
+  const auto seq = GapEncodedSequence::encode(values, GetParam());
+  EXPECT_EQ(seq.decode(), values);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, GapSequenceTest,
+                         testing::Values(GapCodec::kVarint, GapCodec::kGamma,
+                                         GapCodec::kDelta));
+
+TEST(GapSequence, DenseSequencesCompressWell) {
+  // Consecutive time-frames (gap 1): ~2-3 bits/entry with gamma, far below
+  // the 64 bits/entry of the raw representation.
+  std::vector<std::uint64_t> values(10'000);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = i;
+  const auto seq = GapEncodedSequence::encode(values, GapCodec::kGamma);
+  EXPECT_LT(seq.size_bytes(), 10'000u);  // < 1 byte per entry
+}
+
+}  // namespace
+}  // namespace pcq::bits

@@ -1,0 +1,116 @@
+#include "algos/communities.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::algos {
+namespace {
+
+using graph::EdgeList;
+using graph::VertexId;
+
+csr::CsrGraph symmetric_csr(EdgeList g, VertexId n) {
+  g.symmetrize();
+  g.sort(4);
+  g.dedupe();
+  g.remove_self_loops();
+  return csr::build_csr_from_sorted(g, n, 4);
+}
+
+/// Two dense cliques joined by one bridge edge.
+csr::CsrGraph two_cliques(VertexId size) {
+  EdgeList g;
+  for (VertexId u = 0; u < size; ++u)
+    for (VertexId v = u + 1; v < size; ++v) g.push_back({u, v});
+  for (VertexId u = size; u < 2 * size; ++u)
+    for (VertexId v = u + 1; v < 2 * size; ++v) g.push_back({u, v});
+  g.push_back({0, size});  // bridge
+  return symmetric_csr(std::move(g), 2 * size);
+}
+
+TEST(Communities, TwoCliquesSeparate) {
+  const csr::CsrGraph g = two_cliques(12);
+  const auto result = label_propagation_communities(g, 50, 4);
+  // Each clique converges to one label; the two labels differ.
+  const VertexId a = result.label[1];
+  const VertexId b = result.label[13];
+  EXPECT_NE(a, b);
+  for (VertexId v = 0; v < 12; ++v) EXPECT_EQ(result.label[v], a) << v;
+  for (VertexId v = 12; v < 24; ++v) EXPECT_EQ(result.label[v], b) << v;
+  EXPECT_EQ(result.communities, 2u);
+}
+
+TEST(Communities, ModularityOfPlantedPartitionIsHigh) {
+  const csr::CsrGraph g = two_cliques(10);
+  const auto result = label_propagation_communities(g, 50, 4);
+  EXPECT_GT(modularity(g, result.label), 0.4);
+}
+
+TEST(Communities, SingletonLabelingHasLowModularity) {
+  const csr::CsrGraph g = two_cliques(10);
+  std::vector<VertexId> singletons(g.num_nodes());
+  for (VertexId v = 0; v < g.num_nodes(); ++v) singletons[v] = v;
+  EXPECT_LT(modularity(g, singletons), 0.05);
+}
+
+TEST(Communities, OneCommunityLabelingHasZeroModularity) {
+  const csr::CsrGraph g = two_cliques(10);
+  const std::vector<VertexId> all_zero(g.num_nodes(), 0);
+  EXPECT_NEAR(modularity(g, all_zero), 0.0, 1e-12);
+}
+
+TEST(Communities, IsolatedNodesKeepOwnLabels) {
+  const csr::CsrGraph g = symmetric_csr(EdgeList({{0, 1}}), 5);
+  const auto result = label_propagation_communities(g, 10, 4);
+  EXPECT_EQ(result.label[2], 2u);
+  EXPECT_EQ(result.label[3], 3u);
+  EXPECT_EQ(result.label[0], result.label[1]);
+}
+
+TEST(Communities, ConvergesWithinRoundBudget) {
+  const csr::CsrGraph g = symmetric_csr(
+      graph::watts_strogatz(500, 4, 0.05, 13, 4), 500);
+  const auto result = label_propagation_communities(g, 100, 4);
+  EXPECT_LT(result.rounds, 100);
+  EXPECT_GT(result.communities, 1u);
+  EXPECT_LT(result.communities, 500u);
+}
+
+TEST(Communities, ThreadCountInvariance) {
+  const csr::CsrGraph g = two_cliques(8);
+  const auto ref = label_propagation_communities(g, 50, 1);
+  for (int p : {2, 4, 8})
+    EXPECT_EQ(label_propagation_communities(g, 50, p).label, ref.label)
+        << "p=" << p;
+}
+
+TEST(Communities, RecoversPlantedPartition) {
+  // 4 blocks of 50 nodes, 90% intra edges: LPA must land a labeling whose
+  // modularity is close to the planted structure's (~Q = 0.9 - 1/4 norm).
+  const csr::CsrGraph g = symmetric_csr(
+      graph::planted_partition(200, 6000, 4, 0.9, 17, 4), 200);
+  const auto result = label_propagation_communities(g, 100, 4);
+  EXPECT_GT(modularity(g, result.label), 0.4);
+
+  // The planted labeling itself scores high, and LPA should be within
+  // striking distance of it.
+  std::vector<VertexId> planted(200);
+  for (VertexId v = 0; v < 200; ++v) planted[v] = v % 4;
+  const double planted_q = modularity(g, planted);
+  EXPECT_GT(planted_q, 0.5);
+  EXPECT_GT(modularity(g, result.label), planted_q * 0.7);
+}
+
+TEST(Communities, EmptyGraph) {
+  const auto result = label_propagation_communities(csr::CsrGraph{}, 10, 4);
+  EXPECT_TRUE(result.label.empty());
+  EXPECT_EQ(result.communities, 0u);
+}
+
+}  // namespace
+}  // namespace pcq::algos

@@ -1,0 +1,75 @@
+#include "algos/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace pcq::algos {
+namespace {
+
+using graph::EdgeList;
+using graph::VertexId;
+
+csr::CsrGraph build_symmetric(EdgeList g, VertexId n) {
+  g.symmetrize();
+  g.sort(4);
+  g.dedupe();
+  return csr::build_csr_from_sorted(g, n, 4);
+}
+
+TEST(Components, TwoIslands) {
+  const csr::CsrGraph g = build_symmetric(EdgeList({{0, 1}, {1, 2}, {4, 5}}), 6);
+  const auto labels = connected_components_label_prop(g, 4);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[4]);
+  EXPECT_NE(labels[3], labels[0]);  // isolated node 3 is its own component
+  EXPECT_EQ(count_components(labels), 3u);
+}
+
+TEST(Components, LabelsAreComponentMinima) {
+  const csr::CsrGraph g = build_symmetric(EdgeList({{5, 9}, {9, 7}, {1, 3}}), 10);
+  const auto labels = connected_components_label_prop(g, 4);
+  EXPECT_EQ(labels[5], 5u);
+  EXPECT_EQ(labels[9], 5u);
+  EXPECT_EQ(labels[7], 5u);
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[3], 1u);
+}
+
+TEST(Components, SingleComponentRing) {
+  EdgeList g;
+  for (VertexId v = 0; v < 50; ++v) g.push_back({v, (v + 1) % 50});
+  const csr::CsrGraph csr = build_symmetric(std::move(g), 50);
+  const auto labels = connected_components_label_prop(csr, 4);
+  EXPECT_EQ(count_components(labels), 1u);
+  for (VertexId v = 0; v < 50; ++v) EXPECT_EQ(labels[v], 0u);
+}
+
+TEST(Components, LabelPropMatchesUnionFind) {
+  const csr::CsrGraph g = build_symmetric(
+      graph::erdos_renyi(500, 600, 71, 4), 500);  // sparse -> many components
+  const auto lp = connected_components_label_prop(g, 4);
+  const auto uf = connected_components_union_find(g);
+  EXPECT_EQ(lp, uf);
+  EXPECT_GT(count_components(lp), 1u);
+}
+
+TEST(Components, ThreadCountInvariance) {
+  const csr::CsrGraph g =
+      build_symmetric(graph::erdos_renyi(300, 400, 73, 4), 300);
+  const auto ref = connected_components_label_prop(g, 1);
+  for (int p : {2, 4, 8, 64})
+    EXPECT_EQ(connected_components_label_prop(g, p), ref) << "p=" << p;
+}
+
+TEST(Components, EmptyGraphAllSingletons) {
+  const csr::CsrGraph g = csr::build_csr_from_sorted(EdgeList{}, 7, 2);
+  const auto labels = connected_components_label_prop(g, 4);
+  EXPECT_EQ(count_components(labels), 7u);
+}
+
+}  // namespace
+}  // namespace pcq::algos

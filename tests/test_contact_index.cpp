@@ -1,0 +1,115 @@
+#include "tcsr/contact_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "tcsr/tcsr.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::tcsr {
+namespace {
+
+using graph::TemporalEdge;
+using graph::TemporalEdgeList;
+using graph::TimeFrame;
+using graph::VertexId;
+
+TemporalEdgeList sorted(std::vector<TemporalEdge> evs) {
+  TemporalEdgeList list(std::move(evs));
+  list.sort(2);
+  return list;
+}
+
+TEST(ContactIndex, KnownIntervals) {
+  // (0,1): [1,2] and [5,7]; (0,2): [0,7] (never closed, history = 8).
+  const auto evs =
+      sorted({{0, 1, 1}, {0, 1, 3}, {0, 1, 5}, {0, 2, 0}});
+  const ContactIndex idx = ContactIndex::build(evs, 3, 8, 2);
+  EXPECT_EQ(idx.num_contacts(), 3u);
+  EXPECT_EQ(idx.contacts(0, 1),
+            (std::vector<ActivityInterval>{{1, 2}, {5, 7}}));
+  EXPECT_EQ(idx.contacts(0, 2), (std::vector<ActivityInterval>{{0, 7}}));
+  EXPECT_TRUE(idx.edge_active(0, 1, 2));
+  EXPECT_FALSE(idx.edge_active(0, 1, 3));
+  EXPECT_TRUE(idx.edge_active(0, 1, 6));
+  EXPECT_TRUE(idx.edge_active(0, 2, 7));
+  EXPECT_FALSE(idx.edge_active(1, 0, 1));  // directed
+}
+
+TEST(ContactIndex, NeighborsAtFiltersIntervals) {
+  const auto evs = sorted({{0, 1, 0}, {0, 2, 1}, {0, 1, 2}, {0, 3, 2}});
+  const ContactIndex idx = ContactIndex::build(evs, 4, 4, 2);
+  EXPECT_EQ(idx.neighbors_at(0, 0), (std::vector<VertexId>{1}));
+  EXPECT_EQ(idx.neighbors_at(0, 1), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(idx.neighbors_at(0, 2), (std::vector<VertexId>{2, 3}));
+}
+
+TEST(ContactIndex, WithinFrameRepeatsCancel) {
+  // (0,1) toggled twice in frame 1: no state change, so one contact [0,3].
+  const auto evs = sorted({{0, 1, 0}, {0, 1, 1}, {0, 1, 1}});
+  const ContactIndex idx = ContactIndex::build(evs, 2, 4, 2);
+  EXPECT_EQ(idx.contacts(0, 1), (std::vector<ActivityInterval>{{0, 3}}));
+}
+
+TEST(ContactIndex, EmptyHistory) {
+  const ContactIndex idx = ContactIndex::build(TemporalEdgeList{}, 3, 0, 2);
+  EXPECT_EQ(idx.num_contacts(), 0u);
+  EXPECT_FALSE(idx.edge_active(0, 1, 0));
+  EXPECT_TRUE(idx.neighbors_at(1, 0).empty());
+}
+
+TEST(ContactIndex, AgreesWithDifferentialTcsr) {
+  const TemporalEdgeList evs = graph::evolving_graph(70, 3500, 10, 41, 4);
+  const auto tcsr = DifferentialTcsr::build(evs, 70, 10, 4);
+  const ContactIndex idx = ContactIndex::build(evs, 70, 10, 4);
+
+  pcq::util::SplitMix64 rng(43);
+  for (int i = 0; i < 1500; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(70));
+    const auto v = static_cast<VertexId>(rng.next_below(70));
+    const auto t = static_cast<TimeFrame>(rng.next_below(10));
+    ASSERT_EQ(idx.edge_active(u, v, t), tcsr.edge_active(u, v, t))
+        << u << "->" << v << "@" << t;
+  }
+  for (VertexId u = 0; u < 70; u += 11)
+    for (TimeFrame t = 0; t < 10; t += 3)
+      EXPECT_EQ(idx.neighbors_at(u, t), tcsr.neighbors_at(u, t));
+}
+
+TEST(ContactIndex, IntervalsMatchTcsrActivityIntervals) {
+  const TemporalEdgeList evs = graph::evolving_graph(40, 1500, 8, 47, 4);
+  const auto tcsr = DifferentialTcsr::build(evs, 40, 8, 4);
+  const ContactIndex idx = ContactIndex::build(evs, 40, 8, 4);
+  for (VertexId u = 0; u < 40; u += 3)
+    for (VertexId v = 0; v < 40; v += 5)
+      EXPECT_EQ(idx.contacts(u, v), tcsr.activity_intervals(u, v))
+          << u << "->" << v;
+}
+
+TEST(ContactIndex, WindowQueryMatchesBruteForce) {
+  const TemporalEdgeList evs = graph::evolving_graph(30, 800, 12, 53, 4);
+  const ContactIndex idx = ContactIndex::build(evs, 30, 12, 4);
+  const auto window = idx.contacts_in_window(4, 7);
+  for (const Contact& c : window) {
+    EXPECT_LE(c.begin, 7u);
+    EXPECT_GE(c.end, 4u);
+  }
+  // Every window contact implies activity at some frame in [4, 7].
+  const auto tcsr = DifferentialTcsr::build(evs, 30, 12, 4);
+  for (const Contact& c : window)
+    EXPECT_TRUE(tcsr.edge_active_in_window(c.u, c.v, 4, 7));
+}
+
+TEST(ContactIndex, PersistentWorkloadIsCompact) {
+  // Long-lived edges: contacts are few intervals, far smaller than the
+  // raw event list or even the differential TCSR deltas.
+  const TemporalEdgeList evs =
+      graph::evolving_graph_churn(200, 5000, 24, 50, 0.4, 59);
+  const ContactIndex idx = ContactIndex::build(evs, 200, 24, 4);
+  EXPECT_LT(idx.size_bytes(), evs.size_bytes());
+}
+
+}  // namespace
+}  // namespace pcq::tcsr

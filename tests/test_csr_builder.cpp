@@ -1,0 +1,138 @@
+#include "csr/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "graph/baselines.hpp"
+#include "graph/generators.hpp"
+
+namespace pcq::csr {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+/// The paper's running example: Table I's 10-node graph, upper triangle
+/// (Figure 1).
+EdgeList figure1_graph() {
+  return EdgeList({{0, 5}, {1, 6}, {1, 7}, {2, 7}, {3, 8}, {3, 9}, {4, 9}});
+}
+
+TEST(CsrBuilder, Figure1DegreeArrayAndNeighbors) {
+  const CsrGraph csr = build_csr_from_sorted(figure1_graph(), 10, 4);
+  EXPECT_EQ(csr.num_nodes(), 10u);
+  EXPECT_EQ(csr.num_edges(), 7u);
+  // Degrees of the upper triangular rows: 1 2 1 2 1 0 0 0 0 0.
+  const std::vector<std::uint32_t> expected_deg{1, 2, 1, 2, 1, 0, 0, 0, 0, 0};
+  for (VertexId u = 0; u < 10; ++u) EXPECT_EQ(csr.degree(u), expected_deg[u]);
+  // Neighbour list in Figure 1: 5 6 7 7 8 9 9.
+  const std::vector<VertexId> expected_cols{5, 6, 7, 7, 8, 9, 9};
+  for (std::size_t i = 0; i < expected_cols.size(); ++i)
+    EXPECT_EQ(csr.columns()[i], expected_cols[i]);
+}
+
+TEST(CsrBuilder, EmptyGraph) {
+  const CsrGraph csr = build_csr_from_sorted(EdgeList{}, 5, 4);
+  EXPECT_EQ(csr.num_nodes(), 5u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+  for (VertexId u = 0; u < 5; ++u) EXPECT_TRUE(csr.neighbors(u).empty());
+}
+
+TEST(CsrBuilder, SingleEdge) {
+  const CsrGraph csr = build_csr_from_sorted(EdgeList({{3, 7}}), 0, 8);
+  EXPECT_EQ(csr.num_nodes(), 8u);
+  EXPECT_EQ(csr.degree(3), 1u);
+  EXPECT_TRUE(csr.has_edge(3, 7));
+  EXPECT_FALSE(csr.has_edge(7, 3));
+}
+
+TEST(CsrBuilder, ParallelEqualsSequentialReference) {
+  EdgeList g = graph::rmat(1 << 10, 30'000, 0.57, 0.19, 0.19, 3, 4);
+  g.sort(4);
+  const CsrGraph ref = build_csr_sequential(g, 1 << 10);
+  for (int p : {1, 2, 4, 8, 16, 64}) {
+    const CsrGraph par = build_csr_from_sorted(g, 1 << 10, p);
+    ASSERT_EQ(par.num_edges(), ref.num_edges()) << "p=" << p;
+    EXPECT_TRUE(std::equal(par.offsets().begin(), par.offsets().end(),
+                           ref.offsets().begin()))
+        << "p=" << p;
+    EXPECT_TRUE(std::equal(par.columns().begin(), par.columns().end(),
+                           ref.columns().begin()))
+        << "p=" << p;
+  }
+}
+
+TEST(CsrBuilder, UnsortedConvenienceBuildSorts) {
+  EdgeList g({{5, 1}, {0, 2}, {5, 0}, {3, 3}});
+  const CsrGraph csr = build_csr(g, 0, 4);
+  EXPECT_EQ(csr.neighbors(5)[0], 0u);
+  EXPECT_EQ(csr.neighbors(5)[1], 1u);
+  EXPECT_TRUE(csr.has_edge(3, 3));
+}
+
+TEST(CsrBuilder, NeighborsMatchAdjacencyListOracle) {
+  EdgeList g = graph::erdos_renyi(300, 5000, 17, 4);
+  g.sort(4);
+  g.dedupe();
+  const graph::AdjacencyListGraph oracle(g, 300);
+  const CsrGraph csr = build_csr_from_sorted(g, 300, 8);
+  for (VertexId u = 0; u < 300; ++u) {
+    const auto expect = oracle.neighbors(u);
+    const auto got = csr.neighbors(u);
+    ASSERT_EQ(got.size(), expect.size()) << "u=" << u;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), expect.begin()));
+  }
+}
+
+TEST(CsrBuilder, TimingsPopulated) {
+  EdgeList g = graph::rmat(512, 20'000, 0.57, 0.19, 0.19, 5, 4);
+  g.sort(4);
+  CsrBuildTimings t;
+  build_csr_from_sorted(g, 512, 4, &t);
+  EXPECT_GE(t.degree, 0.0);
+  EXPECT_GE(t.scan, 0.0);
+  EXPECT_GE(t.fill, 0.0);
+  EXPECT_GT(t.total(), 0.0);
+}
+
+TEST(CsrGraph, OffsetsAreMonotone) {
+  EdgeList g = graph::rmat(256, 10'000, 0.57, 0.19, 0.19, 7, 4);
+  g.sort(4);
+  const CsrGraph csr = build_csr_from_sorted(g, 256, 8);
+  const auto offs = csr.offsets();
+  EXPECT_TRUE(std::is_sorted(offs.begin(), offs.end()));
+  EXPECT_EQ(offs.front(), 0u);
+  EXPECT_EQ(offs.back(), csr.num_edges());
+}
+
+TEST(CsrGraph, SizeBytesAccounting) {
+  const CsrGraph csr = build_csr_from_sorted(figure1_graph(), 10, 2);
+  EXPECT_EQ(csr.size_bytes(), 11 * 8 + 7 * 4u);
+}
+
+// Property: build across (graph shape, thread count) equals the reference.
+class BuilderProperty
+    : public testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(BuilderProperty, ParallelEqualsReference) {
+  const auto [m, threads] = GetParam();
+  EdgeList g = graph::rmat(512, m, 0.57, 0.19, 0.19, m + threads, 4);
+  g.sort(4);
+  const CsrGraph ref = build_csr_sequential(g, 512);
+  const CsrGraph par = build_csr_from_sorted(g, 512, threads);
+  EXPECT_TRUE(std::equal(par.offsets().begin(), par.offsets().end(),
+                         ref.offsets().begin()));
+  EXPECT_TRUE(std::equal(par.columns().begin(), par.columns().end(),
+                         ref.columns().begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BuilderProperty,
+    testing::Combine(testing::Values<std::size_t>(1, 2, 100, 1000, 50'000),
+                     testing::Values(1, 2, 4, 8, 16, 64)));
+
+}  // namespace
+}  // namespace pcq::csr

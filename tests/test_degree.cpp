@@ -1,0 +1,97 @@
+#include "csr/degree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pcq::csr {
+namespace {
+
+using graph::VertexId;
+
+TEST(SequentialDegree, PaperFigure3Example) {
+  // Figure 3's input: sorted source ids 0 0 1 1 1 2 3 3 4 5 5 5 (grouped
+  // runs across chunk boundaries).
+  const std::vector<VertexId> sources{0, 0, 1, 1, 1, 2, 3, 3, 4, 5, 5, 5};
+  const auto deg = sequential_degree_from_sorted(sources, 6);
+  EXPECT_EQ(deg, (std::vector<std::uint32_t>{2, 3, 1, 2, 1, 3}));
+}
+
+TEST(SequentialDegree, EmptyInput) {
+  EXPECT_EQ(sequential_degree_from_sorted({}, 4),
+            (std::vector<std::uint32_t>{0, 0, 0, 0}));
+}
+
+TEST(ParallelDegree, MatchesSequentialOnFigure3) {
+  const std::vector<VertexId> sources{0, 0, 1, 1, 1, 2, 3, 3, 4, 5, 5, 5};
+  for (int p : {1, 2, 3, 4, 8, 12, 64}) {
+    EXPECT_EQ(parallel_degree_from_sorted(sources, 6, p),
+              sequential_degree_from_sorted(sources, 6))
+        << "p=" << p;
+  }
+}
+
+TEST(ParallelDegree, ZeroDegreeNodesStayZero) {
+  const std::vector<VertexId> sources{2, 2, 7};
+  const auto deg = parallel_degree_from_sorted(sources, 10, 4);
+  EXPECT_EQ(deg[0], 0u);
+  EXPECT_EQ(deg[2], 2u);
+  EXPECT_EQ(deg[7], 1u);
+  EXPECT_EQ(deg[9], 0u);
+}
+
+TEST(ParallelDegree, SingleRunSpanningEveryChunk) {
+  // The corner case the paper glosses over: one node's run covers the
+  // whole array, so every chunk spills into globalTempDegree and the merge
+  // must accumulate them all onto one node.
+  const std::vector<VertexId> sources(1000, 3);
+  for (int p : {2, 4, 8, 64}) {
+    const auto deg = parallel_degree_from_sorted(sources, 5, p);
+    EXPECT_EQ(deg[3], 1000u) << "p=" << p;
+    EXPECT_EQ(deg[0] + deg[1] + deg[2] + deg[4], 0u);
+  }
+}
+
+TEST(ParallelDegree, RunSpanningTwoBoundaries) {
+  // 12 elements, 4 chunks of 3: node 1's run occupies positions 2..8,
+  // crossing two chunk boundaries.
+  const std::vector<VertexId> sources{0, 0, 1, 1, 1, 1, 1, 1, 1, 2, 2, 3};
+  const auto deg = parallel_degree_from_sorted(sources, 4, 4);
+  EXPECT_EQ(deg, (std::vector<std::uint32_t>{2, 7, 2, 1}));
+}
+
+TEST(ParallelDegree, EveryNodeDistinct) {
+  std::vector<VertexId> sources(100);
+  for (VertexId i = 0; i < 100; ++i) sources[i] = i;
+  const auto deg = parallel_degree_from_sorted(sources, 100, 8);
+  EXPECT_TRUE(std::all_of(deg.begin(), deg.end(),
+                          [](std::uint32_t d) { return d == 1; }));
+}
+
+// Property sweep: random sorted arrays, all thread counts, vs sequential.
+class ParallelDegreeProperty
+    : public testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(ParallelDegreeProperty, MatchesSequential) {
+  const auto [n, threads] = GetParam();
+  pcq::util::SplitMix64 rng(n * 131 + threads);
+  constexpr VertexId kNodes = 64;
+  std::vector<VertexId> sources(n);
+  for (auto& s : sources) s = static_cast<VertexId>(rng.next_below(kNodes));
+  std::sort(sources.begin(), sources.end());
+  EXPECT_EQ(parallel_degree_from_sorted(sources, kNodes, threads),
+            sequential_degree_from_sorted(sources, kNodes));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelDegreeProperty,
+    testing::Combine(testing::Values<std::size_t>(0, 1, 2, 3, 63, 64, 65, 1000,
+                                                  10'000),
+                     testing::Values(1, 2, 3, 4, 8, 16, 64)));
+
+}  // namespace
+}  // namespace pcq::csr

@@ -1,0 +1,194 @@
+#include "csr/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "csr/builder.hpp"
+#include "csr/pcsr.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::csr {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+DynamicCsr make_dynamic(VertexId n, std::size_t m, std::uint64_t seed,
+                        double rebuild_ratio = 0.25) {
+  EdgeList g = graph::rmat(n, m, 0.57, 0.19, 0.19, seed, 4);
+  g.sort(4);
+  g.dedupe();
+  return DynamicCsr(build_bitpacked_csr_from_sorted(g, n, 4), rebuild_ratio);
+}
+
+TEST(DynamicCsr, AddThenQuery) {
+  DynamicCsr g = make_dynamic(64, 200, 1);
+  // Find an absent edge, add it.
+  VertexId u = 0, v = 0;
+  pcq::util::SplitMix64 rng(1);
+  do {
+    u = static_cast<VertexId>(rng.next_below(64));
+    v = static_cast<VertexId>(rng.next_below(64));
+  } while (g.has_edge(u, v));
+  const std::size_t before = g.num_edges();
+  g.add_edge(u, v);
+  EXPECT_TRUE(g.has_edge(u, v));
+  EXPECT_EQ(g.num_edges(), before + 1);
+  EXPECT_EQ(g.overlay_size(), 1u);
+}
+
+TEST(DynamicCsr, RemoveBaseEdge) {
+  DynamicCsr g = make_dynamic(64, 200, 2);
+  const auto row = g.base().neighbors(g.base().num_nodes() / 2);
+  VertexId u = g.base().num_nodes() / 2;
+  if (row.empty()) {
+    u = 0;
+    while (g.base().degree(u) == 0) ++u;
+  }
+  const VertexId v = g.base().neighbors(u).front();
+  g.remove_edge(u, v);
+  EXPECT_FALSE(g.has_edge(u, v));
+  // Re-adding cancels the pending removal entirely.
+  g.add_edge(u, v);
+  EXPECT_TRUE(g.has_edge(u, v));
+  EXPECT_EQ(g.overlay_size(), 0u);
+}
+
+TEST(DynamicCsr, DoubleAddIsNoop) {
+  DynamicCsr g = make_dynamic(64, 200, 3);
+  VertexId u = 0;
+  while (g.base().degree(u) == 0) ++u;
+  const VertexId v = g.base().neighbors(u).front();
+  g.add_edge(u, v);  // already present
+  EXPECT_EQ(g.overlay_size(), 0u);
+  g.remove_edge(u, v);
+  g.remove_edge(u, v);  // already removed
+  EXPECT_EQ(g.overlay_size(), 1u);
+}
+
+TEST(DynamicCsr, NeighborsMergeOverlay) {
+  DynamicCsr g = make_dynamic(64, 150, 4);
+  VertexId u = 0;
+  while (g.base().degree(u) < 2) ++u;
+  auto base_row = g.base().neighbors(u);
+  // Remove the first base neighbour, add two new ones.
+  const VertexId removed = base_row.front();
+  VertexId added_low = 0, added_high = 63;
+  while (g.has_edge(u, added_low) || added_low == u) ++added_low;
+  while (g.has_edge(u, added_high) || added_high == u) --added_high;
+  g.remove_edge(u, removed);
+  g.add_edge(u, added_low);
+  g.add_edge(u, added_high);
+
+  const auto row = g.neighbors(u);
+  EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+  EXPECT_EQ(std::count(row.begin(), row.end(), removed), 0);
+  EXPECT_EQ(std::count(row.begin(), row.end(), added_low), 1);
+  EXPECT_EQ(std::count(row.begin(), row.end(), added_high), 1);
+  EXPECT_EQ(row.size(), base_row.size() - 1 + 2);
+}
+
+TEST(DynamicCsr, RebuildCompactsOverlay) {
+  DynamicCsr g = make_dynamic(128, 500, 5);
+  pcq::util::SplitMix64 rng(5);
+  std::set<std::pair<VertexId, VertexId>> added;
+  for (int i = 0; i < 50; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(128));
+    const auto v = static_cast<VertexId>(rng.next_below(128));
+    if (!g.has_edge(u, v)) {
+      g.add_edge(u, v);
+      added.insert({u, v});
+    }
+  }
+  const std::size_t edges_before = g.num_edges();
+  g.rebuild(4);
+  EXPECT_EQ(g.overlay_size(), 0u);
+  EXPECT_EQ(g.num_edges(), edges_before);
+  for (const auto& [u, v] : added) EXPECT_TRUE(g.has_edge(u, v));
+}
+
+TEST(DynamicCsr, NeedsRebuildThreshold) {
+  DynamicCsr g = make_dynamic(64, 100, 6, /*rebuild_ratio=*/0.05);
+  pcq::util::SplitMix64 rng(7);
+  while (!g.needs_rebuild()) {
+    const auto u = static_cast<VertexId>(rng.next_below(64));
+    const auto v = static_cast<VertexId>(rng.next_below(64));
+    if (!g.has_edge(u, v) && u != v) g.add_edge(u, v);
+  }
+  EXPECT_GT(g.overlay_size(), 0u);
+  g.rebuild(4);
+  EXPECT_FALSE(g.needs_rebuild());
+}
+
+TEST(DynamicCsr, MatchesSetOracleUnderChurn) {
+  DynamicCsr g = make_dynamic(48, 150, 8);
+  std::set<std::pair<VertexId, VertexId>> oracle;
+  const CsrGraph base = g.base().to_csr();
+  for (VertexId u = 0; u < 48; ++u)
+    for (VertexId v : base.neighbors(u)) oracle.insert({u, v});
+
+  pcq::util::SplitMix64 rng(9);
+  for (int step = 0; step < 500; ++step) {
+    const auto u = static_cast<VertexId>(rng.next_below(48));
+    const auto v = static_cast<VertexId>(rng.next_below(48));
+    if (rng.next_bool(0.5)) {
+      g.add_edge(u, v);
+      oracle.insert({u, v});
+    } else {
+      g.remove_edge(u, v);
+      oracle.erase({u, v});
+    }
+    if (step % 100 == 99) g.rebuild(4);
+  }
+  for (VertexId u = 0; u < 48; ++u) {
+    const auto row = g.neighbors(u);
+    std::set<VertexId> expect;
+    for (const auto& [a, b] : oracle)
+      if (a == u) expect.insert(b);
+    EXPECT_EQ(std::set<VertexId>(row.begin(), row.end()), expect) << "u=" << u;
+  }
+}
+
+TEST(DynamicCsr, AgreesWithPmaUnderIdenticalOpStream) {
+  // The two dynamic structures (overlay vs packed-memory-array) must stay
+  // in lockstep across a long mixed add/remove/query stream.
+  graph::EdgeList base = graph::rmat(96, 400, 0.57, 0.19, 0.19, 21, 4);
+  base.sort(4);
+  base.dedupe();
+  DynamicCsr overlay(build_bitpacked_csr_from_sorted(base, 96, 4));
+  PmaCsr pma(base);
+
+  pcq::util::SplitMix64 rng(23);
+  for (int step = 0; step < 5000; ++step) {
+    const auto u = static_cast<VertexId>(rng.next_below(96));
+    const auto v = static_cast<VertexId>(rng.next_below(96));
+    if (rng.next_bool(0.6)) {
+      overlay.add_edge(u, v);
+      pma.add_edge(u, v);
+    } else {
+      overlay.remove_edge(u, v);
+      pma.remove_edge(u, v);
+    }
+    if (step % 500 == 499) {
+      ASSERT_EQ(overlay.num_edges(), pma.num_edges()) << step;
+      for (VertexId q = 0; q < 96; q += 7)
+        ASSERT_EQ(overlay.neighbors(q), pma.neighbors(q))
+            << "step " << step << " q=" << q;
+    }
+    if (step == 2500) overlay.rebuild(4);  // compaction must not diverge
+  }
+  ASSERT_TRUE(pma.check_invariants());
+  for (VertexId q = 0; q < 96; ++q)
+    EXPECT_EQ(overlay.neighbors(q), pma.neighbors(q)) << q;
+}
+
+TEST(DynamicCsrDeathTest, OutOfRangeNodeAborts) {
+  DynamicCsr g = make_dynamic(16, 50, 10);
+  EXPECT_DEATH(g.add_edge(99, 0), "out of range");
+}
+
+}  // namespace
+}  // namespace pcq::csr

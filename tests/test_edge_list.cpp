@@ -1,0 +1,110 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pcq::graph {
+namespace {
+
+TEST(EdgeList, EmptyProperties) {
+  EdgeList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.num_nodes(), 0u);
+  EXPECT_EQ(list.size_bytes(), 0u);
+  EXPECT_TRUE(list.is_sorted());
+}
+
+TEST(EdgeList, NumNodesIsMaxPlusOne) {
+  EdgeList list({{0, 5}, {3, 2}});
+  EXPECT_EQ(list.num_nodes(), 6u);
+  list.push_back({9, 1});
+  EXPECT_EQ(list.num_nodes(), 10u);
+}
+
+TEST(EdgeList, SizeBytesIsEightPerEdge) {
+  EdgeList list({{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(list.size_bytes(), 3 * 8u);
+}
+
+TEST(EdgeList, TextSizeMatchesSnapFormat) {
+  // "0\t5\n" = 4, "12\t345\n" = 7, "1000000\t9\n" = 10.
+  EdgeList list({{0, 5}, {12, 345}, {1'000'000, 9}});
+  EXPECT_EQ(list.text_size_bytes(), 4u + 7u + 10u);
+}
+
+TEST(EdgeList, SortOrdersBySourceThenDest) {
+  EdgeList list({{2, 1}, {0, 9}, {2, 0}, {0, 3}});
+  EXPECT_FALSE(list.is_sorted());
+  list.sort(4);
+  EXPECT_TRUE(list.is_sorted());
+  const auto edges = list.edges();
+  EXPECT_EQ(edges[0], (Edge{0, 3}));
+  EXPECT_EQ(edges[1], (Edge{0, 9}));
+  EXPECT_EQ(edges[2], (Edge{2, 0}));
+  EXPECT_EQ(edges[3], (Edge{2, 1}));
+}
+
+TEST(EdgeList, DedupeRemovesAdjacentDuplicates) {
+  EdgeList list({{0, 1}, {0, 1}, {0, 1}, {1, 2}});
+  list.dedupe();
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(EdgeList, RemoveSelfLoops) {
+  EdgeList list({{0, 0}, {0, 1}, {2, 2}, {1, 2}});
+  list.remove_self_loops();
+  EXPECT_EQ(list.size(), 2u);
+  for (const Edge& e : list.edges()) EXPECT_NE(e.u, e.v);
+}
+
+TEST(EdgeList, SymmetrizeDoublesEdges) {
+  EdgeList list({{0, 1}, {2, 3}});
+  list.symmetrize();
+  EXPECT_EQ(list.size(), 4u);
+  const auto edges = list.edges();
+  EXPECT_NE(std::find(edges.begin(), edges.end(), Edge{1, 0}), edges.end());
+  EXPECT_NE(std::find(edges.begin(), edges.end(), Edge{3, 2}), edges.end());
+}
+
+TEST(EdgeList, UpperTriangleMatchesPaperFigure1) {
+  // The 10-node example of Table I, given as a symmetric edge list. The
+  // upper triangle must be exactly the 7 edges Figure 1 packs:
+  // (0,5) (1,6) (1,7) (2,7) (3,8) (3,9) (4,9).
+  EdgeList list({{0, 5}, {5, 0}, {1, 6}, {6, 1}, {1, 7}, {7, 1}, {2, 7},
+                 {7, 2}, {3, 8}, {8, 3}, {3, 9}, {9, 3}, {4, 9}, {9, 4}});
+  list.to_upper_triangle();
+  const std::vector<Edge> expected{{0, 5}, {1, 6}, {1, 7}, {2, 7},
+                                   {3, 8}, {3, 9}, {4, 9}};
+  ASSERT_EQ(list.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(list.edges()[i], expected[i]);
+}
+
+TEST(TemporalEdgeList, SortUsesTimeSourceOrder) {
+  TemporalEdgeList list({{5, 1, 2}, {0, 1, 0}, {3, 2, 0}, {0, 2, 1}});
+  EXPECT_FALSE(list.is_sorted());
+  list.sort(2);
+  EXPECT_TRUE(list.is_sorted());
+  const auto evs = list.edges();
+  EXPECT_EQ(evs[0], (TemporalEdge{0, 1, 0}));
+  EXPECT_EQ(evs[1], (TemporalEdge{3, 2, 0}));
+  EXPECT_EQ(evs[2], (TemporalEdge{0, 2, 1}));
+  EXPECT_EQ(evs[3], (TemporalEdge{5, 1, 2}));
+}
+
+TEST(TemporalEdgeList, FrameAndNodeCounts) {
+  TemporalEdgeList list({{0, 1, 0}, {2, 3, 7}});
+  EXPECT_EQ(list.num_nodes(), 4u);
+  EXPECT_EQ(list.num_frames(), 8u);
+  EXPECT_EQ(list.size_bytes(), 2 * sizeof(TemporalEdge));
+}
+
+TEST(TemporalEdgeList, EmptyCounts) {
+  TemporalEdgeList list;
+  EXPECT_EQ(list.num_nodes(), 0u);
+  EXPECT_EQ(list.num_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace pcq::graph

@@ -1,0 +1,96 @@
+#include "tcsr/edge_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pcq::tcsr {
+namespace {
+
+using graph::Edge;
+
+SortedEdgeSet make_set(std::vector<Edge> edges) {
+  return SortedEdgeSet::from_multiset(std::move(edges));
+}
+
+TEST(SortedEdgeSet, DefaultIsEmptyIdentity) {
+  SortedEdgeSet empty;
+  SortedEdgeSet s = make_set({{0, 1}, {2, 3}});
+  EXPECT_EQ(symmetric_difference(empty, s), s);
+  EXPECT_EQ(symmetric_difference(s, empty), s);
+}
+
+TEST(SortedEdgeSet, FromMultisetParityCancellation) {
+  // (0,1) x2 cancels, (2,3) x3 survives once, (4,5) x1 survives.
+  const SortedEdgeSet s =
+      make_set({{2, 3}, {0, 1}, {2, 3}, {4, 5}, {0, 1}, {2, 3}});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains({2, 3}));
+  EXPECT_TRUE(s.contains({4, 5}));
+  EXPECT_FALSE(s.contains({0, 1}));
+}
+
+TEST(SortedEdgeSet, SelfInverse) {
+  const SortedEdgeSet s = make_set({{0, 1}, {5, 2}, {9, 9}});
+  EXPECT_TRUE(symmetric_difference(s, s).empty());
+}
+
+TEST(SortedEdgeSet, Commutative) {
+  const SortedEdgeSet a = make_set({{0, 1}, {2, 3}});
+  const SortedEdgeSet b = make_set({{2, 3}, {4, 5}});
+  EXPECT_EQ(symmetric_difference(a, b), symmetric_difference(b, a));
+}
+
+TEST(SortedEdgeSet, KnownSymmetricDifference) {
+  const SortedEdgeSet a = make_set({{0, 1}, {2, 3}, {4, 5}});
+  const SortedEdgeSet b = make_set({{2, 3}, {6, 7}});
+  const SortedEdgeSet d = symmetric_difference(a, b);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_TRUE(d.contains({0, 1}));
+  EXPECT_TRUE(d.contains({4, 5}));
+  EXPECT_TRUE(d.contains({6, 7}));
+  EXPECT_FALSE(d.contains({2, 3}));
+}
+
+TEST(SortedEdgeSet, AssociativeOnRandomSets) {
+  pcq::util::SplitMix64 rng(5);
+  auto random_set = [&] {
+    std::vector<Edge> edges;
+    for (int i = 0; i < 50; ++i)
+      edges.push_back({static_cast<graph::VertexId>(rng.next_below(16)),
+                       static_cast<graph::VertexId>(rng.next_below(16))});
+    return make_set(std::move(edges));
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    const SortedEdgeSet a = random_set(), b = random_set(), c = random_set();
+    EXPECT_EQ(symmetric_difference(symmetric_difference(a, b), c),
+              symmetric_difference(a, symmetric_difference(b, c)));
+  }
+}
+
+TEST(SortedEdgeSet, ResultStaysSorted) {
+  pcq::util::SplitMix64 rng(7);
+  std::vector<Edge> ea, eb;
+  for (int i = 0; i < 200; ++i) {
+    ea.push_back({static_cast<graph::VertexId>(rng.next_below(32)),
+                  static_cast<graph::VertexId>(rng.next_below(32))});
+    eb.push_back({static_cast<graph::VertexId>(rng.next_below(32)),
+                  static_cast<graph::VertexId>(rng.next_below(32))});
+  }
+  const SortedEdgeSet d =
+      symmetric_difference(make_set(std::move(ea)), make_set(std::move(eb)));
+  const auto edges = d.edges();
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  EXPECT_EQ(std::adjacent_find(edges.begin(), edges.end()), edges.end());
+}
+
+TEST(SortedEdgeSet, TakeReleasesVector) {
+  SortedEdgeSet s = make_set({{1, 2}, {0, 1}});
+  const std::vector<Edge> v = std::move(s).take();
+  EXPECT_EQ(v, (std::vector<Edge>{{0, 1}, {1, 2}}));
+}
+
+}  // namespace
+}  // namespace pcq::tcsr

@@ -1,0 +1,99 @@
+#include "tcsr/edgelog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "tcsr/contact_index.hpp"
+#include "tcsr/tcsr.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::tcsr {
+namespace {
+
+using graph::TemporalEdge;
+using graph::TemporalEdgeList;
+using graph::TimeFrame;
+using graph::VertexId;
+
+TemporalEdgeList sorted(std::vector<TemporalEdge> evs) {
+  TemporalEdgeList list(std::move(evs));
+  list.sort(2);
+  return list;
+}
+
+TEST(EdgeLogIntervals, KnownLifecycle) {
+  // (0,1): [1,2] and [5,7]; (0,3): [0,7]. History = 8 frames.
+  const auto evs = sorted({{0, 1, 1}, {0, 1, 3}, {0, 1, 5}, {0, 3, 0}});
+  const EdgeLog log = EdgeLog::build(evs, 4, 8, 2);
+  EXPECT_EQ(log.intervals(0, 1),
+            (std::vector<ActivityInterval>{{1, 2}, {5, 7}}));
+  EXPECT_EQ(log.intervals(0, 3), (std::vector<ActivityInterval>{{0, 7}}));
+  EXPECT_TRUE(log.intervals(0, 2).empty());
+  EXPECT_TRUE(log.edge_active(0, 1, 6));
+  EXPECT_FALSE(log.edge_active(0, 1, 4));
+  EXPECT_EQ(log.neighbors_at(0, 1), (std::vector<VertexId>{1, 3}));
+  EXPECT_EQ(log.neighbors_at(0, 4), (std::vector<VertexId>{3}));
+}
+
+TEST(EdgeLogIntervals, EmptyHistory) {
+  const EdgeLog log = EdgeLog::build(TemporalEdgeList{}, 3, 0, 2);
+  EXPECT_FALSE(log.edge_active(0, 1, 0));
+  EXPECT_TRUE(log.neighbors_at(2, 0).empty());
+}
+
+TEST(EdgeLogIntervals, VertexWithNoEvents) {
+  const auto evs = sorted({{0, 1, 0}});
+  const EdgeLog log = EdgeLog::build(evs, 10, 4, 2);
+  EXPECT_TRUE(log.neighbors_at(7, 2).empty());
+  EXPECT_FALSE(log.edge_active(7, 1, 2));
+}
+
+TEST(EdgeLogIntervals, AgreesWithDifferentialTcsr) {
+  const TemporalEdgeList evs = graph::evolving_graph(70, 3500, 10, 61, 4);
+  const auto tcsr = DifferentialTcsr::build(evs, 70, 10, 4);
+  const EdgeLog log = EdgeLog::build(evs, 70, 10, 4);
+
+  pcq::util::SplitMix64 rng(63);
+  for (int i = 0; i < 1500; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(70));
+    const auto v = static_cast<VertexId>(rng.next_below(70));
+    const auto t = static_cast<TimeFrame>(rng.next_below(10));
+    ASSERT_EQ(log.edge_active(u, v, t), tcsr.edge_active(u, v, t))
+        << u << "->" << v << "@" << t;
+  }
+  for (VertexId u = 0; u < 70; u += 7)
+    for (TimeFrame t = 0; t < 10; t += 3)
+      EXPECT_EQ(log.neighbors_at(u, t), tcsr.neighbors_at(u, t));
+}
+
+TEST(EdgeLogIntervals, IntervalsMatchContactIndex) {
+  const TemporalEdgeList evs = graph::evolving_graph(50, 2000, 8, 67, 4);
+  const EdgeLog log = EdgeLog::build(evs, 50, 8, 4);
+  const ContactIndex idx = ContactIndex::build(evs, 50, 8, 4);
+  for (VertexId u = 0; u < 50; u += 3)
+    for (VertexId v = 0; v < 50; v += 4)
+      EXPECT_EQ(log.intervals(u, v), idx.contacts(u, v)) << u << "->" << v;
+}
+
+TEST(EdgeLogIntervals, ThreadCountInvariance) {
+  const TemporalEdgeList evs = graph::evolving_graph(60, 2500, 8, 71, 4);
+  const EdgeLog ref = EdgeLog::build(evs, 60, 8, 1);
+  for (int p : {2, 4, 8}) {
+    const EdgeLog log = EdgeLog::build(evs, 60, 8, p);
+    EXPECT_EQ(log.size_bytes(), ref.size_bytes()) << "p=" << p;
+    for (VertexId u = 0; u < 60; u += 11)
+      EXPECT_EQ(log.neighbors_at(u, 5), ref.neighbors_at(u, 5));
+  }
+}
+
+TEST(EdgeLogIntervals, CompactOnPersistentWorkload) {
+  // Long intervals gamma-code into a handful of bits per contact — far
+  // smaller than the raw events.
+  const TemporalEdgeList evs =
+      graph::evolving_graph_churn(200, 5000, 24, 50, 0.4, 73);
+  const EdgeLog log = EdgeLog::build(evs, 200, 24, 4);
+  EXPECT_LT(log.size_bytes(), evs.size_bytes() / 2);
+}
+
+}  // namespace
+}  // namespace pcq::tcsr

@@ -1,0 +1,88 @@
+#include "tcsr/frame_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+
+namespace pcq::tcsr {
+namespace {
+
+using graph::TemporalEdge;
+using graph::TemporalEdgeList;
+using graph::TimeFrame;
+using graph::VertexId;
+
+TEST(FrameOffsets, LocatesFrameSlices) {
+  // Frames: t=0 has 2 events, t=1 has 0, t=2 has 3.
+  TemporalEdgeList evs(
+      {{0, 1, 0}, {2, 3, 0}, {0, 2, 2}, {1, 3, 2}, {4, 0, 2}});
+  const auto offsets = frame_offsets(evs, 3, 4);
+  EXPECT_EQ(offsets, (std::vector<std::uint64_t>{0, 2, 2, 5}));
+}
+
+TEST(FrameOffsets, ThreadCountInvariance) {
+  const TemporalEdgeList evs = graph::evolving_graph(200, 10'000, 32, 3, 4);
+  const auto ref = frame_offsets(evs, 32, 1);
+  for (int p : {2, 4, 8, 64}) EXPECT_EQ(frame_offsets(evs, 32, p), ref);
+}
+
+TEST(BuildFrameCsrs, OneCsrPerFrame) {
+  TemporalEdgeList evs({{0, 1, 0}, {1, 2, 1}, {2, 3, 3}});
+  const auto frames = build_frame_csrs(evs, 4, 4, 2);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[0].num_edges(), 1u);
+  EXPECT_TRUE(frames[0].has_edge(0, 1));
+  EXPECT_EQ(frames[1].num_edges(), 1u);
+  EXPECT_EQ(frames[2].num_edges(), 0u);  // empty frame
+  EXPECT_EQ(frames[3].num_edges(), 1u);
+}
+
+TEST(BuildFrameCsrs, WithinFrameParityCancellation) {
+  // (0,1) appears twice in frame 0 -> cancelled; three times in frame 1 ->
+  // survives once.
+  TemporalEdgeList evs({{0, 1, 0}, {0, 1, 0}, {0, 1, 1}, {0, 1, 1}, {0, 1, 1}});
+  const auto frames = build_frame_csrs(evs, 2, 2, 4);
+  EXPECT_EQ(frames[0].num_edges(), 0u);
+  EXPECT_EQ(frames[1].num_edges(), 1u);
+  EXPECT_TRUE(frames[1].has_edge(0, 1));
+}
+
+TEST(BuildFrameCsrs, AllNodesPresentInEveryFrameCsr) {
+  TemporalEdgeList evs({{0, 1, 0}, {5, 2, 1}});
+  const auto frames = build_frame_csrs(evs, 8, 2, 2);
+  for (const auto& f : frames) EXPECT_EQ(f.num_nodes(), 8u);
+}
+
+TEST(BuildFrameCsrs, ThreadCountInvariance) {
+  const TemporalEdgeList evs = graph::evolving_graph(100, 5000, 16, 7, 4);
+  const auto ref = build_frame_csrs(evs, 100, 16, 1);
+  for (int p : {2, 4, 8}) {
+    const auto got = build_frame_csrs(evs, 100, 16, p);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t t = 0; t < ref.size(); ++t) {
+      ASSERT_EQ(got[t].num_edges(), ref[t].num_edges()) << "t=" << t;
+      EXPECT_TRUE(std::equal(got[t].offsets().begin(), got[t].offsets().end(),
+                             ref[t].offsets().begin()));
+      EXPECT_TRUE(std::equal(got[t].columns().begin(), got[t].columns().end(),
+                             ref[t].columns().begin()));
+    }
+  }
+}
+
+TEST(BuildFrameCsrs, FrameSpanningManyChunks) {
+  // One frame holds nearly all events: its slice spans every chunk, the
+  // temporal analogue of the degree computation's long-run corner case.
+  std::vector<TemporalEdge> evs;
+  evs.push_back({0, 1, 0});
+  for (VertexId i = 0; i < 1000; ++i) evs.push_back({i % 10, i / 10, 1});
+  TemporalEdgeList list(std::move(evs));
+  list.sort(4);
+  const auto frames = build_frame_csrs(list, 100, 2, 8);
+  EXPECT_EQ(frames[0].num_edges(), 1u);
+  EXPECT_EQ(frames[1].num_edges(), 1000u);  // all pairs distinct, none cancel
+}
+
+}  // namespace
+}  // namespace pcq::tcsr

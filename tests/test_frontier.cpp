@@ -1,0 +1,125 @@
+#include "algos/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "algos/bfs.hpp"
+#include "algos/components.hpp"
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace pcq::algos {
+namespace {
+
+using graph::EdgeList;
+using graph::VertexId;
+
+csr::CsrGraph symmetric_csr(EdgeList g, VertexId n) {
+  g.symmetrize();
+  g.sort(4);
+  g.dedupe();
+  g.remove_self_loops();
+  return csr::build_csr_from_sorted(g, n, 4);
+}
+
+TEST(VertexSubset, SingleAndMembership) {
+  const auto s = VertexSubset::single(10, 3);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.ids(), (std::vector<VertexId>{3}));
+}
+
+TEST(VertexSubset, FromIdsDedupes) {
+  const auto s = VertexSubset::from_ids(10, {5, 2, 5, 7, 2});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.ids(), (std::vector<VertexId>{2, 5, 7}));
+}
+
+TEST(VertexSubset, DenseRoundTrip) {
+  auto s = VertexSubset::from_ids(100, {1, 50, 99});
+  s.to_dense();
+  EXPECT_TRUE(s.is_dense());
+  EXPECT_TRUE(s.contains(50));
+  EXPECT_FALSE(s.contains(51));
+  EXPECT_EQ(s.ids(), (std::vector<VertexId>{1, 50, 99}));
+}
+
+TEST(FrontierEngine, EdgeMapSinglePushStep) {
+  // Star centre 0: one push step reaches all leaves exactly once.
+  EdgeList g;
+  for (VertexId v = 1; v < 20; ++v) g.push_back({0, v});
+  const csr::CsrGraph csr = symmetric_csr(std::move(g), 20);
+  FrontierEngine engine(csr, csr, 4);
+  std::vector<std::atomic<int>> claims(20);
+  for (auto& c : claims) c.store(0);
+  const auto next = engine.edge_map(
+      VertexSubset::single(20, 0),
+      [&](VertexId, VertexId v) {
+        return claims[v].fetch_add(1, std::memory_order_relaxed) == 0;
+      },
+      [](VertexId v) { return v != 0; });
+  EXPECT_EQ(next.count(), 19u);
+  for (VertexId v = 1; v < 20; ++v) EXPECT_TRUE(next.contains(v));
+  EXPECT_FALSE(next.contains(0));
+}
+
+TEST(FrontierEngine, VertexMapAndFilter) {
+  EdgeList g({{0, 1}});
+  const csr::CsrGraph csr = symmetric_csr(std::move(g), 8);
+  FrontierEngine engine(csr, csr, 2);
+  const auto s = VertexSubset::from_ids(8, {1, 2, 3, 4, 5});
+  std::atomic<int> visits{0};
+  engine.vertex_map(s, [&](VertexId) { visits.fetch_add(1); });
+  EXPECT_EQ(visits.load(), 5);
+  const auto evens =
+      engine.vertex_filter(s, [](VertexId v) { return v % 2 == 0; });
+  EXPECT_EQ(evens.ids(), (std::vector<VertexId>{2, 4}));
+}
+
+TEST(BfsFrontier, MatchesDirectBfsOnRandomGraphs) {
+  for (std::uint64_t seed : {3u, 7u, 11u}) {
+    const csr::CsrGraph g = symmetric_csr(
+        graph::rmat(1 << 9, 6000, 0.57, 0.19, 0.19, seed, 4), 1 << 9);
+    const auto expect = bfs(g, 0, 4);
+    for (int p : {1, 4, 8})
+      EXPECT_EQ(bfs_frontier(g, 0, p), expect) << "seed=" << seed << " p=" << p;
+  }
+}
+
+TEST(BfsFrontier, TriggersBothPushAndPull) {
+  // A dense-ish graph forces the pull branch after the first expansion
+  // (frontier degree mass > |E| / 20 quickly), while the first step is a
+  // sparse push — the distances must still be exact.
+  const csr::CsrGraph g = symmetric_csr(
+      graph::erdos_renyi(500, 20'000, 13, 4), 500);
+  EXPECT_EQ(bfs_frontier(g, 42, 4), bfs(g, 42, 4));
+}
+
+TEST(BfsFrontier, DisconnectedStaysUnreachable) {
+  const csr::CsrGraph g = symmetric_csr(EdgeList({{0, 1}, {3, 4}}), 5);
+  const auto dist = bfs_frontier(g, 0, 4);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(CcFrontier, MatchesUnionFind) {
+  const csr::CsrGraph g = symmetric_csr(
+      graph::erdos_renyi(400, 500, 17, 4), 400);  // sparse, many components
+  const auto expect = connected_components_union_find(g);
+  for (int p : {1, 4})
+    EXPECT_EQ(cc_frontier(g, p), expect) << "p=" << p;
+}
+
+TEST(CcFrontier, SingleRing) {
+  EdgeList g;
+  for (VertexId v = 0; v < 64; ++v) g.push_back({v, (v + 1) % 64});
+  const csr::CsrGraph csr = symmetric_csr(std::move(g), 64);
+  const auto labels = cc_frontier(csr, 4);
+  for (VertexId v = 0; v < 64; ++v) EXPECT_EQ(labels[v], 0u);
+}
+
+}  // namespace
+}  // namespace pcq::algos

@@ -1,0 +1,132 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+
+namespace pcq::graph {
+namespace {
+
+class IoTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pcq_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, SnapTextRoundTrip) {
+  const EdgeList original = erdos_renyi(200, 1000, 1, 2);
+  save_snap_text(original, path("g.txt"));
+  const EdgeList loaded = load_snap_text(path("g.txt"));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(loaded.edges()[i], original.edges()[i]);
+}
+
+TEST_F(IoTest, SnapTextSkipsCommentsAndBlankLines) {
+  {
+    std::ofstream out(path("c.txt"));
+    out << "# Undirected graph: soc-pokec\n"
+        << "# Nodes: 3 Edges: 2\n"
+        << "\n"
+        << "0\t1\n"
+        << "   \n"
+        << "1 2\n";
+  }
+  const EdgeList g = load_snap_text(path("c.txt"));
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(g.edges()[1], (Edge{1, 2}));
+}
+
+TEST_F(IoTest, SnapTextHandlesSpacesAndTabs) {
+  {
+    std::ofstream out(path("w.txt"));
+    out << "10 20\n30\t40\n  50   60  \n";
+  }
+  const EdgeList g = load_snap_text(path("w.txt"));
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.edges()[2], (Edge{50, 60}));
+}
+
+TEST_F(IoTest, EmptyTextFileLoadsEmptyList) {
+  { std::ofstream out(path("e.txt")); }
+  EXPECT_TRUE(load_snap_text(path("e.txt")).empty());
+}
+
+TEST_F(IoTest, TemporalTextRoundTrip) {
+  const TemporalEdgeList original = evolving_graph(50, 500, 8, 3, 2);
+  save_temporal_text(original, path("t.txt"));
+  const TemporalEdgeList loaded = load_temporal_text(path("t.txt"));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(loaded.edges()[i], original.edges()[i]);
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const EdgeList original = rmat(256, 5000, 0.57, 0.19, 0.19, 5, 2);
+  save_binary(original, path("g.bin"));
+  const EdgeList loaded = load_binary(path("g.bin"));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(loaded.edges()[i], original.edges()[i]);
+}
+
+TEST_F(IoTest, BinaryEmptyList) {
+  save_binary(EdgeList{}, path("empty.bin"));
+  EXPECT_TRUE(load_binary(path("empty.bin")).empty());
+}
+
+TEST_F(IoTest, TemporalBinaryRoundTrip) {
+  const TemporalEdgeList original = evolving_graph(80, 2000, 12, 7, 2);
+  save_temporal_binary(original, path("t.bin"));
+  const TemporalEdgeList loaded = load_temporal_binary(path("t.bin"));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(loaded.edges()[i], original.edges()[i]);
+}
+
+TEST_F(IoTest, TemporalBinaryEmpty) {
+  save_temporal_binary(TemporalEdgeList{}, path("te.bin"));
+  EXPECT_TRUE(load_temporal_binary(path("te.bin")).empty());
+}
+
+TEST_F(IoTest, TemporalBinaryRejectsEdgeMagic) {
+  save_binary(EdgeList({{0, 1}}), path("plain.bin"));
+  EXPECT_DEATH(load_temporal_binary(path("plain.bin")), "bad magic");
+}
+
+TEST_F(IoTest, BinaryIsSmallerThanTextForLargeIds) {
+  EdgeList g;
+  for (VertexId i = 0; i < 1000; ++i) g.push_back({1'000'000 + i, 2'000'000 + i});
+  save_snap_text(g, path("big.txt"));
+  save_binary(g, path("big.bin"));
+  EXPECT_LT(std::filesystem::file_size(path("big.bin")),
+            std::filesystem::file_size(path("big.txt")));
+}
+
+TEST_F(IoTest, BinaryBadMagicAborts) {
+  {
+    std::ofstream out(path("bad.bin"), std::ios::binary);
+    out << "NOTPCQ!!" << std::string(16, '\0');
+  }
+  EXPECT_DEATH(load_binary(path("bad.bin")), "bad magic");
+}
+
+TEST_F(IoTest, MissingFileAborts) {
+  EXPECT_DEATH(load_snap_text(path("nope.txt")), "cannot open");
+}
+
+}  // namespace
+}  // namespace pcq::graph

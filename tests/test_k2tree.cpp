@@ -1,0 +1,122 @@
+#include "graph/k2tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::graph {
+namespace {
+
+EdgeList sorted_dedup(EdgeList g) {
+  g.sort(4);
+  g.dedupe();
+  return g;
+}
+
+TEST(K2Tree, TableOneExample) {
+  // The paper's Table I matrix (full symmetric form).
+  EdgeList g({{0, 5}, {1, 6}, {1, 7}, {2, 7}, {3, 8}, {3, 9}, {4, 9},
+              {5, 0}, {6, 1}, {7, 1}, {7, 2}, {8, 2}, {8, 3}, {9, 3}, {9, 4}});
+  const K2Tree t = K2Tree::build(g, 10, 2, 2);
+  EXPECT_EQ(t.num_edges(), g.size());
+  EXPECT_TRUE(t.has_edge(0, 5));
+  EXPECT_TRUE(t.has_edge(9, 4));
+  EXPECT_FALSE(t.has_edge(0, 1));
+  EXPECT_FALSE(t.has_edge(5, 5));
+  EXPECT_EQ(t.neighbors(1), (std::vector<VertexId>{6, 7}));
+  EXPECT_EQ(t.neighbors(3), (std::vector<VertexId>{8, 9}));
+  EXPECT_EQ(t.reverse_neighbors(9), (std::vector<VertexId>{3, 4}));
+}
+
+TEST(K2Tree, EmptyGraph) {
+  const K2Tree t = K2Tree::build(EdgeList{}, 8, 2, 2);
+  EXPECT_EQ(t.num_edges(), 0u);
+  EXPECT_FALSE(t.has_edge(0, 0));
+  EXPECT_TRUE(t.neighbors(3).empty());
+}
+
+TEST(K2Tree, SingleEdgeDeepTree) {
+  const K2Tree t = K2Tree::build(EdgeList({{1000, 2000}}), 3000, 2, 2);
+  EXPECT_TRUE(t.has_edge(1000, 2000));
+  EXPECT_FALSE(t.has_edge(2000, 1000));
+  EXPECT_EQ(t.neighbors(1000), (std::vector<VertexId>{2000}));
+  EXPECT_EQ(t.reverse_neighbors(2000), (std::vector<VertexId>{1000}));
+}
+
+class K2TreeParam : public testing::TestWithParam<unsigned> {};
+
+TEST_P(K2TreeParam, MatchesCsrOnRandomGraph) {
+  const unsigned k = GetParam();
+  const EdgeList g = sorted_dedup(rmat(600, 12'000, 0.57, 0.19, 0.19, 3, 4));
+  const csr::CsrGraph csr = csr::build_csr_from_sorted(g, 600, 4);
+  const K2Tree t = K2Tree::build(g, 600, k, 4);
+  ASSERT_EQ(t.num_edges(), csr.num_edges());
+  for (VertexId u = 0; u < 600; u += 7) {
+    const auto row = t.neighbors(u);
+    const auto expect = csr.neighbors(u);
+    ASSERT_EQ(row.size(), expect.size()) << "k=" << k << " u=" << u;
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), expect.begin()));
+  }
+  pcq::util::SplitMix64 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(600));
+    const auto v = static_cast<VertexId>(rng.next_below(600));
+    ASSERT_EQ(t.has_edge(u, v), csr.has_edge(u, v))
+        << "k=" << k << " " << u << "," << v;
+  }
+}
+
+TEST_P(K2TreeParam, ReverseNeighborsMatchTranspose) {
+  const unsigned k = GetParam();
+  const EdgeList g = sorted_dedup(rmat(300, 5000, 0.57, 0.19, 0.19, 7, 4));
+  const K2Tree t = K2Tree::build(g, 300, k, 4);
+  std::vector<std::vector<VertexId>> in_rows(300);
+  for (const Edge& e : g.edges()) in_rows[e.v].push_back(e.u);
+  for (VertexId v = 0; v < 300; v += 11) {
+    std::sort(in_rows[v].begin(), in_rows[v].end());
+    EXPECT_EQ(t.reverse_neighbors(v), in_rows[v]) << "k=" << k << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, K2TreeParam, testing::Values(2u, 4u, 8u));
+
+TEST(K2Tree, ThreadCountInvariance) {
+  const EdgeList g = sorted_dedup(rmat(400, 8000, 0.57, 0.19, 0.19, 9, 4));
+  const K2Tree ref = K2Tree::build(g, 400, 2, 1);
+  for (int p : {2, 4, 8}) {
+    const K2Tree t = K2Tree::build(g, 400, 2, p);
+    EXPECT_EQ(t.size_bytes(), ref.size_bytes()) << "p=" << p;
+    for (VertexId u = 0; u < 400; u += 37)
+      EXPECT_EQ(t.neighbors(u), ref.neighbors(u)) << "p=" << p;
+  }
+}
+
+TEST(K2Tree, SparseClusteredBeatsItsDenseFootprint) {
+  // A graph living entirely in one corner of the id space: the k²-tree
+  // prunes the empty quadrants at one bit per level.
+  EdgeList corner;
+  for (VertexId u = 0; u < 64; ++u)
+    for (VertexId v = 0; v < 64; ++v)
+      if (((u * 31 + v) % 7) == 0) corner.push_back({u, v});
+  const K2Tree small_ids = K2Tree::build(corner, 64, 2, 2);
+  // Same edges embedded in a 100x larger id space.
+  const K2Tree large_ids = K2Tree::build(corner, 6400, 2, 2);
+  // The embedding costs only O(levels) extra bits, not O(n^2).
+  EXPECT_LT(large_ids.size_bytes(), small_ids.size_bytes() + 128);
+}
+
+TEST(K2Tree, PaddingColumnsNeverReported) {
+  // n = 5 pads to s = 8; nodes 5-7 are padding and must stay invisible.
+  const EdgeList g({{0, 4}, {4, 0}});
+  const K2Tree t = K2Tree::build(g, 5, 2, 2);
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v : t.neighbors(u)) EXPECT_LT(v, 5u);
+  EXPECT_FALSE(t.has_edge(6, 6));
+}
+
+}  // namespace
+}  // namespace pcq::graph

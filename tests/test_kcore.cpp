@@ -1,0 +1,79 @@
+#include "algos/kcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace pcq::algos {
+namespace {
+
+using graph::EdgeList;
+using graph::VertexId;
+
+csr::CsrGraph symmetric_csr(EdgeList g, VertexId n) {
+  g.symmetrize();
+  g.sort(4);
+  g.dedupe();
+  g.remove_self_loops();
+  return csr::build_csr_from_sorted(g, n, 4);
+}
+
+TEST(KCore, TriangleWithTail) {
+  // Triangle {0,1,2} (coreness 2) with a pendant path 2-3-4 (coreness 1).
+  const csr::CsrGraph g =
+      symmetric_csr(EdgeList({{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}}), 5);
+  const auto core = kcore_peeling(g);
+  EXPECT_EQ(core, (std::vector<std::uint32_t>{2, 2, 2, 1, 1}));
+  EXPECT_EQ(degeneracy(core), 2u);
+}
+
+TEST(KCore, CompleteGraphCorenessIsNMinusOne) {
+  EdgeList g;
+  for (VertexId u = 0; u < 8; ++u)
+    for (VertexId v = u + 1; v < 8; ++v) g.push_back({u, v});
+  const csr::CsrGraph csr = symmetric_csr(std::move(g), 8);
+  const auto core = kcore_peeling(csr);
+  for (auto c : core) EXPECT_EQ(c, 7u);
+}
+
+TEST(KCore, StarGraphCorenessOne) {
+  EdgeList g;
+  for (VertexId v = 1; v < 30; ++v) g.push_back({0, v});
+  const csr::CsrGraph csr = symmetric_csr(std::move(g), 30);
+  const auto core = kcore_peeling(csr);
+  for (auto c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(KCore, IsolatedNodesZero) {
+  const csr::CsrGraph g = symmetric_csr(EdgeList({{0, 1}}), 5);
+  const auto core = kcore_peeling(g);
+  EXPECT_EQ(core[0], 1u);
+  EXPECT_EQ(core[4], 0u);
+}
+
+TEST(KCore, HIndexMatchesPeeling) {
+  const csr::CsrGraph g =
+      symmetric_csr(graph::rmat(512, 10'000, 0.57, 0.19, 0.19, 7, 4), 512);
+  const auto exact = kcore_peeling(g);
+  for (int p : {1, 4, 8}) {
+    EXPECT_EQ(kcore_hindex(g, p), exact) << "p=" << p;
+  }
+}
+
+TEST(KCore, EmptyGraph) {
+  const csr::CsrGraph g = csr::build_csr_from_sorted(EdgeList{}, 3, 2);
+  const auto core = kcore_peeling(g);
+  EXPECT_EQ(core, (std::vector<std::uint32_t>{0, 0, 0}));
+  EXPECT_EQ(degeneracy(core), 0u);
+}
+
+TEST(KCore, CorenessBoundedByDegree) {
+  const csr::CsrGraph g =
+      symmetric_csr(graph::erdos_renyi(300, 3000, 11, 4), 300);
+  const auto core = kcore_peeling(g);
+  for (VertexId v = 0; v < 300; ++v) EXPECT_LE(core[v], g.degree(v));
+}
+
+}  // namespace
+}  // namespace pcq::algos

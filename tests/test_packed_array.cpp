@@ -1,0 +1,109 @@
+#include "bits/packed_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pcq::bits {
+namespace {
+
+std::vector<std::uint64_t> random_values(std::size_t n, unsigned width,
+                                         std::uint64_t seed) {
+  pcq::util::SplitMix64 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  const std::uint64_t mask =
+      width == 64 ? ~0ULL : ((std::uint64_t{1} << width) - 1);
+  for (auto& x : v) x = rng.next() & mask;
+  return v;
+}
+
+TEST(PackedArray, EmptyArray) {
+  const auto packed = FixedWidthArray::pack({}, 4);
+  EXPECT_EQ(packed.size(), 0u);
+  EXPECT_TRUE(packed.empty());
+  EXPECT_TRUE(packed.unpack().empty());
+}
+
+TEST(PackedArray, AutoWidthFromMax) {
+  const std::vector<std::uint64_t> v{0, 5, 3, 7};
+  const auto packed = FixedWidthArray::pack(v, 1);
+  EXPECT_EQ(packed.width(), 3u);  // max is 7 -> 3 bits
+  EXPECT_EQ(packed.unpack(), v);
+}
+
+TEST(PackedArray, AllZeros) {
+  const std::vector<std::uint64_t> v(100, 0);
+  const auto packed = FixedWidthArray::pack(v, 4);
+  EXPECT_EQ(packed.width(), 1u);
+  EXPECT_EQ(packed.unpack(), v);
+  EXPECT_EQ(packed.size_bytes(), 16u);  // 100 bits -> 2 words
+}
+
+TEST(PackedArray, RandomAccessGet) {
+  const auto v = random_values(1000, 17, 3);
+  const auto packed = FixedWidthArray::pack_with_width(v, 17, 4);
+  for (std::size_t i = 0; i < v.size(); i += 37) EXPECT_EQ(packed.get(i), v[i]);
+  EXPECT_EQ(packed[999], v[999]);
+}
+
+TEST(PackedArray, GetRangeDecodesRow) {
+  const auto v = random_values(500, 11, 9);
+  const auto packed = FixedWidthArray::pack_with_width(v, 11, 4);
+  std::vector<std::uint64_t> out(100);
+  packed.get_range(123, 100, out);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(out[i], v[123 + i]);
+}
+
+TEST(PackedArray, Width64Values) {
+  const auto v = random_values(257, 64, 5);
+  const auto packed = FixedWidthArray::pack_with_width(v, 64, 4);
+  EXPECT_EQ(packed.unpack(), v);
+}
+
+TEST(PackedArray, Width1Values) {
+  const auto v = random_values(1000, 1, 7);
+  const auto packed = FixedWidthArray::pack_with_width(v, 1, 8);
+  EXPECT_EQ(packed.unpack(), v);
+  EXPECT_EQ(packed.size_bytes(), 128u);  // 1000 bits -> 16 words
+}
+
+TEST(PackedArray, CompressionRatioIsWidthOver64) {
+  // 1e4 values < 2^10 packed at 10 bits: ~6.4x smaller than raw u64.
+  const auto v = random_values(10'000, 10, 11);
+  const auto packed = FixedWidthArray::pack(v, 4);
+  EXPECT_LE(packed.size_bytes(), 10'000 * 10 / 8 + 8);
+  EXPECT_LT(packed.size_bytes() * 6, v.size() * sizeof(std::uint64_t));
+}
+
+TEST(PackedArray, ParallelEqualsSerial) {
+  const auto v = random_values(10'000, 23, 13);
+  const auto serial = FixedWidthArray::pack_with_width(v, 23, 1);
+  const auto parallel = FixedWidthArray::pack_with_width(v, 23, 8);
+  EXPECT_TRUE(serial == parallel);
+}
+
+// Algorithm 4 merge stress: widths that misalign chunk boundaries against
+// 64-bit words in every possible way, swept across sizes and thread counts.
+class PackedArrayMergeProperty
+    : public testing::TestWithParam<std::tuple<unsigned, std::size_t, int>> {};
+
+TEST_P(PackedArrayMergeProperty, ParallelPackRoundTrips) {
+  const auto [width, n, threads] = GetParam();
+  const auto v = random_values(n, width, width * 1000003 + n * 31 + threads);
+  const auto packed = FixedWidthArray::pack_with_width(v, width, threads);
+  ASSERT_EQ(packed.size(), n);
+  EXPECT_EQ(packed.unpack(), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PackedArrayMergeProperty,
+    testing::Combine(testing::Values(1u, 2u, 3u, 7u, 8u, 13u, 16u, 31u, 32u,
+                                     33u, 63u, 64u),
+                     testing::Values<std::size_t>(1, 2, 63, 64, 65, 1000),
+                     testing::Values(2, 3, 4, 8, 64)));
+
+}  // namespace
+}  // namespace pcq::bits

@@ -1,0 +1,97 @@
+#include "par/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "par/threads.hpp"
+
+namespace pcq::par {
+namespace {
+
+TEST(ClampThreads, Bounds) {
+  EXPECT_GE(clamp_threads(0), 1);          // 0 -> hardware concurrency
+  EXPECT_EQ(clamp_threads(-5), clamp_threads(0));
+  EXPECT_EQ(clamp_threads(7), 7);
+  EXPECT_EQ(clamp_threads(5000), 1024);    // default limit
+  EXPECT_EQ(clamp_threads(50, 8), 8);      // explicit limit
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (int p : {1, 2, 4, 8, 64}) {
+    std::vector<std::atomic<int>> visits(1000);
+    for (auto& v : visits) v.store(0);
+    parallel_for(1000, p, [&](std::size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < 1000; ++i)
+      ASSERT_EQ(visits[i].load(), 1) << "i=" << i << " p=" << p;
+  }
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  bool called = false;
+  parallel_for(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleIterationRunsInline) {
+  std::size_t seen = 99;
+  parallel_for(1, 8, [&](std::size_t i) { seen = i; });
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(ParallelForChunks, ChunksPartitionRange) {
+  for (int p : {1, 2, 3, 4, 8, 64}) {
+    std::vector<std::atomic<int>> visits(777);
+    for (auto& v : visits) v.store(0);
+    std::atomic<int> chunk_invocations{0};
+    parallel_for_chunks(777, p, [&](std::size_t, ChunkRange r) {
+      chunk_invocations.fetch_add(1);
+      for (std::size_t i = r.begin; i < r.end; ++i)
+        visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < 777; ++i) ASSERT_EQ(visits[i].load(), 1);
+    EXPECT_EQ(chunk_invocations.load(), std::min<int>(p, 777));
+  }
+}
+
+TEST(ParallelForChunks, ChunkIdsAreDistinctAndDense) {
+  constexpr int kThreads = 8;
+  std::vector<std::atomic<int>> seen(kThreads);
+  for (auto& s : seen) s.store(0);
+  parallel_for_chunks(10'000, kThreads, [&](std::size_t c, ChunkRange) {
+    seen[c].fetch_add(1);
+  });
+  for (int c = 0; c < kThreads; ++c) EXPECT_EQ(seen[c].load(), 1) << c;
+}
+
+TEST(ParallelForChunks, FewerElementsThanThreads) {
+  std::atomic<int> invocations{0};
+  std::atomic<std::size_t> covered{0};
+  parallel_for_chunks(3, 16, [&](std::size_t, ChunkRange r) {
+    invocations.fetch_add(1);
+    covered.fetch_add(r.size());
+  });
+  EXPECT_EQ(invocations.load(), 3);
+  EXPECT_EQ(covered.load(), 3u);
+}
+
+TEST(ParallelForChunks, EmptyRangeNoInvocation) {
+  bool called = false;
+  parallel_for_chunks(0, 4, [&](std::size_t, ChunkRange) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForChunks, BoundsMatchChunkRangeFunction) {
+  constexpr std::size_t kN = 12345;
+  constexpr std::size_t kP = 7;
+  parallel_for_chunks(kN, static_cast<int>(kP), [&](std::size_t c, ChunkRange r) {
+    EXPECT_EQ(r, chunk_range(kN, kP, c));
+  });
+}
+
+}  // namespace
+}  // namespace pcq::par

@@ -1,0 +1,139 @@
+#include "csr/pcsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::csr {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+TEST(PmaCsr, EmptyStore) {
+  PmaCsr pma;
+  EXPECT_EQ(pma.num_edges(), 0u);
+  EXPECT_FALSE(pma.has_edge(0, 0));
+  EXPECT_TRUE(pma.neighbors(5).empty());
+  EXPECT_TRUE(pma.check_invariants());
+}
+
+TEST(PmaCsr, BulkLoadMatchesInput) {
+  EdgeList g = graph::rmat(256, 5000, 0.57, 0.19, 0.19, 3, 4);
+  g.sort(4);
+  g.dedupe();
+  const PmaCsr pma(g);
+  EXPECT_EQ(pma.num_edges(), g.size());
+  EXPECT_TRUE(pma.check_invariants());
+  for (const Edge& e : g.edges()) EXPECT_TRUE(pma.has_edge(e.u, e.v));
+  const auto back = pma.to_edges();
+  ASSERT_EQ(back.size(), g.size());
+  EXPECT_TRUE(std::equal(back.begin(), back.end(), g.edges().begin()));
+}
+
+TEST(PmaCsr, InsertAscending) {
+  PmaCsr pma;
+  for (VertexId i = 0; i < 2000; ++i)
+    EXPECT_TRUE(pma.add_edge(i / 50, i % 50));
+  EXPECT_EQ(pma.num_edges(), 2000u);
+  EXPECT_TRUE(pma.check_invariants());
+}
+
+TEST(PmaCsr, InsertDescending) {
+  PmaCsr pma;
+  for (VertexId i = 2000; i-- > 0;)
+    EXPECT_TRUE(pma.add_edge(i / 50, i % 50));
+  EXPECT_EQ(pma.num_edges(), 2000u);
+  EXPECT_TRUE(pma.check_invariants());
+}
+
+TEST(PmaCsr, DuplicateInsertRejected) {
+  PmaCsr pma;
+  EXPECT_TRUE(pma.add_edge(3, 4));
+  EXPECT_FALSE(pma.add_edge(3, 4));
+  EXPECT_EQ(pma.num_edges(), 1u);
+}
+
+TEST(PmaCsr, RemoveAndReinsert) {
+  PmaCsr pma;
+  pma.add_edge(1, 2);
+  pma.add_edge(1, 3);
+  EXPECT_TRUE(pma.remove_edge(1, 2));
+  EXPECT_FALSE(pma.remove_edge(1, 2));
+  EXPECT_FALSE(pma.has_edge(1, 2));
+  EXPECT_TRUE(pma.has_edge(1, 3));
+  EXPECT_TRUE(pma.add_edge(1, 2));
+  EXPECT_EQ(pma.num_edges(), 2u);
+  EXPECT_TRUE(pma.check_invariants());
+}
+
+TEST(PmaCsr, NeighborsSortedAndComplete) {
+  PmaCsr pma;
+  pcq::util::SplitMix64 rng(5);
+  std::set<std::pair<VertexId, VertexId>> oracle;
+  for (int i = 0; i < 3000; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(64));
+    const auto v = static_cast<VertexId>(rng.next_below(64));
+    pma.add_edge(u, v);
+    oracle.insert({u, v});
+  }
+  for (VertexId u = 0; u < 64; ++u) {
+    const auto row = pma.neighbors(u);
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+    std::set<VertexId> expect;
+    for (const auto& [a, b] : oracle)
+      if (a == u) expect.insert(b);
+    EXPECT_EQ(std::set<VertexId>(row.begin(), row.end()), expect) << u;
+  }
+}
+
+TEST(PmaCsr, FuzzAgainstSetOracle) {
+  PmaCsr pma;
+  std::set<std::pair<VertexId, VertexId>> oracle;
+  pcq::util::SplitMix64 rng(7);
+  for (int step = 0; step < 20'000; ++step) {
+    const auto u = static_cast<VertexId>(rng.next_below(128));
+    const auto v = static_cast<VertexId>(rng.next_below(128));
+    if (rng.next_bool(0.65)) {
+      const bool added = pma.add_edge(u, v);
+      EXPECT_EQ(added, oracle.insert({u, v}).second);
+    } else {
+      const bool removed = pma.remove_edge(u, v);
+      EXPECT_EQ(removed, oracle.erase({u, v}) > 0);
+    }
+    if (step % 2500 == 0) {
+      ASSERT_TRUE(pma.check_invariants()) << "step " << step;
+      ASSERT_EQ(pma.num_edges(), oracle.size());
+    }
+  }
+  ASSERT_TRUE(pma.check_invariants());
+  EXPECT_EQ(pma.num_edges(), oracle.size());
+  for (const auto& [u, v] : oracle) EXPECT_TRUE(pma.has_edge(u, v));
+}
+
+TEST(PmaCsr, ShrinksAfterMassDeletion) {
+  PmaCsr pma;
+  for (VertexId i = 0; i < 4000; ++i) pma.add_edge(i / 63, i % 63);
+  const std::size_t grown = pma.size_bytes();
+  for (VertexId i = 0; i < 4000; ++i) pma.remove_edge(i / 63, i % 63);
+  EXPECT_EQ(pma.num_edges(), 0u);
+  EXPECT_LT(pma.size_bytes(), grown / 4);
+  EXPECT_TRUE(pma.check_invariants());
+}
+
+TEST(PmaCsr, SkewedHubInsertions) {
+  // All edges share one source: the worst case for segment balance.
+  PmaCsr pma;
+  for (VertexId v = 0; v < 5000; ++v) EXPECT_TRUE(pma.add_edge(7, v));
+  EXPECT_EQ(pma.num_edges(), 5000u);
+  EXPECT_EQ(pma.neighbors(7).size(), 5000u);
+  EXPECT_TRUE(pma.check_invariants());
+}
+
+}  // namespace
+}  // namespace pcq::csr

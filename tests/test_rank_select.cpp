@@ -1,0 +1,96 @@
+#include "bits/rank_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pcq::bits {
+namespace {
+
+BitVector random_bits(std::size_t n, double density, std::uint64_t seed) {
+  pcq::util::SplitMix64 rng(seed);
+  BitVector bv(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (rng.next_bool(density)) bv.set(i, true);
+  return bv;
+}
+
+std::size_t reference_rank(const BitVector& bv, std::size_t i) {
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < i; ++j) count += bv.get(j);
+  return count;
+}
+
+TEST(RankBitVector, EmptyVector) {
+  RankBitVector rb{BitVector{}};
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.ones(), 0u);
+  EXPECT_EQ(rb.rank1(0), 0u);
+}
+
+TEST(RankBitVector, AllZeros) {
+  RankBitVector rb{BitVector(1000)};
+  EXPECT_EQ(rb.ones(), 0u);
+  EXPECT_EQ(rb.rank1(1000), 0u);
+  EXPECT_EQ(rb.rank0(1000), 1000u);
+}
+
+TEST(RankBitVector, AllOnes) {
+  BitVector bv(777);
+  for (std::size_t i = 0; i < 777; ++i) bv.set(i, true);
+  RankBitVector rb(std::move(bv));
+  EXPECT_EQ(rb.ones(), 777u);
+  for (std::size_t i = 0; i <= 777; i += 91) EXPECT_EQ(rb.rank1(i), i);
+  for (std::size_t j = 0; j < 777; j += 77) EXPECT_EQ(rb.select1(j), j);
+}
+
+TEST(RankBitVector, RankMatchesReferenceAtEveryPosition) {
+  const BitVector bv = random_bits(3000, 0.3, 7);
+  RankBitVector rb{BitVector(bv)};
+  for (std::size_t i = 0; i <= 3000; ++i)
+    ASSERT_EQ(rb.rank1(i), reference_rank(bv, i)) << i;
+}
+
+TEST(RankBitVector, RankAcrossBlockBoundaries) {
+  // Exactly probe the 512-bit superblock edges.
+  const BitVector bv = random_bits(2048, 0.5, 9);
+  RankBitVector rb{BitVector(bv)};
+  for (std::size_t i : {511u, 512u, 513u, 1023u, 1024u, 1025u, 2047u, 2048u})
+    EXPECT_EQ(rb.rank1(i), reference_rank(bv, i)) << i;
+}
+
+TEST(RankBitVector, SelectIsRankInverse) {
+  const BitVector bv = random_bits(5000, 0.2, 11);
+  RankBitVector rb{BitVector(bv)};
+  for (std::size_t j = 0; j < rb.ones(); ++j) {
+    const std::size_t pos = rb.select1(j);
+    ASSERT_TRUE(rb.get(pos)) << j;
+    ASSERT_EQ(rb.rank1(pos), j) << j;
+  }
+}
+
+TEST(RankBitVector, SparseSelect) {
+  BitVector bv(100'000);
+  const std::vector<std::size_t> positions{0, 63, 64, 511, 512, 99'999};
+  for (auto p : positions) bv.set(p, true);
+  RankBitVector rb(std::move(bv));
+  ASSERT_EQ(rb.ones(), positions.size());
+  for (std::size_t j = 0; j < positions.size(); ++j)
+    EXPECT_EQ(rb.select1(j), positions[j]);
+}
+
+TEST(RankBitVectorDeathTest, SelectOutOfRangeAborts) {
+  RankBitVector rb{random_bits(100, 0.5, 13)};
+  EXPECT_DEATH((void)rb.select1(rb.ones()), "select1 out of range");
+}
+
+TEST(RankBitVector, DirectoryOverheadIsSmall) {
+  RankBitVector rb{BitVector(1 << 20)};
+  // 12.5% directory (one u64 per 512 bits) plus the payload.
+  EXPECT_LE(rb.size_bytes(), (1u << 20) / 8 + (1u << 20) / 512 * 8 + 64);
+}
+
+}  // namespace
+}  // namespace pcq::bits

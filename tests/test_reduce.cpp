@@ -1,0 +1,82 @@
+#include "par/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pcq::par {
+namespace {
+
+TEST(ParallelReduce, SumMatchesAccumulate) {
+  pcq::util::SplitMix64 rng(1);
+  std::vector<std::uint64_t> v(100'000);
+  for (auto& x : v) x = rng.next_below(1000);
+  const auto expected = std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  EXPECT_EQ(parallel_reduce<std::uint64_t>(v, 0, 8), expected);
+}
+
+TEST(ParallelReduce, EmptyReturnsInit) {
+  std::vector<std::uint64_t> v;
+  EXPECT_EQ(parallel_reduce<std::uint64_t>(v, 42, 4), 42u);
+}
+
+TEST(ParallelReduce, MaxMonoid) {
+  std::vector<std::uint64_t> v{5, 3, 99, 12, 7};
+  EXPECT_EQ(parallel_reduce<std::uint64_t>(
+                v, 0, 4,
+                [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); }),
+            99u);
+}
+
+std::vector<std::uint32_t> reference_histogram(
+    std::span<const std::uint32_t> keys, std::size_t buckets) {
+  std::vector<std::uint32_t> h(buckets, 0);
+  for (auto k : keys) ++h[k];
+  return h;
+}
+
+class HistogramProperty
+    : public testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(HistogramProperty, AtomicMatchesReference) {
+  const auto [n, threads] = GetParam();
+  pcq::util::SplitMix64 rng(n + threads);
+  std::vector<std::uint32_t> keys(n);
+  constexpr std::size_t kBuckets = 37;
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_below(kBuckets));
+  EXPECT_EQ(histogram_atomic(keys, kBuckets, threads),
+            reference_histogram(keys, kBuckets));
+}
+
+TEST_P(HistogramProperty, PerThreadMatchesReference) {
+  const auto [n, threads] = GetParam();
+  pcq::util::SplitMix64 rng(n * 3 + threads);
+  std::vector<std::uint32_t> keys(n);
+  constexpr std::size_t kBuckets = 37;
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_below(kBuckets));
+  EXPECT_EQ(histogram_per_thread(keys, kBuckets, threads),
+            reference_histogram(keys, kBuckets));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistogramProperty,
+    testing::Combine(testing::Values<std::size_t>(0, 1, 37, 1000, 50'000),
+                     testing::Values(1, 2, 4, 8, 16)));
+
+TEST(Histogram, SkewedKeysAllInOneBucket) {
+  std::vector<std::uint32_t> keys(10'000, 5);
+  const auto h = histogram_atomic(keys, 10, 8);
+  EXPECT_EQ(h[5], 10'000u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    if (b != 5) {
+      EXPECT_EQ(h[b], 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcq::par

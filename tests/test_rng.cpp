@@ -1,0 +1,100 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pcq::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  SplitMix64 rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.08);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  SplitMix64 rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  SplitMix64 rng(17);
+  int trues = 0;
+  for (int i = 0; i < 50'000; ++i)
+    if (rng.next_bool(0.3)) ++trues;
+  EXPECT_NEAR(trues / 50'000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  SplitMix64 base(42);
+  SplitMix64 s0 = base.split(0);
+  SplitMix64 s1 = base.split(1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(s0.next());
+    seen.insert(s1.next());
+  }
+  EXPECT_EQ(seen.size(), 2000u);  // no collisions across streams
+}
+
+TEST(Rng, SplitIsDeterministicAndStateless) {
+  SplitMix64 base(42);
+  EXPECT_EQ(base.split(5).next(), SplitMix64(42).split(5).next());
+  // split() must not perturb the parent.
+  SplitMix64 a(9), b(9);
+  (void)a.split(3);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, Mix64AvalanchesSingleBits) {
+  // Flipping one input bit should flip ~half the output bits.
+  const std::uint64_t h0 = mix64(0x1234567890abcdefULL);
+  for (int bit = 0; bit < 64; bit += 7) {
+    const std::uint64_t h1 = mix64(0x1234567890abcdefULL ^ (1ULL << bit));
+    const int flipped = __builtin_popcountll(h0 ^ h1);
+    EXPECT_GT(flipped, 16);
+    EXPECT_LT(flipped, 48);
+  }
+}
+
+}  // namespace
+}  // namespace pcq::util

@@ -1,0 +1,89 @@
+#include "csr/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace pcq::csr {
+namespace {
+
+class SerializeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pcq_csr_ser_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+BitPackedCsr sample_csr(std::uint64_t seed) {
+  graph::EdgeList g = graph::rmat(1 << 10, 20'000, 0.57, 0.19, 0.19, seed, 4);
+  g.sort(4);
+  return build_bitpacked_csr_from_sorted(g, 1 << 10, 4);
+}
+
+TEST_F(SerializeTest, RoundTripPreservesEverything) {
+  const BitPackedCsr original = sample_csr(3);
+  save_bitpacked_csr(original, path("g.csr"));
+  const BitPackedCsr loaded = load_bitpacked_csr(path("g.csr"));
+  EXPECT_EQ(loaded.num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  EXPECT_EQ(loaded.offset_bits(), original.offset_bits());
+  EXPECT_EQ(loaded.column_bits(), original.column_bits());
+  EXPECT_TRUE(loaded.packed_offsets() == original.packed_offsets());
+  EXPECT_TRUE(loaded.packed_columns() == original.packed_columns());
+}
+
+TEST_F(SerializeTest, LoadedStructureAnswersQueries) {
+  const BitPackedCsr original = sample_csr(5);
+  save_bitpacked_csr(original, path("g.csr"));
+  const BitPackedCsr loaded = load_bitpacked_csr(path("g.csr"));
+  for (graph::VertexId u = 0; u < loaded.num_nodes(); u += 37) {
+    EXPECT_EQ(loaded.neighbors(u), original.neighbors(u)) << u;
+  }
+}
+
+TEST_F(SerializeTest, EmptyGraphRoundTrip) {
+  const CsrGraph empty = build_csr_from_sorted(graph::EdgeList{}, 8, 2);
+  const BitPackedCsr packed = BitPackedCsr::from_csr(empty, 2);
+  save_bitpacked_csr(packed, path("empty.csr"));
+  const BitPackedCsr loaded = load_bitpacked_csr(path("empty.csr"));
+  EXPECT_EQ(loaded.num_nodes(), 8u);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+  EXPECT_EQ(loaded.degree(7), 0u);
+}
+
+TEST_F(SerializeTest, FileSizeTracksPackedSize) {
+  const BitPackedCsr csr = sample_csr(7);
+  save_bitpacked_csr(csr, path("g.csr"));
+  const auto file_size = std::filesystem::file_size(path("g.csr"));
+  EXPECT_GE(file_size, csr.size_bytes());
+  EXPECT_LE(file_size, csr.size_bytes() + 128);  // header + word padding
+}
+
+TEST_F(SerializeTest, BadMagicAborts) {
+  {
+    std::ofstream out(path("bad.csr"), std::ios::binary);
+    out << std::string(64, 'x');
+  }
+  EXPECT_DEATH(load_bitpacked_csr(path("bad.csr")), "bad CSR magic");
+}
+
+TEST_F(SerializeTest, TruncatedFileAborts) {
+  const BitPackedCsr csr = sample_csr(9);
+  save_bitpacked_csr(csr, path("g.csr"));
+  std::filesystem::resize_file(path("g.csr"),
+                               std::filesystem::file_size(path("g.csr")) / 2);
+  EXPECT_DEATH(load_bitpacked_csr(path("g.csr")), "truncated");
+}
+
+}  // namespace
+}  // namespace pcq::csr

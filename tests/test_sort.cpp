@@ -1,0 +1,113 @@
+#include "par/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::par {
+namespace {
+
+std::vector<std::uint64_t> random_values(std::size_t n, std::uint64_t seed) {
+  pcq::util::SplitMix64 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next();
+  return v;
+}
+
+TEST(ParallelSort, EmptyAndTiny) {
+  std::vector<std::uint64_t> empty;
+  parallel_sort(std::span<std::uint64_t>(empty), 4);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<std::uint64_t> v{3, 1, 2};
+  parallel_sort(std::span<std::uint64_t>(v), 4);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(ParallelSort, AlreadySorted) {
+  std::vector<std::uint64_t> v(10'000);
+  std::iota(v.begin(), v.end(), 0);
+  auto expected = v;
+  parallel_sort(std::span<std::uint64_t>(v), 8);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ParallelSort, ReverseSorted) {
+  std::vector<std::uint64_t> v(10'000);
+  std::iota(v.rbegin(), v.rend(), 0);
+  parallel_sort(std::span<std::uint64_t>(v), 8);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(ParallelSort, ManyDuplicates) {
+  pcq::util::SplitMix64 rng(3);
+  std::vector<std::uint64_t> v(50'000);
+  for (auto& x : v) x = rng.next_below(10);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(std::span<std::uint64_t>(v), 8);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ParallelSort, CustomComparator) {
+  auto v = random_values(20'000, 7);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end(), std::greater<>{});
+  parallel_sort(std::span<std::uint64_t>(v), 4, std::greater<>{});
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ParallelSort, EdgeStructOrdering) {
+  using graph::Edge;
+  pcq::util::SplitMix64 rng(11);
+  std::vector<Edge> edges(30'000);
+  for (auto& e : edges)
+    e = {static_cast<graph::VertexId>(rng.next_below(100)),
+         static_cast<graph::VertexId>(rng.next_below(100))};
+  auto expected = edges;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(std::span<Edge>(edges), 8);
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(ParallelSort, TemporalEdgeTimeSourceOrder) {
+  using graph::TemporalEdge;
+  using graph::TimeSourceOrder;
+  pcq::util::SplitMix64 rng(13);
+  std::vector<TemporalEdge> evs(30'000);
+  for (auto& e : evs)
+    e = {static_cast<graph::VertexId>(rng.next_below(50)),
+         static_cast<graph::VertexId>(rng.next_below(50)),
+         static_cast<graph::TimeFrame>(rng.next_below(20))};
+  auto expected = evs;
+  std::sort(expected.begin(), expected.end(), TimeSourceOrder{});
+  parallel_sort(std::span<TemporalEdge>(evs), 8, TimeSourceOrder{});
+  EXPECT_EQ(evs, expected);
+}
+
+class ParallelSortProperty
+    : public testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(ParallelSortProperty, MatchesStdSort) {
+  const auto [n, threads] = GetParam();
+  auto v = random_values(n, 77 + n * 31 + threads);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(std::span<std::uint64_t>(v), threads);
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelSortProperty,
+    testing::Combine(testing::Values<std::size_t>(0, 1, 2, 100, 2047, 2048,
+                                                  2049, 10'000, 131'072),
+                     testing::Values(1, 2, 3, 4, 8, 16, 64)));
+
+}  // namespace
+}  // namespace pcq::par

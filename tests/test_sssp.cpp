@@ -1,0 +1,90 @@
+#include "algos/sssp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace pcq::algos {
+namespace {
+
+using graph::VertexId;
+using graph::WeightedEdge;
+
+csr::WeightedCsr weighted_csr(std::vector<WeightedEdge> edges, VertexId n) {
+  std::sort(edges.begin(), edges.end());
+  return csr::WeightedCsr::build_from_sorted(edges, n, 4);
+}
+
+TEST(Sssp, DiamondPicksCheaperPath) {
+  //   0 -> 1 (1), 0 -> 2 (10), 1 -> 2 (1): dist(2) = 2 via 1.
+  const auto g = weighted_csr({{0, 1, 1}, {0, 2, 10}, {1, 2, 1}}, 3);
+  const auto d = sssp_dijkstra(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+}
+
+TEST(Sssp, UnreachableNodesInf) {
+  const auto g = weighted_csr({{0, 1, 5}}, 4);
+  const auto d = sssp_dijkstra(g, 0);
+  EXPECT_EQ(d[1], 5u);
+  EXPECT_EQ(d[2], kInfDistance);
+  EXPECT_EQ(d[3], kInfDistance);
+}
+
+TEST(Sssp, ZeroWeightEdges) {
+  const auto g = weighted_csr({{0, 1, 0}, {1, 2, 0}, {0, 2, 5}}, 3);
+  const auto d = sssp_dijkstra(g, 0);
+  EXPECT_EQ(d[2], 0u);
+}
+
+TEST(Sssp, BellmanFordMatchesDijkstraOnRandomGraphs) {
+  pcq::util::SplitMix64 rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<WeightedEdge> edges(4000);
+    for (auto& e : edges)
+      e = {static_cast<VertexId>(rng.next_below(300)),
+           static_cast<VertexId>(rng.next_below(300)),
+           static_cast<std::uint32_t>(rng.next_below(100))};
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const WeightedEdge& a, const WeightedEdge& b) {
+                              return a.u == b.u && a.v == b.v;
+                            }),
+                edges.end());
+    const auto g = csr::WeightedCsr::build_from_sorted(edges, 300, 4);
+    const auto ref = sssp_dijkstra(g, 0);
+    for (int p : {1, 4, 8}) {
+      EXPECT_EQ(sssp_bellman_ford(g, 0, p), ref)
+          << "trial=" << trial << " p=" << p;
+    }
+  }
+}
+
+TEST(Sssp, LongChainAccumulates) {
+  std::vector<WeightedEdge> edges;
+  for (VertexId i = 0; i + 1 < 100; ++i) edges.push_back({i, i + 1, 3});
+  const auto g = weighted_csr(std::move(edges), 100);
+  const auto d = sssp_dijkstra(g, 0);
+  EXPECT_EQ(d[99], 99u * 3);
+  EXPECT_EQ(sssp_bellman_ford(g, 0, 4)[99], 99u * 3);
+}
+
+TEST(Sssp, LargeWeightsNoOverflow) {
+  // Two hops of ~2^31 weights exceed 32 bits.
+  const std::uint32_t big = 0xf0000000u;
+  const auto g = weighted_csr({{0, 1, big}, {1, 2, big}}, 3);
+  const auto d = sssp_dijkstra(g, 0);
+  EXPECT_EQ(d[2], 2ull * big);
+}
+
+TEST(Sssp, SourceOnlyGraph) {
+  const auto g = weighted_csr({}, 1);
+  EXPECT_EQ(sssp_dijkstra(g, 0), (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(sssp_bellman_ford(g, 0, 4), (std::vector<std::uint64_t>{0}));
+}
+
+}  // namespace
+}  // namespace pcq::algos

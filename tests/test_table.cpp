@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcq::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"Graph", "Time"});
+  t.add_row({"Orkut", "235.52"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Graph"), std::string::npos);
+  EXPECT_NE(s.find("Orkut"), std::string::npos);
+  EXPECT_NE(s.find("235.52"), std::string::npos);
+}
+
+TEST(Table, PadsColumnsToWidestCell) {
+  Table t({"A", "B"});
+  t.add_row({"short", "x"});
+  t.add_row({"a-much-longer-cell", "y"});
+  const std::string s = t.to_string();
+  // Every rendered row must have the same length (aligned columns).
+  std::size_t first_len = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t nl = s.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (first_len == std::string::npos)
+      first_len = len;
+    else
+      EXPECT_EQ(len, first_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(Table, EmptyCellsRenderAsBlanks) {
+  Table t({"Graph", "p", "Time"});
+  t.add_row({"LiveJournal", "1", "164.76"});
+  t.add_row({"", "4", "57.94"});  // merged-cell style of Table II
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("57.94"), std::string::npos);
+}
+
+TEST(Table, RulesSeparateGroups) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // header top+bottom rule, the inserted rule and the final rule: >= 4.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = s.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos = s.find('\n', pos);
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TableDeathTest, WrongRowWidthAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace pcq::util

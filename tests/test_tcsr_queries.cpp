@@ -1,0 +1,105 @@
+// Tests for the extended temporal queries: batch neighbourhoods, window
+// existence, and activity intervals (the ck-d-tree "contact" view, §II).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "tcsr/tcsr.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::tcsr {
+namespace {
+
+using graph::TemporalEdge;
+using graph::TemporalEdgeList;
+using graph::TimeFrame;
+using graph::VertexId;
+
+TemporalEdgeList sorted(std::vector<TemporalEdge> evs) {
+  TemporalEdgeList list(std::move(evs));
+  list.sort(2);
+  return list;
+}
+
+TEST(BatchNeighborsAt, MatchesScalarQueries) {
+  const TemporalEdgeList evs = graph::evolving_graph(60, 3000, 10, 3, 4);
+  const auto tcsr = DifferentialTcsr::build(evs, 60, 10, 4);
+  pcq::util::SplitMix64 rng(5);
+  std::vector<TemporalNodeQuery> queries(200);
+  for (auto& q : queries)
+    q = {static_cast<VertexId>(rng.next_below(60)),
+         static_cast<TimeFrame>(rng.next_below(10))};
+  for (int p : {1, 4, 64}) {
+    const auto result = tcsr.batch_neighbors_at(queries, p);
+    ASSERT_EQ(result.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      EXPECT_EQ(result[i], tcsr.neighbors_at(queries[i].u, queries[i].t))
+          << "p=" << p;
+  }
+}
+
+TEST(EdgeActiveInWindow, MatchesPointQueries) {
+  const TemporalEdgeList evs = graph::evolving_graph(40, 2000, 12, 7, 4);
+  const auto tcsr = DifferentialTcsr::build(evs, 40, 12, 4);
+  pcq::util::SplitMix64 rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(40));
+    const auto v = static_cast<VertexId>(rng.next_below(40));
+    auto t1 = static_cast<TimeFrame>(rng.next_below(12));
+    auto t2 = static_cast<TimeFrame>(rng.next_below(12));
+    if (t1 > t2) std::swap(t1, t2);
+    bool any = false;
+    for (TimeFrame t = t1; t <= t2; ++t) any = any || tcsr.edge_active(u, v, t);
+    EXPECT_EQ(tcsr.edge_active_in_window(u, v, t1, t2), any)
+        << u << "->" << v << " [" << t1 << "," << t2 << "]";
+  }
+}
+
+TEST(ActivityIntervals, KnownLifecycle) {
+  // (0,1): on at 1, off at 3, on at 5, never off again (history = 8).
+  const auto tcsr = DifferentialTcsr::build(
+      sorted({{0, 1, 1}, {0, 1, 3}, {0, 1, 5}}), 2, 8, 2);
+  const auto intervals = tcsr.activity_intervals(0, 1);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (ActivityInterval{1, 2}));
+  EXPECT_EQ(intervals[1], (ActivityInterval{5, 7}));
+}
+
+TEST(ActivityIntervals, NeverActive) {
+  const auto tcsr =
+      DifferentialTcsr::build(sorted({{0, 1, 0}}), 3, 4, 2);
+  EXPECT_TRUE(tcsr.activity_intervals(1, 2).empty());
+}
+
+TEST(ActivityIntervals, SingleFrameBlip) {
+  // On at 2, off at 3: exactly one frame of activity.
+  const auto tcsr = DifferentialTcsr::build(
+      sorted({{4, 5, 2}, {4, 5, 3}}), 6, 6, 2);
+  const auto intervals = tcsr.activity_intervals(4, 5);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], (ActivityInterval{2, 2}));
+}
+
+TEST(ActivityIntervals, ConsistentWithPointQueries) {
+  const TemporalEdgeList evs = graph::evolving_graph(30, 1500, 10, 11, 4);
+  const auto tcsr = DifferentialTcsr::build(evs, 30, 10, 4);
+  pcq::util::SplitMix64 rng(13);
+  for (int i = 0; i < 300; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(30));
+    const auto v = static_cast<VertexId>(rng.next_below(30));
+    const auto intervals = tcsr.activity_intervals(u, v);
+    for (TimeFrame t = 0; t < 10; ++t) {
+      const bool in_interval =
+          std::any_of(intervals.begin(), intervals.end(),
+                      [&](const ActivityInterval& iv) {
+                        return iv.begin <= t && t <= iv.end;
+                      });
+      ASSERT_EQ(in_interval, tcsr.edge_active(u, v, t))
+          << u << "->" << v << "@" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcq::tcsr

@@ -1,0 +1,85 @@
+#include "tcsr/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::tcsr {
+namespace {
+
+using graph::TimeFrame;
+using graph::VertexId;
+
+class TcsrSerializeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pcq_tcsr_ser_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TcsrSerializeTest, RoundTripPreservesStructure) {
+  const auto events = graph::evolving_graph(100, 5000, 12, 3, 4);
+  const auto original = DifferentialTcsr::build(events, 100, 12, 4);
+  save_tcsr(original, path("h.tcsr"));
+  const auto loaded = load_tcsr(path("h.tcsr"));
+  EXPECT_EQ(loaded.num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded.num_frames(), original.num_frames());
+  EXPECT_EQ(loaded.size_bytes(), original.size_bytes());
+  for (TimeFrame t = 0; t < original.num_frames(); ++t) {
+    EXPECT_TRUE(loaded.delta(t).packed_columns() ==
+                original.delta(t).packed_columns())
+        << "t=" << t;
+  }
+}
+
+TEST_F(TcsrSerializeTest, LoadedStructureAnswersQueries) {
+  const auto events = graph::evolving_graph(80, 3000, 8, 5, 4);
+  const auto original = DifferentialTcsr::build(events, 80, 8, 4);
+  save_tcsr(original, path("h.tcsr"));
+  const auto loaded = load_tcsr(path("h.tcsr"));
+  pcq::util::SplitMix64 rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(80));
+    const auto v = static_cast<VertexId>(rng.next_below(80));
+    const auto t = static_cast<TimeFrame>(rng.next_below(8));
+    EXPECT_EQ(loaded.edge_active(u, v, t), original.edge_active(u, v, t));
+  }
+  EXPECT_EQ(loaded.neighbors_at(7, 5), original.neighbors_at(7, 5));
+}
+
+TEST_F(TcsrSerializeTest, EmptyHistoryRoundTrip) {
+  const auto original =
+      DifferentialTcsr::build(graph::TemporalEdgeList{}, 0, 0, 2);
+  save_tcsr(original, path("empty.tcsr"));
+  const auto loaded = load_tcsr(path("empty.tcsr"));
+  EXPECT_EQ(loaded.num_frames(), 0u);
+}
+
+TEST_F(TcsrSerializeTest, BadMagicAborts) {
+  {
+    std::ofstream out(path("bad.tcsr"), std::ios::binary);
+    out << std::string(64, 'z');
+  }
+  EXPECT_DEATH(load_tcsr(path("bad.tcsr")), "bad TCSR magic");
+}
+
+TEST_F(TcsrSerializeTest, TruncatedAborts) {
+  const auto events = graph::evolving_graph(50, 1000, 6, 7, 4);
+  save_tcsr(DifferentialTcsr::build(events, 50, 6, 4), path("h.tcsr"));
+  std::filesystem::resize_file(
+      path("h.tcsr"), std::filesystem::file_size(path("h.tcsr")) / 3);
+  EXPECT_DEATH(load_tcsr(path("h.tcsr")), "truncated");
+}
+
+}  // namespace
+}  // namespace pcq::tcsr

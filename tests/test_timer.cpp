@@ -1,0 +1,67 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcq::util {
+namespace {
+
+TEST(Timer, MonotoneNonNegative) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Timer, RestartResetsOrigin) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double before = t.seconds();
+  t.restart();
+  EXPECT_LT(t.seconds(), before + 1e-3);
+}
+
+TEST(Timer, UnitConversions) {
+  Timer t;
+  const double s = t.seconds();
+  EXPECT_NEAR(t.millis(), s * 1e3, s * 1e3 + 1.0);   // within the next read
+  EXPECT_GE(t.micros(), s * 1e6);
+}
+
+TEST(TimingStats, MinMaxMean) {
+  TimingStats stats;
+  stats.add(3.0);
+  stats.add(1.0);
+  stats.add(2.0);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.median(), 2.0);
+}
+
+TEST(TimingStats, MedianEvenCount) {
+  TimingStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  stats.add(10.0);
+  stats.add(4.0);
+  EXPECT_DOUBLE_EQ(stats.median(), 3.0);  // (2 + 4) / 2
+}
+
+TEST(TimingStatsDeathTest, EmptyStatsAbort) {
+  TimingStats stats;
+  EXPECT_DEATH((void)stats.min(), "PCQ_CHECK");
+}
+
+TEST(TimeRepeated, RunsWarmupsPlusRepeats) {
+  int calls = 0;
+  const TimingStats stats = time_repeated([&] { ++calls; }, 3, 2);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+}  // namespace
+}  // namespace pcq::util

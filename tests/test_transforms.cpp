@@ -1,0 +1,114 @@
+#include "graph/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "graph/generators.hpp"
+
+namespace pcq::graph {
+namespace {
+
+TEST(Transpose, ReversesEveryEdge) {
+  const EdgeList g({{0, 1}, {2, 3}, {1, 0}});
+  const EdgeList t = transpose(g, 4);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.edges()[0], (Edge{1, 0}));
+  EXPECT_EQ(t.edges()[1], (Edge{3, 2}));
+  EXPECT_EQ(t.edges()[2], (Edge{0, 1}));
+}
+
+TEST(Transpose, InvolutionRestoresOriginal) {
+  const EdgeList g = erdos_renyi(100, 2000, 3, 4);
+  const EdgeList tt = transpose(transpose(g, 4), 4);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    EXPECT_EQ(tt.edges()[i], g.edges()[i]);
+}
+
+TEST(RelabelByDegree, PermutationIsBijective) {
+  const EdgeList g = rmat(256, 5000, 0.57, 0.19, 0.19, 5, 4);
+  const RelabelResult r = relabel_by_degree(g, 256, 4);
+  ASSERT_EQ(r.new_id.size(), 256u);
+  ASSERT_EQ(r.old_id.size(), 256u);
+  std::set<VertexId> news(r.new_id.begin(), r.new_id.end());
+  EXPECT_EQ(news.size(), 256u);
+  for (VertexId old = 0; old < 256; ++old)
+    EXPECT_EQ(r.old_id[r.new_id[old]], old);
+}
+
+TEST(RelabelByDegree, HubsGetSmallIds) {
+  // Star graph: the centre has the highest out-degree, so it becomes 0.
+  EdgeList g;
+  for (VertexId v = 1; v < 50; ++v) g.push_back({7, v});
+  g.push_back({3, 7});
+  const RelabelResult r = relabel_by_degree(g, 50, 4);
+  EXPECT_EQ(r.new_id[7], 0u);
+  EXPECT_EQ(r.old_id[0], 7u);
+}
+
+TEST(RelabelByDegree, DegreesPreservedUnderRelabel) {
+  const EdgeList g = rmat(128, 3000, 0.57, 0.19, 0.19, 9, 4);
+  const RelabelResult r = relabel_by_degree(g, 128, 4);
+  std::vector<int> old_deg(128, 0), new_deg(128, 0);
+  for (const Edge& e : g.edges()) ++old_deg[e.u];
+  for (const Edge& e : r.list.edges()) ++new_deg[e.u];
+  for (VertexId u = 0; u < 128; ++u)
+    EXPECT_EQ(new_deg[r.new_id[u]], old_deg[u]);
+  // New ids are sorted by non-increasing degree.
+  for (VertexId rank = 1; rank < 128; ++rank)
+    EXPECT_GE(old_deg[r.old_id[rank - 1]], old_deg[r.old_id[rank]]);
+}
+
+TEST(RelabelByDegree, TiesBrokenByOldId) {
+  // All nodes degree 1: ranking must be the identity.
+  EdgeList g;
+  for (VertexId u = 0; u < 10; ++u) g.push_back({u, (u + 1) % 10});
+  const RelabelResult r = relabel_by_degree(g, 10, 4);
+  for (VertexId u = 0; u < 10; ++u) EXPECT_EQ(r.new_id[u], u);
+}
+
+TEST(InducedSubgraph, KeepsOnlyInternalEdges) {
+  const EdgeList g({{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}});
+  const std::vector<std::uint8_t> keep{1, 1, 0, 1};  // drop node 2
+  std::vector<VertexId> old_id;
+  const EdgeList sub = induced_subgraph(g, keep, 4, &old_id);
+  // Surviving edges among {0, 1, 3}: (0,1), (3,0), (1,3).
+  EXPECT_EQ(sub.size(), 3u);
+  ASSERT_EQ(old_id.size(), 3u);
+  EXPECT_EQ(old_id, (std::vector<VertexId>{0, 1, 3}));
+  for (const Edge& e : sub.edges()) {
+    EXPECT_LT(e.u, 3u);
+    EXPECT_LT(e.v, 3u);
+  }
+}
+
+TEST(InducedSubgraph, KeepAllIsIdentityModuloIds) {
+  const EdgeList g = erdos_renyi(64, 500, 11, 4);
+  const std::vector<std::uint8_t> keep(64, 1);
+  const EdgeList sub = induced_subgraph(g, keep, 4);
+  EXPECT_EQ(sub.size(), g.size());
+}
+
+TEST(InducedSubgraph, KeepNoneIsEmpty) {
+  const EdgeList g = erdos_renyi(64, 500, 13, 4);
+  const std::vector<std::uint8_t> keep(64, 0);
+  EXPECT_TRUE(induced_subgraph(g, keep, 4).empty());
+}
+
+TEST(InducedSubgraph, ThreadCountInvariance) {
+  const EdgeList g = erdos_renyi(200, 5000, 17, 4);
+  std::vector<std::uint8_t> keep(200);
+  for (std::size_t u = 0; u < 200; ++u) keep[u] = u % 3 != 0;
+  const EdgeList ref = induced_subgraph(g, keep, 1);
+  for (int p : {2, 4, 8}) {
+    const EdgeList got = induced_subgraph(g, keep, p);
+    ASSERT_EQ(got.size(), ref.size()) << "p=" << p;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_EQ(got.edges()[i], ref.edges()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pcq::graph

@@ -1,0 +1,69 @@
+#include "algos/triangles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csr/builder.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+
+namespace pcq::algos {
+namespace {
+
+using graph::EdgeList;
+using graph::VertexId;
+
+csr::CsrGraph upper_triangle_csr(EdgeList g, VertexId n) {
+  g.to_upper_triangle();
+  return csr::build_csr_from_sorted(g, n, 4);
+}
+
+TEST(Triangles, SingleTriangle) {
+  const csr::CsrGraph g =
+      upper_triangle_csr(EdgeList({{0, 1}, {1, 2}, {0, 2}}), 3);
+  EXPECT_EQ(count_triangles(g, 4), 1u);
+}
+
+TEST(Triangles, TriangleFreePath) {
+  const csr::CsrGraph g =
+      upper_triangle_csr(EdgeList({{0, 1}, {1, 2}, {2, 3}}), 4);
+  EXPECT_EQ(count_triangles(g, 4), 0u);
+}
+
+TEST(Triangles, CompleteGraphK5) {
+  EdgeList g;
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = u + 1; v < 5; ++v) g.push_back({u, v});
+  const csr::CsrGraph csr = upper_triangle_csr(std::move(g), 5);
+  EXPECT_EQ(count_triangles(csr, 4), 10u);  // C(5,3)
+}
+
+TEST(Triangles, CompleteBipartiteIsTriangleFree) {
+  EdgeList g;
+  for (VertexId u = 0; u < 10; ++u)
+    for (VertexId v = 10; v < 20; ++v) g.push_back({u, v});
+  const csr::CsrGraph csr = upper_triangle_csr(std::move(g), 20);
+  EXPECT_EQ(count_triangles(csr, 4), 0u);
+}
+
+TEST(Triangles, TwoSharedEdgeTriangles) {
+  // Triangles {0,1,2} and {0,1,3} share edge (0,1).
+  const csr::CsrGraph g = upper_triangle_csr(
+      EdgeList({{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}}), 4);
+  EXPECT_EQ(count_triangles(g, 4), 2u);
+}
+
+TEST(Triangles, ThreadCountInvariance) {
+  EdgeList g = graph::rmat(256, 8000, 0.57, 0.19, 0.19, 91, 4);
+  const csr::CsrGraph csr = upper_triangle_csr(std::move(g), 256);
+  const auto ref = count_triangles(csr, 1);
+  EXPECT_GT(ref, 0u);  // rmat at this density has triangles
+  for (int p : {2, 4, 8, 64}) EXPECT_EQ(count_triangles(csr, p), ref);
+}
+
+TEST(Triangles, EmptyGraph) {
+  EXPECT_EQ(count_triangles(csr::build_csr_from_sorted(EdgeList{}, 10, 2), 4),
+            0u);
+}
+
+}  // namespace
+}  // namespace pcq::algos

@@ -1,0 +1,120 @@
+#include "bits/wavelet_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pcq::bits {
+namespace {
+
+std::vector<std::uint32_t> random_sequence(std::size_t n, std::uint32_t sigma,
+                                           std::uint64_t seed) {
+  pcq::util::SplitMix64 rng(seed);
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.next_below(sigma));
+  return v;
+}
+
+TEST(WaveletTree, EmptySequence) {
+  const WaveletTree wt = WaveletTree::build({}, 8);
+  EXPECT_EQ(wt.size(), 0u);
+  EXPECT_EQ(wt.rank(3, 0), 0u);
+}
+
+TEST(WaveletTree, SingleSymbolAlphabet) {
+  const std::vector<std::uint32_t> v(100, 0);
+  const WaveletTree wt = WaveletTree::build(v);
+  EXPECT_EQ(wt.alphabet_size(), 1u);
+  EXPECT_EQ(wt.rank(0, 100), 100u);
+  EXPECT_EQ(wt.access(57), 0u);
+}
+
+TEST(WaveletTree, KnownSmallSequence) {
+  const std::vector<std::uint32_t> v{3, 1, 4, 1, 5, 1, 2, 6, 5, 3};
+  const WaveletTree wt = WaveletTree::build(v);
+  EXPECT_EQ(wt.alphabet_size(), 7u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(wt.access(i), v[i]) << i;
+  EXPECT_EQ(wt.rank(1, 10), 3u);
+  EXPECT_EQ(wt.rank(1, 4), 2u);
+  EXPECT_EQ(wt.rank(5, 9), 2u);  // positions 4 and 8
+  EXPECT_EQ(wt.rank(5, 8), 1u);
+  EXPECT_EQ(wt.count(2, 6, 1), 2u);
+  EXPECT_EQ(wt.count(0, 10, 7), 0u);  // absent symbol within alphabet bound
+}
+
+TEST(WaveletTree, AccessMatchesInput) {
+  const auto v = random_sequence(5000, 300, 3);
+  const WaveletTree wt = WaveletTree::build(v);
+  for (std::size_t i = 0; i < v.size(); i += 7) EXPECT_EQ(wt.access(i), v[i]);
+}
+
+TEST(WaveletTree, RankMatchesBruteForce) {
+  const auto v = random_sequence(3000, 50, 5);
+  const WaveletTree wt = WaveletTree::build(v);
+  std::vector<std::size_t> running(50, 0);
+  for (std::size_t i = 0; i <= v.size(); i += 113) {
+    for (std::uint32_t c = 0; c < 50; c += 7) {
+      std::size_t expected = 0;
+      for (std::size_t j = 0; j < i; ++j) expected += v[j] == c;
+      ASSERT_EQ(wt.rank(c, i), expected) << "c=" << c << " i=" << i;
+    }
+  }
+}
+
+TEST(WaveletTree, RankOfOutOfAlphabetSymbolIsZero) {
+  const auto v = random_sequence(100, 10, 7);
+  const WaveletTree wt = WaveletTree::build(v, 10);
+  EXPECT_EQ(wt.rank(10'000, 100), 0u);
+}
+
+TEST(WaveletTree, NonPowerOfTwoAlphabet) {
+  const auto v = random_sequence(2000, 37, 9);
+  const WaveletTree wt = WaveletTree::build(v, 37);
+  for (std::uint32_t c = 0; c < 37; ++c) {
+    std::size_t expected = 0;
+    for (auto x : v) expected += x == c;
+    ASSERT_EQ(wt.rank(c, v.size()), expected) << c;
+  }
+}
+
+TEST(WaveletTree, ForEachDistinctCountsAndOrder) {
+  const auto v = random_sequence(1000, 16, 11);
+  const WaveletTree wt = WaveletTree::build(v, 16);
+  constexpr std::size_t kLo = 123, kHi = 789;
+  std::map<std::uint32_t, std::size_t> expected;
+  for (std::size_t i = kLo; i < kHi; ++i) ++expected[v[i]];
+
+  std::vector<std::pair<std::uint32_t, std::size_t>> got;
+  wt.for_each_distinct(kLo, kHi, [&](std::uint32_t sym, std::size_t count) {
+    got.emplace_back(sym, count);
+  });
+  ASSERT_EQ(got.size(), expected.size());
+  std::size_t idx = 0;
+  for (const auto& [sym, count] : expected) {  // std::map iterates ascending
+    EXPECT_EQ(got[idx].first, sym);
+    EXPECT_EQ(got[idx].second, count);
+    ++idx;
+  }
+}
+
+TEST(WaveletTree, ForEachDistinctEmptyRange) {
+  const auto v = random_sequence(100, 8, 13);
+  const WaveletTree wt = WaveletTree::build(v, 8);
+  bool called = false;
+  wt.for_each_distinct(50, 50, [&](std::uint32_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(WaveletTree, SpaceIsAboutLogSigmaBitsPerSymbol) {
+  const auto v = random_sequence(1 << 16, 1 << 10, 15);
+  const WaveletTree wt = WaveletTree::build(v, 1 << 10);
+  // 10 levels of n bits + 12.5% rank overhead + small constants.
+  const std::size_t raw_bits = static_cast<std::size_t>(1 << 16) * 10;
+  EXPECT_LT(wt.size_bytes(), raw_bits / 8 * 5 / 4 + 1024);
+}
+
+}  // namespace
+}  // namespace pcq::bits

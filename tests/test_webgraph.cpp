@@ -1,0 +1,105 @@
+#include "graph/webgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::graph {
+namespace {
+
+EdgeList sorted_dedup(EdgeList g) {
+  g.sort(4);
+  g.dedupe();
+  return g;
+}
+
+TEST(GapZetaGraph, SmallKnownGraph) {
+  const EdgeList g({{0, 2}, {0, 5}, {0, 6}, {2, 0}, {3, 3}});
+  const GapZetaGraph z = GapZetaGraph::build_from_sorted(g, 7, 3, 2);
+  EXPECT_EQ(z.num_nodes(), 7u);
+  EXPECT_EQ(z.num_edges(), 5u);
+  EXPECT_EQ(z.degree(0), 3u);
+  EXPECT_EQ(z.degree(1), 0u);
+  EXPECT_EQ(z.neighbors(0), (std::vector<VertexId>{2, 5, 6}));
+  EXPECT_EQ(z.neighbors(3), (std::vector<VertexId>{3}));
+  EXPECT_TRUE(z.has_edge(0, 5));
+  EXPECT_FALSE(z.has_edge(0, 4));
+  EXPECT_FALSE(z.has_edge(5, 0));
+}
+
+TEST(GapZetaGraph, MatchesCsrOnRandomGraph) {
+  const EdgeList g = sorted_dedup(rmat(512, 20'000, 0.57, 0.19, 0.19, 3, 4));
+  const csr::CsrGraph csr = csr::build_csr_from_sorted(g, 512, 4);
+  const GapZetaGraph z = GapZetaGraph::build_from_sorted(g, 512, 3, 4);
+  ASSERT_EQ(z.num_edges(), csr.num_edges());
+  for (VertexId u = 0; u < 512; ++u) {
+    EXPECT_EQ(z.degree(u), csr.degree(u)) << u;
+    const auto row = z.neighbors(u);
+    const auto expect = csr.neighbors(u);
+    ASSERT_EQ(row.size(), expect.size()) << u;
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), expect.begin()));
+  }
+}
+
+TEST(GapZetaGraph, HasEdgeMatchesOracle) {
+  const EdgeList g = sorted_dedup(rmat(256, 8000, 0.57, 0.19, 0.19, 5, 4));
+  const csr::CsrGraph csr = csr::build_csr_from_sorted(g, 256, 4);
+  const GapZetaGraph z = GapZetaGraph::build_from_sorted(g, 256, 3, 4);
+  pcq::util::SplitMix64 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(256));
+    const auto v = static_cast<VertexId>(rng.next_below(256));
+    EXPECT_EQ(z.has_edge(u, v), csr.has_edge(u, v)) << u << "," << v;
+  }
+}
+
+TEST(GapZetaGraph, ThreadCountInvariantSizes) {
+  const EdgeList g = sorted_dedup(rmat(512, 20'000, 0.57, 0.19, 0.19, 9, 4));
+  const GapZetaGraph ref = GapZetaGraph::build_from_sorted(g, 512, 3, 1);
+  for (int p : {2, 4, 8, 64}) {
+    const GapZetaGraph z = GapZetaGraph::build_from_sorted(g, 512, 3, p);
+    EXPECT_EQ(z.size_bytes(), ref.size_bytes()) << "p=" << p;
+    for (VertexId u = 0; u < 512; u += 41)
+      EXPECT_EQ(z.neighbors(u), ref.neighbors(u)) << "p=" << p;
+  }
+}
+
+TEST(GapZetaGraph, EmptyGraph) {
+  const GapZetaGraph z = GapZetaGraph::build_from_sorted(EdgeList{}, 4, 3, 2);
+  EXPECT_EQ(z.num_edges(), 0u);
+  EXPECT_EQ(z.degree(2), 0u);
+  EXPECT_TRUE(z.neighbors(2).empty());
+}
+
+TEST(GapZetaGraph, DegreeRelabelingShrinksStream) {
+  // After degree-descending relabeling the gaps concentrate near zero, so
+  // the zeta stream must shrink on a skewed graph.
+  EdgeList g = rmat(1 << 12, 100'000, 0.57, 0.19, 0.19, 11, 4);
+  RelabelResult relabeled = relabel_by_degree(g, 1 << 12, 4);
+  const GapZetaGraph before =
+      GapZetaGraph::build_from_sorted(sorted_dedup(std::move(g)), 1 << 12, 3, 4);
+  const GapZetaGraph after = GapZetaGraph::build_from_sorted(
+      sorted_dedup(std::move(relabeled.list)), 1 << 12, 3, 4);
+  EXPECT_LT(after.size_bytes(), before.size_bytes());
+}
+
+TEST(GapZetaGraph, SmallerThanPackedCsrOnClusteredRows) {
+  // Long clustered rows (a near-clique block) are where gap coding wins.
+  EdgeList g;
+  for (VertexId u = 0; u < 200; ++u)
+    for (VertexId v = 0; v < 200; ++v)
+      if (u != v) g.push_back({u, v});
+  g.sort(4);
+  const csr::BitPackedCsr packed =
+      csr::build_bitpacked_csr_from_sorted(g, 200, 4);
+  const GapZetaGraph z = GapZetaGraph::build_from_sorted(g, 200, 3, 4);
+  EXPECT_LT(z.size_bytes(), packed.size_bytes());
+}
+
+}  // namespace
+}  // namespace pcq::graph

@@ -1,0 +1,116 @@
+#include "csr/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pcq::csr {
+namespace {
+
+using graph::VertexId;
+using graph::WeightedEdge;
+
+std::vector<WeightedEdge> sorted_random_weighted(std::size_t m, VertexId n,
+                                                 std::uint64_t seed) {
+  pcq::util::SplitMix64 rng(seed);
+  std::vector<WeightedEdge> edges(m);
+  for (auto& e : edges)
+    e = {static_cast<VertexId>(rng.next_below(n)),
+         static_cast<VertexId>(rng.next_below(n)),
+         static_cast<std::uint32_t>(rng.next_below(1000))};
+  std::sort(edges.begin(), edges.end());
+  // Drop (u, v) duplicates so edge -> weight is a function.
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const WeightedEdge& a, const WeightedEdge& b) {
+                            return a.u == b.u && a.v == b.v;
+                          }),
+              edges.end());
+  return edges;
+}
+
+TEST(WeightedCsr, SmallKnownGraph) {
+  const std::vector<WeightedEdge> edges{
+      {0, 1, 10}, {0, 3, 30}, {2, 0, 5}, {2, 2, 7}};
+  const WeightedCsr csr = WeightedCsr::build_from_sorted(edges, 4, 2);
+  EXPECT_EQ(csr.num_nodes(), 4u);
+  EXPECT_EQ(csr.num_edges(), 4u);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.weights(0)[0], 10u);
+  EXPECT_EQ(csr.weights(0)[1], 30u);
+  std::uint32_t w = 0;
+  EXPECT_TRUE(csr.edge_weight(2, 2, &w));
+  EXPECT_EQ(w, 7u);
+  EXPECT_FALSE(csr.edge_weight(1, 0, &w));
+}
+
+TEST(WeightedCsr, WeightsAlignWithNeighbors) {
+  const auto edges = sorted_random_weighted(5000, 200, 3);
+  const WeightedCsr csr = WeightedCsr::build_from_sorted(edges, 200, 4);
+  for (const WeightedEdge& e : edges) {
+    const auto nbrs = csr.neighbors(e.u);
+    const auto ws = csr.weights(e.u);
+    ASSERT_EQ(nbrs.size(), ws.size());
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), e.v);
+    ASSERT_NE(it, nbrs.end());
+    EXPECT_EQ(ws[static_cast<std::size_t>(it - nbrs.begin())], e.w);
+  }
+}
+
+TEST(WeightedCsr, ThreadCountInvariance) {
+  const auto edges = sorted_random_weighted(10'000, 300, 5);
+  const WeightedCsr ref = WeightedCsr::build_from_sorted(edges, 300, 1);
+  for (int p : {2, 4, 8, 64}) {
+    const WeightedCsr got = WeightedCsr::build_from_sorted(edges, 300, p);
+    EXPECT_TRUE(std::equal(got.weight_array().begin(), got.weight_array().end(),
+                           ref.weight_array().begin()))
+        << "p=" << p;
+  }
+}
+
+TEST(WeightedCsr, EmptyInput) {
+  const WeightedCsr csr = WeightedCsr::build_from_sorted({}, 0, 4);
+  EXPECT_EQ(csr.num_edges(), 0u);
+}
+
+TEST(BitPackedWeightedCsr, LookupsMatchPlain) {
+  const auto edges = sorted_random_weighted(5000, 256, 7);
+  const WeightedCsr plain = WeightedCsr::build_from_sorted(edges, 256, 4);
+  const BitPackedWeightedCsr packed =
+      BitPackedWeightedCsr::from_weighted_csr(plain, 4);
+  ASSERT_EQ(packed.num_edges(), plain.num_edges());
+  pcq::util::SplitMix64 rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(256));
+    const auto v = static_cast<VertexId>(rng.next_below(256));
+    std::uint32_t wp = 0, wq = 0;
+    const bool in_plain = plain.edge_weight(u, v, &wp);
+    const bool in_packed = packed.edge_weight(u, v, &wq);
+    EXPECT_EQ(in_plain, in_packed);
+    if (in_plain) {
+      EXPECT_EQ(wp, wq);
+    }
+  }
+}
+
+TEST(BitPackedWeightedCsr, WeightWidthFollowsMaxWeight) {
+  const std::vector<WeightedEdge> edges{{0, 1, 3}, {1, 0, 7}};
+  const WeightedCsr plain = WeightedCsr::build_from_sorted(edges, 2, 2);
+  const BitPackedWeightedCsr packed =
+      BitPackedWeightedCsr::from_weighted_csr(plain, 2);
+  EXPECT_EQ(packed.weight_bits(), 3u);  // max weight 7
+}
+
+TEST(BitPackedWeightedCsr, SmallerThanPlain) {
+  const auto edges = sorted_random_weighted(20'000, 1 << 12, 11);
+  const WeightedCsr plain =
+      WeightedCsr::build_from_sorted(edges, 1 << 12, 4);
+  const BitPackedWeightedCsr packed =
+      BitPackedWeightedCsr::from_weighted_csr(plain, 4);
+  EXPECT_LT(packed.size_bytes(), plain.size_bytes());
+}
+
+}  // namespace
+}  // namespace pcq::csr

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bits/codecs.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::bits {
+namespace {
+
+TEST(MinimalBinary, PowerOfTwoIntervalIsPlainBinary) {
+  BitVector bv;
+  for (std::uint64_t x = 0; x < 8; ++x) minimal_binary_encode(x, 8, bv);
+  EXPECT_EQ(bv.size(), 8u * 3);  // 3 bits each
+  std::size_t pos = 0;
+  for (std::uint64_t x = 0; x < 8; ++x)
+    EXPECT_EQ(minimal_binary_decode(bv, pos, 8), x);
+}
+
+TEST(MinimalBinary, NonPowerIntervalUsesShortCodes) {
+  // n = 6: b = 3, two short 2-bit codewords for x in {0, 1}.
+  BitVector bv;
+  for (std::uint64_t x = 0; x < 6; ++x) minimal_binary_encode(x, 6, bv);
+  EXPECT_EQ(bv.size(), 2u * 2 + 4u * 3);
+  std::size_t pos = 0;
+  for (std::uint64_t x = 0; x < 6; ++x)
+    EXPECT_EQ(minimal_binary_decode(bv, pos, 6), x) << x;
+  EXPECT_EQ(pos, bv.size());
+}
+
+TEST(MinimalBinary, IntervalOfOneIsZeroBits) {
+  BitVector bv;
+  minimal_binary_encode(0, 1, bv);
+  EXPECT_EQ(bv.size(), 0u);
+  std::size_t pos = 0;
+  EXPECT_EQ(minimal_binary_decode(bv, pos, 1), 0u);
+}
+
+TEST(MinimalBinary, RandomRoundTripVariousIntervals) {
+  pcq::util::SplitMix64 rng(3);
+  for (std::uint64_t n : {2ull, 3ull, 5ull, 6ull, 7ull, 100ull, 1000ull,
+                          (1ull << 33) - 5}) {
+    BitVector bv;
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t x = rng.next_below(n);
+      values.push_back(x);
+      minimal_binary_encode(x, n, bv);
+    }
+    std::size_t pos = 0;
+    for (std::uint64_t x : values)
+      ASSERT_EQ(minimal_binary_decode(bv, pos, n), x) << "n=" << n;
+    EXPECT_EQ(pos, bv.size());
+  }
+}
+
+TEST(Zeta, KnownSmallValuesK1IsGammaShaped) {
+  // zeta_1 has the same block structure as gamma: value 1 -> 1 bit.
+  BitVector bv;
+  zeta_encode(1, 1, bv);
+  EXPECT_EQ(bv.size(), 1u);
+  std::size_t pos = 0;
+  EXPECT_EQ(zeta_decode(bv, pos, 1), 1u);
+}
+
+class ZetaRoundTrip : public testing::TestWithParam<unsigned> {};
+
+TEST_P(ZetaRoundTrip, BoundaryValues) {
+  const unsigned k = GetParam();
+  BitVector bv;
+  std::vector<std::uint64_t> values{1, 2, 3};
+  // Block boundaries: 2^(hk) - 1, 2^(hk), 2^(hk) + 1 for several h.
+  for (unsigned h = 1; h * k < 60; ++h) {
+    const std::uint64_t base = 1ULL << (h * k);
+    values.push_back(base - 1);
+    values.push_back(base);
+    values.push_back(base + 1);
+  }
+  values.push_back(0xffffffffffffffffULL);
+  for (auto v : values) zeta_encode(v, k, bv);
+  std::size_t pos = 0;
+  for (auto v : values) ASSERT_EQ(zeta_decode(bv, pos, k), v) << "k=" << k;
+  EXPECT_EQ(pos, bv.size());
+}
+
+TEST_P(ZetaRoundTrip, RandomValues) {
+  const unsigned k = GetParam();
+  pcq::util::SplitMix64 rng(k * 17);
+  BitVector bv;
+  std::vector<std::uint64_t> values(1000);
+  for (auto& v : values) v = 1 + rng.next_below(1ULL << 40);
+  for (auto v : values) zeta_encode(v, k, bv);
+  std::size_t pos = 0;
+  for (auto v : values) ASSERT_EQ(zeta_decode(bv, pos, k), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, ZetaRoundTrip, testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(Zeta, SmallGapsBeatFixedWidth) {
+  // Power-law-ish gaps (mostly 1-4): zeta_3 should average well under the
+  // 20+ bits a fixed-width column id needs.
+  pcq::util::SplitMix64 rng(9);
+  BitVector bv;
+  constexpr int kCount = 10'000;
+  for (int i = 0; i < kCount; ++i) zeta_encode(1 + rng.next_below(4), 3, bv);
+  EXPECT_LT(bv.size(), static_cast<std::size_t>(kCount) * 6);
+}
+
+TEST(ZetaDeathTest, ZeroValueAborts) {
+  BitVector bv;
+  EXPECT_DEATH(zeta_encode(0, 3, bv), "undefined for 0");
+}
+
+}  // namespace
+}  // namespace pcq::bits
