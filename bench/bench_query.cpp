@@ -94,6 +94,125 @@ void BM_BatchNeighbors_PackedCsr(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchNeighbors_PackedCsr)->Arg(1)->Arg(4)->Arg(16);
 
+void BM_BatchNeighborsFlat_PackedCsr(benchmark::State& state) {
+  const auto& w = workload();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = pcq::csr::batch_neighbors_flat(w.packed, w.nodes, threads);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_BatchNeighborsFlat_PackedCsr)->Arg(1)->Arg(4)->Arg(16);
+
+// --- row-decode throughput: per-element read_bits vs streaming kernel ------
+//
+// Decodes every row of the packed graph once per iteration. The
+// "PerElement" variant is the pre-kernel GetRowFromCSR loop (one
+// read_bits call per neighbour) kept as the ablation baseline; the
+// "Kernel" variant is decode_row on the word-streaming unpack kernel.
+// Items processed = decoded edges, so the JSON reports elements/s.
+
+namespace {
+/// Shared scratch row sized for the largest row, so both decode variants
+/// pay identical per-row overhead (two offset reads, no resize) and the
+/// measured difference is the decode loop itself.
+std::size_t max_degree() {
+  const auto& w = workload();
+  std::size_t best = 0;
+  for (VertexId u = 0; u < kNodes; ++u)
+    best = std::max(best, static_cast<std::size_t>(w.packed.degree(u)));
+  return best;
+}
+}  // namespace
+
+void BM_DecodeAllRows_PerElement(benchmark::State& state) {
+  const auto& w = workload();
+  const auto& columns = w.packed.packed_columns();
+  const unsigned width = columns.width();
+  const auto& bits = columns.bits();
+  std::vector<VertexId> row(max_degree());
+  for (auto _ : state) {
+    for (VertexId u = 0; u < kNodes; ++u) {
+      const std::uint64_t begin = w.packed.offset(u);
+      const auto deg =
+          static_cast<std::size_t>(w.packed.offset(u + 1) - begin);
+      std::size_t pos = begin * width;
+      for (std::size_t i = 0; i < deg; ++i, pos += width)
+        row[i] = static_cast<VertexId>(bits.read_bits(pos, width));
+      benchmark::DoNotOptimize(row.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.packed.num_edges()));
+}
+BENCHMARK(BM_DecodeAllRows_PerElement);
+
+void BM_DecodeAllRows_Kernel(benchmark::State& state) {
+  const auto& w = workload();
+  std::vector<VertexId> row(max_degree());
+  for (auto _ : state) {
+    for (VertexId u = 0; u < kNodes; ++u) {
+      w.packed.decode_row(u, row);
+      benchmark::DoNotOptimize(row.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.packed.num_edges()));
+}
+BENCHMARK(BM_DecodeAllRows_Kernel);
+
+// Bulk decode of the whole packed column array jA (the to_csr path).
+// Row decodes above are dominated by per-row overhead at social-network
+// degrees (~14 here); this pair isolates raw decode throughput on the
+// same multi-chunk graph.
+
+void BM_DecodeColumns_PerElement(benchmark::State& state) {
+  const auto& w = workload();
+  const auto& columns = w.packed.packed_columns();
+  const unsigned width = columns.width();
+  const auto& bits = columns.bits();
+  const std::size_t n = columns.size();
+  std::vector<VertexId> out(n);
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < n; ++i, pos += width)
+      out[i] = static_cast<VertexId>(bits.read_bits(pos, width));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DecodeColumns_PerElement);
+
+void BM_DecodeColumns_Kernel(benchmark::State& state) {
+  const auto& w = workload();
+  const auto& columns = w.packed.packed_columns();
+  const std::size_t n = columns.size();
+  std::vector<VertexId> out(n);
+  for (auto _ : state) {
+    columns.get_range_into(0, n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DecodeColumns_Kernel);
+
+void BM_DecodeAllRows_RowCursor(benchmark::State& state) {
+  const auto& w = workload();
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (VertexId u = 0; u < kNodes; ++u)
+      for (std::uint64_t v : w.packed.row_cursor(u)) sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.packed.num_edges()));
+}
+BENCHMARK(BM_DecodeAllRows_RowCursor);
+
 void BM_BatchNeighbors_AdjacencyList(benchmark::State& state) {
   const auto& w = workload();
   for (auto _ : state) {
@@ -161,6 +280,19 @@ void BM_BatchEdgeExistence_PackedCsr(benchmark::State& state) {
                           kQueryBatch);
 }
 BENCHMARK(BM_BatchEdgeExistence_PackedCsr)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BatchEdgeExistence_PackedCsrBinary(benchmark::State& state) {
+  const auto& w = workload();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = pcq::csr::batch_edge_existence(
+        w.packed, w.edges, threads, pcq::csr::RowSearch::kBinary);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_BatchEdgeExistence_PackedCsrBinary)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_BatchEdgeExistence_AdjacencyList(benchmark::State& state) {
   const auto& w = workload();

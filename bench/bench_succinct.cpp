@@ -92,6 +92,77 @@ void BM_PackedArrayGet(benchmark::State& state) {
 }
 BENCHMARK(BM_PackedArrayGet);
 
+// --- bulk decode throughput: per-element read_bits vs streaming kernel ----
+//
+// The ablation behind the word-streaming unpack kernel: decode the whole
+// packed array once per iteration, (a) the pre-kernel way — one
+// read_bits(pos, width) call per element — and (b) through get_range,
+// which loads each storage word once. Items processed = decoded elements,
+// so benchmark JSON reports elements/s directly.
+
+const pcq::bits::FixedWidthArray& decode_fixture(unsigned width) {
+  static pcq::bits::FixedWidthArray cache[65];
+  static bool built[65] = {};
+  if (!built[width]) {
+    pcq::util::SplitMix64 rng(23 + width);
+    std::vector<std::uint64_t> v(kSymbols);
+    const std::uint64_t mask =
+        width == 64 ? ~0ULL : ((std::uint64_t{1} << width) - 1);
+    for (auto& x : v) x = rng.next() & mask;
+    cache[width] = pcq::bits::FixedWidthArray::pack_with_width(v, width, 0);
+    built[width] = true;
+  }
+  return cache[width];
+}
+
+void BM_PackedDecode_PerElement(benchmark::State& state) {
+  const auto width = static_cast<unsigned>(state.range(0));
+  const auto& packed = decode_fixture(width);
+  const auto& bits = packed.bits();
+  std::vector<std::uint64_t> out(kSymbols);
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < kSymbols; ++i, pos += width)
+      out[i] = bits.read_bits(pos, width);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSymbols);
+}
+BENCHMARK(BM_PackedDecode_PerElement)
+    ->Arg(5)->Arg(13)->Arg(17)->Arg(32)->Arg(33)->Arg(63);
+
+void BM_PackedDecode_WordStream(benchmark::State& state) {
+  const auto width = static_cast<unsigned>(state.range(0));
+  const auto& packed = decode_fixture(width);
+  std::vector<std::uint64_t> out(kSymbols);
+  for (auto _ : state) {
+    packed.get_range(0, kSymbols, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSymbols);
+}
+BENCHMARK(BM_PackedDecode_WordStream)
+    ->Arg(5)->Arg(13)->Arg(17)->Arg(32)->Arg(33)->Arg(63);
+
+void BM_PackedDecode_RowCursor(benchmark::State& state) {
+  const auto width = static_cast<unsigned>(state.range(0));
+  const auto& packed = decode_fixture(width);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    pcq::bits::RowCursor cursor = packed.cursor(0, kSymbols);
+    while (!cursor.done()) sum += cursor.next();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSymbols);
+}
+BENCHMARK(BM_PackedDecode_RowCursor)
+    ->Arg(5)->Arg(13)->Arg(17)->Arg(32)->Arg(33)->Arg(63);
+
 void BM_PlainVectorGet(benchmark::State& state) {
   static const std::vector<std::uint32_t> plain = [] {
     pcq::util::SplitMix64 rng(19);

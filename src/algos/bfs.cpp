@@ -67,14 +67,10 @@ std::vector<std::uint32_t> bfs(const csr::CsrGraph& g, VertexId source,
 
 std::vector<std::uint32_t> bfs(const csr::BitPackedCsr& g, VertexId source,
                                int num_threads) {
-  // thread_local decode buffer: rows are decoded on demand, never the
-  // whole column array.
-  return bfs_impl(g, source, num_threads, [&](VertexId u) {
-    thread_local std::vector<VertexId> row;
-    row.resize(g.degree(u));
-    g.decode_row(u, row);
-    return std::span<const VertexId>(row);
-  });
+  // Rows stream through the word-wise cursor on demand: no decode buffer,
+  // and never the whole column array.
+  return bfs_impl(g, source, num_threads,
+                  [&](VertexId u) { return g.row_cursor(u); });
 }
 
 }  // namespace pcq::algos

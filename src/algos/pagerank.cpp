@@ -10,8 +10,13 @@ namespace pcq::algos {
 
 using graph::VertexId;
 
-PageRankResult pagerank(const csr::CsrGraph& g, const PageRankOptions& opts,
-                        int num_threads) {
+namespace {
+
+/// Shared pull-based power iteration; `row_for` yields u's out-neighbour
+/// row (span for plain CSR, streaming cursor for packed).
+template <typename Graph, typename RowFn>
+PageRankResult pagerank_impl(const Graph& g, const PageRankOptions& opts,
+                             int num_threads, RowFn&& row_for) {
   const VertexId n = g.num_nodes();
   PageRankResult result;
   if (n == 0) return result;
@@ -21,7 +26,7 @@ PageRankResult pagerank(const csr::CsrGraph& g, const PageRankOptions& opts,
   graph::EdgeList reversed;
   reversed.reserve(g.num_edges());
   for (VertexId u = 0; u < n; ++u)
-    for (VertexId v : g.neighbors(u)) reversed.push_back({v, u});
+    for (VertexId v : row_for(u)) reversed.push_back({v, u});
   reversed.sort(num_threads);
   const csr::CsrGraph transpose =
       csr::build_csr_from_sorted(reversed, n, num_threads);
@@ -59,6 +64,20 @@ PageRankResult pagerank(const csr::CsrGraph& g, const PageRankOptions& opts,
   }
   result.scores = std::move(rank);
   return result;
+}
+
+}  // namespace
+
+PageRankResult pagerank(const csr::CsrGraph& g, const PageRankOptions& opts,
+                        int num_threads) {
+  return pagerank_impl(g, opts, num_threads,
+                       [&](VertexId u) { return g.neighbors(u); });
+}
+
+PageRankResult pagerank(const csr::BitPackedCsr& g, const PageRankOptions& opts,
+                        int num_threads) {
+  return pagerank_impl(g, opts, num_threads,
+                       [&](VertexId u) { return g.row_cursor(u); });
 }
 
 }  // namespace pcq::algos

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "csr/bitpacked_csr.hpp"
 #include "csr/csr_graph.hpp"
 
 namespace pcq::algos {
@@ -24,6 +25,13 @@ struct PageRankResult {
 /// internally so directed graphs are handled correctly; dangling mass is
 /// redistributed uniformly, so the scores always sum to 1.
 PageRankResult pagerank(const csr::CsrGraph& g, const PageRankOptions& opts,
+                        int num_threads);
+
+/// Same iteration directly on the bit-packed CSR: the transpose is built
+/// by streaming every packed row through the word-wise cursor, and the
+/// out-degrees come from the packed offset array — the column array is
+/// never fully decoded.
+PageRankResult pagerank(const csr::BitPackedCsr& g, const PageRankOptions& opts,
                         int num_threads);
 
 }  // namespace pcq::algos

@@ -29,6 +29,23 @@ std::uint64_t intersect_count(std::span<const VertexId> a,
   return count;
 }
 
+/// |row_a ∩ cursor| for a sorted span against a sorted packed row streamed
+/// through the word-wise cursor — the packed side is never materialised.
+std::uint64_t intersect_count_streamed(std::span<const VertexId> a,
+                                       pcq::bits::RowCursor b) {
+  std::uint64_t count = 0;
+  std::size_t i = 0;
+  while (i < a.size() && !b.done()) {
+    const auto v = static_cast<VertexId>(b.next());
+    while (i < a.size() && a[i] < v) ++i;
+    if (i < a.size() && a[i] == v) {
+      ++count;
+      ++i;
+    }
+  }
+  return count;
+}
+
 }  // namespace
 
 std::uint64_t count_triangles(const csr::CsrGraph& g, int num_threads) {
@@ -44,6 +61,31 @@ std::uint64_t count_triangles(const csr::CsrGraph& g, int num_threads) {
           const auto u = static_cast<VertexId>(ui);
           const auto row_u = g.neighbors(u);
           for (VertexId v : row_u) local += intersect_count(row_u, g.neighbors(v));
+        }
+        partial[c] = local;
+      });
+
+  std::uint64_t total = 0;
+  for (std::uint64_t x : partial) total += x;
+  return total;
+}
+
+std::uint64_t count_triangles(const csr::BitPackedCsr& g, int num_threads) {
+  const VertexId n = g.num_nodes();
+  const auto p = static_cast<std::size_t>(pcq::par::clamp_threads(num_threads));
+  const std::size_t chunks = pcq::par::num_nonempty_chunks(n, p);
+  std::vector<std::uint64_t> partial(chunks == 0 ? 1 : chunks, 0);
+
+  pcq::par::parallel_for_chunks(
+      n, static_cast<int>(p), [&](std::size_t c, pcq::par::ChunkRange r) {
+        std::uint64_t local = 0;
+        std::vector<VertexId> row_u;  // per-chunk decode buffer for row a
+        for (std::size_t ui = r.begin; ui < r.end; ++ui) {
+          const auto u = static_cast<VertexId>(ui);
+          row_u.resize(g.degree(u));
+          g.decode_row(u, row_u);
+          for (VertexId v : row_u)
+            local += intersect_count_streamed(row_u, g.row_cursor(v));
         }
         partial[c] = local;
       });

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "csr/bitpacked_csr.hpp"
 #include "csr/csr_graph.hpp"
 
 namespace pcq::algos {
@@ -14,5 +15,11 @@ namespace pcq::algos {
 /// intersecting row(a) with row(b) for every edge (a, b). Parallel over
 /// nodes.
 std::uint64_t count_triangles(const csr::CsrGraph& g, int num_threads);
+
+/// Same count directly on the bit-packed upper-triangular CSR. Row a is
+/// bulk-decoded once per node with the word-streaming kernel; row b
+/// streams through a cursor inside the intersection, so the graph is
+/// never decompressed beyond two rows per thread.
+std::uint64_t count_triangles(const csr::BitPackedCsr& g, int num_threads);
 
 }  // namespace pcq::algos

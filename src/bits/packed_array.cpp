@@ -107,16 +107,18 @@ FixedWidthArray FixedWidthArray::pack_with_width(
 
 void FixedWidthArray::get_range(std::size_t begin, std::size_t count,
                                 std::span<std::uint64_t> out) const {
-  PCQ_CHECK(begin + count <= size_);
   PCQ_CHECK(out.size() >= count);
-  std::size_t pos = begin * width_;
-  for (std::size_t i = 0; i < count; ++i, pos += width_)
-    out[i] = storage_.read_bits(pos, width_);
+  get_range_into(begin, count, out.data());
 }
 
-std::vector<std::uint64_t> FixedWidthArray::unpack() const {
+std::vector<std::uint64_t> FixedWidthArray::unpack(int num_threads) const {
   std::vector<std::uint64_t> out(size_);
-  get_range(0, size_, out);
+  // Chunks decode disjoint element ranges; they may read (but never write)
+  // a shared boundary word, so the kernel runs race-free in parallel.
+  pcq::par::parallel_for_chunks(
+      size_, num_threads, [&](std::size_t, pcq::par::ChunkRange r) {
+        get_range_into(r.begin, r.size(), out.data() + r.begin);
+      });
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bits/bitvector.hpp"
+#include "bits/unpack.hpp"
 
 namespace pcq::bits {
 
@@ -61,12 +62,27 @@ class FixedWidthArray {
 
   /// Decodes elements [begin, begin+count) into `out`. This is the bulk
   /// row decode behind GetRowFromCSR: neighbours of one node are `count`
-  /// consecutive packed values.
+  /// consecutive packed values. Runs the word-streaming kernel: each
+  /// storage word is loaded once, not once per element.
   void get_range(std::size_t begin, std::size_t count,
                  std::span<std::uint64_t> out) const;
 
-  /// Decodes the whole array.
-  [[nodiscard]] std::vector<std::uint64_t> unpack() const;
+  /// get_range decoding into any integer type wide enough for the stored
+  /// values (packed graph columns decode straight into VertexId buffers).
+  template <typename OutT>
+  void get_range_into(std::size_t begin, std::size_t count, OutT* out) const {
+    PCQ_CHECK(begin + count <= size_);
+    unpack_words(storage_.words().data(), begin * width_, width_, count, out);
+  }
+
+  /// Streaming decoder over [begin, begin+count) — no scratch buffer.
+  [[nodiscard]] RowCursor cursor(std::size_t begin, std::size_t count) const {
+    PCQ_CHECK(begin + count <= size_);
+    return RowCursor(storage_.words().data(), begin * width_, width_, count);
+  }
+
+  /// Decodes the whole array; chunks the kernel across `num_threads`.
+  [[nodiscard]] std::vector<std::uint64_t> unpack(int num_threads = 1) const;
 
   /// Underlying bit storage (exposed for the query algorithms, which the
   /// paper phrases in terms of "an array of unsigned bits A").

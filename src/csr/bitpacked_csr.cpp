@@ -28,19 +28,6 @@ BitPackedCsr BitPackedCsr::from_csr(const CsrGraph& csr, int num_threads) {
   return packed;
 }
 
-std::size_t BitPackedCsr::decode_row(VertexId u,
-                                     std::span<VertexId> out) const {
-  const std::uint64_t begin = offset(u);
-  const auto deg = static_cast<std::size_t>(offset(u + 1) - begin);
-  PCQ_CHECK(out.size() >= deg);
-  const unsigned width = columns_.width();
-  const auto& bits = columns_.bits();
-  std::size_t pos = begin * width;
-  for (std::size_t i = 0; i < deg; ++i, pos += width)
-    out[i] = static_cast<VertexId>(bits.read_bits(pos, width));
-  return deg;
-}
-
 std::vector<VertexId> BitPackedCsr::neighbors(VertexId u) const {
   std::vector<VertexId> out(degree(u));
   decode_row(u, out);
@@ -62,11 +49,13 @@ bool BitPackedCsr::has_edge(VertexId u, VertexId v) const {
   return false;
 }
 
-CsrGraph BitPackedCsr::to_csr() const {
-  std::vector<std::uint64_t> offs = offsets_.unpack();
+CsrGraph BitPackedCsr::to_csr(int num_threads) const {
+  std::vector<std::uint64_t> offs = offsets_.unpack(num_threads);
   std::vector<VertexId> cols(num_edges_);
-  for (std::size_t i = 0; i < num_edges_; ++i)
-    cols[i] = static_cast<VertexId>(columns_.get(i));
+  pcq::par::parallel_for_chunks(
+      num_edges_, num_threads, [&](std::size_t, pcq::par::ChunkRange r) {
+        columns_.get_range_into(r.begin, r.size(), cols.data() + r.begin);
+      });
   return CsrGraph(std::move(offs), std::move(cols));
 }
 

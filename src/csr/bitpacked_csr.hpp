@@ -61,17 +61,48 @@ class BitPackedCsr {
     return static_cast<std::uint32_t>(offset(u + 1) - offset(u));
   }
 
+  /// Both bounds of row u, decoded with one inline kernel call on the
+  /// adjacent packed offsets instead of two out-of-line read_bits calls —
+  /// this is per-row overhead on every decode, so it matters for the
+  /// short rows that dominate social-network degree distributions.
+  struct RowBounds {
+    std::uint64_t begin;
+    std::uint64_t end;
+  };
+  [[nodiscard]] RowBounds row_bounds(graph::VertexId u) const {
+    PCQ_DCHECK(u < num_nodes_);
+    std::uint64_t pair[2];
+    offsets_.get_range_into(u, 2, pair);
+    return {pair[0], pair[1]};
+  }
+
   /// Decodes the single column entry at packed index i (jA[i]).
   [[nodiscard]] graph::VertexId column(std::uint64_t i) const {
     return static_cast<graph::VertexId>(columns_.get(i));
   }
 
   /// GetRowFromCSR: decodes u's neighbour row into `out`, which must have
-  /// room for degree(u) values. Returns the row length.
-  std::size_t decode_row(graph::VertexId u, std::span<graph::VertexId> out) const;
+  /// room for degree(u) values. Returns the row length. Runs the bulk
+  /// word-streaming kernel straight into the VertexId buffer. Inline so
+  /// per-row call overhead doesn't dominate short rows in batch decodes.
+  std::size_t decode_row(graph::VertexId u, std::span<graph::VertexId> out) const {
+    const RowBounds row = row_bounds(u);
+    const auto deg = static_cast<std::size_t>(row.end - row.begin);
+    PCQ_CHECK(out.size() >= deg);
+    columns_.get_range_into(row.begin, deg, out.data());
+    return deg;
+  }
 
   /// Convenience allocation-returning variant.
   [[nodiscard]] std::vector<graph::VertexId> neighbors(graph::VertexId u) const;
+
+  /// Streaming decoder over u's packed row — iterates the neighbours
+  /// without materialising them (values are the packed column ids).
+  [[nodiscard]] pcq::bits::RowCursor row_cursor(graph::VertexId u) const {
+    const RowBounds row = row_bounds(u);
+    return columns_.cursor(row.begin,
+                           static_cast<std::size_t>(row.end - row.begin));
+  }
 
   /// Binary search of u's packed row (rows are v-sorted by construction).
   /// Decodes O(log degree) packed values, not the whole row.
@@ -86,8 +117,9 @@ class BitPackedCsr {
     return offsets_.size_bytes() + columns_.size_bytes();
   }
 
-  /// Expands back to a plain CSR (round-trip testing and interop).
-  [[nodiscard]] CsrGraph to_csr() const;
+  /// Expands back to a plain CSR (round-trip testing and interop); both
+  /// arrays decode through the bulk kernel, chunked over `num_threads`.
+  [[nodiscard]] CsrGraph to_csr(int num_threads = 1) const;
 
   [[nodiscard]] const pcq::bits::FixedWidthArray& packed_offsets() const {
     return offsets_;

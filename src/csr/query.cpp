@@ -1,6 +1,5 @@
 #include "csr/query.hpp"
 
-#include <algorithm>
 #include <atomic>
 
 #include "par/chunking.hpp"
@@ -60,23 +59,52 @@ BatchNeighborsResult batch_neighbors_flat(
   return result;
 }
 
+namespace {
+
+/// Debug invariant behind RowSearch::kBinary: builder output is
+/// column-sorted, so binary search over the packed row is sound.
+[[maybe_unused]] bool row_is_sorted(const BitPackedCsr& csr, VertexId u) {
+  pcq::bits::RowCursor cursor = csr.row_cursor(u);
+  std::uint64_t prev = 0;
+  bool first = true;
+  while (!cursor.done()) {
+    const std::uint64_t c = cursor.next();
+    if (!first && c < prev) return false;
+    prev = c;
+    first = false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> batch_edge_existence(
     const BitPackedCsr& csr, std::span<const Edge> query_edges,
-    int num_threads) {
+    int num_threads, RowSearch search) {
   std::vector<std::uint8_t> result(query_edges.size(), 0);
   // Algorithm 9, second block: split the edge array into p parts; each
   // processor runs Algorithm 7 on its slice.
   pcq::par::parallel_for_chunks(
       query_edges.size(), num_threads,
       [&](std::size_t, pcq::par::ChunkRange r) {
-        std::vector<VertexId> row;
         for (std::size_t i = r.begin; i < r.end; ++i) {
           const auto [u, v] = query_edges[i];
+          if (search == RowSearch::kBinary) {
+            // Rows are sorted, so the packed binary search answers in
+            // O(log deg) decodes instead of a full row scan.
+            PCQ_DCHECK(row_is_sorted(csr, u));
+            result[i] = csr.has_edge(u, v) ? 1 : 0;
+            continue;
+          }
           // uNeighs = GetRowFromCSR(...); then scan for v (Algorithm 7
-          // lines 3-6). The row buffer is reused across queries.
-          row.resize(csr.degree(u));
-          csr.decode_row(u, row);
-          const bool found = std::find(row.begin(), row.end(), v) != row.end();
+          // lines 3-6), streamed through the cursor — no row buffer.
+          bool found = false;
+          for (pcq::bits::RowCursor row = csr.row_cursor(u); !row.done();) {
+            if (row.next() == v) {
+              found = true;
+              break;
+            }
+          }
           result[i] = found ? 1 : 0;
         }
       });
@@ -91,16 +119,26 @@ bool edge_exists_intra_row(const BitPackedCsr& csr, VertexId u, VertexId v,
 
   // Algorithm 9, third block: retrieve u's neighbourhood bounds, split the
   // row into p parts, and let every processor search its chunk. The packed
-  // row is decoded value-by-value in place — no materialisation.
+  // row is streamed through the word-wise cursor — no materialisation.
   std::atomic<bool> found{false};
+  // Re-checked every kPollStride elements so a hit in one chunk stops the
+  // others mid-scan instead of only gating chunk entry.
+  constexpr std::size_t kPollStride = 1024;
   pcq::par::parallel_for_chunks(
       deg, num_threads, [&](std::size_t, pcq::par::ChunkRange r) {
         if (found.load(std::memory_order_relaxed)) return;  // early exit
         if (search == RowSearch::kLinear) {
-          for (std::size_t i = r.begin; i < r.end; ++i) {
-            if (csr.column(row_begin + i) == v) {
+          pcq::bits::RowCursor cursor =
+              csr.packed_columns().cursor(row_begin + r.begin, r.size());
+          std::size_t until_poll = kPollStride;
+          while (!cursor.done()) {
+            if (cursor.next() == v) {
               found.store(true, std::memory_order_relaxed);
               return;
+            }
+            if (--until_poll == 0) {
+              if (found.load(std::memory_order_relaxed)) return;
+              until_poll = kPollStride;
             }
           }
         } else {

@@ -49,18 +49,20 @@ BatchNeighborsResult batch_neighbors_flat(
     const BitPackedCsr& csr, std::span<const graph::VertexId> query_nodes,
     int num_threads);
 
-/// Algorithm 7: existence of every edge in `query_edges`; result[i] is 1
-/// iff query_edges[i] is present. Row decode + linear neighbour scan, as
-/// the paper specifies.
-std::vector<std::uint8_t> batch_edge_existence(
-    const BitPackedCsr& csr, std::span<const graph::Edge> query_edges,
-    int num_threads);
-
-/// How Algorithm 8 searches its chunk of the neighbour row.
+/// How a neighbour row is searched for a target column.
 enum class RowSearch {
-  kLinear,  ///< as written in Algorithm 8
+  kLinear,  ///< as written in Algorithms 7/8 (the paper-faithful ablation)
   kBinary,  ///< the paper's suggested extension (rows are sorted)
 };
+
+/// Algorithm 7: existence of every edge in `query_edges`; result[i] is 1
+/// iff query_edges[i] is present. The default streams each row through
+/// the word-wise cursor with the paper's linear scan; kBinary switches to
+/// an O(log deg) packed binary search per query (builder rows are
+/// column-sorted — asserted in debug builds).
+std::vector<std::uint8_t> batch_edge_existence(
+    const BitPackedCsr& csr, std::span<const graph::Edge> query_edges,
+    int num_threads, RowSearch search = RowSearch::kLinear);
 
 /// Algorithm 8: single edge query answered by splitting u's row across
 /// `num_threads` processors. "One of the processors will return true if

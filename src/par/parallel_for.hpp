@@ -1,4 +1,5 @@
-// parallel_for / parallel_for_chunks — thin OpenMP wrappers.
+// parallel_for / parallel_for_chunks — thin OpenMP wrappers (std::thread
+// backend under PCQ_PAR_STD_THREADS, used by the TSan preset).
 //
 // Two idioms cover everything in the paper:
 //   * parallel_for:        independent per-element loops (query batches),
@@ -7,7 +8,12 @@
 //                          and bounds (for spill arrays indexed by pid).
 #pragma once
 
+#if defined(PCQ_PAR_STD_THREADS)
+#include <thread>
+#include <vector>
+#else
 #include <omp.h>
+#endif
 
 #include <cstddef>
 
@@ -15,6 +21,56 @@
 #include "par/threads.hpp"
 
 namespace pcq::par {
+
+#if defined(PCQ_PAR_STD_THREADS)
+
+// std::thread backend, selected by the TSan build (PCQ_SANITIZE=thread).
+// libgomp's barriers are invisible to an uninstrumented TSan runtime, so
+// every OpenMP fork/join reports a false race; pthread create/join is
+// fully understood, which keeps *real* races in the chunk logic (merge
+// boundary words, spill arrays) visible. Semantics match the OpenMP
+// backend: one chunk per "processor", chunk id == thread id.
+
+/// Runs fn(i) for i in [0, n) using `num_threads` threads with static
+/// scheduling. fn must be safe to call concurrently for distinct i.
+template <typename Fn>
+void parallel_for(std::size_t n, int num_threads, Fn&& fn) {
+  const int p = clamp_threads(num_threads);
+  if (p == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunks =
+      num_nonempty_chunks(n, static_cast<std::size_t>(p));
+  std::vector<std::thread> workers;
+  workers.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c)
+    workers.emplace_back([&fn, n, chunks, c] {
+      const ChunkRange r = chunk_range(n, chunks, c);
+      for (std::size_t i = r.begin; i < r.end; ++i) fn(i);
+    });
+  for (auto& t : workers) t.join();
+}
+
+/// Runs fn(chunk_id, range) once per chunk, with chunk `c` handled by
+/// thread `c`.
+template <typename Fn>
+void parallel_for_chunks(std::size_t n, int num_threads, Fn&& fn) {
+  const std::size_t p = static_cast<std::size_t>(clamp_threads(num_threads));
+  const std::size_t chunks = num_nonempty_chunks(n, p);
+  if (chunks <= 1) {
+    if (n > 0) fn(std::size_t{0}, ChunkRange{0, n});
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c)
+    workers.emplace_back(
+        [&fn, n, chunks, c] { fn(c, chunk_range(n, chunks, c)); });
+  for (auto& t : workers) t.join();
+}
+
+#else  // OpenMP backend (default)
 
 /// Runs fn(i) for i in [0, n) using `num_threads` threads with static
 /// scheduling. fn must be safe to call concurrently for distinct i.
@@ -49,5 +105,7 @@ void parallel_for_chunks(std::size_t n, int num_threads, Fn&& fn) {
     fn(c, chunk_range(n, chunks, c));
   }
 }
+
+#endif  // PCQ_PAR_STD_THREADS
 
 }  // namespace pcq::par

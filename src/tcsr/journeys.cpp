@@ -29,29 +29,38 @@ std::vector<TimeFrame> foremost_arrival(const DifferentialTcsr& tcsr,
     const csr::BitPackedCsr& delta = tcsr.delta(t);
     pcq::par::parallel_for(n, num_threads, [&](std::size_t ui) {
       const auto u = static_cast<VertexId>(ui);
-      const auto deg = delta.degree(u);
-      if (deg == 0) return;
-      std::vector<VertexId> row(deg);
-      delta.decode_row(u, row);
+      // Stream the packed delta row through the word-wise cursor; only the
+      // merged accumulator is materialised.
+      pcq::bits::RowCursor row = delta.row_cursor(u);
+      if (row.done()) return;
       auto& active = adjacency[u];
       std::vector<VertexId> merged;
-      merged.reserve(active.size() + row.size());
-      std::size_t i = 0, j = 0;
-      while (i < active.size() && j < row.size()) {
-        if (active[i] < row[j]) {
+      merged.reserve(active.size() + row.remaining());
+      std::size_t i = 0;
+      auto r = static_cast<VertexId>(row.next());
+      bool row_live = true;
+      while (i < active.size() && row_live) {
+        if (active[i] < r) {
           merged.push_back(active[i++]);
-        } else if (row[j] < active[i]) {
-          merged.push_back(row[j++]);
         } else {
-          ++i;  // toggle off
-          ++j;
+          if (r < active[i]) {
+            merged.push_back(r);
+          } else {
+            ++i;  // toggle off
+          }
+          if (row.done())
+            row_live = false;
+          else
+            r = static_cast<VertexId>(row.next());
         }
       }
       merged.insert(merged.end(),
                     active.begin() + static_cast<std::ptrdiff_t>(i),
                     active.end());
-      merged.insert(merged.end(), row.begin() + static_cast<std::ptrdiff_t>(j),
-                    row.end());
+      if (row_live) {
+        merged.push_back(r);
+        while (!row.done()) merged.push_back(static_cast<VertexId>(row.next()));
+      }
       active.swap(merged);
     });
 

@@ -80,32 +80,40 @@ std::vector<VertexId> DifferentialTcsr::neighbors_at(VertexId u,
   PCQ_DCHECK(t < deltas_.size());
   // XOR-accumulate u's delta rows: a neighbour toggled an odd number of
   // times is active. Rows are sorted, so a sorted symmetric-difference
-  // merge keeps the accumulator sorted.
+  // merge keeps the accumulator sorted. The delta row side streams from
+  // the packed columns via RowCursor — only the accumulator is ever
+  // materialised.
   std::vector<VertexId> active;
-  std::vector<VertexId> row;
   std::vector<VertexId> merged;
   for (TimeFrame f = 0; f <= t; ++f) {
-    const auto deg = deltas_[f].degree(u);
-    if (deg == 0) continue;
-    row.resize(deg);
-    deltas_[f].decode_row(u, row);
+    pcq::bits::RowCursor row = deltas_[f].row_cursor(u);
+    if (row.done()) continue;
     merged.clear();
-    merged.reserve(active.size() + row.size());
-    std::size_t i = 0, j = 0;
-    while (i < active.size() && j < row.size()) {
-      if (active[i] < row[j]) {
+    merged.reserve(active.size() + row.remaining());
+    std::size_t i = 0;
+    auto r = static_cast<VertexId>(row.next());
+    bool row_live = true;
+    while (i < active.size() && row_live) {
+      if (active[i] < r) {
         merged.push_back(active[i++]);
-      } else if (row[j] < active[i]) {
-        merged.push_back(row[j++]);
       } else {
-        ++i;
-        ++j;  // cancels
+        if (r < active[i]) {
+          merged.push_back(r);
+        } else {
+          ++i;  // cancels
+        }
+        if (row.done())
+          row_live = false;
+        else
+          r = static_cast<VertexId>(row.next());
       }
     }
     merged.insert(merged.end(), active.begin() + static_cast<std::ptrdiff_t>(i),
                   active.end());
-    merged.insert(merged.end(), row.begin() + static_cast<std::ptrdiff_t>(j),
-                  row.end());
+    if (row_live) {
+      merged.push_back(r);
+      while (!row.done()) merged.push_back(static_cast<VertexId>(row.next()));
+    }
     active.swap(merged);
   }
   return active;
@@ -167,18 +175,28 @@ std::vector<ActivityInterval> DifferentialTcsr::activity_intervals(
   return intervals;
 }
 
+namespace {
+
+/// Streams a packed delta straight into a sorted edge vector (row cursors,
+/// no intermediate CsrGraph).
+std::vector<Edge> delta_edges(const csr::BitPackedCsr& delta) {
+  std::vector<Edge> edges;
+  edges.reserve(delta.num_edges());
+  for (VertexId u = 0; u < delta.num_nodes(); ++u)
+    for (std::uint64_t v : delta.row_cursor(u))
+      edges.push_back({u, static_cast<VertexId>(v)});
+  return edges;
+}
+
+}  // namespace
+
 std::vector<SortedEdgeSet> DifferentialTcsr::all_snapshots(
     int num_threads) const {
   const std::size_t frames = deltas_.size();
   std::vector<SortedEdgeSet> sets(frames);
   // Materialise each delta as a sorted edge set...
   pcq::par::parallel_for(frames, num_threads, [&](std::size_t t) {
-    const csr::CsrGraph csr = deltas_[t].to_csr();
-    std::vector<Edge> edges;
-    edges.reserve(csr.num_edges());
-    for (VertexId u = 0; u < csr.num_nodes(); ++u)
-      for (VertexId v : csr.neighbors(u)) edges.push_back({u, v});
-    sets[t] = SortedEdgeSet::from_sorted(std::move(edges));
+    sets[t] = SortedEdgeSet::from_sorted(delta_edges(deltas_[t]));
   });
   // ...then run the paper's chunked prefix-sum schedule with the
   // symmetric-difference monoid: sets[t] becomes the snapshot at frame t.
@@ -194,13 +212,8 @@ csr::CsrGraph DifferentialTcsr::snapshot_at(TimeFrame t,
   std::vector<SortedEdgeSet> sets(t + 1);
   pcq::par::parallel_for(static_cast<std::size_t>(t) + 1, num_threads,
                          [&](std::size_t f) {
-                           const csr::CsrGraph csr = deltas_[f].to_csr();
-                           std::vector<Edge> edges;
-                           edges.reserve(csr.num_edges());
-                           for (VertexId u = 0; u < csr.num_nodes(); ++u)
-                             for (VertexId v : csr.neighbors(u))
-                               edges.push_back({u, v});
-                           sets[f] = SortedEdgeSet::from_sorted(std::move(edges));
+                           sets[f] = SortedEdgeSet::from_sorted(
+                               delta_edges(deltas_[f]));
                          });
   pcq::par::chunked_inclusive_scan(std::span<SortedEdgeSet>(sets), num_threads,
                                    SymmetricDifferenceOp{});

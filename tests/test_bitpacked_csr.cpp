@@ -116,6 +116,65 @@ TEST(BitPackedCsr, EmptyGraph) {
   }
 }
 
+TEST(BitPackedCsr, ParallelToCsrRoundTripsMultiChunkGraph) {
+  // Large enough that every thread count below splits the column array
+  // into several chunks, exercising the chunked bulk-decode boundaries.
+  const BitPackedCsr packed = packed_random(1 << 12, 200'000, 17, 4);
+  const CsrGraph serial = packed.to_csr(1);
+  for (int p : {2, 3, 8, 64}) {
+    const CsrGraph parallel = packed.to_csr(p);
+    ASSERT_EQ(parallel.num_nodes(), serial.num_nodes()) << "p=" << p;
+    ASSERT_EQ(parallel.num_edges(), serial.num_edges()) << "p=" << p;
+    EXPECT_TRUE(std::equal(parallel.offsets().begin(),
+                           parallel.offsets().end(),
+                           serial.offsets().begin()))
+        << "p=" << p;
+    EXPECT_TRUE(std::equal(parallel.columns().begin(),
+                           parallel.columns().end(),
+                           serial.columns().begin()))
+        << "p=" << p;
+  }
+  // And the round trip itself holds: re-packing the expansion is identical.
+  const BitPackedCsr repacked = BitPackedCsr::from_csr(packed.to_csr(8), 4);
+  EXPECT_TRUE(repacked.packed_offsets() == packed.packed_offsets());
+  EXPECT_TRUE(repacked.packed_columns() == packed.packed_columns());
+}
+
+TEST(BitPackedCsr, RowCursorMatchesDecodeRow) {
+  const BitPackedCsr packed = packed_random(512, 20'000, 19, 4);
+  std::vector<VertexId> row;
+  for (VertexId u = 0; u < 512; ++u) {
+    row.resize(packed.degree(u));
+    packed.decode_row(u, row);
+    pcq::bits::RowCursor cursor = packed.row_cursor(u);
+    ASSERT_EQ(cursor.remaining(), row.size());
+    for (VertexId expected : row) ASSERT_EQ(cursor.next(), expected);
+    EXPECT_TRUE(cursor.done());
+  }
+}
+
+TEST(BitPackedCsr, ZeroEdgeGraphRoundTrips) {
+  const CsrGraph csr = build_csr_from_sorted(EdgeList{}, 16, 2);
+  const BitPackedCsr packed = BitPackedCsr::from_csr(csr, 2);
+  for (int p : {1, 4}) {
+    const CsrGraph back = packed.to_csr(p);
+    EXPECT_EQ(back.num_edges(), 0u);
+    EXPECT_EQ(back.num_nodes(), 16u);
+  }
+  EXPECT_TRUE(packed.row_cursor(3).done());
+}
+
+TEST(BitPackedCsr, SingleNodeGraph) {
+  const CsrGraph csr = build_csr_from_sorted(EdgeList({{0, 0}}), 1, 2);
+  const BitPackedCsr packed = BitPackedCsr::from_csr(csr, 2);
+  EXPECT_EQ(packed.num_nodes(), 1u);
+  EXPECT_EQ(packed.num_edges(), 1u);
+  EXPECT_EQ(packed.neighbors(0), (std::vector<VertexId>{0}));
+  const CsrGraph back = packed.to_csr(4);
+  EXPECT_EQ(back.neighbors(0).size(), 1u);
+  EXPECT_TRUE(packed.has_edge(0, 0));
+}
+
 TEST(BitPackedCsr, IsolatedTailNodes) {
   // Nodes after the last edge source still need valid offsets.
   const CsrGraph csr = build_csr_from_sorted(EdgeList({{0, 1}}), 100, 2);

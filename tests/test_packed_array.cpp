@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 #include <vector>
 
@@ -104,6 +105,132 @@ INSTANTIATE_TEST_SUITE_P(
                                      33u, 63u, 64u),
                      testing::Values<std::size_t>(1, 2, 63, 64, 65, 1000),
                      testing::Values(2, 3, 4, 8, 64)));
+
+// --- word-streaming unpack kernel ------------------------------------------
+//
+// Hostile inputs for the bulk decoder: widths that never straddle (1),
+// always fill a word (64), straddle every single boundary (63, 33), plus
+// the byte-aligned fast paths (8/16/32) and empty ranges.
+
+class UnpackKernelWidthSweep : public testing::TestWithParam<unsigned> {};
+
+TEST_P(UnpackKernelWidthSweep, GetRangeMatchesPerElementGet) {
+  const unsigned width = GetParam();
+  const std::size_t n = 700;  // > 10 words at every width
+  const auto v = random_values(n, width, width * 7919 + 1);
+  const auto packed = FixedWidthArray::pack_with_width(v, width, 4);
+  // Every (begin, count) alignment against the 64-bit words: sweeping the
+  // start offset exercises a straddle at each possible bit position.
+  std::vector<std::uint64_t> out(n);
+  for (std::size_t begin = 0; begin < 130 && begin < n; ++begin) {
+    const std::size_t count = std::min<std::size_t>(n - begin, 131);
+    packed.get_range(begin, count, out);
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_EQ(out[i], packed.get(begin + i))
+          << "width=" << width << " begin=" << begin << " i=" << i;
+  }
+}
+
+TEST_P(UnpackKernelWidthSweep, CursorStreamsWholeArray) {
+  const unsigned width = GetParam();
+  const auto v = random_values(513, width, width * 104729 + 3);
+  const auto packed = FixedWidthArray::pack_with_width(v, width, 2);
+  RowCursor cursor = packed.cursor(0, packed.size());
+  std::size_t i = 0;
+  while (!cursor.done()) {
+    ASSERT_EQ(cursor.remaining(), v.size() - i);
+    ASSERT_EQ(cursor.next(), v[i]) << "width=" << width << " i=" << i;
+    ++i;
+  }
+  EXPECT_EQ(i, v.size());
+}
+
+TEST_P(UnpackKernelWidthSweep, CursorMidArrayStart) {
+  const unsigned width = GetParam();
+  const auto v = random_values(300, width, width * 31 + 17);
+  const auto packed = FixedWidthArray::pack_with_width(v, width, 2);
+  // Start the cursor at every offset in a word-straddling window.
+  for (std::size_t begin : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                            std::size_t{65}, std::size_t{127}}) {
+    RowCursor cursor = packed.cursor(begin, v.size() - begin);
+    for (std::size_t i = begin; i < v.size(); ++i)
+      ASSERT_EQ(cursor.next(), v[i]) << "width=" << width << " begin=" << begin;
+    EXPECT_TRUE(cursor.done());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HostileWidths, UnpackKernelWidthSweep,
+                         testing::Values(1u, 2u, 7u, 8u, 9u, 15u, 16u, 17u,
+                                         31u, 32u, 33u, 63u, 64u));
+
+TEST(UnpackKernel, EmptyRangeDecodesNothing) {
+  const auto v = random_values(64, 13, 5);
+  const auto packed = FixedWidthArray::pack_with_width(v, 13, 2);
+  std::vector<std::uint64_t> out;
+  packed.get_range(0, 0, out);     // empty prefix
+  packed.get_range(64, 0, out);    // empty range at the very end
+  packed.get_range(30, 0, out);    // empty mid-array range
+  RowCursor cursor = packed.cursor(64, 0);
+  EXPECT_TRUE(cursor.done());
+  EXPECT_EQ(cursor.remaining(), 0u);
+}
+
+TEST(UnpackKernel, RangeEndingExactlyOnWordBoundary) {
+  // 64 values of width 16 = 1024 bits = exactly 16 words: the final
+  // element must not trigger a read past the last storage word.
+  const auto v = random_values(64, 16, 23);
+  const auto packed = FixedWidthArray::pack_with_width(v, 16, 1);
+  EXPECT_EQ(packed.unpack(), v);
+  std::vector<std::uint64_t> out(1);
+  packed.get_range(63, 1, out);
+  EXPECT_EQ(out[0], v[63]);
+}
+
+TEST(UnpackKernel, NarrowOutputTypeDecodesColumns) {
+  const auto v = random_values(500, 17, 29);
+  const auto packed = FixedWidthArray::pack_with_width(v, 17, 4);
+  std::vector<std::uint32_t> out(500);
+  packed.get_range_into(0, 500, out.data());
+  for (std::size_t i = 0; i < 500; ++i)
+    ASSERT_EQ(out[i], static_cast<std::uint32_t>(v[i]));
+}
+
+TEST(UnpackKernel, DifferentialRandomizedWidths) {
+  // Randomised widths/sizes/slices: bulk decode vs per-element oracle.
+  pcq::util::SplitMix64 rng(20260806);
+  for (int round = 0; round < 50; ++round) {
+    const auto width = static_cast<unsigned>(1 + rng.next_below(64));
+    const std::size_t n = 1 + rng.next_below(2000);
+    const auto v = random_values(n, width, rng.next());
+    const auto packed = FixedWidthArray::pack_with_width(v, width, 4);
+    const std::size_t begin = rng.next_below(n);
+    const std::size_t count = 1 + rng.next_below(n - begin);
+    std::vector<std::uint64_t> out(count);
+    packed.get_range(begin, count, out);
+    RowCursor cursor = packed.cursor(begin, count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(out[i], packed.get(begin + i))
+          << "round=" << round << " width=" << width;
+      ASSERT_EQ(cursor.next(), out[i]) << "round=" << round;
+    }
+  }
+}
+
+TEST(UnpackKernel, CursorRangeForYieldsAllValues) {
+  const auto v = random_values(97, 11, 37);
+  const auto packed = FixedWidthArray::pack_with_width(v, 11, 2);
+  RowCursor cursor = packed.cursor(0, v.size());
+  std::size_t i = 0;
+  for (std::uint64_t x : cursor) ASSERT_EQ(x, v[i++]);
+  EXPECT_EQ(i, v.size());
+}
+
+TEST(UnpackKernel, ParallelUnpackMatchesSerial) {
+  const auto v = random_values(50'000, 21, 41);
+  const auto packed = FixedWidthArray::pack_with_width(v, 21, 4);
+  EXPECT_EQ(packed.unpack(1), v);
+  for (int p : {2, 3, 8, 64}) EXPECT_EQ(packed.unpack(p), v) << "p=" << p;
+}
 
 }  // namespace
 }  // namespace pcq::bits

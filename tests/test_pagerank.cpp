@@ -79,6 +79,25 @@ TEST(PageRank, EmptyGraph) {
   EXPECT_TRUE(result.scores.empty());
 }
 
+TEST(PageRank, PackedCsrMatchesPlain) {
+  const csr::CsrGraph g =
+      build_sorted(graph::rmat(256, 6000, 0.57, 0.19, 0.19, 89, 4), 256);
+  const csr::BitPackedCsr packed = csr::BitPackedCsr::from_csr(g, 4);
+  const auto plain = pagerank(g, {}, 4);
+  for (int p : {1, 4}) {
+    const auto got = pagerank(packed, {}, p);
+    EXPECT_EQ(got.iterations, plain.iterations);
+    ASSERT_EQ(got.scores.size(), plain.scores.size());
+    for (std::size_t v = 0; v < plain.scores.size(); ++v)
+      EXPECT_NEAR(got.scores[v], plain.scores[v], 1e-12) << "p=" << p;
+  }
+}
+
+TEST(PageRank, PackedEmptyGraph) {
+  const auto result = pagerank(csr::BitPackedCsr{}, {}, 2);
+  EXPECT_TRUE(result.scores.empty());
+}
+
 TEST(PageRank, ThreadCountInvariance) {
   const csr::CsrGraph g =
       build_sorted(graph::rmat(128, 2000, 0.57, 0.19, 0.19, 87, 4), 128);

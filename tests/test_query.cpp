@@ -143,6 +143,21 @@ TEST(BatchEdgeExistence, MixOfHitsAndMisses) {
   EXPECT_LT(hits, queries.size());
 }
 
+TEST(BatchEdgeExistence, BinarySearchMatchesLinear) {
+  const auto& f = fixture();
+  const auto queries = random_edge_queries(500, 13);
+  const auto linear =
+      batch_edge_existence(f.packed, queries, 4, RowSearch::kLinear);
+  for (int p : {1, 2, 4, 8}) {
+    const auto binary =
+        batch_edge_existence(f.packed, queries, p, RowSearch::kBinary);
+    ASSERT_EQ(binary.size(), linear.size());
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      EXPECT_EQ(binary[i], linear[i])
+          << "p=" << p << " " << queries[i].u << "->" << queries[i].v;
+  }
+}
+
 // --- Algorithm 8 -----------------------------------------------------------
 
 TEST(IntraRowEdgeExistence, LinearMatchesOracle) {
@@ -188,6 +203,26 @@ TEST(IntraRowEdgeExistence, FirstAndLastNeighbor) {
         edge_exists_intra_row(f.packed, u, row.front(), p, RowSearch::kBinary));
     EXPECT_TRUE(
         edge_exists_intra_row(f.packed, u, row.back(), p, RowSearch::kBinary));
+  }
+}
+
+TEST(IntraRowEdgeExistence, EarlyExitOnHugeRow) {
+  // A star hub with a row far longer than the 1024-element poll stride:
+  // every chunk runs the polling loop, and hits anywhere in the row
+  // (first, middle, last, absent) must stay correct at every thread count.
+  constexpr VertexId kLeaves = 200'000;
+  EdgeList star;
+  star.reserve(kLeaves);
+  for (VertexId v = 1; v <= kLeaves; ++v) star.push_back({0, v});
+  const CsrGraph csr = build_csr_from_sorted(star, kLeaves + 1, 4);
+  const BitPackedCsr packed = BitPackedCsr::from_csr(csr, 4);
+  for (int p : {1, 2, 4, 8}) {
+    EXPECT_TRUE(edge_exists_intra_row(packed, 0, 1, p)) << "p=" << p;
+    EXPECT_TRUE(edge_exists_intra_row(packed, 0, kLeaves / 2, p)) << "p=" << p;
+    EXPECT_TRUE(edge_exists_intra_row(packed, 0, kLeaves, p)) << "p=" << p;
+    EXPECT_FALSE(edge_exists_intra_row(packed, 1, 0, p)) << "p=" << p;
+    EXPECT_FALSE(edge_exists_intra_row(packed, 0, kLeaves + 1, p))
+        << "p=" << p;
   }
 }
 

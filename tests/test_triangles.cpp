@@ -65,5 +65,20 @@ TEST(Triangles, EmptyGraph) {
             0u);
 }
 
+TEST(Triangles, PackedCsrMatchesPlain) {
+  EdgeList g = graph::rmat(512, 20'000, 0.57, 0.19, 0.19, 93, 4);
+  const csr::CsrGraph csr = upper_triangle_csr(std::move(g), 512);
+  const csr::BitPackedCsr packed = csr::BitPackedCsr::from_csr(csr, 4);
+  const auto ref = count_triangles(csr, 1);
+  EXPECT_GT(ref, 0u);
+  for (int p : {1, 2, 4, 8}) EXPECT_EQ(count_triangles(packed, p), ref);
+}
+
+TEST(Triangles, PackedSingleTriangle) {
+  const csr::CsrGraph g =
+      upper_triangle_csr(EdgeList({{0, 1}, {1, 2}, {0, 2}}), 3);
+  EXPECT_EQ(count_triangles(csr::BitPackedCsr::from_csr(g, 2), 4), 1u);
+}
+
 }  // namespace
 }  // namespace pcq::algos

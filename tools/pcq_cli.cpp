@@ -151,6 +151,11 @@ int cmd_query(const util::Flags& flags, const std::string& input) {
       std::fprintf(stderr, "error: --edge expects U,V\n");
       return 2;
     }
+    if (u >= packed.num_nodes()) {
+      std::fprintf(stderr, "error: node %u out of range (graph has %u)\n", u,
+                   packed.num_nodes());
+      return 2;
+    }
     const bool present = csr::edge_exists_intra_row(packed, u, v, threads,
                                                     csr::RowSearch::kBinary);
     std::printf("edge (%u, %u): %s\n", u, v, present ? "present" : "absent");
@@ -158,6 +163,11 @@ int cmd_query(const util::Flags& flags, const std::string& input) {
   }
   if (flags.has("node")) {
     const auto u = static_cast<VertexId>(flags.get_int("node", 0));
+    if (u >= packed.num_nodes()) {
+      std::fprintf(stderr, "error: node %u out of range (graph has %u)\n", u,
+                   packed.num_nodes());
+      return 2;
+    }
     const auto row = packed.neighbors(u);
     std::printf("neighbors(%u) [%zu]:", u, row.size());
     for (std::size_t i = 0; i < row.size() && i < 64; ++i)
