@@ -7,8 +7,10 @@
 // queries so the reported time is comparable across structures.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <vector>
 
+#include "common.hpp"
 #include "csr/builder.hpp"
 #include "csr/query.hpp"
 #include "graph/baselines.hpp"
@@ -370,6 +372,38 @@ void BM_SingleEdge_PackedBinarySearch(benchmark::State& state) {
     benchmark::DoNotOptimize(w.packed.has_edge(w.hub, w.hub_last));
 }
 BENCHMARK(BM_SingleEdge_PackedBinarySearch);
+
+// --- per-query latency distribution ----------------------------------------
+//
+// Mean throughput hides the degree-skew tail: an edge query against a hub
+// row costs far more than against a leaf. Times every query in the batch
+// individually and reports the percentile spread (same helpers as the
+// bench_svc serving-latency reports), so the packed CSR's tail behaviour
+// is visible next to its mean.
+
+void BM_EdgeExistenceLatencyPercentiles(benchmark::State& state) {
+  const auto& w = workload();
+  std::vector<double> latencies;
+  latencies.reserve(kQueryBatch);
+  for (auto _ : state) {
+    latencies.clear();
+    for (const Edge& e : w.edges) {
+      const auto t0 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(w.packed.has_edge(e.u, e.v));
+      const auto t1 = std::chrono::steady_clock::now();
+      latencies.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+  }
+  const auto s = pcq::bench::summarize_latencies(latencies);
+  state.counters["p50_us"] = s.p50;
+  state.counters["p95_us"] = s.p95;
+  state.counters["p99_us"] = s.p99;
+  state.counters["max_us"] = s.max;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueryBatch);
+}
+BENCHMARK(BM_EdgeExistenceLatencyPercentiles);
 
 }  // namespace
 

@@ -1,0 +1,507 @@
+// Supplementary bench **S12**: load generators for the pcq::svc serving
+// layer. Two client models drive the same QueryService:
+//
+//   closed loop — a fixed window of outstanding requests; a completion
+//     immediately triggers the next submit. Measures peak sustainable
+//     throughput without overload artefacts.
+//   open loop — requests arrive on a Poisson process at a configured
+//     offered rate, independent of completions (the honest serving-latency
+//     methodology: queueing delay is part of the measured latency, and an
+//     overloaded server rejects instead of silently slowing the client).
+//
+// The headline experiment (--mode compare, the default) runs the open-loop
+// generator twice at the same offered rate and thread count: once with
+// micro-batching disabled (max_batch = 1, zero window — every request pays
+// the full wake/dispatch cost) and once with the adaptive micro-batching
+// config. The ratio of sustained completed QPS is the batching win.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "csr/builder.hpp"
+#include "graph/generators.hpp"
+#include "svc/service.hpp"
+#include "tcsr/tcsr.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using pcq::graph::TimeFrame;
+using pcq::graph::VertexId;
+using pcq::svc::QueryKind;
+using pcq::svc::Request;
+using pcq::svc::Response;
+using pcq::svc::ServiceConfig;
+using pcq::svc::Status;
+
+struct BenchConfig {
+  VertexId nodes = 1 << 15;
+  std::size_t edges = 500'000;
+  std::size_t requests = 200'000;
+  double rate = 0;  ///< offered QPS for open loop; 0 = as fast as possible
+  std::size_t outstanding = 512;  ///< closed-loop window
+  int shards = 1;
+  std::size_t queue = 4096;  ///< per-shard queue bound
+  std::size_t max_batch = 256;
+  long window_us = 200;
+  int kernel_threads = 1;
+  TimeFrame frames = 0;  ///< > 0 builds a TCSR and mixes in temporal kinds
+  std::uint64_t seed = 42;
+  std::string mode = "compare";
+  std::string mix = "mixed";  ///< mixed | degree
+};
+
+/// Deterministic workload. "mixed": 40% degree, 30% edge-exists, 30%
+/// neighbour rows (10% temporal point queries carved out when a TCSR is
+/// loaded). "degree": degree-only — the cheapest kernel, so the measured
+/// per-request cost is almost entirely dispatch overhead (the quantity
+/// micro-batching amortises).
+std::vector<Request> make_workload(const BenchConfig& cfg) {
+  pcq::util::SplitMix64 rng(cfg.seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<Request> reqs(cfg.requests);
+  const bool degree_only = cfg.mix == "degree";
+  for (auto& r : reqs) {
+    const double roll = rng.next_double();
+    r.u = static_cast<VertexId>(rng.next_below(cfg.nodes));
+    r.v = static_cast<VertexId>(rng.next_below(cfg.nodes));
+    if (degree_only) {
+      r.kind = QueryKind::kDegree;
+    } else if (cfg.frames > 0 && roll < 0.10) {
+      r.kind = QueryKind::kTemporalEdge;
+      r.u = static_cast<VertexId>(rng.next_below(cfg.nodes / 4));
+      r.v = static_cast<VertexId>(rng.next_below(cfg.nodes / 4));
+      r.t = static_cast<TimeFrame>(rng.next_below(cfg.frames));
+    } else if (roll < 0.40) {
+      r.kind = QueryKind::kDegree;
+    } else if (roll < 0.70) {
+      r.kind = QueryKind::kEdgeExists;
+    } else {
+      r.kind = QueryKind::kNeighbors;
+    }
+  }
+  return reqs;
+}
+
+struct RunResult {
+  double elapsed_s = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  double offered_qps = 0;    ///< open loop only (0 = unthrottled)
+  double sustained_qps = 0;  ///< completed / elapsed
+  /// Open loop only: completions after the submit loop finished, and their
+  /// rate. During the drain the client thread only yields, so on a machine
+  /// where client and service share cores this is the service-side
+  /// throughput, free of the client's per-request cost.
+  std::uint64_t drain_completed = 0;
+  double drain_qps = 0;
+  pcq::bench::LatencySummary client_latency_us;  ///< submit -> callback
+  pcq::svc::MetricsSnapshot service;
+};
+
+void spin_until_done(const std::atomic<std::uint64_t>& done,
+                     std::uint64_t target) {
+  while (done.load(std::memory_order_acquire) < target)
+    std::this_thread::yield();
+}
+
+/// Completion-side state shared by every request of a run. Callbacks
+/// capture only {ctx, slot} (16 trivially-copyable bytes) so std::function
+/// stores them inline — a heap allocation per request would otherwise
+/// dominate the per-request cost on this single-core box and mask the
+/// dispatch overhead the experiment isolates.
+struct ClientCtx {
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<std::int64_t> in_flight{0};
+  /// Client latency is sampled 1-in-kSampleStride: stamps[s] is the submit
+  /// time of sampled request s, latencies_us[s] its completion latency.
+  std::vector<pcq::svc::Clock::time_point> stamps;
+  std::vector<double> latencies_us;
+};
+
+constexpr std::uint32_t kSampleStride = 32;
+constexpr std::uint32_t kUnsampled = ~0u;
+
+RunResult finish_run(pcq::svc::QueryService& service, ClientCtx& ctx,
+                     RunResult result) {
+  ctx.latencies_us.erase(
+      std::remove_if(ctx.latencies_us.begin(), ctx.latencies_us.end(),
+                     [](double v) { return v < 0; }),
+      ctx.latencies_us.end());
+  result.client_latency_us = pcq::bench::summarize_latencies(ctx.latencies_us);
+  result.service = service.metrics();
+  return result;
+}
+
+/// Open loop: submit request i at start + Σ exponential gaps, never waiting
+/// for completions. rate == 0 degenerates to back-to-back submission, which
+/// measures saturated throughput with the queue bound as the only brake.
+RunResult run_open_loop(pcq::svc::QueryService& service,
+                        const std::vector<Request>& reqs, double rate,
+                        std::uint64_t seed) {
+  RunResult result;
+  result.offered_qps = rate;
+  pcq::util::SplitMix64 rng(seed);
+  ClientCtx ctx;
+  const std::size_t samples = reqs.size() / kSampleStride + 1;
+  ctx.stamps.resize(samples);
+  ctx.latencies_us.assign(samples, -1.0);
+  std::uint64_t accepted = 0;
+
+  const auto start = pcq::svc::Clock::now();
+  auto next_arrival = start;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (rate > 0) {
+      const double gap_s = -std::log(1.0 - rng.next_double()) / rate;
+      next_arrival += std::chrono::nanoseconds(
+          static_cast<std::int64_t>(gap_s * 1e9));
+      while (pcq::svc::Clock::now() < next_arrival) {
+        // Arrival gaps are sub-scheduler-quantum: yield so the service
+        // worker (sharing this core) can run, but never sleep.
+        std::this_thread::yield();
+      }
+    }
+    const std::uint32_t slot = i % kSampleStride == 0
+                                   ? static_cast<std::uint32_t>(i /
+                                                                kSampleStride)
+                                   : kUnsampled;
+    if (slot != kUnsampled) ctx.stamps[slot] = pcq::svc::Clock::now();
+    ClientCtx* c = &ctx;
+    const bool ok = service.submit(reqs[i], [c, slot](Response&&) {
+      if (slot != kUnsampled)
+        c->latencies_us[slot] = std::chrono::duration<double, std::micro>(
+                                    pcq::svc::Clock::now() - c->stamps[slot])
+                                    .count();
+      c->done.fetch_add(1, std::memory_order_release);
+    });
+    if (ok)
+      ++accepted;
+    else
+      ++result.rejected;
+  }
+  const auto submit_end = pcq::svc::Clock::now();
+  const std::uint64_t done_at_submit_end =
+      ctx.done.load(std::memory_order_acquire);
+  spin_until_done(ctx.done, accepted);
+  const auto end = pcq::svc::Clock::now();
+  result.elapsed_s = std::chrono::duration<double>(end - start).count();
+  result.completed = accepted;
+  result.sustained_qps =
+      static_cast<double>(accepted) / std::max(result.elapsed_s, 1e-9);
+  result.drain_completed = accepted - done_at_submit_end;
+  const double drain_s =
+      std::chrono::duration<double>(end - submit_end).count();
+  result.drain_qps = drain_s > 1e-9
+                         ? static_cast<double>(result.drain_completed) / drain_s
+                         : 0.0;
+  return finish_run(service, ctx, std::move(result));
+}
+
+/// Closed loop: keep `window` requests in flight; a completion immediately
+/// funds the next submit. Rejections (possible when the queue bound is
+/// smaller than the window) are retried after a yield, so every request
+/// eventually completes.
+RunResult run_closed_loop(pcq::svc::QueryService& service,
+                          const std::vector<Request>& reqs,
+                          std::size_t window) {
+  RunResult result;
+  ClientCtx ctx;
+  const std::size_t samples = reqs.size() / kSampleStride + 1;
+  ctx.stamps.resize(samples);
+  ctx.latencies_us.assign(samples, -1.0);
+
+  const auto start = pcq::svc::Clock::now();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    while (ctx.in_flight.load(std::memory_order_acquire) >=
+           static_cast<std::int64_t>(window))
+      std::this_thread::yield();
+    const std::uint32_t slot = i % kSampleStride == 0
+                                   ? static_cast<std::uint32_t>(i /
+                                                                kSampleStride)
+                                   : kUnsampled;
+    if (slot != kUnsampled) ctx.stamps[slot] = pcq::svc::Clock::now();
+    ctx.in_flight.fetch_add(1, std::memory_order_relaxed);
+    ClientCtx* c = &ctx;
+    const auto callback = [c, slot](Response&&) {
+      if (slot != kUnsampled)
+        c->latencies_us[slot] = std::chrono::duration<double, std::micro>(
+                                    pcq::svc::Clock::now() - c->stamps[slot])
+                                    .count();
+      c->in_flight.fetch_sub(1, std::memory_order_release);
+      c->done.fetch_add(1, std::memory_order_release);
+    };
+    while (!service.submit(reqs[i], callback)) {
+      ++result.rejected;
+      std::this_thread::yield();
+    }
+  }
+  spin_until_done(ctx.done, reqs.size());
+  result.elapsed_s = std::chrono::duration<double>(pcq::svc::Clock::now() -
+                                                   start)
+                         .count();
+  result.completed = reqs.size();
+  result.sustained_qps =
+      static_cast<double>(result.completed) / std::max(result.elapsed_s, 1e-9);
+  return finish_run(service, ctx, std::move(result));
+}
+
+/// Pre-loaded drain: measures pure service-side capacity, uncontaminated by
+/// the client (which matters when client and service share cores). The
+/// first request's callback blocks the shard worker until `release`; the
+/// client fills the queue behind it (the queue bound must hold the whole
+/// workload), then releases and times how fast the service drains the
+/// backlog. Single-dispatch pays the full pop/partition/kernel-call cost
+/// per request; micro-batching amortises it over full batches.
+RunResult run_drain(pcq::svc::QueryService& service,
+                    const std::vector<Request>& reqs) {
+  RunResult result;
+  ClientCtx ctx;
+  std::atomic<bool> release{false};
+  ClientCtx* c = &ctx;
+  std::atomic<bool>* gate = &release;
+  const bool ok = service.submit(reqs[0], [c, gate](Response&&) {
+    // Runs on the shard worker: yield-spin so the submitting client (on a
+    // shared core) can finish loading the queue.
+    while (!gate->load(std::memory_order_acquire)) std::this_thread::yield();
+    c->done.fetch_add(1, std::memory_order_release);
+  });
+  PCQ_CHECK(ok);
+  for (std::size_t i = 1; i < reqs.size(); ++i) {
+    while (!service.submit(reqs[i], [c](Response&&) {
+      c->done.fetch_add(1, std::memory_order_release);
+    })) {
+      ++result.rejected;
+      std::this_thread::yield();
+    }
+  }
+  const auto start = pcq::svc::Clock::now();
+  release.store(true, std::memory_order_release);
+  spin_until_done(ctx.done, reqs.size());
+  result.elapsed_s = std::chrono::duration<double>(pcq::svc::Clock::now() -
+                                                   start)
+                         .count();
+  result.completed = reqs.size();
+  result.sustained_qps =
+      static_cast<double>(result.completed) / std::max(result.elapsed_s, 1e-9);
+  result.drain_completed = result.completed;
+  result.drain_qps = result.sustained_qps;
+  result.service = service.metrics();
+  return result;
+}
+
+/// Loopback calibration: the exact closed-loop client code path (stamping,
+/// callback construction, counters) with the service replaced by an inline
+/// completion. Measures the client-side cost per request so the service's
+/// own cost can be read out of the end-to-end numbers on machines where
+/// client and service share cores.
+RunResult run_calibration(const std::vector<Request>& reqs) {
+  RunResult result;
+  ClientCtx ctx;
+  const std::size_t samples = reqs.size() / kSampleStride + 1;
+  ctx.stamps.resize(samples);
+  ctx.latencies_us.assign(samples, -1.0);
+
+  const auto start = pcq::svc::Clock::now();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const std::uint32_t slot = i % kSampleStride == 0
+                                   ? static_cast<std::uint32_t>(i /
+                                                                kSampleStride)
+                                   : kUnsampled;
+    if (slot != kUnsampled) ctx.stamps[slot] = pcq::svc::Clock::now();
+    ctx.in_flight.fetch_add(1, std::memory_order_relaxed);
+    ClientCtx* c = &ctx;
+    pcq::svc::Callback callback = [c, slot](Response&&) {
+      if (slot != kUnsampled)
+        c->latencies_us[slot] = std::chrono::duration<double, std::micro>(
+                                    pcq::svc::Clock::now() - c->stamps[slot])
+                                    .count();
+      c->in_flight.fetch_sub(1, std::memory_order_release);
+      c->done.fetch_add(1, std::memory_order_release);
+    };
+    callback(Response{});
+  }
+  spin_until_done(ctx.done, reqs.size());
+  result.elapsed_s = std::chrono::duration<double>(pcq::svc::Clock::now() -
+                                                   start)
+                         .count();
+  result.completed = reqs.size();
+  result.sustained_qps =
+      static_cast<double>(result.completed) / std::max(result.elapsed_s, 1e-9);
+  ctx.latencies_us.erase(
+      std::remove_if(ctx.latencies_us.begin(), ctx.latencies_us.end(),
+                     [](double v) { return v < 0; }),
+      ctx.latencies_us.end());
+  result.client_latency_us = pcq::bench::summarize_latencies(ctx.latencies_us);
+  return result;
+}
+
+void print_run(const char* label, const RunResult& r) {
+  std::printf("%-22s %9.0f qps  (%llu completed, %llu rejected, %.2fs)\n",
+              label, r.sustained_qps,
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.rejected), r.elapsed_s);
+  std::printf("  client latency us   p50 %8.1f  p95 %8.1f  p99 %8.1f  "
+              "mean %8.1f  max %8.1f\n",
+              r.client_latency_us.p50, r.client_latency_us.p95,
+              r.client_latency_us.p99, r.client_latency_us.mean,
+              r.client_latency_us.max);
+  std::printf("  service latency us  p50 %8.1f  p95 %8.1f  p99 %8.1f\n",
+              r.service.latency_p50_us, r.service.latency_p95_us,
+              r.service.latency_p99_us);
+  std::printf("  batch size          p50 %8.1f  p95 %8.1f  p99 %8.1f  "
+              "mean %8.1f  (%llu batches)\n",
+              r.service.batch_p50, r.service.batch_p95, r.service.batch_p99,
+              r.service.mean_batch_size,
+              static_cast<unsigned long long>(r.service.batches));
+  if (r.drain_completed > 0)
+    std::printf("  drain (service-side) %8.0f qps over %llu requests\n",
+                r.drain_qps,
+                static_cast<unsigned long long>(r.drain_completed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pcq::util::Flags flags(
+      argc, argv,
+      {
+          {"nodes", "graph size (default 32768)"},
+          {"edges", "R-MAT edge count (default 500000)"},
+          {"requests", "requests per run (default 200000)"},
+          {"rate", "open-loop offered QPS; 0 = unthrottled (default 0)"},
+          {"outstanding", "closed-loop in-flight window (default 512)"},
+          {"shards", "service shards (default 1)"},
+          {"queue", "per-shard queue bound (default 4096)"},
+          {"batch", "max_batch for the batched config (default 256)"},
+          {"window-us", "batch window in microseconds (default 200)"},
+          {"kernel-threads", "threads per batch-kernel call (default 1)"},
+          {"frames", "TCSR frames; 0 = static-only workload (default 0)"},
+          {"seed", "workload seed (default 42)"},
+          {"mode",
+           "compare | capacity | open | closed | calibrate (default compare)"},
+          {"mix", "mixed | degree (degree isolates dispatch overhead)"},
+      });
+  BenchConfig cfg;
+  cfg.nodes = static_cast<VertexId>(flags.get_int("nodes", cfg.nodes));
+  cfg.edges = static_cast<std::size_t>(flags.get_int("edges", cfg.edges));
+  cfg.requests =
+      static_cast<std::size_t>(flags.get_int("requests", cfg.requests));
+  cfg.rate = flags.get_double("rate", cfg.rate);
+  cfg.outstanding =
+      static_cast<std::size_t>(flags.get_int("outstanding", cfg.outstanding));
+  cfg.shards = static_cast<int>(flags.get_int("shards", cfg.shards));
+  cfg.queue = static_cast<std::size_t>(flags.get_int("queue", cfg.queue));
+  cfg.max_batch =
+      static_cast<std::size_t>(flags.get_int("batch", cfg.max_batch));
+  cfg.window_us = flags.get_int("window-us", cfg.window_us);
+  cfg.kernel_threads =
+      static_cast<int>(flags.get_int("kernel-threads", cfg.kernel_threads));
+  cfg.frames = static_cast<TimeFrame>(flags.get_int("frames", cfg.frames));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  cfg.mode = flags.get("mode", cfg.mode);
+  cfg.mix = flags.get("mix", cfg.mix);
+
+  std::fprintf(stderr, "[bench_svc] building R-MAT n=%u m=%zu...\n", cfg.nodes,
+               cfg.edges);
+  pcq::graph::EdgeList list = pcq::graph::rmat(cfg.nodes, cfg.edges, 0.57,
+                                               0.19, 0.19, cfg.seed, 0);
+  list.sort(0);
+  list.dedupe();
+  const pcq::csr::BitPackedCsr graph =
+      pcq::csr::build_bitpacked_csr_from_sorted(list, cfg.nodes, 0);
+
+  pcq::tcsr::DifferentialTcsr history;
+  const pcq::tcsr::DifferentialTcsr* history_ptr = nullptr;
+  if (cfg.frames > 0) {
+    const auto events = pcq::graph::evolving_graph(
+        cfg.nodes / 4, cfg.edges / 4, cfg.frames, cfg.seed + 1, 0);
+    history = pcq::tcsr::DifferentialTcsr::build(events, cfg.nodes / 4,
+                                                 cfg.frames, 0);
+    history_ptr = &history;
+  }
+
+  const std::vector<Request> reqs = make_workload(cfg);
+
+  ServiceConfig batched;
+  batched.shards = cfg.shards;
+  batched.queue_capacity = cfg.queue;
+  batched.max_batch = cfg.max_batch;
+  batched.batch_window = std::chrono::microseconds(cfg.window_us);
+  batched.adaptive_window = true;
+  batched.kernel_threads = cfg.kernel_threads;
+
+  ServiceConfig single = batched;
+  single.max_batch = 1;
+  single.batch_window = std::chrono::microseconds(0);
+  single.adaptive_window = false;
+
+  if (cfg.mode == "calibrate") {
+    print_run("client loopback", run_calibration(reqs));
+    return 0;
+  }
+  if (cfg.mode == "capacity") {
+    // Pre-loaded drain for both configs: the queue must hold the whole
+    // workload behind the stalled first request.
+    ServiceConfig b = batched, s = single;
+    b.queue_capacity = s.queue_capacity =
+        std::max(cfg.queue, cfg.requests + 1);
+    RunResult single_run, batched_run;
+    {
+      pcq::svc::QueryService service(graph, history_ptr, s);
+      single_run = run_drain(service, reqs);
+    }
+    {
+      pcq::svc::QueryService service(graph, history_ptr, b);
+      batched_run = run_drain(service, reqs);
+    }
+    print_run("capacity single", single_run);
+    print_run("capacity micro-batch", batched_run);
+    std::printf("batching speedup (pre-loaded drain): %.2fx service-side "
+                "QPS\n",
+                batched_run.sustained_qps /
+                    std::max(single_run.sustained_qps, 1e-9));
+    return 0;
+  }
+  if (cfg.mode == "closed") {
+    pcq::svc::QueryService service(graph, history_ptr, batched);
+    print_run("closed-loop batched", run_closed_loop(service, reqs,
+                                                     cfg.outstanding));
+    return 0;
+  }
+  if (cfg.mode == "open") {
+    pcq::svc::QueryService service(graph, history_ptr, batched);
+    print_run("open-loop batched",
+              run_open_loop(service, reqs, cfg.rate, cfg.seed + 7));
+    return 0;
+  }
+
+  // compare: identical open-loop offered load, single-dispatch vs adaptive
+  // micro-batching, same shard/thread budget.
+  RunResult single_run, batched_run;
+  {
+    pcq::svc::QueryService service(graph, history_ptr, single);
+    single_run = run_open_loop(service, reqs, cfg.rate, cfg.seed + 7);
+  }
+  {
+    pcq::svc::QueryService service(graph, history_ptr, batched);
+    batched_run = run_open_loop(service, reqs, cfg.rate, cfg.seed + 7);
+  }
+  print_run("single dispatch", single_run);
+  print_run("adaptive micro-batch", batched_run);
+  const double ratio =
+      batched_run.sustained_qps / std::max(single_run.sustained_qps, 1e-9);
+  std::printf("batching speedup: %.2fx sustained QPS\n", ratio);
+  if (single_run.drain_completed > 0 && batched_run.drain_completed > 0)
+    std::printf("batching speedup (service side, drain phase): %.2fx\n",
+                batched_run.drain_qps / std::max(single_run.drain_qps, 1e-9));
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "common.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 
@@ -54,6 +56,32 @@ ExperimentConfig parse_experiment_config(const pcq::util::Flags& flags) {
 double speedup_percent(double t1, double tp) {
   if (t1 <= 0) return 0;
   return (1.0 - tp / t1) * 100.0;
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+LatencySummary summarize_latencies(std::vector<double>& latencies) {
+  LatencySummary s;
+  if (latencies.empty()) return s;
+  std::sort(latencies.begin(), latencies.end());
+  s.count = latencies.size();
+  double sum = 0;
+  for (double v : latencies) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  s.p50 = percentile_sorted(latencies, 0.50);
+  s.p90 = percentile_sorted(latencies, 0.90);
+  s.p95 = percentile_sorted(latencies, 0.95);
+  s.p99 = percentile_sorted(latencies, 0.99);
+  s.max = latencies.back();
+  return s;
 }
 
 double scaling_model(const csr::CsrBuildTimings& t1, int p) {

@@ -82,4 +82,26 @@ bool host_is_multicore();
 /// (the --csv flag of the table/figure harnesses).
 void print_csv(const std::vector<GraphResult>& results);
 
+// --- Latency distributions (bench_svc, bench_query) -------------------------
+
+/// Percentile summary of a latency sample. Units follow the input (the
+/// serving benches feed microseconds).
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Nearest-rank-with-interpolation percentile over an ascending-sorted
+/// sample; q in [0, 1]. Returns 0 for an empty sample.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Sorts `latencies` in place and computes the summary. An empty sample
+/// yields an all-zero summary.
+LatencySummary summarize_latencies(std::vector<double>& latencies);
+
 }  // namespace pcq::bench

@@ -12,10 +12,11 @@ namespace pcq::csr {
 using graph::Edge;
 using graph::VertexId;
 
-std::vector<std::vector<VertexId>> batch_neighbors(
-    const BitPackedCsr& csr, std::span<const VertexId> query_nodes,
-    int num_threads) {
-  std::vector<std::vector<VertexId>> result(query_nodes.size());
+void batch_neighbors_into(const BitPackedCsr& csr,
+                          std::span<const VertexId> query_nodes,
+                          std::span<std::vector<VertexId>> out,
+                          int num_threads) {
+  PCQ_CHECK(out.size() == query_nodes.size());
   // Algorithm 9, first block: split the query array into p parts; each
   // processor runs Algorithm 6 on its [startI, endI) slice.
   pcq::par::parallel_for_chunks(
@@ -26,10 +27,29 @@ std::vector<std::vector<VertexId>> batch_neighbors(
           // GetRowFromCSR(A, startingIndex, degree, numBits).
           std::vector<VertexId> row(csr.degree(u));
           csr.decode_row(u, row);
-          result[i] = std::move(row);
+          out[i] = std::move(row);
         }
       });
+}
+
+std::vector<std::vector<VertexId>> batch_neighbors(
+    const BitPackedCsr& csr, std::span<const VertexId> query_nodes,
+    int num_threads) {
+  std::vector<std::vector<VertexId>> result(query_nodes.size());
+  batch_neighbors_into(csr, query_nodes, result, num_threads);
   return result;
+}
+
+void batch_degrees_into(const BitPackedCsr& csr,
+                        std::span<const VertexId> query_nodes,
+                        std::span<std::uint32_t> out, int num_threads) {
+  PCQ_CHECK(out.size() == query_nodes.size());
+  pcq::par::parallel_for_chunks(
+      query_nodes.size(), num_threads,
+      [&](std::size_t, pcq::par::ChunkRange r) {
+        for (std::size_t i = r.begin; i < r.end; ++i)
+          out[i] = csr.degree(query_nodes[i]);
+      });
 }
 
 BatchNeighborsResult batch_neighbors_flat(
@@ -78,10 +98,11 @@ namespace {
 
 }  // namespace
 
-std::vector<std::uint8_t> batch_edge_existence(
-    const BitPackedCsr& csr, std::span<const Edge> query_edges,
-    int num_threads, RowSearch search) {
-  std::vector<std::uint8_t> result(query_edges.size(), 0);
+void batch_edge_existence_into(const BitPackedCsr& csr,
+                               std::span<const Edge> query_edges,
+                               std::span<std::uint8_t> out, int num_threads,
+                               RowSearch search) {
+  PCQ_CHECK(out.size() == query_edges.size());
   // Algorithm 9, second block: split the edge array into p parts; each
   // processor runs Algorithm 7 on its slice.
   pcq::par::parallel_for_chunks(
@@ -93,7 +114,7 @@ std::vector<std::uint8_t> batch_edge_existence(
             // Rows are sorted, so the packed binary search answers in
             // O(log deg) decodes instead of a full row scan.
             PCQ_DCHECK(row_is_sorted(csr, u));
-            result[i] = csr.has_edge(u, v) ? 1 : 0;
+            out[i] = csr.has_edge(u, v) ? 1 : 0;
             continue;
           }
           // uNeighs = GetRowFromCSR(...); then scan for v (Algorithm 7
@@ -105,9 +126,16 @@ std::vector<std::uint8_t> batch_edge_existence(
               break;
             }
           }
-          result[i] = found ? 1 : 0;
+          out[i] = found ? 1 : 0;
         }
       });
+}
+
+std::vector<std::uint8_t> batch_edge_existence(
+    const BitPackedCsr& csr, std::span<const Edge> query_edges,
+    int num_threads, RowSearch search) {
+  std::vector<std::uint8_t> result(query_edges.size(), 0);
+  batch_edge_existence_into(csr, query_edges, result, num_threads, search);
   return result;
 }
 

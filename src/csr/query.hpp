@@ -30,6 +30,22 @@ std::vector<std::vector<graph::VertexId>> batch_neighbors(
     const BitPackedCsr& csr, std::span<const graph::VertexId> query_nodes,
     int num_threads);
 
+/// Algorithm 6 into caller-owned storage: out[i] is assigned the neighbour
+/// row of query_nodes[i]. out.size() must equal query_nodes.size(). This is
+/// the serving-layer entry point (pcq::svc): the service owns one response
+/// slot per request and the kernel writes rows straight into them, so a
+/// coalesced batch costs no intermediate result array.
+void batch_neighbors_into(const BitPackedCsr& csr,
+                          std::span<const graph::VertexId> query_nodes,
+                          std::span<std::vector<graph::VertexId>> out,
+                          int num_threads);
+
+/// Degrees of every node in `query_nodes` into caller-owned storage
+/// (the cheapest per-request query the service batches).
+void batch_degrees_into(const BitPackedCsr& csr,
+                        std::span<const graph::VertexId> query_nodes,
+                        std::span<std::uint32_t> out, int num_threads);
+
 /// Flat result of a neighbourhood batch: row i of query node i lives at
 /// values[offsets[i] .. offsets[i + 1]). CSR-shaped, so a million-query
 /// batch costs two allocations instead of a million.
@@ -63,6 +79,13 @@ enum class RowSearch {
 std::vector<std::uint8_t> batch_edge_existence(
     const BitPackedCsr& csr, std::span<const graph::Edge> query_edges,
     int num_threads, RowSearch search = RowSearch::kLinear);
+
+/// Algorithm 7 into caller-owned storage: out[i] = 1 iff query_edges[i] is
+/// present. out.size() must equal query_edges.size().
+void batch_edge_existence_into(const BitPackedCsr& csr,
+                               std::span<const graph::Edge> query_edges,
+                               std::span<std::uint8_t> out, int num_threads,
+                               RowSearch search = RowSearch::kLinear);
 
 /// Algorithm 8: single edge query answered by splitting u's row across
 /// `num_threads` processors. "One of the processors will return true if

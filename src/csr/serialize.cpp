@@ -2,9 +2,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <vector>
 
-#include "util/check.hpp"
+#include "util/io_error.hpp"
 
 namespace pcq::csr {
 
@@ -29,8 +30,8 @@ static_assert(sizeof(Header) == 56);
 class File {
  public:
   File(const std::string& path, const char* mode)
-      : f_(std::fopen(path.c_str(), mode)) {
-    PCQ_CHECK_MSG(f_ != nullptr, "cannot open CSR file");
+      : path_(path), f_(std::fopen(path.c_str(), mode)) {
+    if (f_ == nullptr) throw IoError(path_, "cannot open CSR file");
   }
   ~File() {
     if (f_) std::fclose(f_);
@@ -38,23 +39,48 @@ class File {
   File(const File&) = delete;
   File& operator=(const File&) = delete;
   std::FILE* get() const { return f_; }
+  [[noreturn]] void fail(const char* what) const { throw IoError(path_, what); }
 
  private:
+  std::string path_;
   std::FILE* f_;
 };
 
-void write_bits(std::FILE* f, const pcq::bits::BitVector& bits) {
+void write_bits(const File& f, const pcq::bits::BitVector& bits) {
   const auto words = bits.words();
-  if (!words.empty())
-    PCQ_CHECK(std::fwrite(words.data(), 8, words.size(), f) == words.size());
+  if (!words.empty() &&
+      std::fwrite(words.data(), 8, words.size(), f.get()) != words.size())
+    f.fail("short write");
 }
 
-pcq::bits::BitVector read_bits(std::FILE* f, std::uint64_t nbits) {
+pcq::bits::BitVector read_bits(const File& f, std::uint64_t nbits) {
   std::vector<std::uint64_t> words((nbits + 63) / 64);
-  if (!words.empty())
-    PCQ_CHECK_MSG(std::fread(words.data(), 8, words.size(), f) == words.size(),
-                  "truncated CSR file");
+  if (!words.empty() &&
+      std::fread(words.data(), 8, words.size(), f.get()) != words.size())
+    f.fail("truncated CSR file");
   return pcq::bits::BitVector::from_words(std::move(words), nbits);
+}
+
+/// Rejects a header whose geometry is internally inconsistent *before* any
+/// structure is constructed, so a corrupt file can never yield a
+/// partially-valid BitPackedCsr (and never drives FixedWidthArray::from_bits
+/// into an aborting PCQ_CHECK).
+void validate_header(const File& f, const Header& h) {
+  if (std::memcmp(h.magic, kMagic, 8) != 0) f.fail("bad CSR magic");
+  if (h.canary != kEndianCanary) f.fail("endianness canary mismatch");
+  if (h.offset_width < 1 || h.offset_width > 64 || h.column_width < 1 ||
+      h.column_width > 64)
+    f.fail("corrupt CSR header: bit width out of [1, 64]");
+  if (h.num_nodes > std::numeric_limits<graph::VertexId>::max() - 1)
+    f.fail("corrupt CSR header: node count exceeds VertexId range");
+  if (h.num_edges > (std::uint64_t{1} << 57))
+    f.fail("corrupt CSR header: implausible edge count");
+  // Widths are <= 64 and counts are bounded above, so these products
+  // cannot overflow.
+  if (h.offset_bits != (h.num_nodes + 1) * h.offset_width)
+    f.fail("corrupt CSR header: offset bit count mismatch");
+  if (h.column_bits != h.num_edges * h.column_width)
+    f.fail("corrupt CSR header: column bit count mismatch");
 }
 
 }  // namespace
@@ -70,23 +96,23 @@ void save_bitpacked_csr(const BitPackedCsr& csr, const std::string& path) {
   h.num_edges = csr.num_edges();
   h.offset_bits = csr.packed_offsets().bits().size();
   h.column_bits = csr.packed_columns().bits().size();
-  PCQ_CHECK(std::fwrite(&h, sizeof h, 1, f.get()) == 1);
-  write_bits(f.get(), csr.packed_offsets().bits());
-  write_bits(f.get(), csr.packed_columns().bits());
+  if (std::fwrite(&h, sizeof h, 1, f.get()) != 1) f.fail("short write");
+  write_bits(f, csr.packed_offsets().bits());
+  write_bits(f, csr.packed_columns().bits());
+  if (std::fflush(f.get()) != 0) f.fail("short write");
 }
 
 BitPackedCsr load_bitpacked_csr(const std::string& path) {
   File f(path, "rb");
   Header h{};
-  PCQ_CHECK_MSG(std::fread(&h, sizeof h, 1, f.get()) == 1, "truncated header");
-  PCQ_CHECK_MSG(std::memcmp(h.magic, kMagic, 8) == 0, "bad CSR magic");
-  PCQ_CHECK_MSG(h.canary == kEndianCanary, "endianness mismatch");
+  if (std::fread(&h, sizeof h, 1, f.get()) != 1) f.fail("truncated header");
+  validate_header(f, h);
 
   auto offsets = pcq::bits::FixedWidthArray::from_bits(
-      read_bits(f.get(), h.offset_bits),
+      read_bits(f, h.offset_bits),
       static_cast<std::size_t>(h.num_nodes) + 1, h.offset_width);
   auto columns = pcq::bits::FixedWidthArray::from_bits(
-      read_bits(f.get(), h.column_bits),
+      read_bits(f, h.column_bits),
       static_cast<std::size_t>(h.num_edges), h.column_width);
   return BitPackedCsr::from_parts(static_cast<graph::VertexId>(h.num_nodes),
                                   static_cast<std::size_t>(h.num_edges),

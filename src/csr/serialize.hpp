@@ -13,10 +13,13 @@
 
 namespace pcq::csr {
 
-/// Writes `csr` to `path`. Aborts with a message on I/O failure.
+/// Writes `csr` to `path`. Throws pcq::IoError on I/O failure.
 void save_bitpacked_csr(const BitPackedCsr& csr, const std::string& path);
 
-/// Reads a structure previously written by save_bitpacked_csr.
+/// Reads a structure previously written by save_bitpacked_csr. Throws
+/// pcq::IoError on open/read failure, bad magic, a wrong endianness canary,
+/// an internally inconsistent header, or a truncated payload — never
+/// returning a partially-constructed structure.
 BitPackedCsr load_bitpacked_csr(const std::string& path);
 
 }  // namespace pcq::csr

@@ -1,0 +1,51 @@
+#include "par/worker_pool.hpp"
+
+#include <utility>
+
+namespace pcq::par {
+
+WorkerPool::WorkerPool(int num_threads) {
+  const int p = num_threads < 1 ? 1 : num_threads;
+  workers_.reserve(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  close();
+  for (auto& t : workers_) t.join();
+}
+
+bool WorkerPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void WorkerPool::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // closed_ && drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace pcq::par

@@ -1,0 +1,54 @@
+// Persistent worker pool.
+//
+// The paper-style kernels fork/join per call (parallel_for), which is right
+// for one-shot batch sweeps but wrong for a serving layer: a query service
+// dispatches thousands of small batches per second and cannot pay thread
+// creation per batch. WorkerPool keeps `size()` threads alive for the
+// lifetime of the object and runs submitted jobs on them. It is always
+// std::thread-backed (never OpenMP), so pool threads carry plain pthread
+// happens-before edges and the TSan preset sees through them without the
+// libgomp caveat that parallel_for needs.
+//
+// Jobs may be long-running (pcq::svc submits one shard loop per shard that
+// only returns at shutdown); the destructor closes the job queue and joins.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcq::par {
+
+class WorkerPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit WorkerPool(int num_threads);
+
+  /// Closes the queue (pending jobs still run) and joins all workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a job. Returns false (and drops the job) after close().
+  bool submit(std::function<void()> job);
+
+  /// Stops accepting jobs; workers exit once the queue drains. Idempotent.
+  void close();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  bool closed_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pcq::par

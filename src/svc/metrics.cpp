@@ -1,0 +1,67 @@
+#include "svc/metrics.hpp"
+
+#include <bit>
+
+namespace pcq::svc {
+
+int LogHistogram::bucket_index(std::uint64_t value) {
+  // Values below kSub map to themselves (exact small-value buckets);
+  // larger values land in octave `bit_width - kSubBits` with the top
+  // kSubBits bits after the leading one selecting the linear sub-bucket.
+  if (value < kSub) return static_cast<int>(value);
+  const int msb = std::bit_width(value) - 1;  // >= kSubBits
+  const int sub =
+      static_cast<int>((value >> (msb - kSubBits)) & (kSub - 1));
+  const int idx = (msb - kSubBits + 1) * kSub + sub;
+  return idx >= kBuckets ? kBuckets - 1 : idx;
+}
+
+std::uint64_t LogHistogram::bucket_floor(int i) {
+  if (i < kSub) return static_cast<std::uint64_t>(i);
+  const int octave = i / kSub - 1 + kSubBits;
+  const int sub = i % kSub;
+  return (std::uint64_t{1} << octave) |
+         (static_cast<std::uint64_t>(sub) << (octave - kSubBits));
+}
+
+LogHistogram::Snapshot LogHistogram::snapshot() const {
+  Snapshot s;
+  s.buckets.resize(kBuckets);
+  accumulate(s);
+  return s;
+}
+
+void LogHistogram::accumulate(Snapshot& into) const {
+  if (into.buckets.size() != static_cast<std::size_t>(kBuckets))
+    into.buckets.resize(kBuckets);
+  for (int i = 0; i < kBuckets; ++i)
+    into.buckets[static_cast<std::size_t>(i)] +=
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  into.count += count_.load(std::memory_order_relaxed);
+  into.sum += sum_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t b = buckets[static_cast<std::size_t>(i)];
+    if (b == 0) continue;
+    if (static_cast<double>(seen + b) >= target) {
+      const std::uint64_t lo = bucket_floor(i);
+      const std::uint64_t hi =
+          i + 1 < kBuckets ? bucket_floor(i + 1) : lo + 1;
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(b);
+      return static_cast<double>(lo) +
+             frac * static_cast<double>(hi - lo);
+    }
+    seen += b;
+  }
+  return static_cast<double>(bucket_floor(kBuckets - 1));
+}
+
+}  // namespace pcq::svc

@@ -1,0 +1,70 @@
+// Request/response vocabulary of the pcq::svc batch query service.
+//
+// The paper's Section V algorithms answer *pre-collected* query arrays;
+// a serving layer receives queries one at a time. One Request describes a
+// single query of any supported kind; the service coalesces requests into
+// arrays and hands them to the batch kernels (csr/query.hpp, tcsr/tcsr.hpp),
+// so Algorithms 6/7 become the inner loop of the server instead of a
+// benchmark-only entry point.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace pcq::svc {
+
+using Clock = std::chrono::steady_clock;
+
+enum class QueryKind : std::uint8_t {
+  kDegree,           ///< degree(u)
+  kNeighbors,        ///< Alg. 6 — neighbour row of u
+  kEdgeExists,       ///< Alg. 7 — is (u, v) present?
+  kTemporalEdge,     ///< is (u, v) active at frame t? (TCSR parity query)
+  kTemporalNeighbors,///< neighbours of u at frame t (temporal Alg. 6)
+  kForemostArrival,  ///< earliest frame >= t at which v is reachable from u
+};
+
+/// One query. `u` is always the primary node (also the shard-routing key);
+/// `v` is the target for edge/journey kinds; `t` the time-frame for
+/// temporal kinds (start frame for kForemostArrival).
+struct Request {
+  QueryKind kind = QueryKind::kDegree;
+  graph::VertexId u = 0;
+  graph::VertexId v = 0;
+  graph::TimeFrame t = 0;
+  /// Absolute completion deadline. A request still queued past its
+  /// deadline is answered kExpired without touching the graph (admission
+  /// control under overload). Clock::time_point::max() = no deadline.
+  Clock::time_point deadline = Clock::time_point::max();
+};
+
+enum class Status : std::uint8_t {
+  kOk,
+  kRejected,     ///< bounded queue was full, or service already stopped
+  kExpired,      ///< deadline passed while queued
+  kInvalid,      ///< node/frame out of range for the loaded graph
+  kUnsupported,  ///< temporal query but no TCSR loaded
+};
+
+/// Answer to one Request. Which payload field is meaningful depends on the
+/// request kind; `latency` is enqueue-to-completion (what the histograms
+/// record).
+struct Response {
+  Status status = Status::kOk;
+  bool exists = false;                       ///< kEdgeExists / kTemporalEdge
+  std::uint32_t degree = 0;                  ///< kDegree
+  graph::TimeFrame arrival = 0;              ///< kForemostArrival
+  std::vector<graph::VertexId> neighbors;    ///< kNeighbors / kTemporalNeighbors
+  std::chrono::nanoseconds latency{0};
+};
+
+/// Completion callback; invoked exactly once per accepted request, on a
+/// service worker thread. Must be cheap and must not call back into the
+/// service synchronously (it runs inside the batch completion loop).
+using Callback = std::function<void(Response&&)>;
+
+}  // namespace pcq::svc

@@ -1,0 +1,302 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "par/worker_pool.hpp"
+#include "tcsr/journeys.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::svc {
+
+using graph::VertexId;
+
+namespace {
+
+/// How long an idle worker sleeps before re-checking for shutdown. Purely
+/// a shutdown-latency bound — requests wake the worker immediately.
+constexpr std::chrono::microseconds kIdleWait{50'000};
+
+std::uint64_t to_us(std::chrono::nanoseconds ns) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(ns).count());
+}
+
+}  // namespace
+
+QueryService::QueryService(const csr::BitPackedCsr& graph,
+                           const tcsr::DifferentialTcsr* history,
+                           ServiceConfig config)
+    : graph_(graph), history_(history), config_(config),
+      started_(Clock::now()) {
+  PCQ_CHECK(config_.shards >= 1);
+  PCQ_CHECK(config_.max_batch >= 1);
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int s = 0; s < config_.shards; ++s)
+    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
+  pool_ = std::make_unique<par::WorkerPool>(config_.shards);
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    pool_->submit([this, raw] { shard_loop(*raw); });
+  }
+}
+
+QueryService::~QueryService() { stop(); }
+
+void QueryService::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) shard->queue.close();
+  // WorkerPool's destructor closes its job queue and joins; the shard
+  // loops exit once their queues drain, so everything still queued is
+  // answered before stop() returns.
+  pool_.reset();
+}
+
+std::size_t QueryService::shard_of(VertexId u) const {
+  return static_cast<std::size_t>(util::mix64(u)) % shards_.size();
+}
+
+bool QueryService::submit(const Request& request, Callback callback) {
+  Shard& shard = *shards_[shard_of(request.u)];
+  Pending pending{request, std::move(callback), Clock::now()};
+  if (!shard.queue.try_push(std::move(pending))) {
+    shard.metrics.rejected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.metrics.submitted.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::future<Response> QueryService::submit(const Request& request) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  const bool admitted = submit(request, [promise](Response&& response) {
+    promise->set_value(std::move(response));
+  });
+  if (!admitted) {
+    Response rejected;
+    rejected.status = Status::kRejected;
+    promise->set_value(std::move(rejected));
+  }
+  return future;
+}
+
+void QueryService::complete(Shard& shard, Pending& pending,
+                            Response&& response, Clock::time_point now) {
+  // `now` is sampled once per kind-sweep: every request a kernel call
+  // answers became ready at the same instant (kernel completion), so one
+  // clock read serves the whole sweep instead of one per request.
+  response.latency = now - pending.enqueued;
+  shard.metrics.latency_us.record(to_us(response.latency));
+  shard.metrics.completed.fetch_add(1, std::memory_order_relaxed);
+  if (pending.callback) pending.callback(std::move(response));
+}
+
+void QueryService::shard_loop(Shard& shard) {
+  auto window = config_.batch_window;
+  std::vector<Pending> batch;
+  batch.reserve(config_.max_batch);
+  for (;;) {
+    batch.clear();
+    const std::size_t n =
+        shard.queue.pop_batch(batch, config_.max_batch, kIdleWait, window);
+    if (n == 0) {
+      if (shard.queue.closed() && shard.queue.size() == 0) return;
+      continue;
+    }
+    shard.metrics.batches.fetch_add(1, std::memory_order_relaxed);
+    shard.metrics.batch_size.record(n);
+    execute_batch(shard, batch);
+    if (config_.adaptive_window) {
+      // A full batch means the size trigger flushed — arrivals can fill
+      // the batch, so relax the window back toward the configured one. A
+      // partial batch means the deadline flushed: the wait did not fill
+      // the batch (too few requests in flight), so it was pure added
+      // latency — halve it. The shrink is what keeps a closed-loop client
+      // with fewer than max_batch outstanding requests from stalling a
+      // full window on every batch, and what gives an idle service
+      // single-request latency; a growing backlog produces full batches
+      // again and restores the window on its own.
+      if (n >= config_.max_batch) {
+        window = std::min(config_.batch_window,
+                          window + config_.batch_window / 8 +
+                              std::chrono::microseconds{1});
+      } else {
+        window /= 2;
+      }
+    }
+  }
+}
+
+void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
+  const auto now = Clock::now();
+  const VertexId n = graph_.num_nodes();
+  const graph::TimeFrame frames =
+      history_ == nullptr ? 0 : history_->num_frames();
+
+  // Partition indices by kind; requests that can be answered without the
+  // graph (expired / invalid / unsupported) complete right here.
+  std::vector<std::size_t> degree_ids, neighbor_ids, edge_ids;
+  std::vector<std::size_t> tedge_ids, tneighbor_ids, journey_ids;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    const Request& r = p.request;
+    Response early;
+    if (now > r.deadline) {
+      early.status = Status::kExpired;
+      shard.metrics.expired.fetch_add(1, std::memory_order_relaxed);
+      complete(shard, p, std::move(early), now);
+      continue;
+    }
+    const bool temporal = r.kind == QueryKind::kTemporalEdge ||
+                          r.kind == QueryKind::kTemporalNeighbors ||
+                          r.kind == QueryKind::kForemostArrival;
+    if (temporal && history_ == nullptr) {
+      early.status = Status::kUnsupported;
+      complete(shard, p, std::move(early), now);
+      continue;
+    }
+    // The CSR and TCSR are independent artifacts, so temporal kinds
+    // validate against the history's node/frame space, not the CSR's.
+    const VertexId limit = temporal ? history_->num_nodes() : n;
+    if (r.u >= limit || (temporal && r.t >= frames) ||
+        (r.kind == QueryKind::kForemostArrival && r.v >= limit)) {
+      early.status = Status::kInvalid;
+      complete(shard, p, std::move(early), now);
+      continue;
+    }
+    switch (r.kind) {
+      case QueryKind::kDegree: degree_ids.push_back(i); break;
+      case QueryKind::kNeighbors: neighbor_ids.push_back(i); break;
+      case QueryKind::kEdgeExists: edge_ids.push_back(i); break;
+      case QueryKind::kTemporalEdge: tedge_ids.push_back(i); break;
+      case QueryKind::kTemporalNeighbors: tneighbor_ids.push_back(i); break;
+      case QueryKind::kForemostArrival: journey_ids.push_back(i); break;
+    }
+  }
+
+  const int kt = config_.kernel_threads;
+
+  if (!degree_ids.empty()) {
+    std::vector<VertexId> nodes(degree_ids.size());
+    for (std::size_t j = 0; j < degree_ids.size(); ++j)
+      nodes[j] = batch[degree_ids[j]].request.u;
+    std::vector<std::uint32_t> degrees(nodes.size());
+    csr::batch_degrees_into(graph_, nodes, degrees, kt);
+    const auto done = Clock::now();
+    for (std::size_t j = 0; j < degree_ids.size(); ++j) {
+      Response r;
+      r.degree = degrees[j];
+      complete(shard, batch[degree_ids[j]], std::move(r), done);
+    }
+  }
+
+  if (!neighbor_ids.empty()) {
+    // Algorithm 6 over the coalesced node array, decoded straight into
+    // caller-owned rows that move into the responses.
+    std::vector<VertexId> nodes(neighbor_ids.size());
+    for (std::size_t j = 0; j < neighbor_ids.size(); ++j)
+      nodes[j] = batch[neighbor_ids[j]].request.u;
+    std::vector<std::vector<VertexId>> rows(nodes.size());
+    csr::batch_neighbors_into(graph_, nodes, rows, kt);
+    const auto done = Clock::now();
+    for (std::size_t j = 0; j < neighbor_ids.size(); ++j) {
+      Response r;
+      r.neighbors = std::move(rows[j]);
+      complete(shard, batch[neighbor_ids[j]], std::move(r), done);
+    }
+  }
+
+  if (!edge_ids.empty()) {
+    // Algorithm 7 over the coalesced edge array.
+    std::vector<graph::Edge> edges(edge_ids.size());
+    for (std::size_t j = 0; j < edge_ids.size(); ++j)
+      edges[j] = {batch[edge_ids[j]].request.u, batch[edge_ids[j]].request.v};
+    std::vector<std::uint8_t> hits(edges.size());
+    csr::batch_edge_existence_into(graph_, edges, hits, kt,
+                                   config_.edge_search);
+    const auto done = Clock::now();
+    for (std::size_t j = 0; j < edge_ids.size(); ++j) {
+      Response r;
+      r.exists = hits[j] != 0;
+      complete(shard, batch[edge_ids[j]], std::move(r), done);
+    }
+  }
+
+  if (!tedge_ids.empty()) {
+    std::vector<tcsr::TemporalEdgeQuery> queries(tedge_ids.size());
+    for (std::size_t j = 0; j < tedge_ids.size(); ++j) {
+      const Request& r = batch[tedge_ids[j]].request;
+      queries[j] = {r.u, r.v, r.t};
+    }
+    const auto hits = history_->batch_edge_active(queries, kt);
+    const auto done = Clock::now();
+    for (std::size_t j = 0; j < tedge_ids.size(); ++j) {
+      Response r;
+      r.exists = hits[j] != 0;
+      complete(shard, batch[tedge_ids[j]], std::move(r), done);
+    }
+  }
+
+  if (!tneighbor_ids.empty()) {
+    std::vector<tcsr::TemporalNodeQuery> queries(tneighbor_ids.size());
+    for (std::size_t j = 0; j < tneighbor_ids.size(); ++j) {
+      const Request& r = batch[tneighbor_ids[j]].request;
+      queries[j] = {r.u, r.t};
+    }
+    auto rows = history_->batch_neighbors_at(queries, kt);
+    const auto done = Clock::now();
+    for (std::size_t j = 0; j < tneighbor_ids.size(); ++j) {
+      Response r;
+      r.neighbors = std::move(rows[j]);
+      complete(shard, batch[tneighbor_ids[j]], std::move(r), done);
+    }
+  }
+
+  // Journey queries are whole-graph sweeps (foremost_arrival labels every
+  // node), so they don't coalesce into an array kernel — each runs the
+  // parallel frame replay on its own.
+  for (const std::size_t i : journey_ids) {
+    const Request& req = batch[i].request;
+    const auto arrivals =
+        tcsr::foremost_arrival(*history_, req.u, req.t, kt);
+    Response r;
+    r.arrival = arrivals[req.v];
+    r.exists = r.arrival != tcsr::kNeverReached;
+    complete(shard, batch[i], std::move(r), Clock::now());
+  }
+}
+
+MetricsSnapshot QueryService::metrics() const {
+  MetricsSnapshot snap;
+  LogHistogram::Snapshot latency;
+  LogHistogram::Snapshot sizes;
+  for (const auto& shard : shards_) {
+    const ShardMetrics& m = shard->metrics;
+    snap.submitted += m.submitted.load(std::memory_order_relaxed);
+    snap.rejected += m.rejected.load(std::memory_order_relaxed);
+    snap.expired += m.expired.load(std::memory_order_relaxed);
+    snap.completed += m.completed.load(std::memory_order_relaxed);
+    snap.batches += m.batches.load(std::memory_order_relaxed);
+    m.latency_us.accumulate(latency);
+    m.batch_size.accumulate(sizes);
+  }
+  snap.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - started_).count();
+  snap.qps = snap.elapsed_seconds > 0
+                 ? static_cast<double>(snap.completed) / snap.elapsed_seconds
+                 : 0.0;
+  snap.mean_batch_size = sizes.mean();
+  snap.batch_p50 = sizes.quantile(0.50);
+  snap.batch_p95 = sizes.quantile(0.95);
+  snap.batch_p99 = sizes.quantile(0.99);
+  snap.latency_mean_us = latency.mean();
+  snap.latency_p50_us = latency.quantile(0.50);
+  snap.latency_p95_us = latency.quantile(0.95);
+  snap.latency_p99_us = latency.quantile(0.99);
+  return snap;
+}
+
+}  // namespace pcq::svc

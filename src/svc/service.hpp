@@ -1,0 +1,119 @@
+// pcq::svc — in-process concurrent batch query service over the packed
+// CSR/TCSR.
+//
+// Architecture (shared-nothing per shard):
+//
+//   clients ──try_push──► shard 0: [bounded MPMC queue] ──► worker 0 ─┐
+//           ──try_push──► shard 1: [bounded MPMC queue] ──► worker 1 ─┤► batch
+//                ...                                                  │ kernels
+//           ──try_push──► shard S: [bounded MPMC queue] ──► worker S ─┘
+//
+// Requests are routed to a shard by hash(u); each shard owns its queue,
+// its metrics block and one persistent worker (a pcq::par::WorkerPool
+// job), so shards never share mutable state — the only cross-thread
+// traffic is the queue handoff and the immutable graph reads.
+//
+// Each worker runs the adaptive micro-batching loop: pop a batch (flush
+// on batch-size OR batch-window deadline, whichever first), partition it
+// by query kind, and answer every kind with ONE call into the paper's
+// parallel batch kernels (Algorithms 6/7 for neighbour/edge queries, the
+// temporal variants for TCSR kinds). The batch window adapts to load: a
+// size-triggered flush (full batch) relaxes the window back toward the
+// configured one, a deadline-triggered flush (partial batch) halves it —
+// so a saturated service batches at full size while a lightly-loaded one
+// answers at single-request latency.
+//
+// Backpressure: the queue is bounded and try_push never blocks — a full
+// shard rejects (Status::kRejected). A request whose deadline passes
+// while queued is answered kExpired without touching the graph.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "csr/bitpacked_csr.hpp"
+#include "csr/query.hpp"
+#include "svc/metrics.hpp"
+#include "svc/mpmc_queue.hpp"
+#include "svc/request.hpp"
+#include "tcsr/tcsr.hpp"
+
+namespace pcq::par {
+class WorkerPool;
+}
+
+namespace pcq::svc {
+
+struct ServiceConfig {
+  int shards = 1;                   ///< queues/workers (>= 1)
+  std::size_t queue_capacity = 4096;///< per shard; full queue => kRejected
+  std::size_t max_batch = 256;      ///< flush when this many are gathered
+  std::chrono::microseconds batch_window{200};  ///< flush deadline
+  bool adaptive_window = true;      ///< shrink window under light load
+  int kernel_threads = 1;           ///< threads per batch-kernel call
+  csr::RowSearch edge_search = csr::RowSearch::kBinary;
+};
+
+class QueryService {
+ public:
+  /// `graph` must outlive the service. `history` may be null (temporal
+  /// queries then answer kUnsupported).
+  QueryService(const csr::BitPackedCsr& graph,
+               const tcsr::DifferentialTcsr* history, ServiceConfig config);
+
+  /// Stops and drains (see stop()).
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Callback completion API. Returns true if the request was admitted
+  /// (the callback will fire exactly once, on a worker thread); false if
+  /// it was rejected by backpressure — the callback is NOT invoked, so
+  /// open-loop clients can count rejections synchronously.
+  bool submit(const Request& request, Callback callback);
+
+  /// Future completion API. Rejected requests complete the future
+  /// immediately with Status::kRejected.
+  [[nodiscard]] std::future<Response> submit(const Request& request);
+
+  /// Closes all queues, answers everything still queued, joins workers.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  /// Aggregated counters + latency/batch-size percentiles across shards.
+  [[nodiscard]] MetricsSnapshot metrics() const;
+
+  [[nodiscard]] int shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Pending {
+    Request request;
+    Callback callback;
+    Clock::time_point enqueued;
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t capacity) : queue(capacity) {}
+    BoundedMpmcQueue<Pending> queue;
+    ShardMetrics metrics;
+  };
+
+  std::size_t shard_of(graph::VertexId u) const;
+  void shard_loop(Shard& shard);
+  void execute_batch(Shard& shard, std::vector<Pending>& batch);
+  void complete(Shard& shard, Pending& pending, Response&& response,
+                Clock::time_point now);
+
+  const csr::BitPackedCsr& graph_;
+  const tcsr::DifferentialTcsr* history_;
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<par::WorkerPool> pool_;
+  Clock::time_point started_;
+  bool stopped_ = false;
+};
+
+}  // namespace pcq::svc

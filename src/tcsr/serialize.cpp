@@ -1,20 +1,27 @@
 #include "tcsr/serialize.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "bits/packed_array.hpp"
-#include "util/check.hpp"
+#include "util/io_error.hpp"
 
 namespace pcq::tcsr {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'C', 'Q', 'T', 'C', 'S', 'R', '1'};
+// Format v2: v1 lacked the endianness canary, so a big-endian (or
+// bit-flipped) file decoded into garbage counts instead of being rejected.
+constexpr char kMagic[8] = {'P', 'C', 'Q', 'T', 'C', 'S', 'R', '2'};
+constexpr std::uint32_t kEndianCanary = 0x01020304;
 
 struct FileHeader {
   char magic[8];
+  std::uint32_t canary;
+  std::uint32_t reserved;
   std::uint64_t num_nodes;
   std::uint64_t num_frames;
 };
@@ -30,8 +37,8 @@ struct FrameHeader {
 class File {
  public:
   File(const std::string& path, const char* mode)
-      : f_(std::fopen(path.c_str(), mode)) {
-    PCQ_CHECK_MSG(f_ != nullptr, "cannot open TCSR file");
+      : path_(path), f_(std::fopen(path.c_str(), mode)) {
+    if (f_ == nullptr) throw IoError(path_, "cannot open TCSR file");
   }
   ~File() {
     if (f_) std::fclose(f_);
@@ -39,23 +46,53 @@ class File {
   File(const File&) = delete;
   File& operator=(const File&) = delete;
   std::FILE* get() const { return f_; }
+  [[noreturn]] void fail(const char* what) const { throw IoError(path_, what); }
 
  private:
+  std::string path_;
   std::FILE* f_;
 };
 
-void write_bits(std::FILE* f, const pcq::bits::BitVector& bits) {
+void write_bits(const File& f, const pcq::bits::BitVector& bits) {
   const auto words = bits.words();
-  if (!words.empty())
-    PCQ_CHECK(std::fwrite(words.data(), 8, words.size(), f) == words.size());
+  if (!words.empty() &&
+      std::fwrite(words.data(), 8, words.size(), f.get()) != words.size())
+    f.fail("short write");
 }
 
-pcq::bits::BitVector read_bits(std::FILE* f, std::uint64_t nbits) {
+pcq::bits::BitVector read_bits(const File& f, std::uint64_t nbits) {
   std::vector<std::uint64_t> words((nbits + 63) / 64);
-  if (!words.empty())
-    PCQ_CHECK_MSG(std::fread(words.data(), 8, words.size(), f) == words.size(),
-                  "truncated TCSR file");
+  if (!words.empty() &&
+      std::fread(words.data(), 8, words.size(), f.get()) != words.size())
+    f.fail("truncated TCSR file");
   return pcq::bits::BitVector::from_words(std::move(words), nbits);
+}
+
+void validate_header(const File& f, const FileHeader& h) {
+  if (std::memcmp(h.magic, kMagic, 8) != 0) {
+    // The v1 layout is header-incompatible (no canary field); name the
+    // actual problem instead of a generic magic failure.
+    if (std::memcmp(h.magic, kMagic, 7) == 0 && h.magic[7] == '1')
+      f.fail("unsupported TCSR format v1 — re-run tcompress");
+    f.fail("bad TCSR magic");
+  }
+  if (h.canary != kEndianCanary) f.fail("endianness canary mismatch");
+  if (h.num_nodes > std::numeric_limits<graph::VertexId>::max() - 1)
+    f.fail("corrupt TCSR header: node count exceeds VertexId range");
+  if (h.num_frames > std::numeric_limits<graph::TimeFrame>::max())
+    f.fail("corrupt TCSR header: frame count exceeds TimeFrame range");
+}
+
+void validate_frame(const File& f, const FileHeader& h, const FrameHeader& fh) {
+  if (fh.offset_width < 1 || fh.offset_width > 64 || fh.column_width < 1 ||
+      fh.column_width > 64)
+    f.fail("corrupt TCSR frame: bit width out of [1, 64]");
+  if (fh.num_edges > (std::uint64_t{1} << 57))
+    f.fail("corrupt TCSR frame: implausible edge count");
+  if (fh.offset_bits != (h.num_nodes + 1) * fh.offset_width)
+    f.fail("corrupt TCSR frame: offset bit count mismatch");
+  if (fh.column_bits != fh.num_edges * fh.column_width)
+    f.fail("corrupt TCSR frame: column bit count mismatch");
 }
 
 }  // namespace
@@ -64,9 +101,10 @@ void save_tcsr(const DifferentialTcsr& tcsr, const std::string& path) {
   File f(path, "wb");
   FileHeader h{};
   std::memcpy(h.magic, kMagic, 8);
+  h.canary = kEndianCanary;
   h.num_nodes = tcsr.num_nodes();
   h.num_frames = tcsr.num_frames();
-  PCQ_CHECK(std::fwrite(&h, sizeof h, 1, f.get()) == 1);
+  if (std::fwrite(&h, sizeof h, 1, f.get()) != 1) f.fail("short write");
   for (graph::TimeFrame t = 0; t < tcsr.num_frames(); ++t) {
     const csr::BitPackedCsr& d = tcsr.delta(t);
     FrameHeader fh{};
@@ -75,29 +113,33 @@ void save_tcsr(const DifferentialTcsr& tcsr, const std::string& path) {
     fh.column_width = d.column_bits();
     fh.offset_bits = d.packed_offsets().bits().size();
     fh.column_bits = d.packed_columns().bits().size();
-    PCQ_CHECK(std::fwrite(&fh, sizeof fh, 1, f.get()) == 1);
-    write_bits(f.get(), d.packed_offsets().bits());
-    write_bits(f.get(), d.packed_columns().bits());
+    if (std::fwrite(&fh, sizeof fh, 1, f.get()) != 1) f.fail("short write");
+    write_bits(f, d.packed_offsets().bits());
+    write_bits(f, d.packed_columns().bits());
   }
+  if (std::fflush(f.get()) != 0) f.fail("short write");
 }
 
 DifferentialTcsr load_tcsr(const std::string& path) {
   File f(path, "rb");
   FileHeader h{};
-  PCQ_CHECK_MSG(std::fread(&h, sizeof h, 1, f.get()) == 1, "truncated header");
-  PCQ_CHECK_MSG(std::memcmp(h.magic, kMagic, 8) == 0, "bad TCSR magic");
+  if (std::fread(&h, sizeof h, 1, f.get()) != 1) f.fail("truncated header");
+  validate_header(f, h);
 
   std::vector<csr::BitPackedCsr> deltas;
-  deltas.reserve(h.num_frames);
+  // A corrupt frame count is caught by the first truncated frame read;
+  // cap the reserve so it cannot pre-allocate gigabytes before that.
+  deltas.reserve(std::min<std::uint64_t>(h.num_frames, 1 << 16));
   for (std::uint64_t t = 0; t < h.num_frames; ++t) {
     FrameHeader fh{};
-    PCQ_CHECK_MSG(std::fread(&fh, sizeof fh, 1, f.get()) == 1,
-                  "truncated frame header");
+    if (std::fread(&fh, sizeof fh, 1, f.get()) != 1)
+      f.fail("truncated frame header");
+    validate_frame(f, h, fh);
     auto offsets = pcq::bits::FixedWidthArray::from_bits(
-        read_bits(f.get(), fh.offset_bits),
+        read_bits(f, fh.offset_bits),
         static_cast<std::size_t>(h.num_nodes) + 1, fh.offset_width);
     auto columns = pcq::bits::FixedWidthArray::from_bits(
-        read_bits(f.get(), fh.column_bits),
+        read_bits(f, fh.column_bits),
         static_cast<std::size_t>(fh.num_edges), fh.column_width);
     deltas.push_back(csr::BitPackedCsr::from_parts(
         static_cast<graph::VertexId>(h.num_nodes),

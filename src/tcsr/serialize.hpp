@@ -9,8 +9,14 @@
 
 namespace pcq::tcsr {
 
+/// Writes `tcsr` to `path` (format v2: canary-carrying header + one
+/// bit-packed delta pair per frame). Throws pcq::IoError on I/O failure.
 void save_tcsr(const DifferentialTcsr& tcsr, const std::string& path);
 
+/// Reads a history previously written by save_tcsr. Throws pcq::IoError on
+/// open/read failure, bad magic (including v1 files), a wrong endianness
+/// canary, inconsistent frame geometry, or a truncated payload — never
+/// returning a partially-constructed structure.
 DifferentialTcsr load_tcsr(const std::string& path);
 
 }  // namespace pcq::tcsr

@@ -1,0 +1,30 @@
+// Typed I/O failure reporting for the (de)serialization layer.
+//
+// The serializers originally aborted the process on any I/O problem, which
+// is fine for a benchmark binary but fatal for a long-running service: a
+// single corrupt graph file must reject that load and leave the process
+// up. Loaders and savers throw IoError instead; callers that want the old
+// behaviour simply don't catch it (an uncaught exception still terminates).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pcq {
+
+/// Thrown on file open/read/write failure or a malformed on-disk artifact
+/// (bad magic, wrong endianness canary, truncated payload, inconsistent
+/// header geometry). `path()` names the offending file.
+class IoError : public std::runtime_error {
+ public:
+  IoError(std::string path, const std::string& what)
+      : std::runtime_error(what + ": " + path), path_(std::move(path)) {}
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace pcq

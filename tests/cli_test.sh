@@ -1,8 +1,10 @@
 #!/bin/sh
 # End-to-end test of the pcq CLI: compress -> stats -> query -> convert ->
-# temporal round trip. Usage: cli_test.sh <path-to-pcq-binary>
+# temporal round trip, plus (when given) a pcq_serve smoke run.
+# Usage: cli_test.sh <path-to-pcq-binary> [path-to-pcq_serve-binary]
 set -e
 PCQ="$1"
+SERVE="$2"
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -32,5 +34,23 @@ printf "0 1 0\n1 2 1\n0 1 2\n" > "$TMP/t.txt"
 
 "$PCQ" compare "$TMP/g.txt" | grep -q "bit-packed CSR"
 "$PCQ" tcompare "$TMP/t.txt" | grep -q "differential TCSR"
+
+# Serving layer: line protocol, temporal queries, demo workload, and the
+# typed-IoError path for a corrupt artifact (refused, not aborted).
+if [ -n "$SERVE" ]; then
+  printf "degree 0\ne 0 1\ne 1 0\nn 0\nquit\n" | "$SERVE" "$TMP/g.csr" > "$TMP/serve.out"
+  grep -q "degree(0) = 2" "$TMP/serve.out"
+  grep -q "edge (0, 1): present" "$TMP/serve.out"
+  grep -q "edge (1, 0): absent" "$TMP/serve.out"
+  grep -q "neighbors(0) \[2\]: 1 2" "$TMP/serve.out"
+  printf "te 0 1 1\nte 0 1 2\nquit\n" | "$SERVE" "$TMP/g.csr" --tcsr "$TMP/t.tcsr" > "$TMP/serve_t.out"
+  grep -q "edge (0, 1): present" "$TMP/serve_t.out"
+  grep -q "edge (0, 1): absent" "$TMP/serve_t.out"
+  "$SERVE" "$TMP/g.csr" --demo 2000 --shards 2 | grep -q "demo done"
+  printf "garbage" > "$TMP/bad.csr"
+  if "$SERVE" "$TMP/bad.csr" < /dev/null > /dev/null 2>&1; then
+    echo "corrupt csr was not refused"; exit 1
+  fi
+fi
 
 echo CLI_OK

@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 
 #include "csr/builder.hpp"
 #include "graph/generators.hpp"
+#include "util/io_error.hpp"
 
 namespace pcq::csr {
 namespace {
@@ -69,20 +71,105 @@ TEST_F(SerializeTest, FileSizeTracksPackedSize) {
   EXPECT_LE(file_size, csr.size_bytes() + 128);  // header + word padding
 }
 
-TEST_F(SerializeTest, BadMagicAborts) {
+TEST_F(SerializeTest, SingleVertexGraphRoundTrip) {
+  const CsrGraph tiny = build_csr_from_sorted(graph::EdgeList{}, 1, 1);
+  const BitPackedCsr packed = BitPackedCsr::from_csr(tiny, 1);
+  save_bitpacked_csr(packed, path("one.csr"));
+  const BitPackedCsr loaded = load_bitpacked_csr(path("one.csr"));
+  EXPECT_EQ(loaded.num_nodes(), 1u);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+  EXPECT_TRUE(loaded.neighbors(0).empty());
+}
+
+// The serving layer loads graphs at runtime, so a bad file must throw
+// pcq::IoError (rejectable) rather than abort the process.
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_bitpacked_csr(path("nonexistent.csr")), pcq::IoError);
+}
+
+TEST_F(SerializeTest, BadMagicThrows) {
   {
     std::ofstream out(path("bad.csr"), std::ios::binary);
     out << std::string(64, 'x');
   }
-  EXPECT_DEATH(load_bitpacked_csr(path("bad.csr")), "bad CSR magic");
+  try {
+    load_bitpacked_csr(path("bad.csr"));
+    FAIL() << "expected IoError";
+  } catch (const pcq::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad CSR magic"), std::string::npos);
+    EXPECT_EQ(e.path(), path("bad.csr"));
+  }
 }
 
-TEST_F(SerializeTest, TruncatedFileAborts) {
+TEST_F(SerializeTest, TruncatedFileThrows) {
   const BitPackedCsr csr = sample_csr(9);
   save_bitpacked_csr(csr, path("g.csr"));
   std::filesystem::resize_file(path("g.csr"),
                                std::filesystem::file_size(path("g.csr")) / 2);
-  EXPECT_DEATH(load_bitpacked_csr(path("g.csr")), "truncated");
+  EXPECT_THROW(load_bitpacked_csr(path("g.csr")), pcq::IoError);
+}
+
+TEST_F(SerializeTest, TruncatedHeaderThrows) {
+  const BitPackedCsr csr = sample_csr(13);
+  save_bitpacked_csr(csr, path("g.csr"));
+  std::filesystem::resize_file(path("g.csr"), 20);  // mid-header
+  EXPECT_THROW(load_bitpacked_csr(path("g.csr")), pcq::IoError);
+}
+
+TEST_F(SerializeTest, WrongEndianCanaryThrows) {
+  const BitPackedCsr csr = sample_csr(15);
+  save_bitpacked_csr(csr, path("g.csr"));
+  {
+    // Byte-swap the canary (offset 8, after the 8-byte magic) as a
+    // big-endian writer would have produced it.
+    std::fstream f(path("g.csr"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);
+    const std::uint32_t swapped = 0x04030201;
+    f.write(reinterpret_cast<const char*>(&swapped), 4);
+  }
+  try {
+    load_bitpacked_csr(path("g.csr"));
+    FAIL() << "expected IoError";
+  } catch (const pcq::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("canary"), std::string::npos);
+  }
+}
+
+TEST_F(SerializeTest, CorruptedHeaderGeometryThrows) {
+  const BitPackedCsr csr = sample_csr(17);
+  save_bitpacked_csr(csr, path("g.csr"));
+  {
+    // Inflate the node count (offset 24: magic 8 + canary 4 + widths 8 +
+    // reserved 4) without touching the bit counts: the geometry check
+    // must reject before any structure is half-built.
+    std::fstream f(path("g.csr"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(24);
+    const std::uint64_t bogus_nodes = 1'000'000;
+    f.write(reinterpret_cast<const char*>(&bogus_nodes), 8);
+  }
+  try {
+    load_bitpacked_csr(path("g.csr"));
+    FAIL() << "expected IoError";
+  } catch (const pcq::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt CSR header"),
+              std::string::npos);
+  }
+}
+
+TEST_F(SerializeTest, ZeroWidthHeaderThrows) {
+  const BitPackedCsr csr = sample_csr(19);
+  save_bitpacked_csr(csr, path("g.csr"));
+  {
+    std::fstream f(path("g.csr"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(12);  // offset_width field
+    const std::uint32_t zero = 0;
+    f.write(reinterpret_cast<const char*>(&zero), 4);
+  }
+  EXPECT_THROW(load_bitpacked_csr(path("g.csr")), pcq::IoError);
 }
 
 }  // namespace

@@ -1,0 +1,131 @@
+#include "svc/mpmc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace pcq::svc {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr auto kLong = std::chrono::microseconds(1'000'000);
+constexpr auto kShort = std::chrono::microseconds(0);
+
+TEST(BoundedMpmcQueue, RejectsWhenFull) {
+  BoundedMpmcQueue<int> q(3);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));  // bounded: reject, never block
+  EXPECT_EQ(q.size(), 3u);
+
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 8, kLong, kShort), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(q.try_push(4));  // space again after the pop
+}
+
+TEST(BoundedMpmcQueue, FlushesOnBatchSize) {
+  BoundedMpmcQueue<int> q(64);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.try_push(int{i}));
+  std::vector<int> out;
+  // Window is huge, but max_items=4 must flush immediately.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.pop_batch(out, 4, kLong, std::chrono::microseconds(10'000'000)),
+            4u);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 1s);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.size(), 6u);
+}
+
+TEST(BoundedMpmcQueue, FlushesOnWindowDeadline) {
+  BoundedMpmcQueue<int> q(64);
+  ASSERT_TRUE(q.try_push(7));
+  std::vector<int> out;
+  // Only one element available: the 2ms window must expire and flush a
+  // partial batch rather than waiting for max_items.
+  EXPECT_EQ(q.pop_batch(out, 100, kLong, std::chrono::microseconds(2000)), 1u);
+  EXPECT_EQ(out, std::vector<int>{7});
+}
+
+TEST(BoundedMpmcQueue, PopTimesOutOnEmptyQueue) {
+  BoundedMpmcQueue<int> q(4);
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 4, std::chrono::microseconds(1000), kShort), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BoundedMpmcQueue, CloseDrainsThenReturnsZero) {
+  BoundedMpmcQueue<int> q(8);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_FALSE(q.try_push(3));  // closed rejects producers
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 8, kLong, kLong), 2u);  // drains without waiting
+  EXPECT_EQ(q.pop_batch(out, 8, kLong, kLong), 0u);  // then always 0
+}
+
+TEST(BoundedMpmcQueue, CloseWakesBlockedConsumer) {
+  BoundedMpmcQueue<int> q(4);
+  std::thread consumer([&q] {
+    std::vector<int> out;
+    EXPECT_EQ(q.pop_batch(out, 4, std::chrono::microseconds(10'000'000),
+                          kShort),
+              0u);
+  });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  consumer.join();
+}
+
+// The TSan target: concurrent producers and consumers moving every element
+// exactly once, with rejections retried.
+TEST(BoundedMpmcQueue, ConcurrentProducersConsumersDeliverEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 2000;
+  BoundedMpmcQueue<int> q(64);
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c)
+    consumers.emplace_back([&] {
+      std::vector<int> out;
+      for (;;) {
+        out.clear();
+        const std::size_t n =
+            q.pop_batch(out, 16, std::chrono::microseconds(50'000),
+                        std::chrono::microseconds(100));
+        for (std::size_t i = 0; i < n; ++i)
+          sum.fetch_add(static_cast<std::uint64_t>(out[i]),
+                        std::memory_order_relaxed);
+        popped.fetch_add(n, std::memory_order_relaxed);
+        if (n == 0 && q.closed()) return;
+      }
+    });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        while (!q.try_push(int{value})) std::this_thread::yield();
+      }
+    });
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  const std::uint64_t total = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), total);
+  EXPECT_EQ(sum.load(), total * (total - 1) / 2);
+}
+
+}  // namespace
+}  // namespace pcq::svc

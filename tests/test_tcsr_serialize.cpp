@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 
 #include "graph/generators.hpp"
+#include "util/io_error.hpp"
 #include "util/rng.hpp"
 
 namespace pcq::tcsr {
@@ -65,20 +67,84 @@ TEST_F(TcsrSerializeTest, EmptyHistoryRoundTrip) {
   EXPECT_EQ(loaded.num_frames(), 0u);
 }
 
-TEST_F(TcsrSerializeTest, BadMagicAborts) {
+TEST_F(TcsrSerializeTest, ZeroEdgeFramesRoundTrip) {
+  // Frames 1 and 3 carry no state changes at all: their deltas are empty
+  // CSRs, which must survive the round trip as empty frames (not collapse
+  // the frame count).
+  graph::TemporalEdgeList events;
+  events.push_back({0, 1, 0});
+  events.push_back({2, 3, 2});
+  events.push_back({0, 1, 4});
+  events.sort(2);
+  const auto original = DifferentialTcsr::build(events, 5, 5, 2);
+  ASSERT_EQ(original.num_frames(), 5u);
+  ASSERT_EQ(original.delta(1).num_edges(), 0u);
+  save_tcsr(original, path("sparse.tcsr"));
+  const auto loaded = load_tcsr(path("sparse.tcsr"));
+  EXPECT_EQ(loaded.num_frames(), 5u);
+  EXPECT_EQ(loaded.delta(1).num_edges(), 0u);
+  EXPECT_EQ(loaded.delta(3).num_edges(), 0u);
+  EXPECT_TRUE(loaded.edge_active(0, 1, 3));
+  EXPECT_FALSE(loaded.edge_active(0, 1, 4));  // toggled off at frame 4
+  EXPECT_TRUE(loaded.edge_active(2, 3, 2));
+}
+
+TEST_F(TcsrSerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_tcsr(path("nonexistent.tcsr")), pcq::IoError);
+}
+
+TEST_F(TcsrSerializeTest, BadMagicThrows) {
   {
     std::ofstream out(path("bad.tcsr"), std::ios::binary);
     out << std::string(64, 'z');
   }
-  EXPECT_DEATH(load_tcsr(path("bad.tcsr")), "bad TCSR magic");
+  try {
+    load_tcsr(path("bad.tcsr"));
+    FAIL() << "expected IoError";
+  } catch (const pcq::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad TCSR magic"), std::string::npos);
+  }
 }
 
-TEST_F(TcsrSerializeTest, TruncatedAborts) {
+TEST_F(TcsrSerializeTest, TruncatedThrows) {
   const auto events = graph::evolving_graph(50, 1000, 6, 7, 4);
   save_tcsr(DifferentialTcsr::build(events, 50, 6, 4), path("h.tcsr"));
   std::filesystem::resize_file(
       path("h.tcsr"), std::filesystem::file_size(path("h.tcsr")) / 3);
-  EXPECT_DEATH(load_tcsr(path("h.tcsr")), "truncated");
+  EXPECT_THROW(load_tcsr(path("h.tcsr")), pcq::IoError);
+}
+
+TEST_F(TcsrSerializeTest, WrongCanaryThrows) {
+  const auto events = graph::evolving_graph(30, 500, 4, 3, 2);
+  save_tcsr(DifferentialTcsr::build(events, 30, 4, 2), path("h.tcsr"));
+  {
+    std::fstream f(path("h.tcsr"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);  // canary sits right after the 8-byte magic
+    const std::uint32_t swapped = 0x04030201;
+    f.write(reinterpret_cast<const char*>(&swapped), 4);
+  }
+  try {
+    load_tcsr(path("h.tcsr"));
+    FAIL() << "expected IoError";
+  } catch (const pcq::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("canary"), std::string::npos);
+  }
+}
+
+TEST_F(TcsrSerializeTest, CorruptedFrameHeaderThrows) {
+  const auto events = graph::evolving_graph(30, 500, 4, 5, 2);
+  save_tcsr(DifferentialTcsr::build(events, 30, 4, 2), path("h.tcsr"));
+  {
+    // First frame header starts after the 32-byte file header; blow up
+    // its edge count so the geometry check fires.
+    std::fstream f(path("h.tcsr"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(32);
+    const std::uint64_t bogus_edges = std::uint64_t{1} << 60;
+    f.write(reinterpret_cast<const char*>(&bogus_edges), 8);
+  }
+  EXPECT_THROW(load_tcsr(path("h.tcsr")), pcq::IoError);
 }
 
 }  // namespace

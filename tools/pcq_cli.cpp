@@ -36,6 +36,7 @@
 #include "tcsr/tcsr.hpp"
 #include "util/flags.hpp"
 #include "util/format.hpp"
+#include "util/io_error.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -330,14 +331,22 @@ int main(int argc, char** argv) {
   }
   const std::string& cmd = pos[0];
   const std::string& input = pos[1];
-  if (cmd == "compress") return cmd_compress(flags, input);
-  if (cmd == "stats") return cmd_stats(flags, input);
-  if (cmd == "compare") return cmd_compare(flags, input);
-  if (cmd == "query") return cmd_query(flags, input);
-  if (cmd == "convert") return cmd_convert(flags, input);
-  if (cmd == "tcompress") return cmd_tcompress(flags, input);
-  if (cmd == "tquery") return cmd_tquery(flags, input);
-  if (cmd == "tcompare") return cmd_tcompare(flags, input);
+  // The (de)serializers throw pcq::IoError on missing, truncated or
+  // corrupted files; report and exit instead of aborting, so scripted
+  // pipelines see a clean diagnostic and a distinct exit code.
+  try {
+    if (cmd == "compress") return cmd_compress(flags, input);
+    if (cmd == "stats") return cmd_stats(flags, input);
+    if (cmd == "compare") return cmd_compare(flags, input);
+    if (cmd == "query") return cmd_query(flags, input);
+    if (cmd == "convert") return cmd_convert(flags, input);
+    if (cmd == "tcompress") return cmd_tcompress(flags, input);
+    if (cmd == "tquery") return cmd_tquery(flags, input);
+    if (cmd == "tcompare") return cmd_tcompare(flags, input);
+  } catch (const pcq::IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
   std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
   return 2;
 }

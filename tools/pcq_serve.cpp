@@ -1,0 +1,222 @@
+// pcq_serve — drives the pcq::svc batch query service over a compressed
+// graph, answering queries from stdin (one per line) until EOF, then
+// printing the service metrics block.
+//
+//   pcq_serve <g.csr> [--tcsr h.tcsr] [--shards N] [--batch N]
+//             [--window-us W] [--kernel-threads N] [--demo N]
+//
+// Line protocol (whitespace-separated):
+//   degree U            degree of node U
+//   n U                 neighbours of U (Alg. 6 through the batcher)
+//   e U V               does edge (U, V) exist? (Alg. 7)
+//   te U V T            was (U, V) active at frame T? (needs --tcsr)
+//   tn U T              neighbours of U at frame T (needs --tcsr)
+//   j U V T             earliest frame >= T reaching V from U (needs --tcsr)
+//   metrics             print the metrics snapshot
+//
+// --demo N skips stdin and pushes N random mixed queries through the
+// service instead — a smoke workload for scripts and the CLI test.
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "csr/serialize.hpp"
+#include "svc/service.hpp"
+#include "tcsr/serialize.hpp"
+#include "util/flags.hpp"
+#include "util/format.hpp"
+#include "util/io_error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pcq;
+using graph::VertexId;
+
+void print_metrics(const svc::MetricsSnapshot& m) {
+  std::printf("-- service metrics --\n");
+  std::printf("submitted %s | completed %s | rejected %s | expired %s\n",
+              util::with_commas(m.submitted).c_str(),
+              util::with_commas(m.completed).c_str(),
+              util::with_commas(m.rejected).c_str(),
+              util::with_commas(m.expired).c_str());
+  std::printf("throughput %.0f queries/s over %.2fs\n", m.qps,
+              m.elapsed_seconds);
+  std::printf("batches %s | size mean %.1f p50 %.0f p95 %.0f p99 %.0f\n",
+              util::with_commas(m.batches).c_str(), m.mean_batch_size,
+              m.batch_p50, m.batch_p95, m.batch_p99);
+  std::printf("latency us mean %.0f p50 %.0f p95 %.0f p99 %.0f\n",
+              m.latency_mean_us, m.latency_p50_us, m.latency_p95_us,
+              m.latency_p99_us);
+}
+
+void print_response(const svc::Request& req, const svc::Response& r) {
+  switch (r.status) {
+    case svc::Status::kRejected: std::printf("rejected\n"); return;
+    case svc::Status::kExpired: std::printf("expired\n"); return;
+    case svc::Status::kInvalid: std::printf("invalid (out of range)\n"); return;
+    case svc::Status::kUnsupported:
+      std::printf("unsupported (no --tcsr loaded)\n");
+      return;
+    case svc::Status::kOk: break;
+  }
+  switch (req.kind) {
+    case svc::QueryKind::kDegree:
+      std::printf("degree(%u) = %u\n", req.u, r.degree);
+      break;
+    case svc::QueryKind::kNeighbors:
+    case svc::QueryKind::kTemporalNeighbors: {
+      std::printf("neighbors(%u) [%zu]:", req.u, r.neighbors.size());
+      for (std::size_t i = 0; i < r.neighbors.size() && i < 64; ++i)
+        std::printf(" %u", r.neighbors[i]);
+      if (r.neighbors.size() > 64) std::printf(" ...");
+      std::printf("\n");
+      break;
+    }
+    case svc::QueryKind::kEdgeExists:
+    case svc::QueryKind::kTemporalEdge:
+      std::printf("edge (%u, %u): %s\n", req.u, req.v,
+                  r.exists ? "present" : "absent");
+      break;
+    case svc::QueryKind::kForemostArrival:
+      if (r.exists)
+        std::printf("journey %u -> %u: arrives frame %u\n", req.u, req.v,
+                    r.arrival);
+      else
+        std::printf("journey %u -> %u: unreachable\n", req.u, req.v);
+      break;
+  }
+}
+
+int run_demo(svc::QueryService& service, const csr::BitPackedCsr& graph,
+             bool temporal, std::size_t count) {
+  util::SplitMix64 rng(2024);
+  const VertexId n = graph.num_nodes();
+  if (n == 0) {
+    std::fprintf(stderr, "error: empty graph\n");
+    return 2;
+  }
+  std::vector<std::future<svc::Response>> futures;
+  futures.reserve(count);
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    svc::Request req;
+    const auto pick = rng.next_below(temporal ? 5 : 3);
+    req.u = static_cast<VertexId>(rng.next_below(n));
+    req.v = static_cast<VertexId>(rng.next_below(n));
+    switch (pick) {
+      case 0: req.kind = svc::QueryKind::kDegree; break;
+      case 1: req.kind = svc::QueryKind::kNeighbors; break;
+      case 2: req.kind = svc::QueryKind::kEdgeExists; break;
+      case 3: req.kind = svc::QueryKind::kTemporalEdge; req.t = 0; break;
+      default: req.kind = svc::QueryKind::kTemporalNeighbors; req.t = 0; break;
+    }
+    futures.push_back(service.submit(req));
+    // A demo client is closed-loop-ish: cap outstanding work so the
+    // bounded queue exercises batching, not rejection.
+    if (futures.size() >= 1024) {
+      for (auto& f : futures)
+        if (f.get().status == svc::Status::kRejected) ++rejected;
+      futures.clear();
+    }
+  }
+  for (auto& f : futures)
+    if (f.get().status == svc::Status::kRejected) ++rejected;
+  print_metrics(service.metrics());
+  std::printf("demo done: %s queries, %s rejected\n",
+              util::with_commas(count).c_str(),
+              util::with_commas(rejected).c_str());
+  return 0;
+}
+
+int run_stdin(svc::QueryService& service) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string op;
+    if (!(in >> op)) continue;
+    if (op == "metrics") {
+      print_metrics(service.metrics());
+      continue;
+    }
+    if (op == "quit") break;
+    svc::Request req;
+    bool ok = false;
+    if (op == "degree" && (in >> req.u)) {
+      req.kind = svc::QueryKind::kDegree;
+      ok = true;
+    } else if (op == "n" && (in >> req.u)) {
+      req.kind = svc::QueryKind::kNeighbors;
+      ok = true;
+    } else if (op == "e" && (in >> req.u >> req.v)) {
+      req.kind = svc::QueryKind::kEdgeExists;
+      ok = true;
+    } else if (op == "te" && (in >> req.u >> req.v >> req.t)) {
+      req.kind = svc::QueryKind::kTemporalEdge;
+      ok = true;
+    } else if (op == "tn" && (in >> req.u >> req.t)) {
+      req.kind = svc::QueryKind::kTemporalNeighbors;
+      ok = true;
+    } else if (op == "j" && (in >> req.u >> req.v >> req.t)) {
+      req.kind = svc::QueryKind::kForemostArrival;
+      ok = true;
+    }
+    if (!ok) {
+      std::printf("? unknown query '%s'\n", line.c_str());
+      continue;
+    }
+    print_response(req, service.submit(req).get());
+  }
+  print_metrics(service.metrics());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pcq::util::Flags flags(
+      argc, argv,
+      {{"tcsr", "temporal history (.tcsr) to serve alongside the CSR"},
+       {"shards", "shared-nothing shards (default 1)"},
+       {"batch", "max requests per dispatched batch (default 256)"},
+       {"window-us", "micro-batch flush window in microseconds (default 200)"},
+       {"kernel-threads", "threads per batch-kernel call (default 1)"},
+       {"demo", "run N random queries instead of reading stdin"}});
+  const auto& pos = flags.positional();
+  if (pos.empty()) {
+    std::fprintf(stderr, "usage: pcq_serve <g.csr> [flags]\n");
+    return 2;
+  }
+  try {
+    const pcq::csr::BitPackedCsr graph = pcq::csr::load_bitpacked_csr(pos[0]);
+    pcq::tcsr::DifferentialTcsr history;
+    const bool temporal = flags.has("tcsr");
+    if (temporal) history = pcq::tcsr::load_tcsr(flags.get("tcsr", ""));
+
+    pcq::svc::ServiceConfig config;
+    config.shards = static_cast<int>(flags.get_int("shards", 1));
+    config.max_batch =
+        static_cast<std::size_t>(flags.get_int("batch", 256));
+    config.batch_window =
+        std::chrono::microseconds(flags.get_int("window-us", 200));
+    config.kernel_threads =
+        static_cast<int>(flags.get_int("kernel-threads", 1));
+    pcq::svc::QueryService service(graph, temporal ? &history : nullptr,
+                                   config);
+    std::printf("serving %s nodes / %s edges on %d shard(s)%s\n",
+                pcq::util::with_commas(graph.num_nodes()).c_str(),
+                pcq::util::with_commas(graph.num_edges()).c_str(),
+                service.shards(), temporal ? " + temporal history" : "");
+
+    if (flags.has("demo"))
+      return run_demo(service, graph, temporal,
+                      static_cast<std::size_t>(flags.get_int("demo", 10000)));
+    return run_stdin(service);
+  } catch (const pcq::IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+}
