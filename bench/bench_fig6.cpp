@@ -54,6 +54,5 @@ int main(int argc, char** argv) {
     print_bars(g, !multicore);
     std::printf("\n");
   }
-  if (flags.get_bool("csv", false)) bench::print_csv(results);
-  return 0;
+  return bench::emit_common_outputs(flags, results);
 }

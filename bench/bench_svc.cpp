@@ -20,14 +20,17 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common.hpp"
 #include "csr/builder.hpp"
 #include "graph/generators.hpp"
+#include "obs/trace.hpp"
 #include "svc/service.hpp"
 #include "tcsr/tcsr.hpp"
 #include "util/flags.hpp"
@@ -368,6 +371,73 @@ void print_run(const char* label, const RunResult& r) {
                 static_cast<unsigned long long>(r.drain_completed));
 }
 
+/// Post-run outputs: the labeled runs as a JSON document (--json FILE) and
+/// the span flight-recorder as Chrome trace JSON (--trace FILE). Returns
+/// the process exit code.
+int emit_outputs(const pcq::util::Flags& flags,
+                 const std::vector<std::pair<std::string, RunResult>>& runs) {
+  const std::string json = flags.get("json", "");
+  if (!json.empty()) {
+    std::ofstream out(json, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write results to %s\n", json.c_str());
+      return 3;
+    }
+    out << "{\"runs\":[";
+    char buf[512];
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& [label, r] = runs[i];
+      std::snprintf(
+          buf, sizeof buf,
+          "%s\n{\"label\":\"%s\",\"elapsed_s\":%.6f,\"completed\":%llu,"
+          "\"rejected\":%llu,\"offered_qps\":%.1f,\"sustained_qps\":%.1f,"
+          "\"drain_completed\":%llu,\"drain_qps\":%.1f,",
+          i == 0 ? "" : ",", label.c_str(), r.elapsed_s,
+          static_cast<unsigned long long>(r.completed),
+          static_cast<unsigned long long>(r.rejected), r.offered_qps,
+          r.sustained_qps, static_cast<unsigned long long>(r.drain_completed),
+          r.drain_qps);
+      out << buf;
+      std::snprintf(
+          buf, sizeof buf,
+          "\"client_latency_us\":{\"mean\":%.3f,\"p50\":%.3f,\"p95\":%.3f,"
+          "\"p99\":%.3f,\"max\":%.3f},",
+          r.client_latency_us.mean, r.client_latency_us.p50,
+          r.client_latency_us.p95, r.client_latency_us.p99,
+          r.client_latency_us.max);
+      out << buf;
+      std::snprintf(
+          buf, sizeof buf,
+          "\"service\":{\"batches\":%llu,\"mean_batch_size\":%.3f,"
+          "\"latency_us\":{\"mean\":%.3f,\"p50\":%.3f,\"p95\":%.3f,"
+          "\"p99\":%.3f},\"queue_wait_us\":{\"mean\":%.3f,\"p50\":%.3f,"
+          "\"p95\":%.3f,\"p99\":%.3f}}}",
+          static_cast<unsigned long long>(r.service.batches),
+          r.service.mean_batch_size, r.service.latency_mean_us,
+          r.service.latency_p50_us, r.service.latency_p95_us,
+          r.service.latency_p99_us, r.service.queue_wait_mean_us,
+          r.service.queue_wait_p50_us, r.service.queue_wait_p95_us,
+          r.service.queue_wait_p99_us);
+      out << buf;
+    }
+    out << "\n]}\n";
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write results to %s\n", json.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "[bench_svc] wrote results %s\n", json.c_str());
+  }
+  const std::string trace = flags.get("trace", "");
+  if (!trace.empty()) {
+    if (!pcq::obs::write_chrome_trace_file(trace)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n", trace.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "[bench_svc] wrote trace %s\n", trace.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -389,7 +459,10 @@ int main(int argc, char** argv) {
           {"mode",
            "compare | capacity | open | closed | calibrate (default compare)"},
           {"mix", "mixed | degree (degree isolates dispatch overhead)"},
+          {"json", "write the run results as a JSON document to this file"},
+          {"trace", "write Chrome trace JSON of the benched runs here"},
       });
+  if (flags.has("trace")) pcq::obs::set_trace_enabled(true);
   BenchConfig cfg;
   cfg.nodes = static_cast<VertexId>(flags.get_int("nodes", cfg.nodes));
   cfg.edges = static_cast<std::size_t>(flags.get_int("edges", cfg.edges));
@@ -431,6 +504,12 @@ int main(int argc, char** argv) {
 
   const std::vector<Request> reqs = make_workload(cfg);
 
+  std::vector<std::pair<std::string, RunResult>> runs;
+  auto report = [&](const char* label, const RunResult& r) {
+    print_run(label, r);
+    runs.emplace_back(label, r);
+  };
+
   ServiceConfig batched;
   batched.shards = cfg.shards;
   batched.queue_capacity = cfg.queue;
@@ -445,8 +524,8 @@ int main(int argc, char** argv) {
   single.adaptive_window = false;
 
   if (cfg.mode == "calibrate") {
-    print_run("client loopback", run_calibration(reqs));
-    return 0;
+    report("client loopback", run_calibration(reqs));
+    return emit_outputs(flags, runs);
   }
   if (cfg.mode == "capacity") {
     // Pre-loaded drain for both configs: the queue must hold the whole
@@ -463,25 +542,25 @@ int main(int argc, char** argv) {
       pcq::svc::QueryService service(graph, history_ptr, b);
       batched_run = run_drain(service, reqs);
     }
-    print_run("capacity single", single_run);
-    print_run("capacity micro-batch", batched_run);
+    report("capacity single", single_run);
+    report("capacity micro-batch", batched_run);
     std::printf("batching speedup (pre-loaded drain): %.2fx service-side "
                 "QPS\n",
                 batched_run.sustained_qps /
                     std::max(single_run.sustained_qps, 1e-9));
-    return 0;
+    return emit_outputs(flags, runs);
   }
   if (cfg.mode == "closed") {
     pcq::svc::QueryService service(graph, history_ptr, batched);
-    print_run("closed-loop batched", run_closed_loop(service, reqs,
-                                                     cfg.outstanding));
-    return 0;
+    report("closed-loop batched", run_closed_loop(service, reqs,
+                                                  cfg.outstanding));
+    return emit_outputs(flags, runs);
   }
   if (cfg.mode == "open") {
     pcq::svc::QueryService service(graph, history_ptr, batched);
-    print_run("open-loop batched",
-              run_open_loop(service, reqs, cfg.rate, cfg.seed + 7));
-    return 0;
+    report("open-loop batched",
+           run_open_loop(service, reqs, cfg.rate, cfg.seed + 7));
+    return emit_outputs(flags, runs);
   }
 
   // compare: identical open-loop offered load, single-dispatch vs adaptive
@@ -495,13 +574,13 @@ int main(int argc, char** argv) {
     pcq::svc::QueryService service(graph, history_ptr, batched);
     batched_run = run_open_loop(service, reqs, cfg.rate, cfg.seed + 7);
   }
-  print_run("single dispatch", single_run);
-  print_run("adaptive micro-batch", batched_run);
+  report("single dispatch", single_run);
+  report("adaptive micro-batch", batched_run);
   const double ratio =
       batched_run.sustained_qps / std::max(single_run.sustained_qps, 1e-9);
   std::printf("batching speedup: %.2fx sustained QPS\n", ratio);
   if (single_run.drain_completed > 0 && batched_run.drain_completed > 0)
     std::printf("batching speedup (service side, drain phase): %.2fx\n",
                 batched_run.drain_qps / std::max(single_run.drain_qps, 1e-9));
-  return 0;
+  return emit_outputs(flags, runs);
 }

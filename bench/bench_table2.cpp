@@ -62,6 +62,5 @@ int main(int argc, char** argv) {
     table.add_rule();
   }
   table.print();
-  if (flags.get_bool("csv", false)) bench::print_csv(results);
-  return 0;
+  return bench::emit_common_outputs(flags, results);
 }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace pcq::bench {
@@ -17,6 +19,8 @@ std::map<std::string, std::string> experiment_flag_spec() {
       {"repeats", "timed repetitions per configuration, min is reported (default 3)"},
       {"graphs", "comma-separated preset names (default: all four)"},
       {"csv", "also print machine-readable CSV rows for replotting"},
+      {"json", "write the results as a JSON document to this file"},
+      {"trace", "write Chrome trace JSON of the benched builds here"},
   };
 }
 
@@ -36,7 +40,64 @@ void print_csv(const std::vector<GraphResult>& results) {
   }
 }
 
+bool write_results_json(const std::vector<GraphResult>& results,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << "{\"graphs\":[";
+  char buf[256];
+  for (std::size_t g = 0; g < results.size(); ++g) {
+    const GraphResult& r = results[g];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n{\"name\":\"%s\",\"nodes\":%u,\"edges\":%zu,"
+                  "\"edge_list_bytes\":%zu,\"edge_list_text_bytes\":%zu,"
+                  "\"csr_bytes\":%zu,\"samples\":[",
+                  g == 0 ? "" : ",", r.name.c_str(), r.nodes, r.edges,
+                  r.edge_list_bytes, r.edge_list_text_bytes, r.csr_bytes);
+    out << buf;
+    for (std::size_t i = 0; i < r.samples.size(); ++i) {
+      const ConstructionSample& s = r.samples[i];
+      std::snprintf(buf, sizeof buf,
+                    "%s\n{\"threads\":%d,\"time_s\":%.9f,\"model_s\":%.9f,"
+                    "\"phases\":{\"degree\":%.9f,\"scan\":%.9f,"
+                    "\"fill\":%.9f,\"pack\":%.9f}}",
+                    i == 0 ? "" : ",", s.threads, s.seconds, s.modeled_seconds,
+                    s.phases.degree, s.phases.scan, s.phases.fill,
+                    s.phases.pack);
+      out << buf;
+    }
+    out << "]}";
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+int emit_common_outputs(const pcq::util::Flags& flags,
+                        const std::vector<GraphResult>& results) {
+  if (flags.get_bool("csv", false)) print_csv(results);
+  const std::string json = flags.get("json", "");
+  if (!json.empty()) {
+    if (!write_results_json(results, json)) {
+      std::fprintf(stderr, "error: cannot write results to %s\n", json.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "[bench] wrote results %s\n", json.c_str());
+  }
+  const std::string trace = flags.get("trace", "");
+  if (!trace.empty()) {
+    if (!pcq::obs::write_chrome_trace_file(trace)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n", trace.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "[bench] wrote trace %s\n", trace.c_str());
+  }
+  return 0;
+}
+
 ExperimentConfig parse_experiment_config(const pcq::util::Flags& flags) {
+  // The benched builds should appear in a requested --trace file, so span
+  // recording turns on before any experiment runs.
+  if (flags.has("trace")) pcq::obs::set_trace_enabled(true);
   ExperimentConfig config;
   config.scale = flags.get_double("scale", config.scale);
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));

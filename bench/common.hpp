@@ -82,6 +82,20 @@ bool host_is_multicore();
 /// (the --csv flag of the table/figure harnesses).
 void print_csv(const std::vector<GraphResult>& results);
 
+/// Writes the full result set as a JSON document (machine-readable twin of
+/// the printed tables: per-graph sizes plus per-thread-count timings and
+/// phase splits). Returns false on I/O error.
+bool write_results_json(const std::vector<GraphResult>& results,
+                        const std::string& path);
+
+/// Handles the output flags shared by the table/figure harnesses after the
+/// experiment ran: --csv (rows to stdout), --json FILE (results document)
+/// and --trace FILE (Chrome trace of the benched builds; recording was
+/// switched on by parse_experiment_config when the flag is present).
+/// Returns the process exit code: 0, or 3 when a file write failed.
+int emit_common_outputs(const pcq::util::Flags& flags,
+                        const std::vector<GraphResult>& results);
+
 // --- Latency distributions (bench_svc, bench_query) -------------------------
 
 /// Percentile summary of a latency sample. Units follow the input (the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "par/chunking.hpp"
 #include "par/parallel_for.hpp"
 #include "par/reduce.hpp"
@@ -39,20 +40,28 @@ FixedWidthArray FixedWidthArray::pack_with_width(
   // Algorithm 4: each processor packs its chunk into a private bit array
   // stored "in a global location"...
   std::vector<BitVector> partial(chunks);
-  pcq::par::parallel_for_chunks(
-      n, static_cast<int>(chunks), [&](std::size_t c, pcq::par::ChunkRange r) {
-        BitVector local;
-        for (std::size_t i = r.begin; i < r.end; ++i) {
-          PCQ_DCHECK(width == 64 || (values[i] >> width) == 0);
-          local.append_bits(values[i], width);
-        }
-        partial[c] = std::move(local);
-      });
+  {
+    PCQ_TRACE_SCOPE("pack.chunks", chunks);
+    pcq::par::parallel_for_chunks(
+        n, static_cast<int>(chunks),
+        [&](std::size_t c, pcq::par::ChunkRange r) {
+          BitVector local;
+          for (std::size_t i = r.begin; i < r.end; ++i) {
+            PCQ_DCHECK(width == 64 || (values[i] >> width) == 0);
+            local.append_bits(values[i], width);
+          }
+          partial[c] = std::move(local);
+        });
+  }
 
   // ...then the per-chunk arrays are merged into the final bit array. With
   // a fixed element width the destination offset of every chunk is known, so
   // the merge copies whole words in parallel and ORs the one word each pair
-  // of neighbouring chunks can share.
+  // of neighbouring chunks can share. The span covers both the parallel
+  // word copy and the sequential boundary pass (recorded explicitly — the
+  // merge straddles two statements RAII can't bracket cleanly).
+  const bool traced = pcq::obs::kTraceCompiledIn && pcq::obs::trace_enabled();
+  const std::uint64_t merge_t0 = traced ? pcq::obs::trace_now_ns() : 0;
   BitVector merged(n * width);
   auto dst = merged.mutable_words();
   pcq::par::parallel_for_chunks(
@@ -101,6 +110,9 @@ FixedWidthArray FixedWidthArray::pack_with_width(
       if (w + 1 < dst.size()) dst[w + 1] |= first >> (64 - shift);
     }
   }
+  if (traced)
+    pcq::obs::record_span("pack.merge", merge_t0, pcq::obs::trace_now_ns(),
+                          chunks);
 
   return FixedWidthArray(std::move(merged), n, width);
 }

@@ -1,6 +1,8 @@
 #include "csr/builder.hpp"
 
 #include "csr/degree.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
 #include "par/prefix_sum.hpp"
 #include "util/check.hpp"
@@ -29,28 +31,38 @@ CsrGraph build_csr_from_sorted(const EdgeList& list, VertexId num_nodes,
                                int num_threads, CsrBuildTimings* timings) {
   PCQ_DCHECK(list.is_sorted());
   if (num_nodes == 0) num_nodes = list.num_nodes();
+  pcq::obs::MetricsRegistry::global().counter("csr.builds").add(1);
   pcq::util::Timer timer;
 
   // Phase 1: degree array (Algorithms 2 + 3).
   const std::vector<VertexId> sources = source_column(list, num_threads);
   timer.restart();
-  std::vector<std::uint32_t> degrees =
-      parallel_degree_from_sorted(sources, num_nodes, num_threads);
+  std::vector<std::uint32_t> degrees;
+  {
+    PCQ_TRACE_SCOPE("csr.degree", list.size());
+    degrees = parallel_degree_from_sorted(sources, num_nodes, num_threads);
+  }
   if (timings) timings->degree = timer.seconds();
 
   // Phase 2: offsets via the chunked prefix sum (Algorithm 1).
   timer.restart();
-  std::vector<std::uint64_t> offsets =
-      pcq::par::offsets_from_degrees(degrees, num_threads);
+  std::vector<std::uint64_t> offsets;
+  {
+    PCQ_TRACE_SCOPE("csr.scan", degrees.size());
+    offsets = pcq::par::offsets_from_degrees(degrees, num_threads);
+  }
   if (timings) timings->scan = timer.seconds();
 
   // Phase 3: with the input sorted by source, the column array is the
   // destination column verbatim — a parallel copy.
   timer.restart();
   std::vector<VertexId> columns(list.size());
-  const auto edges = list.edges();
-  pcq::par::parallel_for(edges.size(), num_threads,
-                         [&](std::size_t i) { columns[i] = edges[i].v; });
+  {
+    PCQ_TRACE_SCOPE("csr.fill", list.size());
+    const auto edges = list.edges();
+    pcq::par::parallel_for(edges.size(), num_threads,
+                           [&](std::size_t i) { columns[i] = edges[i].v; });
+  }
   if (timings) timings->fill = timer.seconds();
 
   return CsrGraph(std::move(offsets), std::move(columns));
@@ -68,7 +80,11 @@ BitPackedCsr build_bitpacked_csr_from_sorted(const EdgeList& list,
                                              CsrBuildTimings* timings) {
   CsrGraph csr = build_csr_from_sorted(list, num_nodes, num_threads, timings);
   pcq::util::Timer timer;
-  BitPackedCsr packed = BitPackedCsr::from_csr(csr, num_threads);
+  BitPackedCsr packed;
+  {
+    PCQ_TRACE_SCOPE("csr.pack", csr.num_edges());
+    packed = BitPackedCsr::from_csr(csr, num_threads);
+  }
   if (timings) timings->pack = timer.seconds();
   return packed;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "par/chunking.hpp"
 #include "par/parallel_for.hpp"
 #include "par/threads.hpp"
@@ -44,39 +45,46 @@ std::vector<std::uint32_t> parallel_degree_from_sorted(
 
   // Algorithm 2, one invocation per chunk. The implicit barrier at the end
   // of the region is Algorithm 3's sync().
-  pcq::par::parallel_for_chunks(
-      n, static_cast<int>(chunks), [&](std::size_t c, pcq::par::ChunkRange r) {
-        std::size_t i = r.begin;
-        // First run -> spill slot: it may continue the left neighbour's
-        // final run (lines 2-4 of Algorithm 2).
-        const VertexId first = sources[i];
-        std::uint32_t run = 0;
-        while (i < r.end && sources[i] == first) {
-          ++run;
-          ++i;
-        }
-        temp[c] = run;
-        // Remaining runs start inside this chunk, so this chunk is the
-        // unique direct writer for their nodes (lines 5-7).
-        while (i < r.end) {
-          const VertexId node = sources[i];
-          PCQ_DCHECK(node < num_nodes);
-          run = 0;
-          while (i < r.end && sources[i] == node) {
+  {
+    PCQ_TRACE_SCOPE("degree.count", chunks);
+    pcq::par::parallel_for_chunks(
+        n, static_cast<int>(chunks),
+        [&](std::size_t c, pcq::par::ChunkRange r) {
+          std::size_t i = r.begin;
+          // First run -> spill slot: it may continue the left neighbour's
+          // final run (lines 2-4 of Algorithm 2).
+          const VertexId first = sources[i];
+          std::uint32_t run = 0;
+          while (i < r.end && sources[i] == first) {
             ++run;
             ++i;
           }
-          degrees[node] = run;
-        }
-      });
+          temp[c] = run;
+          // Remaining runs start inside this chunk, so this chunk is the
+          // unique direct writer for their nodes (lines 5-7).
+          while (i < r.end) {
+            const VertexId node = sources[i];
+            PCQ_DCHECK(node < num_nodes);
+            run = 0;
+            while (i < r.end && sources[i] == node) {
+              ++run;
+              ++i;
+            }
+            degrees[node] = run;
+          }
+        });
+  }
 
   // Algorithm 3 merge (Figure 3): fold each chunk's spill slot into the
   // degree of the node at the chunk's front. Sequential — O(p) work — which
   // also makes runs spanning multiple whole chunks (several spill slots,
   // one node) correct without atomics.
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const auto r = pcq::par::chunk_range(n, chunks, c);
-    degrees[sources[r.begin]] += temp[c];
+  {
+    PCQ_TRACE_SCOPE("degree.merge", chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto r = pcq::par::chunk_range(n, chunks, c);
+      degrees[sources[r.begin]] += temp[c];
+    }
   }
   return degrees;
 }

@@ -1,0 +1,163 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <new>
+#include <ostream>
+#include <type_traits>
+
+namespace pcq::obs {
+
+int LogHistogram::bucket_index(std::uint64_t value) {
+  // Values below kSub map to themselves (exact small-value buckets);
+  // larger values land in octave `bit_width - kSubBits` with the top
+  // kSubBits bits after the leading one selecting the linear sub-bucket.
+  if (value < kSub) return static_cast<int>(value);
+  const int msb = std::bit_width(value) - 1;  // >= kSubBits
+  const int sub =
+      static_cast<int>((value >> (msb - kSubBits)) & (kSub - 1));
+  const int idx = (msb - kSubBits + 1) * kSub + sub;
+  return idx >= kBuckets ? kBuckets - 1 : idx;
+}
+
+std::uint64_t LogHistogram::bucket_floor(int i) {
+  if (i < kSub) return static_cast<std::uint64_t>(i);
+  const int octave = i / kSub - 1 + kSubBits;
+  const int sub = i % kSub;
+  return (std::uint64_t{1} << octave) |
+         (static_cast<std::uint64_t>(sub) << (octave - kSubBits));
+}
+
+LogHistogram::Snapshot LogHistogram::snapshot() const {
+  Snapshot s;
+  s.buckets.resize(kBuckets);
+  accumulate(s);
+  return s;
+}
+
+void LogHistogram::accumulate(Snapshot& into) const {
+  if (into.buckets.size() != static_cast<std::size_t>(kBuckets))
+    into.buckets.resize(kBuckets);
+  for (int i = 0; i < kBuckets; ++i)
+    into.buckets[static_cast<std::size_t>(i)] +=
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  into.count += count_.load(std::memory_order_relaxed);
+  into.sum += sum_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t b = buckets[static_cast<std::size_t>(i)];
+    if (b == 0) continue;
+    if (static_cast<double>(seen + b) >= target) {
+      const std::uint64_t lo = bucket_floor(i);
+      // Width-1 buckets (every value below kSub) are exact. Otherwise
+      // report the geometric midpoint of [lo, hi) — never a boundary, so
+      // the estimate stays a value the bucket could actually contain; see
+      // the error bound in the class comment.
+      const std::uint64_t hi =
+          i + 1 < kBuckets ? bucket_floor(i + 1) : lo + 1;
+      if (hi - lo <= 1) return static_cast<double>(lo);
+      return std::sqrt(static_cast<double>(lo) * static_cast<double>(hi));
+    }
+    seen += b;
+  }
+  return static_cast<double>(bucket_floor(kBuckets - 1));
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // Node-based maps: references handed out stay valid as entries are added.
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Gauge> gauges;
+  std::map<std::string, LogHistogram> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry();  // never destroyed:
+  return *r;  // instrumented worker threads may outlive main()'s statics
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->counters[std::string(name)];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->gauges[std::string(name)];
+}
+
+LogHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->histograms[std::string(name)];
+}
+
+void MetricsRegistry::write_text(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& [name, c] : impl_->counters)
+    out << name << " " << c.value() << "\n";
+  for (const auto& [name, g] : impl_->gauges)
+    out << name << " " << g.value() << "\n";
+  for (const auto& [name, h] : impl_->histograms) {
+    const auto s = h.snapshot();
+    out << name << " count " << s.count << " mean " << s.mean() << " p50 "
+        << s.quantile(0.50) << " p95 " << s.quantile(0.95) << " p99 "
+        << s.quantile(0.99) << "\n";
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  out << "{";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+  for (const auto& [name, c] : impl_->counters) {
+    sep();
+    out << "\"" << name << "\":" << c.value();
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    sep();
+    out << "\"" << name << "\":" << g.value();
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    const auto s = h.snapshot();
+    sep();
+    out << "\"" << name << "\":{\"count\":" << s.count
+        << ",\"mean\":" << s.mean() << ",\"p50\":" << s.quantile(0.50)
+        << ",\"p95\":" << s.quantile(0.95) << ",\"p99\":" << s.quantile(0.99)
+        << "}";
+  }
+  out << "}";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  // Atomics are not assignable; rebuild each metric in place (references
+  // handed out keep pointing at the same, now-zeroed, object).
+  const auto rebuild = [](auto& metric) {
+    using T = std::remove_reference_t<decltype(metric)>;
+    metric.~T();
+    new (&metric) T();
+  };
+  for (auto& [name, c] : impl_->counters) rebuild(c);
+  for (auto& [name, g] : impl_->gauges) rebuild(g);
+  for (auto& [name, h] : impl_->histograms) rebuild(h);
+}
+
+}  // namespace pcq::obs

@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "par/chunking.hpp"
 #include "par/parallel_for.hpp"
 #include "par/threads.hpp"
@@ -57,30 +58,39 @@ void chunked_inclusive_scan(std::span<T> v, int num_threads, Op op = {}) {
 
   // Phase 1 (lines 2-3): independent local scans. The implicit barrier at
   // the end of the parallel region is the paper's first sync().
-  parallel_for_chunks(n, static_cast<int>(chunks),
-                      [&](std::size_t, ChunkRange r) {
-                        for (std::size_t i = r.begin + 1; i < r.end; ++i)
-                          v[i] = op(v[i - 1], v[i]);
-                      });
+  {
+    PCQ_TRACE_SCOPE("scan.local", chunks);
+    parallel_for_chunks(n, static_cast<int>(chunks),
+                        [&](std::size_t, ChunkRange r) {
+                          for (std::size_t i = r.begin + 1; i < r.end; ++i)
+                            v[i] = op(v[i - 1], v[i]);
+                        });
+  }
 
   // Phase 2 (lines 6-9): carry the running total across chunk last
   // elements, in chunk order. The paper serialises this with a lock; a
   // single ordered pass is the same schedule.
-  for (std::size_t c = 1; c < chunks; ++c) {
-    const ChunkRange r = chunk_range(n, chunks, c);
-    v[r.end - 1] = op(v[r.begin - 1], v[r.end - 1]);
+  {
+    PCQ_TRACE_SCOPE("scan.carry", chunks);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const ChunkRange r = chunk_range(n, chunks, c);
+      v[r.end - 1] = op(v[r.begin - 1], v[r.end - 1]);
+    }
   }
 
   // Phase 3 (lines 11-13): after the second sync(), every chunk except the
   // first adds its left neighbour's total to its interior elements. The
   // last element was finalized by phase 2 and is skipped.
-  parallel_for_chunks(n, static_cast<int>(chunks),
-                      [&](std::size_t c, ChunkRange r) {
-                        if (c == 0) return;
-                        const T carry = v[r.begin - 1];
-                        for (std::size_t i = r.begin; i + 1 < r.end; ++i)
-                          v[i] = op(carry, v[i]);
-                      });
+  {
+    PCQ_TRACE_SCOPE("scan.distribute", chunks);
+    parallel_for_chunks(n, static_cast<int>(chunks),
+                        [&](std::size_t c, ChunkRange r) {
+                          if (c == 0) return;
+                          const T carry = v[r.begin - 1];
+                          for (std::size_t i = r.begin; i + 1 < r.end; ++i)
+                            v[i] = op(carry, v[i]);
+                        });
+  }
 }
 
 /// Work-efficient Blelloch (1990) tree scan: O(n) work, O(log n) depth.

@@ -1,67 +1,26 @@
 // Service metrics with a lock-free hot path.
 //
-// Every counter and histogram bucket is a relaxed std::atomic, so workers
-// record latencies and batch sizes with plain fetch_adds — no locks, no
-// false contention between shards (each shard owns its own block; the
-// service aggregates at snapshot time). Percentiles come from a log-linear
+// The histogram/counter primitives live in pcq::obs (src/obs/metrics.hpp)
+// since the observability PR; this header re-exports them under pcq::svc
+// for existing call sites and keeps the service-specific aggregates. Every
+// counter and histogram bucket is a relaxed std::atomic, so workers record
+// latencies and batch sizes with plain fetch_adds — no locks, no false
+// contention between shards (each shard owns its own block; the service
+// aggregates at snapshot time). Percentiles come from a log-linear
 // histogram (4 linear sub-buckets per power of two), accurate to ~12% at
 // any magnitude, which is plenty for p50/p95/p99 reporting.
 #pragma once
 
 #include <atomic>
-#include <array>
 #include <cstdint>
-#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace pcq::svc {
 
-/// Log-linear histogram of non-negative 64-bit samples (microseconds for
-/// latency, request counts for batch sizes). Thread-safe for concurrent
-/// record(); snapshot reads are racy-by-design (monotonic counters, so a
-/// concurrent snapshot is merely a consistent-enough point-in-time view).
-class LogHistogram {
- public:
-  static constexpr int kSubBits = 2;  ///< 4 linear sub-buckets per octave
-  static constexpr int kSub = 1 << kSubBits;
-  static constexpr int kOctaves = 40;  ///< covers [0, 2^40) — 12 days in us
-  static constexpr int kBuckets = kOctaves * kSub;
-
-  void record(std::uint64_t value) {
-    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(value, std::memory_order_relaxed);
-  }
-
-  struct Snapshot {
-    std::vector<std::uint64_t> buckets;  ///< kBuckets counts
-    std::uint64_t count = 0;
-    std::uint64_t sum = 0;
-
-    /// Quantile estimate, q in [0, 1]; 0 when empty. Linear interpolation
-    /// inside the winning bucket.
-    [[nodiscard]] double quantile(double q) const;
-    [[nodiscard]] double mean() const {
-      return count == 0 ? 0.0
-                        : static_cast<double>(sum) / static_cast<double>(count);
-    }
-  };
-
-  [[nodiscard]] Snapshot snapshot() const;
-
-  /// Merges this histogram's counts into `into` (shard aggregation).
-  void accumulate(Snapshot& into) const;
-
-  /// Bucket index for a value (exposed for tests).
-  static int bucket_index(std::uint64_t value);
-
-  /// Inclusive lower bound of bucket i (exposed for tests).
-  static std::uint64_t bucket_floor(int i);
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_{0};
-};
+using obs::Counter;
+using obs::Gauge;
+using obs::LogHistogram;
 
 /// One shard's counters. All relaxed atomics — see file comment.
 struct ShardMetrics {
@@ -70,8 +29,9 @@ struct ShardMetrics {
   std::atomic<std::uint64_t> expired{0};    ///< deadline passed while queued
   std::atomic<std::uint64_t> completed{0};  ///< answered (incl. invalid/unsup.)
   std::atomic<std::uint64_t> batches{0};    ///< batch dispatches
-  LogHistogram latency_us;                  ///< enqueue -> completion
-  LogHistogram batch_size;                  ///< requests per dispatched batch
+  LogHistogram latency_us;     ///< enqueue -> completion
+  LogHistogram queue_wait_us;  ///< enqueue -> batch dispatch (queueing only)
+  LogHistogram batch_size;     ///< requests per dispatched batch
 };
 
 /// Point-in-time aggregate over all shards, with derived percentiles —
@@ -88,6 +48,10 @@ struct MetricsSnapshot {
   double batch_p50 = 0, batch_p95 = 0, batch_p99 = 0;
   double latency_mean_us = 0;
   double latency_p50_us = 0, latency_p95_us = 0, latency_p99_us = 0;
+  /// Queueing delay alone (enqueue -> dispatch); latency minus this is
+  /// service time, so the two are separable per the batching analysis.
+  double queue_wait_mean_us = 0;
+  double queue_wait_p50_us = 0, queue_wait_p95_us = 0, queue_wait_p99_us = 0;
 };
 
 }  // namespace pcq::svc

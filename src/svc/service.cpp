@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/worker_pool.hpp"
 #include "tcsr/journeys.hpp"
 #include "util/check.hpp"
@@ -98,16 +100,31 @@ void QueryService::shard_loop(Shard& shard) {
   auto window = config_.batch_window;
   std::vector<Pending> batch;
   batch.reserve(config_.max_batch);
+  // Registry references are stable for the registry's lifetime, so the
+  // mutex-guarded name lookup happens once per shard, not per batch.
+  obs::Counter& flush_size =
+      obs::MetricsRegistry::global().counter("svc.flush.size");
+  obs::Counter& flush_deadline =
+      obs::MetricsRegistry::global().counter("svc.flush.deadline");
   for (;;) {
     batch.clear();
+    // The dequeue span is recorded only for waits that yielded a batch;
+    // idle 50 ms shutdown-poll waits would otherwise dominate the trace.
+    const bool traced = obs::kTraceCompiledIn && obs::trace_enabled();
+    const std::uint64_t wait_t0 = traced ? obs::trace_now_ns() : 0;
     const std::size_t n =
         shard.queue.pop_batch(batch, config_.max_batch, kIdleWait, window);
     if (n == 0) {
       if (shard.queue.closed() && shard.queue.size() == 0) return;
       continue;
     }
+    if (traced) obs::record_span("svc.dequeue", wait_t0, obs::trace_now_ns(), n);
     shard.metrics.batches.fetch_add(1, std::memory_order_relaxed);
     shard.metrics.batch_size.record(n);
+    if (n >= config_.max_batch)
+      flush_size.add(1);
+    else
+      flush_deadline.add(1);
     execute_batch(shard, batch);
     if (config_.adaptive_window) {
       // A full batch means the size trigger flushed — arrivals can fill
@@ -131,6 +148,7 @@ void QueryService::shard_loop(Shard& shard) {
 }
 
 void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
+  PCQ_TRACE_SCOPE("svc.batch", batch.size());
   const auto now = Clock::now();
   const VertexId n = graph_.num_nodes();
   const graph::TimeFrame frames =
@@ -143,6 +161,9 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Pending& p = batch[i];
     const Request& r = p.request;
+    // Queueing delay alone (enqueue -> batch dispatch); the latency
+    // histogram minus this is service time.
+    shard.metrics.queue_wait_us.record(to_us(now - p.enqueued));
     Response early;
     if (now > r.deadline) {
       early.status = Status::kExpired;
@@ -184,7 +205,10 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
     for (std::size_t j = 0; j < degree_ids.size(); ++j)
       nodes[j] = batch[degree_ids[j]].request.u;
     std::vector<std::uint32_t> degrees(nodes.size());
-    csr::batch_degrees_into(graph_, nodes, degrees, kt);
+    {
+      PCQ_TRACE_SCOPE("svc.kernel.degree", degree_ids.size());
+      csr::batch_degrees_into(graph_, nodes, degrees, kt);
+    }
     const auto done = Clock::now();
     for (std::size_t j = 0; j < degree_ids.size(); ++j) {
       Response r;
@@ -200,7 +224,10 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
     for (std::size_t j = 0; j < neighbor_ids.size(); ++j)
       nodes[j] = batch[neighbor_ids[j]].request.u;
     std::vector<std::vector<VertexId>> rows(nodes.size());
-    csr::batch_neighbors_into(graph_, nodes, rows, kt);
+    {
+      PCQ_TRACE_SCOPE("svc.kernel.neighbors", neighbor_ids.size());
+      csr::batch_neighbors_into(graph_, nodes, rows, kt);
+    }
     const auto done = Clock::now();
     for (std::size_t j = 0; j < neighbor_ids.size(); ++j) {
       Response r;
@@ -215,8 +242,11 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
     for (std::size_t j = 0; j < edge_ids.size(); ++j)
       edges[j] = {batch[edge_ids[j]].request.u, batch[edge_ids[j]].request.v};
     std::vector<std::uint8_t> hits(edges.size());
-    csr::batch_edge_existence_into(graph_, edges, hits, kt,
-                                   config_.edge_search);
+    {
+      PCQ_TRACE_SCOPE("svc.kernel.edge", edge_ids.size());
+      csr::batch_edge_existence_into(graph_, edges, hits, kt,
+                                     config_.edge_search);
+    }
     const auto done = Clock::now();
     for (std::size_t j = 0; j < edge_ids.size(); ++j) {
       Response r;
@@ -231,7 +261,11 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
       const Request& r = batch[tedge_ids[j]].request;
       queries[j] = {r.u, r.v, r.t};
     }
-    const auto hits = history_->batch_edge_active(queries, kt);
+    std::vector<std::uint8_t> hits;
+    {
+      PCQ_TRACE_SCOPE("svc.kernel.tedge", tedge_ids.size());
+      hits = history_->batch_edge_active(queries, kt);
+    }
     const auto done = Clock::now();
     for (std::size_t j = 0; j < tedge_ids.size(); ++j) {
       Response r;
@@ -246,7 +280,11 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
       const Request& r = batch[tneighbor_ids[j]].request;
       queries[j] = {r.u, r.t};
     }
-    auto rows = history_->batch_neighbors_at(queries, kt);
+    std::vector<std::vector<VertexId>> rows;
+    {
+      PCQ_TRACE_SCOPE("svc.kernel.tneighbors", tneighbor_ids.size());
+      rows = history_->batch_neighbors_at(queries, kt);
+    }
     const auto done = Clock::now();
     for (std::size_t j = 0; j < tneighbor_ids.size(); ++j) {
       Response r;
@@ -260,6 +298,7 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
   // parallel frame replay on its own.
   for (const std::size_t i : journey_ids) {
     const Request& req = batch[i].request;
+    PCQ_TRACE_SCOPE("svc.kernel.journey", 1);
     const auto arrivals =
         tcsr::foremost_arrival(*history_, req.u, req.t, kt);
     Response r;
@@ -272,6 +311,7 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
 MetricsSnapshot QueryService::metrics() const {
   MetricsSnapshot snap;
   LogHistogram::Snapshot latency;
+  LogHistogram::Snapshot queue_wait;
   LogHistogram::Snapshot sizes;
   for (const auto& shard : shards_) {
     const ShardMetrics& m = shard->metrics;
@@ -281,6 +321,7 @@ MetricsSnapshot QueryService::metrics() const {
     snap.completed += m.completed.load(std::memory_order_relaxed);
     snap.batches += m.batches.load(std::memory_order_relaxed);
     m.latency_us.accumulate(latency);
+    m.queue_wait_us.accumulate(queue_wait);
     m.batch_size.accumulate(sizes);
   }
   snap.elapsed_seconds =
@@ -296,6 +337,10 @@ MetricsSnapshot QueryService::metrics() const {
   snap.latency_p50_us = latency.quantile(0.50);
   snap.latency_p95_us = latency.quantile(0.95);
   snap.latency_p99_us = latency.quantile(0.99);
+  snap.queue_wait_mean_us = queue_wait.mean();
+  snap.queue_wait_p50_us = queue_wait.quantile(0.50);
+  snap.queue_wait_p95_us = queue_wait.quantile(0.95);
+  snap.queue_wait_p99_us = queue_wait.quantile(0.99);
   return snap;
 }
 

@@ -3,6 +3,8 @@
 #include <numeric>
 
 #include "csr/builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/chunking.hpp"
 #include "par/parallel_for.hpp"
 #include "par/prefix_sum.hpp"
@@ -28,27 +30,38 @@ DifferentialTcsr DifferentialTcsr::build(const TemporalEdgeList& events,
   DifferentialTcsr tcsr;
   tcsr.num_nodes_ = num_nodes;
   if (num_frames == 0) return tcsr;
+  pcq::obs::MetricsRegistry::global().counter("tcsr.builds").add(1);
 
   pcq::util::Timer timer;
   // Algorithm 5 steps 1-2: locate frame slices (overlap merge included).
-  const std::vector<std::uint64_t> offsets =
-      frame_offsets(events, num_frames, num_threads);
+  std::vector<std::uint64_t> offsets;
+  {
+    PCQ_TRACE_SCOPE("tcsr.frame_split", num_frames);
+    offsets = frame_offsets(events, num_frames, num_threads);
+  }
   if (timings) timings->frame_split = timer.seconds();
 
   // Step 3: per-frame differential CSRs (frame_builder handles the parity
   // cancellation that makes each frame a pure state-change set).
   timer.restart();
-  std::vector<csr::CsrGraph> frames =
-      build_frame_csrs(events, num_nodes, num_frames, num_threads, &offsets);
+  std::vector<csr::CsrGraph> frames;
+  {
+    PCQ_TRACE_SCOPE("tcsr.frame_build", num_frames);
+    frames =
+        build_frame_csrs(events, num_nodes, num_frames, num_threads, &offsets);
+  }
   if (timings) timings->frame_build = timer.seconds();
 
   // Step 4: bit-pack every frame (Algorithm 4). Frames are independent, so
   // parallelism is over frames; each pack call runs single-threaded.
   timer.restart();
   tcsr.deltas_.resize(num_frames);
-  pcq::par::parallel_for(num_frames, num_threads, [&](std::size_t t) {
-    tcsr.deltas_[t] = csr::BitPackedCsr::from_csr(frames[t], 1);
-  });
+  {
+    PCQ_TRACE_SCOPE("tcsr.pack", num_frames);
+    pcq::par::parallel_for(num_frames, num_threads, [&](std::size_t t) {
+      tcsr.deltas_[t] = csr::BitPackedCsr::from_csr(frames[t], 1);
+    });
+  }
   if (timings) timings->pack = timer.seconds();
   return tcsr;
 }
@@ -200,8 +213,11 @@ std::vector<SortedEdgeSet> DifferentialTcsr::all_snapshots(
   });
   // ...then run the paper's chunked prefix-sum schedule with the
   // symmetric-difference monoid: sets[t] becomes the snapshot at frame t.
-  pcq::par::chunked_inclusive_scan(std::span<SortedEdgeSet>(sets), num_threads,
-                                   SymmetricDifferenceOp{});
+  {
+    PCQ_TRACE_SCOPE("tcsr.differential_scan", frames);
+    pcq::par::chunked_inclusive_scan(std::span<SortedEdgeSet>(sets),
+                                     num_threads, SymmetricDifferenceOp{});
+  }
   return sets;
 }
 
@@ -215,8 +231,11 @@ csr::CsrGraph DifferentialTcsr::snapshot_at(TimeFrame t,
                            sets[f] = SortedEdgeSet::from_sorted(
                                delta_edges(deltas_[f]));
                          });
-  pcq::par::chunked_inclusive_scan(std::span<SortedEdgeSet>(sets), num_threads,
-                                   SymmetricDifferenceOp{});
+  {
+    PCQ_TRACE_SCOPE("tcsr.differential_scan", sets.size());
+    pcq::par::chunked_inclusive_scan(std::span<SortedEdgeSet>(sets),
+                                     num_threads, SymmetricDifferenceOp{});
+  }
   graph::EdgeList list(std::move(sets[t]).take());
   return csr::build_csr_sequential(list, num_nodes_);
 }

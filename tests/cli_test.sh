@@ -31,9 +31,29 @@ printf "0 1 0\n1 2 1\n0 1 2\n" > "$TMP/t.txt"
 "$PCQ" tquery "$TMP/t.tcsr" --edge 0,1 --frame 1 | grep -q "frame 1: active"
 "$PCQ" tquery "$TMP/t.tcsr" --edge 0,1 --frame 2 | grep -q "frame 2: inactive"
 "$PCQ" tquery "$TMP/t.tcsr" --node 1 --frame 1 | grep -q "neighbors(1) at frame 1 \[1\]: 2"
+"$PCQ" tquery "$TMP/t.tcsr" --snapshot --frame 1 --threads 4 \
+    --trace "$TMP/snap.json" | grep -q "snapshot at frame 1"
+grep -q "tcsr.differential_scan" "$TMP/snap.json"
 
 "$PCQ" compare "$TMP/g.txt" | grep -q "bit-packed CSR"
 "$PCQ" tcompare "$TMP/t.txt" | grep -q "differential TCSR"
+
+# Observability: --trace writes non-empty, valid Chrome trace JSON and
+# --stats prints the per-phase table. Oversubscribed --threads forces the
+# multi-chunk (instrumented) code paths even on a single-core host.
+"$PCQ" compress "$TMP/g.txt" --out "$TMP/g4.csr" --threads 4 \
+    --trace "$TMP/build.json" --stats > "$TMP/compress.out"
+grep -q "wrote trace" "$TMP/compress.out"
+grep -q "spans on" "$TMP/compress.out"
+test -s "$TMP/build.json"
+grep -q '"traceEvents"' "$TMP/build.json"
+# Schema check with whatever JSON validator the host has; fall back to the
+# byte checks above when neither python3 nor jq is available.
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$TMP/build.json" > /dev/null
+elif command -v jq > /dev/null 2>&1; then
+  jq . "$TMP/build.json" > /dev/null
+fi
 
 # Serving layer: line protocol, temporal queries, demo workload, and the
 # typed-IoError path for a corrupt artifact (refused, not aborted).
@@ -47,6 +67,18 @@ if [ -n "$SERVE" ]; then
   grep -q "edge (0, 1): present" "$TMP/serve_t.out"
   grep -q "edge (0, 1): absent" "$TMP/serve_t.out"
   "$SERVE" "$TMP/g.csr" --demo 2000 --shards 2 | grep -q "demo done"
+  # STATS dumps the service snapshot plus the pcq::obs registry; TRACE
+  # exports the span flight-recorder as Chrome trace JSON.
+  printf "degree 0\nSTATS\nTRACE %s\nquit\n" "$TMP/serve_trace.json" \
+      | "$SERVE" "$TMP/g.csr" > "$TMP/serve_s.out"
+  grep -q -- "-- registry --" "$TMP/serve_s.out"
+  grep -q "svc.flush" "$TMP/serve_s.out"
+  grep -q "wrote trace" "$TMP/serve_s.out"
+  test -s "$TMP/serve_trace.json"
+  grep -q '"traceEvents"' "$TMP/serve_trace.json"
+  if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$TMP/serve_trace.json" > /dev/null
+  fi
   printf "garbage" > "$TMP/bad.csr"
   if "$SERVE" "$TMP/bad.csr" < /dev/null > /dev/null 2>&1; then
     echo "corrupt csr was not refused"; exit 1

@@ -1,0 +1,32 @@
+// Compile-only proof that building with PCQ_TRACE_ENABLED=0 (CMake option
+// PCQ_TRACE=OFF) turns PCQ_TRACE_SCOPE into literally nothing: a void
+// expression with no scope object and no clock reads. This TU #undefs the
+// build-wide definition and re-includes the header in its OFF shape; it is
+// compiled as an OBJECT library that is never linked, so the differing
+// macro expansion cannot collide with the ON-build TUs.
+#undef PCQ_TRACE_ENABLED
+#define PCQ_TRACE_ENABLED 0
+#include "obs/trace.hpp"
+
+#include <type_traits>
+
+namespace {
+
+static_assert(!pcq::obs::kTraceCompiledIn,
+              "this TU sees the tracer compiled out");
+static_assert(std::is_void_v<decltype(PCQ_TRACE_SCOPE("off"))>,
+              "a disabled PCQ_TRACE_SCOPE must be a void expression");
+static_assert(std::is_empty_v<pcq::obs::NullTraceScope>,
+              "the OFF-build scope type carries no state");
+
+// The disabled macro must still swallow its argument forms as statements.
+[[maybe_unused]] void off_macro_compiles() {
+  PCQ_TRACE_SCOPE("off");
+  PCQ_TRACE_SCOPE("off", 42);
+}
+
+// The collector API stays declared (and linkable from pcq_obs) so tools
+// need no #ifdefs around their trace exports.
+[[maybe_unused]] auto* collector_api_visible = &pcq::obs::collect_trace;
+
+}  // namespace

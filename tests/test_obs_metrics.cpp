@@ -1,0 +1,132 @@
+// Tests for the pcq::obs metrics registry and the geometric-midpoint
+// quantile of LogHistogram (the histogram's bucket mechanics are covered
+// by test_svc_metrics.cpp, which exercises the same class through the
+// pcq::svc re-export).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using pcq::obs::Counter;
+using pcq::obs::Gauge;
+using pcq::obs::LogHistogram;
+using pcq::obs::MetricsRegistry;
+
+TEST(ObsMetricsRegistry, SameNameYieldsSameObject) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("svc.flush.size");
+  Counter& b = reg.counter("svc.flush.size");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &reg.counter("svc.flush.deadline"));
+  EXPECT_EQ(&reg.gauge("svc.window_us"), &reg.gauge("svc.window_us"));
+  EXPECT_EQ(&reg.histogram("svc.wait_us"), &reg.histogram("svc.wait_us"));
+}
+
+TEST(ObsMetricsRegistry, KindsShareANamespacePerKindOnly) {
+  MetricsRegistry reg;
+  // The same name can back a counter and a gauge independently — kinds
+  // live in separate maps.
+  reg.counter("x").add(3);
+  reg.gauge("x").set(-7);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+  EXPECT_EQ(reg.gauge("x").value(), -7);
+}
+
+TEST(ObsMetricsRegistry, ConcurrentCounterAddsAreLossless) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 20'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add(1);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(ObsMetricsRegistry, WriteTextListsSortedNamesWithValues) {
+  MetricsRegistry reg;
+  reg.counter("b.count").add(2);
+  reg.counter("a.count").add(1);
+  reg.gauge("c.level").set(-4);
+  reg.histogram("d.us").record(100);
+  std::ostringstream out;
+  reg.write_text(out);
+  const std::string text = out.str();
+  const auto pos_a = text.find("a.count 1");
+  const auto pos_b = text.find("b.count 2");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_NE(text.find("c.level -4"), std::string::npos);
+  EXPECT_NE(text.find("d.us"), std::string::npos);
+}
+
+TEST(ObsMetricsRegistry, WriteJsonIsOneObject) {
+  MetricsRegistry reg;
+  reg.counter("a").add(5);
+  reg.histogram("h").record(42);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"a\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"h\""), std::string::npos);
+}
+
+TEST(ObsMetricsRegistry, ResetZeroesButKeepsReferences) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("n");
+  Gauge& g = reg.gauge("g");
+  LogHistogram& h = reg.histogram("h");
+  c.add(9);
+  g.set(3);
+  h.record(1000);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  c.add(1);  // the pre-reset reference still records
+  EXPECT_EQ(reg.counter("n").value(), 1u);
+}
+
+TEST(ObsMetricsRegistry, GlobalIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+TEST(ObsLogHistogram, QuantileIsGeometricMidpointOfWinningBucket) {
+  LogHistogram h;
+  h.record(1000);
+  const auto snap = h.snapshot();
+  const int bucket = LogHistogram::bucket_index(1000);
+  const double lo = static_cast<double>(LogHistogram::bucket_floor(bucket));
+  const double hi =
+      static_cast<double>(LogHistogram::bucket_floor(bucket + 1));
+  const double q = snap.quantile(0.5);
+  EXPECT_DOUBLE_EQ(q, std::sqrt(lo * hi));
+  // The estimate never leaves the bucket that holds the sample, and the
+  // relative error against the true value is within the documented bound.
+  EXPECT_GE(q, lo);
+  EXPECT_LT(q, hi);
+  EXPECT_LT(std::abs(q - 1000.0) / 1000.0,
+            std::sqrt(1.0 + 1.0 / LogHistogram::kSub) - 1.0 + 1e-9);
+}
+
+TEST(ObsLogHistogram, SmallValuesHaveExactQuantiles) {
+  LogHistogram h;
+  for (std::uint64_t v : {0, 1, 2, 3}) h.record(v);
+  const auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 3.0);
+}
+
+}  // namespace

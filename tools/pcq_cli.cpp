@@ -17,6 +17,7 @@
 // (pcq binary edge list), .csr / .tcsr (compressed artifacts).
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "algos/stats.hpp"
@@ -28,6 +29,7 @@
 #include "graph/k2tree.hpp"
 #include "graph/transforms.hpp"
 #include "graph/webgraph.hpp"
+#include "obs/trace.hpp"
 #include "tcsr/baselines.hpp"
 #include "tcsr/cas_index.hpp"
 #include "tcsr/contact_index.hpp"
@@ -63,7 +65,31 @@ bool parse_edge(const std::string& s, VertexId* u, VertexId* v) {
   return true;
 }
 
+/// Turns span recording on when the build commands were asked to report
+/// phases (--trace and/or --stats).
+void maybe_enable_tracing(const util::Flags& flags) {
+  if (flags.has("trace") || flags.get_bool("stats", false))
+    obs::set_trace_enabled(true);
+}
+
+/// Build-command epilogue: per-phase table to stdout (--stats) and Chrome
+/// trace JSON to disk (--trace PATH). Returns the command's exit code.
+int finish_tracing(const util::Flags& flags) {
+  if (flags.get_bool("stats", false)) obs::write_phase_table(std::cout);
+  const std::string path = flags.get("trace", "");
+  if (!path.empty()) {
+    if (!obs::write_chrome_trace_file(path)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n", path.c_str());
+      return 3;
+    }
+    std::printf("wrote trace %s (load in Perfetto / chrome://tracing)\n",
+                path.c_str());
+  }
+  return 0;
+}
+
 int cmd_compress(const util::Flags& flags, const std::string& input) {
+  maybe_enable_tracing(flags);
   const int threads = static_cast<int>(flags.get_int("threads", 0));
   const std::string out = flags.get("out", input + ".csr");
 
@@ -109,7 +135,7 @@ int cmd_compress(const util::Flags& flags, const std::string& input) {
               util::human_seconds(phases.pack).c_str(),
               util::human_seconds(build_s).c_str());
   std::printf("wrote %s\n", out.c_str());
-  return 0;
+  return finish_tracing(flags);
 }
 
 int cmd_stats(const util::Flags& flags, const std::string& input) {
@@ -233,6 +259,7 @@ int cmd_convert(const util::Flags& flags, const std::string& input) {
 }
 
 int cmd_tcompress(const util::Flags& flags, const std::string& input) {
+  maybe_enable_tracing(flags);
   const int threads = static_cast<int>(flags.get_int("threads", 0));
   const std::string out = flags.get("out", input + ".tcsr");
   graph::TemporalEdgeList events = graph::load_temporal_text(input);
@@ -244,7 +271,7 @@ int cmd_tcompress(const util::Flags& flags, const std::string& input) {
               util::with_commas(events.size()).c_str(), tcsr.num_frames(),
               util::human_bytes(tcsr.size_bytes()).c_str(),
               util::human_seconds(timer.seconds()).c_str(), out.c_str());
-  return 0;
+  return finish_tracing(flags);
 }
 
 int cmd_tcompare(const util::Flags& flags, const std::string& input) {
@@ -276,6 +303,7 @@ int cmd_tcompare(const util::Flags& flags, const std::string& input) {
 }
 
 int cmd_tquery(const util::Flags& flags, const std::string& input) {
+  maybe_enable_tracing(flags);
   const auto tcsr = tcsr::load_tcsr(input);
   const auto frame =
       static_cast<graph::TimeFrame>(flags.get_int("frame", 0));
@@ -283,6 +311,18 @@ int cmd_tquery(const util::Flags& flags, const std::string& input) {
     std::fprintf(stderr, "error: frame %u out of range (history has %u)\n",
                  frame, tcsr.num_frames());
     return 2;
+  }
+  if (flags.has("snapshot")) {
+    // Materialize the frame's full adjacency via the paper's differential
+    // scan (chunked prefix sum under the symmetric-difference monoid).
+    const int threads = static_cast<int>(flags.get_int("threads", 0));
+    util::Timer timer;
+    const auto snap = tcsr.snapshot_at(frame, threads);
+    std::printf("snapshot at frame %u: %s nodes / %s edges in %s\n", frame,
+                util::with_commas(snap.num_nodes()).c_str(),
+                util::with_commas(snap.num_edges()).c_str(),
+                util::human_seconds(timer.seconds()).c_str());
+    return finish_tracing(flags);
   }
   if (flags.has("edge")) {
     VertexId u = 0, v = 0;
@@ -297,7 +337,7 @@ int cmd_tquery(const util::Flags& flags, const std::string& input) {
     for (const auto& iv : intervals)
       std::printf(" [%u, %u]", iv.begin, iv.end);
     std::printf("\n");
-    return 0;
+    return finish_tracing(flags);
   }
   if (flags.has("node")) {
     const auto u = static_cast<VertexId>(flags.get_int("node", 0));
@@ -306,9 +346,9 @@ int cmd_tquery(const util::Flags& flags, const std::string& input) {
     for (std::size_t i = 0; i < row.size() && i < 64; ++i)
       std::printf(" %u", row[i]);
     std::printf("\n");
-    return 0;
+    return finish_tracing(flags);
   }
-  std::fprintf(stderr, "error: tquery needs --node or --edge\n");
+  std::fprintf(stderr, "error: tquery needs --node, --edge or --snapshot\n");
   return 2;
 }
 
@@ -321,7 +361,10 @@ int main(int argc, char** argv) {
                      {"relabel", "degree-relabel before compressing"},
                      {"node", "node id to query"},
                      {"edge", "edge query as U,V"},
-                     {"frame", "time-frame for temporal queries"}});
+                     {"frame", "time-frame for temporal queries"},
+                     {"snapshot", "materialize the frame's full snapshot"},
+                     {"trace", "write Chrome trace JSON of the build here"},
+                     {"stats", "print the per-phase span table"}});
   const auto& pos = flags.positional();
   if (pos.size() < 2) {
     std::fprintf(stderr,

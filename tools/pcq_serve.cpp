@@ -13,6 +13,11 @@
 //   tn U T              neighbours of U at frame T (needs --tcsr)
 //   j U V T             earliest frame >= T reaching V from U (needs --tcsr)
 //   metrics             print the metrics snapshot
+//   STATS               metrics snapshot + the pcq::obs registry dump
+//   TRACE <file>        export the span flight-recorder as Chrome trace JSON
+//
+// The tracer runs from startup in flight-recorder mode (last ~4k spans per
+// worker thread), so TRACE captures the recent past on demand.
 //
 // --demo N skips stdin and pushes N random mixed queries through the
 // service instead — a smoke workload for scripts and the CLI test.
@@ -24,6 +29,8 @@
 #include <vector>
 
 #include "csr/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "svc/service.hpp"
 #include "tcsr/serialize.hpp"
 #include "util/flags.hpp"
@@ -51,6 +58,9 @@ void print_metrics(const svc::MetricsSnapshot& m) {
   std::printf("latency us mean %.0f p50 %.0f p95 %.0f p99 %.0f\n",
               m.latency_mean_us, m.latency_p50_us, m.latency_p95_us,
               m.latency_p99_us);
+  std::printf("queue wait us mean %.0f p50 %.0f p95 %.0f p99 %.0f\n",
+              m.queue_wait_mean_us, m.queue_wait_p50_us, m.queue_wait_p95_us,
+              m.queue_wait_p99_us);
 }
 
 void print_response(const svc::Request& req, const svc::Response& r) {
@@ -142,6 +152,25 @@ int run_stdin(svc::QueryService& service) {
       print_metrics(service.metrics());
       continue;
     }
+    if (op == "STATS") {
+      print_metrics(service.metrics());
+      std::printf("-- registry --\n");
+      obs::MetricsRegistry::global().write_text(std::cout);
+      std::cout.flush();
+      continue;
+    }
+    if (op == "TRACE") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("? TRACE needs a file path\n");
+        continue;
+      }
+      if (obs::write_chrome_trace_file(path))
+        std::printf("wrote trace %s\n", path.c_str());
+      else
+        std::printf("? cannot write trace to %s\n", path.c_str());
+      continue;
+    }
     if (op == "quit") break;
     svc::Request req;
     bool ok = false;
@@ -190,6 +219,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: pcq_serve <g.csr> [flags]\n");
     return 2;
   }
+  // Flight-recorder mode: record spans from startup so the TRACE command
+  // can dump the recent past without any prior opt-in.
+  pcq::obs::set_trace_enabled(true);
   try {
     const pcq::csr::BitPackedCsr graph = pcq::csr::load_bitpacked_csr(pos[0]);
     pcq::tcsr::DifferentialTcsr history;
