@@ -1,20 +1,25 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
-#include "util/check.hpp"
+#include "util/io_error.hpp"
 
 namespace pcq::graph {
 
 namespace {
 
 /// RAII stdio handle (C streams are measurably faster than iostreams for
-/// the multi-hundred-MB edge lists the paper works with).
+/// the multi-hundred-MB edge lists the paper works with). Open and read
+/// failures throw pcq::IoError — edge lists come from user-supplied paths,
+/// so a missing or corrupt file is a reportable condition, not a
+/// programming error (the CLI turns it into exit code 3).
 class File {
  public:
-  File(const std::string& path, const char* mode) : f_(std::fopen(path.c_str(), mode)) {
-    PCQ_CHECK_MSG(f_ != nullptr, "cannot open file");
+  File(const std::string& path, const char* mode)
+      : path_(path), f_(std::fopen(path.c_str(), mode)) {
+    if (f_ == nullptr) throw IoError(path_, "cannot open file");
   }
   ~File() {
     if (f_) std::fclose(f_);
@@ -23,8 +28,10 @@ class File {
   File& operator=(const File&) = delete;
 
   std::FILE* get() const { return f_; }
+  [[noreturn]] void fail(const char* what) const { throw IoError(path_, what); }
 
  private:
+  std::string path_;
   std::FILE* f_;
 };
 
@@ -43,6 +50,28 @@ int parse_fields(const char* line, std::uint64_t* out, int want) {
     p = end;
   }
   return found;
+}
+
+/// Bounded-slab bulk read of `count` PODs: a corrupt header can declare a
+/// count worth many gigabytes, and allocating it all before the first
+/// fread is itself a denial of service. 8 MiB at a time bounds the waste
+/// before the truncation is detected.
+template <typename T>
+std::vector<T> read_pod_array(const File& f, std::uint64_t count,
+                              const char* what) {
+  const std::size_t kSlab = (std::size_t{8} << 20) / sizeof(T);
+  std::vector<T> items;
+  items.reserve(std::min<std::uint64_t>(count, kSlab));
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kSlab, count - done));
+    items.resize(done + n);
+    if (std::fread(items.data() + done, sizeof(T), n, f.get()) != n)
+      f.fail(what);
+    done += n;
+  }
+  return items;
 }
 
 }  // namespace
@@ -99,49 +128,46 @@ constexpr char kTemporalMagic[8] = {'P', 'C', 'Q', 'T', 'E', 'M', 'P', '1'};
 EdgeList load_binary(const std::string& path) {
   File f(path, "rb");
   char magic[8];
-  PCQ_CHECK(std::fread(magic, 1, 8, f.get()) == 8);
-  PCQ_CHECK_MSG(std::memcmp(magic, kMagic, 8) == 0, "bad magic");
+  if (std::fread(magic, 1, 8, f.get()) != 8) f.fail("truncated header");
+  if (std::memcmp(magic, kMagic, 8) != 0) f.fail("bad edge-list magic");
   std::uint64_t count = 0;
-  PCQ_CHECK(std::fread(&count, sizeof count, 1, f.get()) == 1);
-  std::vector<Edge> edges(count);
-  if (count > 0)
-    PCQ_CHECK(std::fread(edges.data(), sizeof(Edge), count, f.get()) == count);
-  return EdgeList(std::move(edges));
+  if (std::fread(&count, sizeof count, 1, f.get()) != 1)
+    f.fail("truncated header");
+  return EdgeList(read_pod_array<Edge>(f, count, "truncated edge list"));
 }
 
 void save_binary(const EdgeList& list, const std::string& path) {
   File f(path, "wb");
-  PCQ_CHECK(std::fwrite(kMagic, 1, 8, f.get()) == 8);
+  if (std::fwrite(kMagic, 1, 8, f.get()) != 8) f.fail("short write");
   const std::uint64_t count = list.size();
-  PCQ_CHECK(std::fwrite(&count, sizeof count, 1, f.get()) == 1);
-  if (count > 0)
-    PCQ_CHECK(std::fwrite(list.edges().data(), sizeof(Edge), count, f.get()) ==
-              count);
+  if (std::fwrite(&count, sizeof count, 1, f.get()) != 1) f.fail("short write");
+  if (count > 0 && std::fwrite(list.edges().data(), sizeof(Edge), count,
+                               f.get()) != count)
+    f.fail("short write");
 }
 
 TemporalEdgeList load_temporal_binary(const std::string& path) {
   File f(path, "rb");
   char magic[8];
-  PCQ_CHECK(std::fread(magic, 1, 8, f.get()) == 8);
-  PCQ_CHECK_MSG(std::memcmp(magic, kTemporalMagic, 8) == 0, "bad magic");
+  if (std::fread(magic, 1, 8, f.get()) != 8) f.fail("truncated header");
+  if (std::memcmp(magic, kTemporalMagic, 8) != 0)
+    f.fail("bad temporal edge-list magic");
   std::uint64_t count = 0;
-  PCQ_CHECK(std::fread(&count, sizeof count, 1, f.get()) == 1);
-  std::vector<TemporalEdge> edges(count);
-  if (count > 0)
-    PCQ_CHECK(std::fread(edges.data(), sizeof(TemporalEdge), count, f.get()) ==
-              count);
-  return TemporalEdgeList(std::move(edges));
+  if (std::fread(&count, sizeof count, 1, f.get()) != 1)
+    f.fail("truncated header");
+  return TemporalEdgeList(
+      read_pod_array<TemporalEdge>(f, count, "truncated temporal edge list"));
 }
 
 void save_temporal_binary(const TemporalEdgeList& list,
                           const std::string& path) {
   File f(path, "wb");
-  PCQ_CHECK(std::fwrite(kTemporalMagic, 1, 8, f.get()) == 8);
+  if (std::fwrite(kTemporalMagic, 1, 8, f.get()) != 8) f.fail("short write");
   const std::uint64_t count = list.size();
-  PCQ_CHECK(std::fwrite(&count, sizeof count, 1, f.get()) == 1);
-  if (count > 0)
-    PCQ_CHECK(std::fwrite(list.edges().data(), sizeof(TemporalEdge), count,
-                          f.get()) == count);
+  if (std::fwrite(&count, sizeof count, 1, f.get()) != 1) f.fail("short write");
+  if (count > 0 && std::fwrite(list.edges().data(), sizeof(TemporalEdge), count,
+                               f.get()) != count)
+    f.fail("short write");
 }
 
 }  // namespace pcq::graph

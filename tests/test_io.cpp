@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "graph/generators.hpp"
+#include "util/io_error.hpp"
 
 namespace pcq::graph {
 namespace {
@@ -104,7 +105,7 @@ TEST_F(IoTest, TemporalBinaryEmpty) {
 
 TEST_F(IoTest, TemporalBinaryRejectsEdgeMagic) {
   save_binary(EdgeList({{0, 1}}), path("plain.bin"));
-  EXPECT_DEATH(load_temporal_binary(path("plain.bin")), "bad magic");
+  EXPECT_THROW(load_temporal_binary(path("plain.bin")), IoError);
 }
 
 TEST_F(IoTest, BinaryIsSmallerThanTextForLargeIds) {
@@ -116,16 +117,45 @@ TEST_F(IoTest, BinaryIsSmallerThanTextForLargeIds) {
             std::filesystem::file_size(path("big.txt")));
 }
 
-TEST_F(IoTest, BinaryBadMagicAborts) {
+// Corrupt or unreadable inputs are reportable conditions, not programming
+// errors: the loaders throw pcq::IoError (the CLI maps it to exit 3) and
+// never abort or return a partial list.
+TEST_F(IoTest, BinaryBadMagicThrows) {
   {
     std::ofstream out(path("bad.bin"), std::ios::binary);
     out << "NOTPCQ!!" << std::string(16, '\0');
   }
-  EXPECT_DEATH(load_binary(path("bad.bin")), "bad magic");
+  EXPECT_THROW(load_binary(path("bad.bin")), IoError);
 }
 
-TEST_F(IoTest, MissingFileAborts) {
-  EXPECT_DEATH(load_snap_text(path("nope.txt")), "cannot open");
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(load_snap_text(path("nope.txt")), IoError);
+  EXPECT_THROW(load_binary(path("nope.bin")), IoError);
+  EXPECT_THROW(load_temporal_text(path("nope.txt")), IoError);
+  EXPECT_THROW(load_temporal_binary(path("nope.bin")), IoError);
+}
+
+TEST_F(IoTest, BinaryTruncatedPayloadThrows) {
+  // Header promises 3 edges; payload holds one. The loader must detect the
+  // short read rather than zero-fill the remainder.
+  EdgeList g({{0, 1}, {1, 2}, {2, 0}});
+  save_binary(g, path("full.bin"));
+  const auto full = std::filesystem::file_size(path("full.bin"));
+  std::filesystem::resize_file(path("full.bin"), full - 2 * sizeof(Edge));
+  EXPECT_THROW(load_binary(path("full.bin")), IoError);
+}
+
+TEST_F(IoTest, BinaryHugeDeclaredCountThrows) {
+  // A corrupt header declaring ~2^61 edges must fail on the short read
+  // without first trying to allocate the declared payload.
+  {
+    std::ofstream out(path("huge.bin"), std::ios::binary);
+    out.write("PCQEDGE1", 8);
+    const std::uint64_t count = std::uint64_t{1} << 61;
+    out.write(reinterpret_cast<const char*>(&count), sizeof count);
+    out << "short";
+  }
+  EXPECT_THROW(load_binary(path("huge.bin")), IoError);
 }
 
 }  // namespace
