@@ -18,12 +18,12 @@ std::uint64_t varint_decode(std::span<const std::uint8_t> in, std::size_t& pos) 
   std::uint64_t value = 0;
   unsigned shift = 0;
   for (;;) {
-    PCQ_CHECK_MSG(pos < in.size(), "truncated varint");
+    if (pos >= in.size()) throw CodecError("truncated varint");
     const std::uint8_t byte = in[pos++];
     value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) break;
     shift += 7;
-    PCQ_CHECK_MSG(shift < 64, "varint overflow");
+    if (shift >= 64) throw CodecError("varint overflow");
   }
   return value;
 }
@@ -33,6 +33,22 @@ namespace {
 /// Position of the highest set bit; value must be >= 1.
 unsigned log2_floor(std::uint64_t value) {
   return 63u - static_cast<unsigned>(std::countl_zero(value));
+}
+
+/// Bounds-checked bit read for the decoders: the packed structures trust
+/// their own geometry, but codec payloads come from files/baseline logs, so
+/// running off the end must be a typed error, not an out-of-bounds read.
+bool checked_get(const BitVector& in, std::size_t& pos, const char* what) {
+  if (pos >= in.size()) throw CodecError(what);
+  return in.get(pos++);
+}
+
+std::uint64_t checked_read_bits(const BitVector& in, std::size_t& pos,
+                                unsigned width, const char* what) {
+  if (width > in.size() || pos > in.size() - width) throw CodecError(what);
+  const std::uint64_t v = in.read_bits(pos, width);
+  pos += width;
+  return v;
 }
 
 }  // namespace
@@ -47,17 +63,14 @@ void elias_gamma_encode(std::uint64_t value, BitVector& out) {
 
 std::uint64_t elias_gamma_decode(const BitVector& in, std::size_t& pos) {
   unsigned n = 0;
-  while (!in.get(pos)) {
-    ++pos;
+  while (!checked_get(in, pos, "truncated gamma code")) {
     ++n;
-    PCQ_CHECK_MSG(n <= 64, "corrupt gamma code");
+    // Valid encodes emit at most 63 prefix zeros (log2_floor <= 63); a 64th
+    // would make the 1ULL << n below undefined, so reject it here.
+    if (n >= 64) throw CodecError("corrupt gamma code: prefix exceeds 63");
   }
-  ++pos;  // terminator
   std::uint64_t low = 0;
-  if (n > 0) {
-    low = in.read_bits(pos, n);
-    pos += n;
-  }
+  if (n > 0) low = checked_read_bits(in, pos, n, "truncated gamma code");
   return (1ULL << n) | low;
 }
 
@@ -69,12 +82,13 @@ void elias_delta_encode(std::uint64_t value, BitVector& out) {
 }
 
 std::uint64_t elias_delta_decode(const BitVector& in, std::size_t& pos) {
-  const auto n = static_cast<unsigned>(elias_gamma_decode(in, pos) - 1);
+  const std::uint64_t length = elias_gamma_decode(in, pos);
+  // length = n + 1 for an n-bit remainder; a corrupt length field must not
+  // drive the shift below past 63 bits (UB), so bound it before narrowing.
+  if (length > 64) throw CodecError("corrupt delta code: length exceeds 64");
+  const auto n = static_cast<unsigned>(length - 1);
   std::uint64_t low = 0;
-  if (n > 0) {
-    low = in.read_bits(pos, n);
-    pos += n;
-  }
+  if (n > 0) low = checked_read_bits(in, pos, n, "truncated delta code");
   return (1ULL << n) | low;
 }
 
@@ -89,8 +103,11 @@ void append_msb_first(std::uint64_t value, unsigned width, BitVector& out) {
 
 std::uint64_t read_msb_first(const BitVector& in, std::size_t& pos,
                              unsigned width) {
+  if (width > in.size() || pos > in.size() - width)
+    throw CodecError("truncated minimal binary code");
   std::uint64_t value = 0;
-  for (unsigned i = 0; i < width; ++i) value = (value << 1) | in.get(pos++);
+  for (unsigned i = 0; i < width; ++i)
+    value = (value << 1) | static_cast<std::uint64_t>(in.get(pos++));
   return value;
 }
 
@@ -119,7 +136,9 @@ std::uint64_t minimal_binary_decode(const BitVector& in, std::size_t& pos,
   const std::uint64_t head = read_msb_first(in, pos, b - 1);
   if (head < shorts) return head;
   // Long codeword: one more bit extends the head.
-  const std::uint64_t full = (head << 1) | in.get(pos++);
+  const std::uint64_t full =
+      (head << 1) | static_cast<std::uint64_t>(checked_get(
+                        in, pos, "truncated minimal binary code"));
   return full - shorts;
 }
 
@@ -139,13 +158,12 @@ void zeta_encode(std::uint64_t value, unsigned k, BitVector& out) {
 }
 
 std::uint64_t zeta_decode(const BitVector& in, std::size_t& pos, unsigned k) {
+  PCQ_DCHECK(k >= 1 && k <= 32);
   unsigned h = 0;
-  while (!in.get(pos)) {
-    ++pos;
+  while (!checked_get(in, pos, "truncated zeta code")) {
     ++h;
-    PCQ_CHECK_MSG(h * k < 64, "corrupt zeta code");
+    if (h * k >= 64) throw CodecError("corrupt zeta code: exponent overflow");
   }
-  ++pos;
   const std::uint64_t base = std::uint64_t{1} << (h * k);
   const std::uint64_t interval =
       (h * k + k >= 64) ? (0ULL - base)

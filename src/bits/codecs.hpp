@@ -9,18 +9,30 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "bits/bitvector.hpp"
 
 namespace pcq::bits {
 
+/// Thrown by every decoder in this header on truncated or malformed input
+/// (a unary prefix running past the end of the stream, a length field that
+/// would shift past 64 bits, a varint continuing past 10 bytes). Decoders
+/// never read out of bounds and never abort on bad bytes: callers feeding
+/// untrusted payloads catch this the same way loaders catch pcq::IoError.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
 // --- LEB128 varint (byte-aligned) -----------------------------------------
 
 /// Appends `value` to `out` as a little-endian base-128 varint (1-10 bytes).
 void varint_encode(std::uint64_t value, std::vector<std::uint8_t>& out);
 
-/// Decodes one varint starting at out[pos]; advances pos past it.
+/// Decodes one varint starting at out[pos]; advances pos past it. Throws
+/// CodecError on a truncated or over-long (> 64-bit) varint.
 std::uint64_t varint_decode(std::span<const std::uint8_t> in, std::size_t& pos);
 
 // --- Elias gamma / delta (bit-aligned, for values >= 1) --------------------
