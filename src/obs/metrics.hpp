@@ -41,7 +41,10 @@ class LogHistogram {
   static constexpr int kBuckets = kOctaves * kSub;
 
   void record(std::uint64_t value) {
-    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    // bucket_index is always in [0, kBuckets); the cast keeps this header
+    // clean under the packed-format targets' -Wsign-conversion.
+    buckets_[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+        1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
   }
