@@ -61,16 +61,17 @@ TEST(DegreeHistogram, BucketsPartitionNodes) {
 
 TEST(DegreeHistogram, KnownBuckets) {
   // Degrees: node0 -> 1 edge (bucket 0), node1 -> 2 (bucket 1),
-  // node2 -> 5 (bucket 2), node3 -> 0 (bucket 0).
+  // node2 -> 5 (bucket 2), nodes 3 and 4 -> 0 (bucket 0). Node 2's edges
+  // reach destination 4, so the graph has 5 nodes.
   EdgeList g;
   g.push_back({0, 1});
   for (VertexId i = 0; i < 2; ++i) g.push_back({1, i});
   for (VertexId i = 0; i < 5; ++i) g.push_back({2, i});
   g.sort(2);
-  const csr::CsrGraph csr = csr::build_csr_from_sorted(g, 4, 2);
+  const csr::CsrGraph csr = csr::build_csr_from_sorted(g, 5, 2);
   const auto hist = degree_histogram_log2(csr);
   ASSERT_EQ(hist.size(), 3u);
-  EXPECT_EQ(hist[0], 2u);  // degree 0 and degree 1
+  EXPECT_EQ(hist[0], 3u);  // degrees 0, 0 and 1
   EXPECT_EQ(hist[1], 1u);  // degree 2
   EXPECT_EQ(hist[2], 1u);  // degree 5 in [4, 8)
 }
