@@ -1,0 +1,146 @@
+// Standalone driver for toolchains without libFuzzer (-fsanitize=fuzzer is
+// Clang-only; this tree also builds with GCC). Provides main() for the
+// harnesses' LLVMFuzzerTestOneInput:
+//
+//   1. replays every file/directory argument (the checked-in seed corpus),
+//   2. then runs a deterministic xorshift-driven mutation loop over the
+//      seeds (bit flips, byte sets, truncations, extensions, splices).
+//
+// Flags (libFuzzer-compatible spelling where it makes sense):
+//   -runs=N      mutation executions after replay (default 10000; 0 = replay
+//                only — what CI's fuzz smoke uses for a quick regression gate)
+//   -max_len=N   cap on mutated input length (default 65536)
+//   -seed=N      PRNG seed (default 1; same seed + same corpus = same run)
+//
+// This is a regression driver, not a coverage-guided explorer: it has no
+// feedback signal, so long fuzzing sessions belong on a Clang+libFuzzer
+// build. Its job is to make `ctest`/CI able to push the whole corpus plus a
+// few million cheap mutants through the ASan/UBSan-instrumented harnesses.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// xorshift64* — tiny, deterministic, no libc rand state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+void mutate(std::vector<std::uint8_t>& input, Rng& rng, std::size_t max_len) {
+  const int edits = 1 + static_cast<int>(rng.below(4));
+  for (int e = 0; e < edits; ++e) {
+    switch (rng.below(5)) {
+      case 0:  // flip one bit
+        if (!input.empty())
+          input[rng.below(input.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        break;
+      case 1:  // overwrite one byte
+        if (!input.empty())
+          input[rng.below(input.size())] = static_cast<std::uint8_t>(rng.next());
+        break;
+      case 2:  // truncate
+        if (!input.empty()) input.resize(rng.below(input.size()) + 1);
+        break;
+      case 3:  // extend with random bytes
+        for (std::uint64_t n = rng.below(16) + 1; n-- && input.size() < max_len;)
+          input.push_back(static_cast<std::uint8_t>(rng.next()));
+        break;
+      case 4:  // overwrite a run with one value (length-field style damage)
+        if (!input.empty()) {
+          const std::size_t at = rng.below(input.size());
+          const std::size_t len =
+              std::min<std::size_t>(rng.below(8) + 1, input.size() - at);
+          std::memset(input.data() + at, static_cast<int>(rng.next()), len);
+        }
+        break;
+    }
+  }
+  if (input.size() > max_len) input.resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t runs = 10000;
+  std::size_t max_len = 65536;
+  std::uint64_t seed = 1;
+  std::vector<fs::path> corpus_args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0)
+      runs = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    else if (arg.rfind("-max_len=", 0) == 0)
+      max_len = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    else if (arg.rfind("-seed=", 0) == 0)
+      seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    else if (arg.rfind("-", 0) == 0)
+      std::fprintf(stderr, "ignoring unknown flag %s\n", arg.c_str());
+    else
+      corpus_args.emplace_back(arg);
+  }
+
+  // Phase 1: corpus replay (every regular file under every argument).
+  std::vector<std::vector<std::uint8_t>> seeds;
+  for (const fs::path& p : corpus_args) {
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p))
+        if (entry.is_regular_file()) seeds.push_back(read_file(entry.path()));
+    } else if (fs::is_regular_file(p)) {
+      seeds.push_back(read_file(p));
+    } else {
+      std::fprintf(stderr, "no such corpus entry: %s\n", p.string().c_str());
+      return 2;
+    }
+  }
+  for (const auto& s : seeds) LLVMFuzzerTestOneInput(s.data(), s.size());
+  std::printf("replayed %zu corpus inputs\n", seeds.size());
+
+  // Phase 2: deterministic mutation loop. Seeds are cycled so every one
+  // gets mutated; with no corpus the mutants grow from an empty input.
+  Rng rng(seed);
+  if (seeds.empty()) seeds.emplace_back();
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    std::vector<std::uint8_t> input = seeds[r % seeds.size()];
+    if (rng.below(8) == 0 && seeds.size() > 1) {  // occasional splice
+      const auto& other = seeds[rng.below(seeds.size())];
+      const std::size_t cut = input.empty() ? 0 : rng.below(input.size());
+      input.resize(cut);
+      input.insert(input.end(), other.begin(),
+                   other.begin() + static_cast<std::ptrdiff_t>(
+                                       rng.below(other.size() + 1)));
+    }
+    mutate(input, rng, max_len);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("executed %" PRIu64 " mutated inputs; no contract violations\n",
+              runs);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fuzzes the differential TCSR loader: arbitrary bytes fed through the v2
+// multi-frame parser must either come back as a history the full validator
+// accepts — in which case temporal queries are exercised — or raise
+// pcq::IoError. The parity round-trip cross-check inside validate_tcsr also
+// runs here, so the parallel prefix-XOR snapshot path gets fuzz coverage on
+// every loader-accepted input.
+#include <cstdint>
+#include <cstdio>
+
+#include "check/validate.hpp"
+#include "fuzz_util.hpp"
+#include "tcsr/serialize.hpp"
+#include "tcsr/tcsr.hpp"
+#include "util/io_error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;  // fmemopen rejects zero-length buffers
+  std::FILE* stream =
+      fmemopen(const_cast<std::uint8_t*>(data), size, "rb");
+  if (stream == nullptr) return 0;
+  const struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{stream};
+  try {
+    const pcq::tcsr::DifferentialTcsr tcsr =
+        pcq::tcsr::load_tcsr_stream(stream, "<fuzz input>");
+
+    // Per-frame scans may reject what the loader's O(1) checks let through;
+    // that is the designed division of labour. The scans and the parity
+    // round-trip must not crash on anything loadable, though.
+    const pcq::check::ValidationReport report = pcq::check::validate_tcsr(tcsr);
+    if (!report.ok()) return 0;
+
+    // Validator-accepted histories must answer temporal queries cleanly.
+    if (tcsr.num_frames() > 0 && tcsr.num_nodes() > 0) {
+      const auto t_last = tcsr.num_frames() - 1;
+      const auto u_last = tcsr.num_nodes() - 1;
+      (void)tcsr.edge_active(0, u_last, t_last);
+      (void)tcsr.neighbors_at(u_last, t_last);
+      (void)tcsr.activity_intervals(0, u_last);
+    }
+  } catch (const pcq::IoError&) {
+    // Typed rejection: the expected outcome for malformed bytes.
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared plumbing for the fuzz harnesses.
+//
+// Every harness exports the libFuzzer entry point
+//     extern "C" int LLVMFuzzerTestOneInput(const uint8_t*, size_t)
+// and asserts one contract: arbitrary bytes either parse into a structure
+// the pcq::check validators accept, or raise a typed error (pcq::IoError,
+// pcq::bits::CodecError) — never UB, never a crash, never an unbounded
+// allocation. Under Clang the entry point links against -fsanitize=fuzzer;
+// under GCC it links against driver_standalone.cpp, which replays the
+// checked-in corpus and runs a deterministic mutation loop (see
+// fuzz/CMakeLists.txt).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pcq::fuzz {
+
+/// Fuzz-visible assertion: sanitizer-friendly abort with a message, live in
+/// every build type (a fuzzer built with NDEBUG must still trap violations).
+#define PCQ_FUZZ_ASSERT(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::fprintf(stderr, "fuzz contract violated at %s:%d: %s\n  %s\n",   \
+                   __FILE__, __LINE__, #expr, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Consumes structured parameters (widths, counts, mode selectors) from the
+/// front of the fuzz input, leaving the rest as payload. Reads past the end
+/// return zero — harnesses must map every value into a valid range anyway.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{u8()} << (8 * i);
+    return v;
+  }
+
+  /// Remaining payload after the consumed parameters.
+  const std::uint8_t* rest() const { return data_ + pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pcq::fuzz

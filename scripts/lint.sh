@@ -1,0 +1,66 @@
+#!/bin/sh
+# Static-analysis sweep: clang-format --dry-run and clang-tidy over the core
+# library sources, using the repo's .clang-tidy check set. This is the same
+# gate CI runs (.github/workflows/ci.yml), so contributors can reproduce a
+# CI failure locally before pushing.
+#
+# Usage: scripts/lint.sh [build-dir]
+#   build-dir  a configured build with compile_commands.json
+#              (default: build; created with CMAKE_EXPORT_COMPILE_COMMANDS=ON
+#              if missing)
+#
+# Exits 0 when clean, 1 on findings, 3 when clang-tidy is not installed
+# (the dev container ships gcc only; CI installs clang-tidy — treat 3 as
+# "skipped", not "passed").
+set -u
+
+BUILD_DIR="${1:-build}"
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT" || exit 1
+
+# Formatting first: cheap, and a formatting diff makes tidy fix-its noisy.
+FORMAT=$(command -v clang-format || true)
+if [ -n "$FORMAT" ]; then
+    # shellcheck disable=SC2046
+    if ! "$FORMAT" --dry-run -Werror \
+         $(find src tools fuzz -name '*.cpp' -o -name '*.hpp' 2>/dev/null); then
+        echo "lint.sh: clang-format found formatting drift" >&2
+        exit 1
+    fi
+else
+    echo "lint.sh: clang-format not found — skipping format check" >&2
+fi
+
+TIDY=$(command -v clang-tidy || true)
+if [ -z "$TIDY" ]; then
+    echo "lint.sh: clang-tidy not found on PATH — skipping (install it or run in CI)" >&2
+    exit 3
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "lint.sh: generating compile_commands.json in $BUILD_DIR" >&2
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+          -DPCQ_BUILD_BENCH=OFF -DPCQ_BUILD_EXAMPLES=OFF >/dev/null || exit 1
+fi
+
+# The gate covers the packed formats and everything they trust: bits, csr,
+# tcsr, check, plus the util/par layers they build on. Tests and benches are
+# out of scope (gtest macros trip half the checks).
+FILES=$(find src/bits src/csr src/tcsr src/check src/util src/par \
+        -name '*.cpp' 2>/dev/null)
+if [ -z "$FILES" ]; then
+    echo "lint.sh: no sources found (run from the repo root)" >&2
+    exit 1
+fi
+
+RUNNER=$(command -v run-clang-tidy || true)
+if [ -n "$RUNNER" ]; then
+    # shellcheck disable=SC2086 — file list is intentionally word-split
+    "$RUNNER" -p "$BUILD_DIR" -quiet $FILES
+else
+    STATUS=0
+    for f in $FILES; do
+        "$TIDY" -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+    done
+    exit $STATUS
+fi

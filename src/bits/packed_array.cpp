@@ -114,7 +114,21 @@ FixedWidthArray FixedWidthArray::pack_with_width(
     pcq::obs::record_span("pack.merge", merge_t0, pcq::obs::trace_now_ns(),
                           chunks);
 
-  return FixedWidthArray(std::move(merged), n, width);
+  FixedWidthArray out(std::move(merged), n, width);
+  // Contract: the chunked merge's boundary-word arithmetic (shift/spill of
+  // each chunk's first word) is the riskiest part of Algorithm 4 — spot
+  // check that the first and last elements of every chunk boundary decode
+  // back to their inputs. O(chunks), not O(n).
+#if !defined(NDEBUG) || PCQ_DEBUG_CHECKS
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const auto r = pcq::par::chunk_range(n, chunks, c);
+    PCQ_DCHECK_MSG(out.get(r.begin) == values[r.begin],
+                   "pack merge corrupted a chunk's first element");
+    PCQ_DCHECK_MSG(out.get(r.end - 1) == values[r.end - 1],
+                   "pack merge corrupted a chunk's last element");
+  }
+#endif
+  return out;
 }
 
 void FixedWidthArray::get_range(std::size_t begin, std::size_t count,

@@ -166,6 +166,8 @@ inline void unpack_words(const std::uint64_t* words, std::size_t bit_begin,
                          unsigned width, std::size_t count, OutT* out) {
   PCQ_DCHECK(width >= 1 && width <= 64);
   if (count == 0) return;
+  PCQ_DCHECK_MSG(words != nullptr && out != nullptr,
+                 "unpack_words needs source words and an output buffer");
   if constexpr (std::endian::native == std::endian::little) {
     if ((width & 7) == 0 && (bit_begin & 7) == 0 &&
         (width == 8 || width == 16 || width == 32 || width == 64)) {

@@ -1,0 +1,287 @@
+#include "check/validate.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "bits/unpack.hpp"
+#include "par/chunking.hpp"
+#include "par/parallel_for.hpp"
+#include "par/threads.hpp"
+
+namespace pcq::check {
+
+using graph::Edge;
+using graph::TimeFrame;
+using graph::VertexId;
+
+bool ValidationReport::violates(const std::string& rule) const {
+  return std::any_of(violations_.begin(), violations_.end(),
+                     [&](const Violation& v) { return v.rule == rule; });
+}
+
+std::string ValidationReport::to_string() const {
+  std::string out;
+  for (const Violation& v : violations_) {
+    out += v.rule;
+    out += ": ";
+    out += v.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+void ValidationReport::add(std::string rule, std::string detail) {
+  violations_.push_back({std::move(rule), std::move(detail)});
+}
+
+void ValidationReport::merge(ValidationReport&& other,
+                             const ValidateOptions& opts) {
+  for (Violation& v : other.violations_) {
+    if (saturated(opts)) return;
+    violations_.push_back(std::move(v));
+  }
+}
+
+namespace {
+
+std::string u64_str(std::uint64_t v) { return std::to_string(v); }
+
+/// Geometry and width checks of one packed array ("iA"/"jA"). Returns
+/// false when the storage cannot even be scanned safely (element count or
+/// bit-storage mismatch), in which case the caller must not run the value
+/// scans.
+bool check_packed_geometry(const pcq::bits::FixedWidthArray& arr,
+                           std::size_t expect_size, std::uint64_t max_value,
+                           const char* rule_prefix, const std::string& where,
+                           const ValidateOptions& opts, ValidationReport& r) {
+  bool scannable = true;
+  if (arr.size() != expect_size) {
+    r.add(std::string(rule_prefix) + ".size",
+          where + "holds " + u64_str(arr.size()) + " elements, expected " +
+              u64_str(expect_size));
+    scannable = false;
+  }
+  const unsigned width = arr.width();
+  if (width < 1 || width > 64) {
+    r.add(std::string(rule_prefix) + ".width",
+          where + "bit width " + u64_str(width) + " outside [1, 64]");
+    return false;
+  }
+  if (width < pcq::bits::bits_for(max_value)) {
+    r.add(std::string(rule_prefix) + ".width",
+          where + "width " + u64_str(width) + " cannot represent max value " +
+              u64_str(max_value) + " (needs " +
+              u64_str(pcq::bits::bits_for(max_value)) + " bits)");
+    // Width too narrow is still safely scannable; the value checks will
+    // localise what the truncation broke.
+  }
+  if (opts.canonical && width != pcq::bits::bits_for(max_value)) {
+    r.add(std::string(rule_prefix) + ".width.canonical",
+          where + "width " + u64_str(width) + " != minimal width " +
+              u64_str(pcq::bits::bits_for(max_value)));
+  }
+  const std::uint64_t need_bits =
+      static_cast<std::uint64_t>(arr.size()) * width;
+  if (arr.bits().size() < need_bits) {
+    r.add(std::string(rule_prefix) + ".storage",
+          where + "bit storage holds " + u64_str(arr.bits().size()) +
+              " bits, geometry needs " + u64_str(need_bits));
+    scannable = false;
+  } else if (opts.canonical && arr.bits().size() != need_bits) {
+    r.add(std::string(rule_prefix) + ".storage.canonical",
+          where + "bit storage holds " + u64_str(arr.bits().size()) +
+              " bits, canonical form is exactly " + u64_str(need_bits));
+  }
+  return scannable;
+}
+
+/// Full structural scan of one bit-packed CSR. `where` prefixes every
+/// diagnostic (empty for a standalone CSR, "frame t: " inside a TCSR);
+/// `strict_rows` additionally rejects duplicate columns within a row (the
+/// TCSR delta-frame invariant).
+ValidationReport validate_csr_impl(const csr::BitPackedCsr& csr,
+                                   const ValidateOptions& opts,
+                                   bool strict_rows, const std::string& where) {
+  ValidationReport r;
+  const auto n = static_cast<std::uint64_t>(csr.num_nodes());
+  const std::uint64_t m = csr.num_edges();
+  const auto& offs = csr.packed_offsets();
+  const auto& cols = csr.packed_columns();
+
+  bool scannable = check_packed_geometry(offs, static_cast<std::size_t>(n) + 1,
+                                         m, "csr.offsets", where, opts, r);
+  scannable &= check_packed_geometry(cols, static_cast<std::size_t>(m),
+                                     n == 0 ? 0 : n - 1, "csr.columns", where,
+                                     opts, r);
+  if (!scannable) return r;
+
+  // iA scan: starts at 0, monotone non-decreasing, every entry <= m, ends
+  // at exactly m. Streamed — nothing is materialised.
+  {
+    pcq::bits::RowCursor cur = offs.cursor(0, offs.size());
+    std::uint64_t prev = cur.next();
+    if (prev != 0)
+      r.add("csr.offsets.first", where + "iA[0] = " + u64_str(prev) +
+                                     ", must be 0");
+    for (std::uint64_t i = 1; i <= n && !r.saturated(opts); ++i) {
+      const std::uint64_t v = cur.next();
+      if (v < prev)
+        r.add("csr.offsets.monotone",
+              where + "iA[" + u64_str(i) + "] = " + u64_str(v) +
+                  " < iA[" + u64_str(i - 1) + "] = " + u64_str(prev));
+      if (v > m)
+        r.add("csr.offsets.range", where + "iA[" + u64_str(i) + "] = " +
+                                       u64_str(v) + " exceeds num_edges " +
+                                       u64_str(m));
+      prev = v;
+    }
+    if (!r.saturated(opts) && offs.get(static_cast<std::size_t>(n)) != m)
+      r.add("csr.offsets.final",
+            where + "iA[" + u64_str(n) + "] = " +
+                u64_str(offs.get(static_cast<std::size_t>(n))) +
+                " != num_edges " + u64_str(m));
+  }
+  // Broken offsets make row slices meaningless (and potentially out of
+  // bounds); don't derive column ranges from them.
+  if (!r.ok()) return r;
+
+  // jA scan, chunked over vertices: every column < n, every row sorted
+  // (binary-search invariant), strictly so for delta frames.
+  const auto p = static_cast<std::size_t>(pcq::par::clamp_threads(
+      opts.num_threads));
+  const std::size_t chunks =
+      std::max<std::size_t>(1, pcq::par::num_nonempty_chunks(
+                                   static_cast<std::size_t>(n), p));
+  std::vector<ValidationReport> partial(chunks);
+  pcq::par::parallel_for_chunks(
+      static_cast<std::size_t>(n), static_cast<int>(chunks),
+      [&](std::size_t c, pcq::par::ChunkRange range) {
+        ValidationReport& local = partial[c];
+        for (std::size_t u = range.begin;
+             u < range.end && !local.saturated(opts); ++u) {
+          const auto row = csr.row_bounds(static_cast<VertexId>(u));
+          pcq::bits::RowCursor cur = cols.cursor(
+              row.begin, static_cast<std::size_t>(row.end - row.begin));
+          std::uint64_t prev = 0;
+          bool first = true;
+          for (std::uint64_t k = row.begin; !cur.done(); ++k) {
+            const std::uint64_t v = cur.next();
+            if (v >= n) {
+              local.add("csr.columns.range",
+                        where + "jA[" + u64_str(k) + "] = " + u64_str(v) +
+                            " >= num_nodes " + u64_str(n) + " (row " +
+                            u64_str(u) + ")");
+              if (local.saturated(opts)) break;
+            }
+            if (!first && (v < prev || (strict_rows && v == prev))) {
+              local.add(v < prev ? "csr.rows.sorted" : "csr.rows.duplicate",
+                        where + "row " + u64_str(u) + ": jA[" + u64_str(k) +
+                            "] = " + u64_str(v) +
+                            (v < prev ? " < " : " duplicates ") +
+                            "previous column " + u64_str(prev));
+              if (local.saturated(opts)) break;
+            }
+            prev = v;
+            first = false;
+          }
+        }
+      });
+  for (ValidationReport& part : partial) {
+    if (r.saturated(opts)) break;
+    r.merge(std::move(part), opts);
+  }
+  return r;
+}
+
+/// Materialises a delta frame as a sorted (u, v) edge vector via the row
+/// cursors (the sequential reference the parity cross-check accumulates).
+std::vector<Edge> frame_edges(const csr::BitPackedCsr& delta) {
+  std::vector<Edge> edges;
+  edges.reserve(delta.num_edges());
+  for (VertexId u = 0; u < delta.num_nodes(); ++u)
+    for (std::uint64_t v : delta.row_cursor(u))
+      edges.push_back({u, static_cast<VertexId>(v)});
+  return edges;
+}
+
+std::vector<Edge> csr_edges(const csr::CsrGraph& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  const auto offs = g.offsets();
+  const auto cols = g.columns();
+  for (VertexId u = 0; u < g.num_nodes(); ++u)
+    for (std::uint64_t k = offs[u]; k < offs[u + 1]; ++k)
+      edges.push_back({u, cols[k]});
+  return edges;
+}
+
+}  // namespace
+
+ValidationReport validate_csr(const csr::BitPackedCsr& csr,
+                              const ValidateOptions& opts) {
+  return validate_csr_impl(csr, opts, /*strict_rows=*/false, "");
+}
+
+ValidationReport validate_tcsr(const tcsr::DifferentialTcsr& tcsr,
+                               const ValidateOptions& opts) {
+  ValidationReport r;
+  const VertexId n = tcsr.num_nodes();
+  const TimeFrame frames = tcsr.num_frames();
+
+  for (TimeFrame t = 0; t < frames && !r.saturated(opts); ++t) {
+    const csr::BitPackedCsr& d = tcsr.delta(t);
+    const std::string where = "frame " + u64_str(t) + ": ";
+    if (d.num_nodes() != n) {
+      r.add("tcsr.frame.nodes",
+            where + "delta spans " + u64_str(d.num_nodes()) +
+                " nodes, TCSR spans " + u64_str(n));
+      continue;
+    }
+    // Delta rows must be strictly increasing: a duplicate (u, v) within one
+    // frame is a double-toggle the builder's parity cancellation removes,
+    // and it makes edge_active (per-frame membership) disagree with
+    // neighbors_at (per-entry XOR).
+    r.merge(validate_csr_impl(d, opts, /*strict_rows=*/true, where), opts);
+  }
+  if (!r.ok() || frames == 0) return r;
+
+  if (opts.parity_roundtrip) {
+    // Cross-check the parallel prefix-XOR snapshot against a sequential
+    // parity accumulation. Every frame when the history is short; endpoints
+    // and quartiles on long histories (each snapshot_at is O(t · deltas),
+    // so checking all frames of a long history would be quadratic).
+    std::vector<TimeFrame> sample;
+    if (frames <= 32) {
+      sample.resize(frames);
+      for (TimeFrame t = 0; t < frames; ++t) sample[t] = t;
+    } else {
+      sample = {0, frames / 4, frames / 2, (3 * frames) / 4, frames - 1};
+    }
+    std::vector<Edge> active;  // sequential parity accumulator, sorted
+    TimeFrame next = 0;
+    for (const TimeFrame t : sample) {
+      for (; next <= t; ++next) {
+        const std::vector<Edge> delta = frame_edges(tcsr.delta(next));
+        std::vector<Edge> merged;
+        merged.reserve(active.size() + delta.size());
+        std::set_symmetric_difference(active.begin(), active.end(),
+                                      delta.begin(), delta.end(),
+                                      std::back_inserter(merged));
+        active.swap(merged);
+      }
+      const std::vector<Edge> snap =
+          csr_edges(tcsr.snapshot_at(t, opts.num_threads));
+      if (snap != active) {
+        r.add("tcsr.parity.roundtrip",
+              "frame " + u64_str(t) + ": prefix-XOR snapshot has " +
+                  u64_str(snap.size()) +
+                  " edges, sequential parity reconstruction has " +
+                  u64_str(active.size()));
+        if (r.saturated(opts)) return r;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace pcq::check

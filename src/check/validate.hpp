@@ -1,0 +1,97 @@
+// Structural validators for the packed graph formats — pcq::check.
+//
+// The bit-packed CSR and the differential TCSR are trusted by every query
+// algorithm in the library: a flipped bit in a packed iA entry silently
+// turns into a wrong row slice and a garbage query answer, never a crash.
+// These validators walk a structure once and report every invariant it
+// violates with a machine-readable rule name and a human diagnostic naming
+// the offending index — the checking counterpart of the typed IoError the
+// loaders throw.
+//
+// Callers: the CLI and pcq_serve validate after every load (untrusted
+// disk), the fuzz harnesses validate whatever the parsers accept, and
+// tests/test_check.cpp proves each rule fires on injected corruption.
+//
+// docs/CORRECTNESS.md catalogues the invariants these functions enforce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csr/bitpacked_csr.hpp"
+#include "tcsr/tcsr.hpp"
+
+namespace pcq::check {
+
+/// One violated invariant. `rule` is a stable dotted identifier (e.g.
+/// "csr.offsets.monotone"); `detail` names the offending index and values.
+struct Violation {
+  std::string rule;
+  std::string detail;
+};
+
+struct ValidateOptions {
+  /// Stop collecting after this many violations — a corrupt structure can
+  /// break one rule at millions of indices, and the first few localise the
+  /// damage just as well.
+  std::size_t max_violations = 16;
+
+  /// Require the canonical form the packers emit: minimal bit widths
+  /// (width == bits_for(max value)) and exactly-sized bit storage. Off
+  /// (default) accepts any *sufficient* geometry, which is all correctness
+  /// requires.
+  bool canonical = false;
+
+  /// TCSR only: cross-check the parallel prefix-XOR snapshot against a
+  /// sequential parity reconstruction at every frame. O(frames · deltas) —
+  /// the deep check fuzzers and tests run; skip it on huge histories.
+  bool parity_roundtrip = true;
+
+  /// Worker threads for the O(edges) scans (0 = all).
+  int num_threads = 1;
+};
+
+class ValidationReport {
+ public:
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+
+  /// True if any recorded violation matches `rule` exactly.
+  [[nodiscard]] bool violates(const std::string& rule) const;
+
+  /// All diagnostics, one "rule: detail" line each (empty string when ok).
+  [[nodiscard]] std::string to_string() const;
+
+  void add(std::string rule, std::string detail);
+  [[nodiscard]] bool saturated(const ValidateOptions& opts) const {
+    return violations_.size() >= opts.max_violations;
+  }
+
+  /// Folds `other`'s violations into this report (parallel scans merge
+  /// their per-chunk reports in index order).
+  void merge(ValidationReport&& other, const ValidateOptions& opts);
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+/// Validates a bit-packed CSR: array geometry vs (num_nodes, num_edges),
+/// bit widths sufficient for their value ranges, iA monotone non-decreasing
+/// from 0 to num_edges, every jA entry < num_nodes, and every row sorted
+/// (the binary-search invariant of the query layer).
+ValidationReport validate_csr(const csr::BitPackedCsr& csr,
+                              const ValidateOptions& opts = {});
+
+/// Validates a differential TCSR: every frame delta is a valid CSR over the
+/// shared vertex set, frame rows are strictly increasing (a duplicate
+/// (u, v) inside one frame is a double-toggle the builder's parity
+/// cancellation can never emit — and it makes edge_active and neighbors_at
+/// disagree), and, when opts.parity_roundtrip is set, the prefix-XOR
+/// snapshot of every frame matches a sequential parity reconstruction.
+ValidationReport validate_tcsr(const tcsr::DifferentialTcsr& tcsr,
+                               const ValidateOptions& opts = {});
+
+}  // namespace pcq::check

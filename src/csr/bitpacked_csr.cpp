@@ -13,6 +13,8 @@ BitPackedCsr BitPackedCsr::from_csr(const CsrGraph& csr, int num_threads) {
 
   // Algorithm 4, first pass: the degree array iA.
   const auto offs = csr.offsets();
+  PCQ_DCHECK_MSG(offs.back() == csr.num_edges(),
+                 "CSR final offset != edge count before packing");
   packed.offsets_ = pcq::bits::FixedWidthArray::pack_with_width(
       offs, pcq::bits::bits_for(csr.num_edges()), num_threads);
 
@@ -35,6 +37,7 @@ std::vector<VertexId> BitPackedCsr::neighbors(VertexId u) const {
 }
 
 bool BitPackedCsr::has_edge(VertexId u, VertexId v) const {
+  PCQ_DCHECK_MSG(u < num_nodes_, "has_edge source outside vertex range");
   std::uint64_t lo = offset(u);
   std::uint64_t hi = offset(u + 1);
   while (lo < hi) {

@@ -51,6 +51,11 @@ CsrGraph build_csr_from_sorted(const EdgeList& list, VertexId num_nodes,
     PCQ_TRACE_SCOPE("csr.scan", degrees.size());
     offsets = pcq::par::offsets_from_degrees(degrees, num_threads);
   }
+  // Contract: the scan's cumulative total must equal the edge count, or
+  // every row slice downstream is wrong (the degree/scan chunk-merge
+  // arithmetic is exactly what debug-check builds re-verify here).
+  PCQ_DCHECK_MSG(offsets.back() == list.size(),
+                 "prefix sum of degrees != edge count");
   if (timings) timings->scan = timer.seconds();
 
   // Phase 3: with the input sorted by source, the column array is the
@@ -60,8 +65,11 @@ CsrGraph build_csr_from_sorted(const EdgeList& list, VertexId num_nodes,
   {
     PCQ_TRACE_SCOPE("csr.fill", list.size());
     const auto edges = list.edges();
-    pcq::par::parallel_for(edges.size(), num_threads,
-                           [&](std::size_t i) { columns[i] = edges[i].v; });
+    pcq::par::parallel_for(edges.size(), num_threads, [&](std::size_t i) {
+      PCQ_DCHECK_MSG(edges[i].v < num_nodes,
+                     "edge destination outside declared vertex range");
+      columns[i] = edges[i].v;
+    });
   }
   if (timings) timings->fill = timer.seconds();
 

@@ -83,6 +83,10 @@ std::vector<std::uint32_t> parallel_degree_from_sorted(
     PCQ_TRACE_SCOPE("degree.merge", chunks);
     for (std::size_t c = 0; c < chunks; ++c) {
       const auto r = pcq::par::chunk_range(n, chunks, c);
+      // The direct-write loop bounds-checks every run head, but a chunk
+      // whose *first* node is out of range only ever reaches this merge.
+      PCQ_DCHECK_MSG(sources[r.begin] < num_nodes,
+                     "source id outside declared vertex range");
       degrees[sources[r.begin]] += temp[c];
     }
   }

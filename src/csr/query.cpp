@@ -24,6 +24,8 @@ void batch_neighbors_into(const BitPackedCsr& csr,
       [&](std::size_t, pcq::par::ChunkRange r) {
         for (std::size_t i = r.begin; i < r.end; ++i) {
           const VertexId u = query_nodes[i];
+          PCQ_DCHECK_MSG(u < csr.num_nodes(),
+                         "batch query node outside vertex range");
           // GetRowFromCSR(A, startingIndex, degree, numBits).
           std::vector<VertexId> row(csr.degree(u));
           csr.decode_row(u, row);
@@ -110,6 +112,8 @@ void batch_edge_existence_into(const BitPackedCsr& csr,
       [&](std::size_t, pcq::par::ChunkRange r) {
         for (std::size_t i = r.begin; i < r.end; ++i) {
           const auto [u, v] = query_edges[i];
+          PCQ_DCHECK_MSG(u < csr.num_nodes(),
+                         "batch query edge source outside vertex range");
           if (search == RowSearch::kBinary) {
             // Rows are sorted, so the packed binary search answers in
             // O(log deg) decodes instead of a full row scan.

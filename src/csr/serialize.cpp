@@ -1,5 +1,6 @@
 #include "csr/serialize.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -30,11 +31,17 @@ static_assert(sizeof(Header) == 56);
 class File {
  public:
   File(const std::string& path, const char* mode)
-      : path_(path), f_(std::fopen(path.c_str(), mode)) {
+      : path_(path), f_(std::fopen(path.c_str(), mode)), owns_(true) {
     if (f_ == nullptr) throw IoError(path_, "cannot open CSR file");
   }
+  /// Borrows an already-open stream (in-memory parsing: fmemopen'd fuzz
+  /// inputs, pipes); the caller keeps ownership.
+  File(std::FILE* stream, const std::string& name)
+      : path_(name), f_(stream), owns_(false) {
+    if (f_ == nullptr) throw IoError(path_, "cannot open CSR stream");
+  }
   ~File() {
-    if (f_) std::fclose(f_);
+    if (f_ && owns_) std::fclose(f_);
   }
   File(const File&) = delete;
   File& operator=(const File&) = delete;
@@ -44,6 +51,7 @@ class File {
  private:
   std::string path_;
   std::FILE* f_;
+  bool owns_;
 };
 
 void write_bits(const File& f, const pcq::bits::BitVector& bits) {
@@ -54,10 +62,22 @@ void write_bits(const File& f, const pcq::bits::BitVector& bits) {
 }
 
 pcq::bits::BitVector read_bits(const File& f, std::uint64_t nbits) {
-  std::vector<std::uint64_t> words((nbits + 63) / 64);
-  if (!words.empty() &&
-      std::fread(words.data(), 8, words.size(), f.get()) != words.size())
-    f.fail("truncated CSR file");
+  const auto total = static_cast<std::size_t>((nbits + 63) / 64);
+  // Read in bounded slabs: a corrupt header can declare a payload of many
+  // gigabytes, and a single up-front allocation of that size is itself a
+  // denial of service (the fuzz harnesses OOM on it long before fread
+  // reports the truncation). 8 MiB at a time bounds the waste.
+  constexpr std::size_t kSlabWords = std::size_t{1} << 20;
+  std::vector<std::uint64_t> words;
+  words.reserve(std::min(total, kSlabWords));
+  std::size_t done = 0;
+  while (done < total) {
+    const std::size_t n = std::min(kSlabWords, total - done);
+    words.resize(done + n);
+    if (std::fread(words.data() + done, 8, n, f.get()) != n)
+      f.fail("truncated CSR file");
+    done += n;
+  }
   return pcq::bits::BitVector::from_words(std::move(words), nbits);
 }
 
@@ -102,8 +122,9 @@ void save_bitpacked_csr(const BitPackedCsr& csr, const std::string& path) {
   if (std::fflush(f.get()) != 0) f.fail("short write");
 }
 
-BitPackedCsr load_bitpacked_csr(const std::string& path) {
-  File f(path, "rb");
+namespace {
+
+BitPackedCsr load_from(const File& f) {
   Header h{};
   if (std::fread(&h, sizeof h, 1, f.get()) != 1) f.fail("truncated header");
   validate_header(f, h);
@@ -114,9 +135,30 @@ BitPackedCsr load_bitpacked_csr(const std::string& path) {
   auto columns = pcq::bits::FixedWidthArray::from_bits(
       read_bits(f, h.column_bits),
       static_cast<std::size_t>(h.num_edges), h.column_width);
+  // O(1) payload spot checks: the packed iA must start at 0 and end at the
+  // header's edge count, or every row slice derived from it is garbage.
+  // (pcq::check::validate_csr is the full O(n + m) scan; `pcq check`
+  // exposes it for files of untrusted provenance.)
+  if (offsets.get(0) != 0)
+    f.fail("corrupt CSR payload: first offset not 0");
+  if (offsets.get(static_cast<std::size_t>(h.num_nodes)) != h.num_edges)
+    f.fail("corrupt CSR payload: final offset != edge count");
   return BitPackedCsr::from_parts(static_cast<graph::VertexId>(h.num_nodes),
                                   static_cast<std::size_t>(h.num_edges),
                                   std::move(offsets), std::move(columns));
+}
+
+}  // namespace
+
+BitPackedCsr load_bitpacked_csr(const std::string& path) {
+  File f(path, "rb");
+  return load_from(f);
+}
+
+BitPackedCsr load_bitpacked_csr_stream(std::FILE* stream,
+                                       const std::string& name) {
+  File f(stream, name);
+  return load_from(f);
 }
 
 }  // namespace pcq::csr

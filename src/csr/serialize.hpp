@@ -7,6 +7,7 @@
 // hosts only (checked via a header canary).
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 #include "csr/bitpacked_csr.hpp"
@@ -21,5 +22,12 @@ void save_bitpacked_csr(const BitPackedCsr& csr, const std::string& path);
 /// an internally inconsistent header, or a truncated payload — never
 /// returning a partially-constructed structure.
 BitPackedCsr load_bitpacked_csr(const std::string& path);
+
+/// Same parser over an already-open stream (the caller keeps ownership and
+/// closes it). `name` labels IoError diagnostics. This is how the fuzz
+/// harnesses feed arbitrary bytes through the loader via fmemopen without
+/// touching the filesystem.
+BitPackedCsr load_bitpacked_csr_stream(std::FILE* stream,
+                                       const std::string& name);
 
 }  // namespace pcq::csr

@@ -54,7 +54,11 @@ std::vector<csr::CsrGraph> build_frame_csrs(
     while (i < hi) {
       std::size_t j = i;
       while (j < hi && evs[j].u == evs[i].u && evs[j].v == evs[i].v) ++j;
-      if ((j - i) % 2 == 1) kept.push_back({evs[i].u, evs[i].v});
+      if ((j - i) % 2 == 1) {
+        PCQ_DCHECK_MSG(evs[i].u < num_nodes && evs[i].v < num_nodes,
+                       "temporal event outside declared vertex range");
+        kept.push_back({evs[i].u, evs[i].v});
+      }
       i = j;
     }
     frames[t] = csr::build_csr_sequential(graph::EdgeList(std::move(kept)),

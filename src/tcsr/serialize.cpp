@@ -37,11 +37,17 @@ struct FrameHeader {
 class File {
  public:
   File(const std::string& path, const char* mode)
-      : path_(path), f_(std::fopen(path.c_str(), mode)) {
+      : path_(path), f_(std::fopen(path.c_str(), mode)), owns_(true) {
     if (f_ == nullptr) throw IoError(path_, "cannot open TCSR file");
   }
+  /// Borrows an already-open stream (in-memory parsing: fmemopen'd fuzz
+  /// inputs, pipes); the caller keeps ownership.
+  File(std::FILE* stream, const std::string& name)
+      : path_(name), f_(stream), owns_(false) {
+    if (f_ == nullptr) throw IoError(path_, "cannot open TCSR stream");
+  }
   ~File() {
-    if (f_) std::fclose(f_);
+    if (f_ && owns_) std::fclose(f_);
   }
   File(const File&) = delete;
   File& operator=(const File&) = delete;
@@ -51,6 +57,7 @@ class File {
  private:
   std::string path_;
   std::FILE* f_;
+  bool owns_;
 };
 
 void write_bits(const File& f, const pcq::bits::BitVector& bits) {
@@ -61,10 +68,22 @@ void write_bits(const File& f, const pcq::bits::BitVector& bits) {
 }
 
 pcq::bits::BitVector read_bits(const File& f, std::uint64_t nbits) {
-  std::vector<std::uint64_t> words((nbits + 63) / 64);
-  if (!words.empty() &&
-      std::fread(words.data(), 8, words.size(), f.get()) != words.size())
-    f.fail("truncated TCSR file");
+  const auto total = static_cast<std::size_t>((nbits + 63) / 64);
+  // Bounded-slab read: a corrupt frame header can declare a payload of many
+  // gigabytes, and allocating it all before the first fread is itself a
+  // denial of service. 8 MiB at a time bounds the waste before the
+  // truncation is detected.
+  constexpr std::size_t kSlabWords = std::size_t{1} << 20;
+  std::vector<std::uint64_t> words;
+  words.reserve(std::min(total, kSlabWords));
+  std::size_t done = 0;
+  while (done < total) {
+    const std::size_t n = std::min(kSlabWords, total - done);
+    words.resize(done + n);
+    if (std::fread(words.data() + done, 8, n, f.get()) != n)
+      f.fail("truncated TCSR file");
+    done += n;
+  }
   return pcq::bits::BitVector::from_words(std::move(words), nbits);
 }
 
@@ -120,8 +139,9 @@ void save_tcsr(const DifferentialTcsr& tcsr, const std::string& path) {
   if (std::fflush(f.get()) != 0) f.fail("short write");
 }
 
-DifferentialTcsr load_tcsr(const std::string& path) {
-  File f(path, "rb");
+namespace {
+
+DifferentialTcsr load_from(const File& f) {
   FileHeader h{};
   if (std::fread(&h, sizeof h, 1, f.get()) != 1) f.fail("truncated header");
   validate_header(f, h);
@@ -141,6 +161,11 @@ DifferentialTcsr load_tcsr(const std::string& path) {
     auto columns = pcq::bits::FixedWidthArray::from_bits(
         read_bits(f, fh.column_bits),
         static_cast<std::size_t>(fh.num_edges), fh.column_width);
+    // O(1) per-frame payload spot checks (full scan: validate_tcsr).
+    if (offsets.get(0) != 0)
+      f.fail("corrupt TCSR frame payload: first offset not 0");
+    if (offsets.get(static_cast<std::size_t>(h.num_nodes)) != fh.num_edges)
+      f.fail("corrupt TCSR frame payload: final offset != edge count");
     deltas.push_back(csr::BitPackedCsr::from_parts(
         static_cast<graph::VertexId>(h.num_nodes),
         static_cast<std::size_t>(fh.num_edges), std::move(offsets),
@@ -148,6 +173,18 @@ DifferentialTcsr load_tcsr(const std::string& path) {
   }
   return DifferentialTcsr::from_parts(static_cast<graph::VertexId>(h.num_nodes),
                                       std::move(deltas));
+}
+
+}  // namespace
+
+DifferentialTcsr load_tcsr(const std::string& path) {
+  File f(path, "rb");
+  return load_from(f);
+}
+
+DifferentialTcsr load_tcsr_stream(std::FILE* stream, const std::string& name) {
+  File f(stream, name);
+  return load_from(f);
 }
 
 }  // namespace pcq::tcsr

@@ -3,6 +3,7 @@
 // and queried by later runs.
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 #include "tcsr/tcsr.hpp"
@@ -18,5 +19,10 @@ void save_tcsr(const DifferentialTcsr& tcsr, const std::string& path);
 /// canary, inconsistent frame geometry, or a truncated payload — never
 /// returning a partially-constructed structure.
 DifferentialTcsr load_tcsr(const std::string& path);
+
+/// Same parser over an already-open stream (the caller keeps ownership and
+/// closes it). `name` labels IoError diagnostics. Used by the fuzz
+/// harnesses to feed arbitrary bytes through the loader via fmemopen.
+DifferentialTcsr load_tcsr_stream(std::FILE* stream, const std::string& name);
 
 }  // namespace pcq::tcsr

@@ -82,6 +82,7 @@ std::size_t DifferentialTcsr::size_bytes() const {
 
 bool DifferentialTcsr::edge_active(VertexId u, VertexId v, TimeFrame t) const {
   PCQ_DCHECK(t < deltas_.size());
+  PCQ_DCHECK_MSG(u < num_nodes_, "temporal query node outside vertex range");
   bool active = false;
   for (TimeFrame f = 0; f <= t; ++f)
     if (deltas_[f].has_edge(u, v)) active = !active;
@@ -91,6 +92,7 @@ bool DifferentialTcsr::edge_active(VertexId u, VertexId v, TimeFrame t) const {
 std::vector<VertexId> DifferentialTcsr::neighbors_at(VertexId u,
                                                      TimeFrame t) const {
   PCQ_DCHECK(t < deltas_.size());
+  PCQ_DCHECK_MSG(u < num_nodes_, "temporal query node outside vertex range");
   // XOR-accumulate u's delta rows: a neighbour toggled an odd number of
   // times is active. Rows are sorted, so a sorted symmetric-difference
   // merge keeps the accumulator sorted. The delta row side streams from

@@ -1,7 +1,22 @@
 // Lightweight runtime checking macros.
 //
-// PCQ_CHECK is always on (argument validation at API boundaries); PCQ_DCHECK
-// compiles out in release builds (internal invariants on hot paths).
+// Two tiers, by who is being distrusted:
+//
+//   PCQ_CHECK / PCQ_CHECK_MSG — always on, in every build type. Argument
+//   validation at API boundaries: the caller is outside the module's
+//   control, the check is O(1), and a violation means the process state is
+//   already wrong. Cost is one predictable branch — never use these inside
+//   per-element hot loops.
+//
+//   PCQ_DCHECK / PCQ_DCHECK_MSG — internal invariants on hot paths (per
+//   packed element, per decoded row). Compiled to nothing in Release
+//   (NDEBUG) builds; enabled in Debug builds and — regardless of NDEBUG —
+//   when PCQ_DEBUG_CHECKS is defined non-zero, which is what the
+//   `debug-check` CMake preset does: full optimization with every internal
+//   invariant armed, the configuration the fuzzers and the corruption
+//   tests run under.
+//
+// docs/CORRECTNESS.md catalogues the invariants these macros guard.
 #pragma once
 
 #include <cstdio>
@@ -28,8 +43,14 @@ namespace pcq::util {
     if (!(expr)) ::pcq::util::check_failed(#expr, __FILE__, __LINE__, msg); \
   } while (0)
 
-#ifdef NDEBUG
+#if !defined(PCQ_DEBUG_CHECKS)
+#define PCQ_DEBUG_CHECKS 0
+#endif
+
+#if defined(NDEBUG) && !PCQ_DEBUG_CHECKS
 #define PCQ_DCHECK(expr) ((void)0)
+#define PCQ_DCHECK_MSG(expr, msg) ((void)0)
 #else
 #define PCQ_DCHECK(expr) PCQ_CHECK(expr)
+#define PCQ_DCHECK_MSG(expr, msg) PCQ_CHECK_MSG(expr, msg)
 #endif

@@ -38,6 +38,59 @@ grep -q "tcsr.differential_scan" "$TMP/snap.json"
 "$PCQ" compare "$TMP/g.txt" | grep -q "bit-packed CSR"
 "$PCQ" tcompare "$TMP/t.txt" | grep -q "differential TCSR"
 
+# Structural validation: freshly written artifacts must pass the pcq::check
+# invariant scan.
+"$PCQ" check "$TMP/g.csr" | grep -q "check OK"
+"$PCQ" check "$TMP/t.tcsr" --threads 2 | grep -q "check OK"
+
+# --- Negative cases: corrupt inputs are refused with a typed IoError -------
+# (exit 3, "error: ..." on stderr), never a crash/abort. `set -e` is
+# suspended around each expected failure via the if-negation idiom.
+expect_ioerror() {
+  # expect_ioerror <description> <cmd...>: must exit 3 and print "error:".
+  desc="$1"; shift
+  if "$@" > "$TMP/neg.out" 2>&1; then
+    echo "NEGATIVE CASE FAILED ($desc): command succeeded"; exit 1
+  else
+    status=$?
+    if [ "$status" -ne 3 ]; then
+      echo "NEGATIVE CASE FAILED ($desc): exit $status, want 3 (IoError)"
+      cat "$TMP/neg.out"; exit 1
+    fi
+  fi
+  grep -q "error:" "$TMP/neg.out" || {
+    echo "NEGATIVE CASE FAILED ($desc): no error message"; exit 1; }
+}
+
+# Missing inputs.
+expect_ioerror "compress missing file"  "$PCQ" compress "$TMP/nope.txt"
+expect_ioerror "tcompress missing file" "$PCQ" tcompress "$TMP/nope.txt"
+expect_ioerror "stats missing csr"      "$PCQ" stats "$TMP/nope.csr"
+
+# Garbage bytes where a compressed artifact is expected.
+printf "garbage, not a csr" > "$TMP/bad.csr"
+expect_ioerror "query garbage csr"  "$PCQ" query "$TMP/bad.csr" --node 0
+expect_ioerror "stats garbage csr"  "$PCQ" stats "$TMP/bad.csr"
+expect_ioerror "check garbage csr"  "$PCQ" check "$TMP/bad.csr"
+printf "garbage, not a tcsr" > "$TMP/bad.tcsr"
+expect_ioerror "tquery garbage tcsr" "$PCQ" tquery "$TMP/bad.tcsr" --edge 0,1 --frame 0
+expect_ioerror "check garbage tcsr"  "$PCQ" check "$TMP/bad.tcsr"
+
+# Truncated artifacts: mid-header and mid-payload cuts of real files.
+head -c 30 "$TMP/g.csr" > "$TMP/trunc-header.csr"
+expect_ioerror "query truncated header" "$PCQ" query "$TMP/trunc-header.csr" --node 0
+head -c 60 "$TMP/g.csr" > "$TMP/trunc-payload.csr"
+expect_ioerror "query truncated payload" "$PCQ" query "$TMP/trunc-payload.csr" --node 0
+head -c 40 "$TMP/t.tcsr" > "$TMP/trunc.tcsr"
+expect_ioerror "tquery truncated tcsr" "$PCQ" tquery "$TMP/trunc.tcsr" --edge 0,1 --frame 0
+
+# Binary edge lists: bad magic and a truncated payload (the header's edge
+# count promises more than the file holds).
+printf "NOTMAGIC" > "$TMP/bad.bin"
+expect_ioerror "compress bad bin magic" "$PCQ" compress "$TMP/bad.bin" --out "$TMP/x.csr"
+head -c 20 "$TMP/g.bin" > "$TMP/trunc.bin"
+expect_ioerror "compress truncated bin" "$PCQ" compress "$TMP/trunc.bin" --out "$TMP/x.csr"
+
 # Observability: --trace writes non-empty, valid Chrome trace JSON and
 # --stats prints the per-phase table. Oversubscribed --threads forces the
 # multi-chunk (instrumented) code paths even on a single-core host.

@@ -12,6 +12,9 @@
 //   tcompress <events.txt> --out h.tcsr [--threads N]
 //             builds and saves the differential TCSR of a temporal list.
 //   tquery    <h.tcsr> --edge U,V --frame T | --node U --frame T
+//   check     <g.csr|h.tcsr> [--threads N]
+//             runs the pcq::check structural validators over a compressed
+//             artifact; exit 0 = valid, 4 = invariant violations (printed).
 //
 // Input format is inferred from the extension: .txt (SNAP text), .bin
 // (pcq binary edge list), .csr / .tcsr (compressed artifacts).
@@ -21,6 +24,7 @@
 #include <string>
 
 #include "algos/stats.hpp"
+#include "check/validate.hpp"
 #include "csr/builder.hpp"
 #include "csr/query.hpp"
 #include "csr/serialize.hpp"
@@ -302,6 +306,34 @@ int cmd_tcompare(const util::Flags& flags, const std::string& input) {
   return 0;
 }
 
+int cmd_check(const util::Flags& flags, const std::string& input) {
+  // Deep structural validation of a compressed artifact: the loader already
+  // rejects inconsistent headers/truncation (IoError), this adds the full
+  // O(n + m) invariant scan — the pipeline's answer to "did this file
+  // survive the disk/transfer it came from?".
+  const int threads = static_cast<int>(flags.get_int("threads", 0));
+  check::ValidateOptions opts;
+  opts.num_threads = threads;
+  check::ValidationReport report;
+  if (ends_with(input, ".tcsr")) {
+    const auto tcsr = tcsr::load_tcsr(input);
+    report = check::validate_tcsr(tcsr, opts);
+    std::printf("%s: %u nodes, %u frames\n", input.c_str(), tcsr.num_nodes(),
+                tcsr.num_frames());
+  } else {
+    const auto packed = csr::load_bitpacked_csr(input);
+    report = check::validate_csr(packed, opts);
+    std::printf("%s: %u nodes, %zu edges\n", input.c_str(),
+                packed.num_nodes(), packed.num_edges());
+  }
+  if (report.ok()) {
+    std::printf("check OK: all format invariants hold\n");
+    return 0;
+  }
+  std::fprintf(stderr, "check FAILED:\n%s", report.to_string().c_str());
+  return 4;
+}
+
 int cmd_tquery(const util::Flags& flags, const std::string& input) {
   maybe_enable_tracing(flags);
   const auto tcsr = tcsr::load_tcsr(input);
@@ -369,7 +401,7 @@ int main(int argc, char** argv) {
   if (pos.size() < 2) {
     std::fprintf(stderr,
                  "usage: pcq <compress|stats|compare|query|convert|tcompress|"
-                 "tquery> <input> [flags]\n");
+                 "tquery|check> <input> [flags]\n");
     return 2;
   }
   const std::string& cmd = pos[0];
@@ -386,6 +418,7 @@ int main(int argc, char** argv) {
     if (cmd == "tcompress") return cmd_tcompress(flags, input);
     if (cmd == "tquery") return cmd_tquery(flags, input);
     if (cmd == "tcompare") return cmd_tcompare(flags, input);
+    if (cmd == "check") return cmd_check(flags, input);
   } catch (const pcq::IoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;
