@@ -8,11 +8,14 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "csr/builder.hpp"
 #include "csr/query.hpp"
+#include "csr/serialize.hpp"
 #include "graph/baselines.hpp"
 #include "graph/generators.hpp"
 #include "graph/k2tree.hpp"
@@ -404,6 +407,57 @@ void BM_EdgeExistenceLatencyPercentiles(benchmark::State& state) {
                           kQueryBatch);
 }
 BENCHMARK(BM_EdgeExistenceLatencyPercentiles);
+
+// --- startup cost: buffered read vs zero-copy map ---------------------------
+//
+// The buffered loader freads and copies every packed word; the mapped
+// loader parses the 56-byte header and borrows the payload in place, so
+// its cost must not scale with the payload. The warm variant adds the
+// parallel page-touch pass — the price of eager residency.
+
+const std::string& saved_csr_path() {
+  static const std::string path = [] {
+    const std::string p =
+        (std::filesystem::temp_directory_path() /
+         ("pcq_bench_load_" + std::to_string(::getpid()) + ".csr"))
+            .string();
+    pcq::csr::save_bitpacked_csr(workload().packed, p);
+    return p;
+  }();
+  return path;
+}
+
+void BM_LoadBuffered(benchmark::State& state) {
+  const std::string& path = saved_csr_path();
+  for (auto _ : state) {
+    const auto loaded = pcq::csr::load_bitpacked_csr(path);
+    benchmark::DoNotOptimize(loaded.num_edges());
+  }
+  state.counters["payload_bytes"] =
+      static_cast<double>(workload().packed.size_bytes());
+}
+BENCHMARK(BM_LoadBuffered);
+
+void BM_LoadMapped(benchmark::State& state) {
+  const std::string& path = saved_csr_path();
+  for (auto _ : state) {
+    const auto mapped = pcq::csr::map_bitpacked_csr(path);
+    benchmark::DoNotOptimize(mapped.csr.num_edges());
+  }
+  state.counters["payload_bytes"] =
+      static_cast<double>(workload().packed.size_bytes());
+}
+BENCHMARK(BM_LoadMapped);
+
+void BM_LoadMappedWarm(benchmark::State& state) {
+  const std::string& path = saved_csr_path();
+  for (auto _ : state) {
+    const auto mapped = pcq::csr::map_bitpacked_csr(path);
+    benchmark::DoNotOptimize(mapped.file.touch_pages(0));
+    benchmark::DoNotOptimize(mapped.csr.num_edges());
+  }
+}
+BENCHMARK(BM_LoadMappedWarm);
 
 }  // namespace
 

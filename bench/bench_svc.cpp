@@ -20,6 +20,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -29,9 +30,11 @@
 
 #include "common.hpp"
 #include "csr/builder.hpp"
+#include "csr/serialize.hpp"
 #include "graph/generators.hpp"
 #include "obs/trace.hpp"
 #include "svc/service.hpp"
+#include "tcsr/serialize.hpp"
 #include "tcsr/tcsr.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
@@ -457,7 +460,8 @@ int main(int argc, char** argv) {
           {"frames", "TCSR frames; 0 = static-only workload (default 0)"},
           {"seed", "workload seed (default 42)"},
           {"mode",
-           "compare | capacity | open | closed | calibrate (default compare)"},
+           "compare | capacity | open | closed | calibrate | load (default\n"
+           "compare); load = buffered vs mapped startup-cost table"},
           {"mix", "mixed | degree (degree isolates dispatch overhead)"},
           {"json", "write the run results as a JSON document to this file"},
           {"trace", "write Chrome trace JSON of the benched runs here"},
@@ -500,6 +504,66 @@ int main(int argc, char** argv) {
     history = pcq::tcsr::DifferentialTcsr::build(events, cfg.nodes / 4,
                                                  cfg.frames, 0);
     history_ptr = &history;
+  }
+
+  if (cfg.mode == "load") {
+    // Startup-cost table: buffered read vs zero-copy map vs map + parallel
+    // page-touch warmup, over the artifacts this run just built. The mapped
+    // load's cost is O(header), so it should stay flat as --edges grows
+    // while the buffered load scales with the payload.
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / ("pcq_bench_svc_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    const std::string csr_path = (dir / "g.csr").string();
+    pcq::csr::save_bitpacked_csr(graph, csr_path);
+    const std::string tcsr_path = (dir / "h.tcsr").string();
+    if (history_ptr != nullptr) pcq::tcsr::save_tcsr(history, tcsr_path);
+
+    auto best_of = [](int reps, auto&& fn) {
+      double best = 1e300;
+      for (int i = 0; i < reps; ++i) {
+        pcq::util::Timer t;
+        fn();
+        best = std::min(best, t.seconds() * 1e6);
+      }
+      return best;
+    };
+    const double buffered_us = best_of(5, [&] {
+      const auto g = pcq::csr::load_bitpacked_csr(csr_path);
+      if (g.num_edges() != graph.num_edges()) std::abort();
+    });
+    const double mapped_us = best_of(5, [&] {
+      const auto m = pcq::csr::map_bitpacked_csr(csr_path);
+      if (m.csr.num_edges() != graph.num_edges()) std::abort();
+    });
+    const double warm_us = best_of(5, [&] {
+      const auto m = pcq::csr::map_bitpacked_csr(csr_path);
+      volatile std::uint64_t sink = m.file.touch_pages(0);
+      (void)sink;
+    });
+    std::printf("csr payload %zu bytes\n", graph.size_bytes());
+    std::printf("  load buffered     %10.1f us\n", buffered_us);
+    std::printf("  load mapped       %10.1f us (%.1fx)\n", mapped_us,
+                buffered_us / std::max(mapped_us, 1e-9));
+    std::printf("  load mapped+warm  %10.1f us\n", warm_us);
+    if (history_ptr != nullptr) {
+      const double tbuf_us = best_of(5, [&] {
+        const auto h = pcq::tcsr::load_tcsr(tcsr_path);
+        if (h.num_frames() != history.num_frames()) std::abort();
+      });
+      const double tmap_us = best_of(5, [&] {
+        const auto m = pcq::tcsr::map_tcsr(tcsr_path);
+        if (m.tcsr.num_frames() != history.num_frames()) std::abort();
+      });
+      std::printf("tcsr payload %zu bytes (%u frames)\n", history.size_bytes(),
+                  history.num_frames());
+      std::printf("  load buffered     %10.1f us\n", tbuf_us);
+      std::printf("  load mapped       %10.1f us (%.1fx)\n", tmap_us,
+                  tbuf_us / std::max(tmap_us, 1e-9));
+    }
+    fs::remove_all(dir);
+    return 0;
   }
 
   const std::vector<Request> reqs = make_workload(cfg);

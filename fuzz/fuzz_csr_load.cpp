@@ -1,12 +1,18 @@
-// Fuzzes the bit-packed CSR loader: arbitrary bytes fed through the v1
-// file parser must either come back as a structure the full validator
-// accepts — in which case a few queries are exercised — or raise
-// pcq::IoError. Crashes, sanitizer reports, and validator rejections of a
-// loader-accepted file are all findings: the loader's O(1) header/payload
-// checks plus validate_csr's O(n + m) scan are supposed to be a complete
-// gate in front of the query code.
+// Fuzzes the bit-packed CSR loaders: arbitrary bytes are fed through BOTH
+// the buffered stream parser and the zero-copy mapped-view parser (over an
+// 8-byte-aligned copy of the input). Each must either come back as a
+// structure the full validator accepts — in which case a few queries are
+// exercised — or raise pcq::IoError. Crashes, sanitizer reports, and
+// validator rejections of a loader-accepted file are all findings, and so
+// is any disagreement between the two parsers on a v2 image: they implement
+// the same format, so accept/reject verdicts and the parsed structures must
+// match bit for bit (the differential oracle).
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
 
 #include "check/validate.hpp"
 #include "csr/bitpacked_csr.hpp"
@@ -14,40 +20,85 @@
 #include "fuzz_util.hpp"
 #include "util/io_error.hpp"
 
+namespace {
+
+bool same_csr(const pcq::csr::BitPackedCsr& a, const pcq::csr::BitPackedCsr& b) {
+  return a.num_nodes() == b.num_nodes() && a.num_edges() == b.num_edges() &&
+         a.packed_offsets().bits() == b.packed_offsets().bits() &&
+         a.packed_columns().bits() == b.packed_columns().bits();
+}
+
+void exercise(const pcq::csr::BitPackedCsr& csr) {
+  // The loader only spot-checks the payload; the full scan may still
+  // reject (e.g. a non-monotone offset in the middle of iA). That is the
+  // designed division of labour, not a finding — but the scan itself must
+  // not crash on anything the loader let through.
+  pcq::check::ValidateOptions opts;
+  opts.canonical = false;
+  const pcq::check::ValidationReport report = pcq::check::validate_csr(csr, opts);
+  if (!report.ok()) return;
+
+  // Validator-accepted structures must answer queries without tripping
+  // anything. Row 0 and the last row cover both packed-array boundaries.
+  if (csr.num_nodes() > 0) {
+    const auto u_last = csr.num_nodes() - 1;
+    (void)csr.neighbors(0);
+    (void)csr.neighbors(u_last);
+    (void)csr.has_edge(0, u_last);
+    (void)csr.degree(u_last);
+  }
+}
+
+}  // namespace
+
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   if (size == 0) return 0;  // fmemopen rejects zero-length buffers
-  std::FILE* stream =
-      fmemopen(const_cast<std::uint8_t*>(data), size, "rb");
-  if (stream == nullptr) return 0;
-  const struct Closer {
-    std::FILE* f;
-    ~Closer() { std::fclose(f); }
-  } closer{stream};
-  try {
-    const pcq::csr::BitPackedCsr csr =
-        pcq::csr::load_bitpacked_csr_stream(stream, "<fuzz input>");
 
-    // The loader only spot-checks the payload; the full scan may still
-    // reject (e.g. a non-monotone offset in the middle of iA). That is the
-    // designed division of labour, not a finding — but the scan itself must
-    // not crash on anything the loader let through.
-    pcq::check::ValidateOptions opts;
-    opts.canonical = false;
-    const pcq::check::ValidationReport report = pcq::check::validate_csr(csr, opts);
-    if (!report.ok()) return 0;
-
-    // Validator-accepted structures must answer queries without tripping
-    // anything. Row 0 and the last row cover both packed-array boundaries.
-    if (csr.num_nodes() > 0) {
-      const auto u_last = csr.num_nodes() - 1;
-      (void)csr.neighbors(0);
-      (void)csr.neighbors(u_last);
-      (void)csr.has_edge(0, u_last);
-      (void)csr.degree(u_last);
+  std::optional<pcq::csr::BitPackedCsr> buffered;
+  {
+    std::FILE* stream =
+        fmemopen(const_cast<std::uint8_t*>(data), size, "rb");
+    if (stream == nullptr) return 0;
+    const struct Closer {
+      std::FILE* f;
+      ~Closer() { std::fclose(f); }
+    } closer{stream};
+    try {
+      buffered = pcq::csr::load_bitpacked_csr_stream(stream, "<fuzz input>");
+      exercise(*buffered);
+    } catch (const pcq::IoError&) {
+      // Typed rejection: the expected outcome for malformed bytes.
     }
+  }
+
+  // Mapped-view parse over an aligned copy (mmap hands the real parser a
+  // page-aligned base; the word-sized vector reproduces that guarantee).
+  std::vector<std::uint64_t> aligned((size + 7) / 8);
+  std::memcpy(aligned.data(), data, size);
+  const std::span<const std::byte> bytes(
+      reinterpret_cast<const std::byte*>(aligned.data()), size);
+  std::optional<pcq::csr::BitPackedCsr> mapped;
+  try {
+    mapped = pcq::csr::map_bitpacked_csr_bytes(bytes, "<fuzz input>");
+    exercise(*mapped);
   } catch (const pcq::IoError&) {
-    // Typed rejection: the expected outcome for malformed bytes.
+  }
+
+  // Differential oracle: on a v2 image the two parsers implement the same
+  // grammar, so they must agree — on the verdict and on every parsed bit.
+  const bool v2 = size >= 8 && std::memcmp(data, "PCQCSRv2", 8) == 0;
+  if (v2) {
+    PCQ_FUZZ_ASSERT(buffered.has_value() == mapped.has_value(),
+                    "buffered and mapped CSR parsers disagree on a v2 image");
+    if (buffered && mapped)
+      PCQ_FUZZ_ASSERT(same_csr(*buffered, *mapped),
+                      "buffered and mapped CSR parses differ on a v2 image");
+  } else {
+    // Non-v2 magic is unmappable by contract; only the buffered parser may
+    // accept (v1 files).
+    PCQ_FUZZ_ASSERT(!mapped.has_value(),
+                    "mapped CSR parser accepted a non-v2 image");
   }
   return 0;
 }

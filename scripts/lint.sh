@@ -44,9 +44,10 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
 fi
 
 # The gate covers the packed formats and everything they trust: bits, csr,
-# tcsr, check, plus the util/par layers they build on. Tests and benches are
-# out of scope (gtest macros trip half the checks).
-FILES=$(find src/bits src/csr src/tcsr src/check src/util src/par \
+# tcsr, check, io (the mmap trust boundary), plus the util/par layers they
+# build on. Tests and benches are out of scope (gtest macros trip half the
+# checks).
+FILES=$(find src/bits src/csr src/tcsr src/check src/io src/util src/par \
         -name '*.cpp' 2>/dev/null)
 if [ -z "$FILES" ]; then
     echo "lint.sh: no sources found (run from the repo root)" >&2

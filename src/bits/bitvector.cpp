@@ -6,6 +6,7 @@ namespace pcq::bits {
 
 void BitVector::append_bits(std::uint64_t value, unsigned width) {
   PCQ_DCHECK(width <= 64);
+  PCQ_DCHECK_MSG(owns_, "cannot mutate a borrowed BitVector view");
   if (width == 0) return;
   if (width < 64) value &= (1ULL << width) - 1;
 
@@ -15,6 +16,7 @@ void BitVector::append_bits(std::uint64_t value, unsigned width) {
   const unsigned room = 64 - offset;
   if (width > room) words_.push_back(value >> room);
   nbits_ += width;
+  sync();
 }
 
 std::uint64_t BitVector::read_bits(std::size_t pos, unsigned width) const {
@@ -24,18 +26,21 @@ std::uint64_t BitVector::read_bits(std::size_t pos, unsigned width) const {
 
   const std::size_t word = pos >> 6;
   const unsigned offset = pos & 63;
-  std::uint64_t value = words_[word] >> offset;
+  std::uint64_t value = data_[word] >> offset;
   const unsigned room = 64 - offset;
-  if (width > room) value |= words_[word + 1] << room;
+  if (width > room) value |= data_[word + 1] << room;
   if (width < 64) value &= (1ULL << width) - 1;
   return value;
 }
 
 void BitVector::append(const BitVector& other) {
+  PCQ_DCHECK_MSG(owns_, "cannot mutate a borrowed BitVector view");
   // Fast path: this vector is word-aligned, so whole words can be copied.
   if ((nbits_ & 63) == 0) {
-    words_.insert(words_.end(), other.words_.begin(), other.words_.end());
+    const auto src = other.words();
+    words_.insert(words_.end(), src.begin(), src.end());
     nbits_ += other.nbits_;
+    sync();
     return;
   }
   std::size_t remaining = other.nbits_;
@@ -50,7 +55,7 @@ void BitVector::append(const BitVector& other) {
 
 std::size_t BitVector::popcount() const {
   std::size_t total = 0;
-  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  for (std::uint64_t w : words()) total += static_cast<std::size_t>(std::popcount(w));
   return total;
 }
 
@@ -58,11 +63,11 @@ bool operator==(const BitVector& a, const BitVector& b) {
   if (a.nbits_ != b.nbits_) return false;
   const std::size_t full = a.nbits_ >> 6;
   for (std::size_t i = 0; i < full; ++i)
-    if (a.words_[i] != b.words_[i]) return false;
+    if (a.data_[i] != b.data_[i]) return false;
   const unsigned tail = a.nbits_ & 63;
   if (tail != 0) {
     const std::uint64_t mask = (1ULL << tail) - 1;
-    if ((a.words_[full] & mask) != (b.words_[full] & mask)) return false;
+    if ((a.data_[full] & mask) != (b.data_[full] & mask)) return false;
   }
   return true;
 }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,16 @@
 #include "bits/unpack.hpp"
 
 namespace pcq::bits {
+
+/// Overflow-checked size * width in bits. Header-supplied sizes can be
+/// adversarial (anything near SIZE_MAX wraps a naive product and slips
+/// past a `storage >= size * width` gate); refuse them outright.
+inline std::size_t checked_packed_bits(std::size_t size, unsigned width) {
+  PCQ_CHECK(width >= 1 && width <= 64);
+  PCQ_CHECK_MSG(size <= std::numeric_limits<std::size_t>::max() / width,
+                "packed size * width overflows");
+  return size * width;
+}
 
 class FixedWidthArray {
  public:
@@ -35,12 +46,22 @@ class FixedWidthArray {
                                          unsigned width, int num_threads);
 
   /// Adopts already-packed storage (deserialization); storage must hold at
-  /// least size * width bits.
+  /// least size * width bits (computed overflow-checked — a header-supplied
+  /// size near SIZE_MAX must die here, not wrap past the gate).
   static FixedWidthArray from_bits(BitVector storage, std::size_t size,
                                    unsigned width) {
-    PCQ_CHECK(width >= 1 && width <= 64);
-    PCQ_CHECK(storage.size() >= size * width);
+    PCQ_CHECK(storage.size() >= checked_packed_bits(size, width));
     return FixedWidthArray(std::move(storage), size, width);
+  }
+
+  /// Borrows already-packed storage the caller keeps alive (a mapped file
+  /// payload): zero-copy construction over read-only words. Refuses (like
+  /// from_bits, with overflow-checked arithmetic) a span shorter than
+  /// size * width bits.
+  static FixedWidthArray view(std::span<const std::uint64_t> storage,
+                              std::size_t size, unsigned width) {
+    const std::size_t nbits = checked_packed_bits(size, width);
+    return FixedWidthArray(BitVector::view(storage, nbits), size, width);
   }
 
   /// Element count.

@@ -12,8 +12,18 @@ namespace pcq::csr {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'C', 'Q', 'C', 'S', 'R', 'v', '1'};
+constexpr char kMagicV1[8] = {'P', 'C', 'Q', 'C', 'S', 'R', 'v', '1'};
+constexpr char kMagicV2[8] = {'P', 'C', 'Q', 'C', 'S', 'R', 'v', '2'};
 constexpr std::uint32_t kEndianCanary = 0x01020304;
+
+// v2: each packed payload starts on a 64-byte boundary relative to the
+// file start, so an mmap of the file (page-aligned) yields word- and
+// cacheline-aligned payload pointers that BitVector views can borrow.
+constexpr std::size_t kPayloadAlign = 64;
+
+constexpr std::size_t align_up(std::size_t pos) {
+  return (pos + kPayloadAlign - 1) & ~(kPayloadAlign - 1);
+}
 
 struct Header {
   char magic[8];
@@ -61,6 +71,25 @@ void write_bits(const File& f, const pcq::bits::BitVector& bits) {
     f.fail("short write");
 }
 
+/// Writes zero bytes advancing `pos` to the next payload boundary.
+void write_pad(const File& f, std::size_t& pos) {
+  static constexpr char kZeros[kPayloadAlign] = {};
+  const std::size_t pad = align_up(pos) - pos;
+  if (pad != 0 && std::fwrite(kZeros, 1, pad, f.get()) != pad)
+    f.fail("short write");
+  pos += pad;
+}
+
+/// Consumes padding bytes up to the next payload boundary (fread, not
+/// fseek, so pipes and fmemopen streams behave identically).
+void skip_pad(const File& f, std::size_t& pos) {
+  char sink[kPayloadAlign];
+  const std::size_t pad = align_up(pos) - pos;
+  if (pad != 0 && std::fread(sink, 1, pad, f.get()) != pad)
+    f.fail("truncated CSR file");
+  pos += pad;
+}
+
 pcq::bits::BitVector read_bits(const File& f, std::uint64_t nbits) {
   const auto total = static_cast<std::size_t>((nbits + 63) / 64);
   // Read in bounded slabs: a corrupt header can declare a payload of many
@@ -84,23 +113,40 @@ pcq::bits::BitVector read_bits(const File& f, std::uint64_t nbits) {
 /// Rejects a header whose geometry is internally inconsistent *before* any
 /// structure is constructed, so a corrupt file can never yield a
 /// partially-valid BitPackedCsr (and never drives FixedWidthArray::from_bits
-/// into an aborting PCQ_CHECK).
-void validate_header(const File& f, const Header& h) {
-  if (std::memcmp(h.magic, kMagic, 8) != 0) f.fail("bad CSR magic");
-  if (h.canary != kEndianCanary) f.fail("endianness canary mismatch");
+/// into an aborting PCQ_CHECK). Shared by the buffered and mapped parsers;
+/// `name` labels the thrown IoError.
+void validate_header(const std::string& name, const Header& h) {
+  if (h.canary != kEndianCanary)
+    throw IoError(name, "endianness canary mismatch");
   if (h.offset_width < 1 || h.offset_width > 64 || h.column_width < 1 ||
       h.column_width > 64)
-    f.fail("corrupt CSR header: bit width out of [1, 64]");
+    throw IoError(name, "corrupt CSR header: bit width out of [1, 64]");
   if (h.num_nodes > std::numeric_limits<graph::VertexId>::max() - 1)
-    f.fail("corrupt CSR header: node count exceeds VertexId range");
+    throw IoError(name, "corrupt CSR header: node count exceeds VertexId range");
   if (h.num_edges > (std::uint64_t{1} << 57))
-    f.fail("corrupt CSR header: implausible edge count");
+    throw IoError(name, "corrupt CSR header: implausible edge count");
   // Widths are <= 64 and counts are bounded above, so these products
   // cannot overflow.
   if (h.offset_bits != (h.num_nodes + 1) * h.offset_width)
-    f.fail("corrupt CSR header: offset bit count mismatch");
+    throw IoError(name, "corrupt CSR header: offset bit count mismatch");
   if (h.column_bits != h.num_edges * h.column_width)
-    f.fail("corrupt CSR header: column bit count mismatch");
+    throw IoError(name, "corrupt CSR header: column bit count mismatch");
+}
+
+BitPackedCsr assemble(const std::string& name, const Header& h,
+                      pcq::bits::FixedWidthArray offsets,
+                      pcq::bits::FixedWidthArray columns) {
+  // O(1) payload spot checks: the packed iA must start at 0 and end at the
+  // header's edge count, or every row slice derived from it is garbage.
+  // (pcq::check::validate_csr is the full O(n + m) scan; `pcq check`
+  // exposes it for files of untrusted provenance.)
+  if (offsets.get(0) != 0)
+    throw IoError(name, "corrupt CSR payload: first offset not 0");
+  if (offsets.get(static_cast<std::size_t>(h.num_nodes)) != h.num_edges)
+    throw IoError(name, "corrupt CSR payload: final offset != edge count");
+  return BitPackedCsr::from_parts(static_cast<graph::VertexId>(h.num_nodes),
+                                  static_cast<std::size_t>(h.num_edges),
+                                  std::move(offsets), std::move(columns));
 }
 
 }  // namespace
@@ -108,7 +154,7 @@ void validate_header(const File& f, const Header& h) {
 void save_bitpacked_csr(const BitPackedCsr& csr, const std::string& path) {
   File f(path, "wb");
   Header h{};
-  std::memcpy(h.magic, kMagic, 8);
+  std::memcpy(h.magic, kMagicV2, 8);
   h.canary = kEndianCanary;
   h.offset_width = csr.offset_bits();
   h.column_width = csr.column_bits();
@@ -117,48 +163,106 @@ void save_bitpacked_csr(const BitPackedCsr& csr, const std::string& path) {
   h.offset_bits = csr.packed_offsets().bits().size();
   h.column_bits = csr.packed_columns().bits().size();
   if (std::fwrite(&h, sizeof h, 1, f.get()) != 1) f.fail("short write");
+  std::size_t pos = sizeof h;
+  write_pad(f, pos);
   write_bits(f, csr.packed_offsets().bits());
+  pos += csr.packed_offsets().bits().words().size() * 8;
+  write_pad(f, pos);
   write_bits(f, csr.packed_columns().bits());
   if (std::fflush(f.get()) != 0) f.fail("short write");
 }
 
 namespace {
 
-BitPackedCsr load_from(const File& f) {
+BitPackedCsr load_from(const File& f, const std::string& name) {
   Header h{};
   if (std::fread(&h, sizeof h, 1, f.get()) != 1) f.fail("truncated header");
-  validate_header(f, h);
+  const bool v2 = std::memcmp(h.magic, kMagicV2, 8) == 0;
+  if (!v2 && std::memcmp(h.magic, kMagicV1, 8) != 0) f.fail("bad CSR magic");
+  validate_header(name, h);
 
+  std::size_t pos = sizeof h;
+  if (v2) skip_pad(f, pos);
   auto offsets = pcq::bits::FixedWidthArray::from_bits(
       read_bits(f, h.offset_bits),
       static_cast<std::size_t>(h.num_nodes) + 1, h.offset_width);
+  pos += static_cast<std::size_t>((h.offset_bits + 63) / 64) * 8;
+  if (v2) skip_pad(f, pos);
   auto columns = pcq::bits::FixedWidthArray::from_bits(
       read_bits(f, h.column_bits),
       static_cast<std::size_t>(h.num_edges), h.column_width);
-  // O(1) payload spot checks: the packed iA must start at 0 and end at the
-  // header's edge count, or every row slice derived from it is garbage.
-  // (pcq::check::validate_csr is the full O(n + m) scan; `pcq check`
-  // exposes it for files of untrusted provenance.)
-  if (offsets.get(0) != 0)
-    f.fail("corrupt CSR payload: first offset not 0");
-  if (offsets.get(static_cast<std::size_t>(h.num_nodes)) != h.num_edges)
-    f.fail("corrupt CSR payload: final offset != edge count");
-  return BitPackedCsr::from_parts(static_cast<graph::VertexId>(h.num_nodes),
-                                  static_cast<std::size_t>(h.num_edges),
-                                  std::move(offsets), std::move(columns));
+  return assemble(name, h, std::move(offsets), std::move(columns));
 }
 
 }  // namespace
 
 BitPackedCsr load_bitpacked_csr(const std::string& path) {
   File f(path, "rb");
-  return load_from(f);
+  return load_from(f, path);
 }
 
 BitPackedCsr load_bitpacked_csr_stream(std::FILE* stream,
                                        const std::string& name) {
   File f(stream, name);
-  return load_from(f);
+  return load_from(f, name);
+}
+
+BitPackedCsr map_bitpacked_csr_bytes(std::span<const std::byte> bytes,
+                                     const std::string& name) {
+  PCQ_CHECK_MSG(reinterpret_cast<std::uintptr_t>(bytes.data()) % 8 == 0,
+                "mapped CSR image must be 8-byte aligned");
+  if (bytes.size() < sizeof(Header)) throw IoError(name, "truncated header");
+  Header h{};
+  std::memcpy(&h, bytes.data(), sizeof h);
+  if (std::memcmp(h.magic, kMagicV2, 8) != 0) {
+    if (std::memcmp(h.magic, kMagicV1, 8) == 0)
+      throw IoError(name, "CSR v1 layout is not mappable (unaligned payload)");
+    throw IoError(name, "bad CSR magic");
+  }
+  validate_header(name, h);
+
+  // Payload geometry. offset_bits/column_bits were just validated as
+  // products of bounded factors, so the word counts fit comfortably and
+  // the running position cannot overflow.
+  const auto owords = static_cast<std::size_t>((h.offset_bits + 63) / 64);
+  const auto cwords = static_cast<std::size_t>((h.column_bits + 63) / 64);
+  const std::size_t opos = align_up(sizeof(Header));
+  const std::size_t cpos = align_up(opos + owords * 8);
+  if (cpos + cwords * 8 > bytes.size())
+    throw IoError(name, "truncated CSR file");
+
+  const auto words_at = [&](std::size_t pos, std::size_t count) {
+    return std::span<const std::uint64_t>(
+        reinterpret_cast<const std::uint64_t*>(bytes.data() + pos), count);
+  };
+  auto offsets = pcq::bits::FixedWidthArray::view(
+      words_at(opos, owords), static_cast<std::size_t>(h.num_nodes) + 1,
+      h.offset_width);
+  auto columns = pcq::bits::FixedWidthArray::view(
+      words_at(cpos, cwords), static_cast<std::size_t>(h.num_edges),
+      h.column_width);
+  return assemble(name, h, std::move(offsets), std::move(columns));
+}
+
+MappedCsr map_bitpacked_csr(const std::string& path) {
+  MappedCsr out;
+  if (!pcq::io::MappedFile::supported()) {
+    out.csr = load_bitpacked_csr(path);
+    return out;
+  }
+  pcq::io::MappedFile file = pcq::io::MappedFile::open(path);
+  // v1 files have unaligned payloads: fall back to the buffered loader
+  // rather than refusing files older releases wrote.
+  if (file.size() >= 8 && std::memcmp(file.data(), kMagicV1, 8) == 0) {
+    file = pcq::io::MappedFile();
+    out.csr = load_bitpacked_csr(path);
+    return out;
+  }
+  out.csr = map_bitpacked_csr_bytes(file.bytes(), path);
+  file.advise_random();  // serving decodes rows at arbitrary offsets
+  out.file = std::move(file);
+  out.mapped = true;
+  return out;
 }
 
 }  // namespace pcq::csr

@@ -5,21 +5,35 @@
 // (header + the two packed word arrays), so a graph compressed once can be
 // queried by later runs without re-running the pipeline. Little-endian
 // hosts only (checked via a header canary).
+//
+// Two on-disk layouts share the header/canary scheme:
+//   * v1 — header immediately followed by the packed words (legacy;
+//     read-only support).
+//   * v2 — each packed payload (iA, jA) starts on a 64-byte boundary
+//     relative to the file start. Written by save_bitpacked_csr; the
+//     alignment is what makes the file directly memory-mappable, so the
+//     packed arrays can be queried in place with zero payload copies
+//     (map_bitpacked_csr below).
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
+#include <span>
 #include <string>
 
 #include "csr/bitpacked_csr.hpp"
+#include "io/mapped_file.hpp"
 
 namespace pcq::csr {
 
-/// Writes `csr` to `path`. Throws pcq::IoError on I/O failure.
+/// Writes `csr` to `path` in the v2 (mmap-aligned) layout. Throws
+/// pcq::IoError on I/O failure.
 void save_bitpacked_csr(const BitPackedCsr& csr, const std::string& path);
 
-/// Reads a structure previously written by save_bitpacked_csr. Throws
-/// pcq::IoError on open/read failure, bad magic, a wrong endianness canary,
-/// an internally inconsistent header, or a truncated payload — never
+/// Reads a structure previously written by save_bitpacked_csr (v2) or by
+/// older releases (v1) — the buffered, copying loader. Throws pcq::IoError
+/// on open/read failure, bad magic, a wrong endianness canary, an
+/// internally inconsistent header, or a truncated payload — never
 /// returning a partially-constructed structure.
 BitPackedCsr load_bitpacked_csr(const std::string& path);
 
@@ -29,5 +43,33 @@ BitPackedCsr load_bitpacked_csr(const std::string& path);
 /// touching the filesystem.
 BitPackedCsr load_bitpacked_csr_stream(std::FILE* stream,
                                        const std::string& name);
+
+/// A bit-packed CSR whose packed arrays live in (borrow from) a mapped
+/// file. The mapping must outlive the structure, which is why the two
+/// travel together; `mapped` is false when map_bitpacked_csr had to fall
+/// back to the buffered loader (v1 file, or a host without mmap), in which
+/// case `file` is empty and `csr` owns its storage as usual.
+struct MappedCsr {
+  pcq::io::MappedFile file;
+  BitPackedCsr csr;
+  bool mapped = false;
+};
+
+/// Zero-copy load: maps `path` and constructs the CSR directly over the
+/// mapped payload bytes — O(1) in the payload size. Falls back to the
+/// buffered loader for v1 files and for hosts without mmap support.
+/// Throws pcq::IoError exactly like load_bitpacked_csr on anything
+/// malformed. The returned structure is untrusted until
+/// pcq::check::validate_csr passes on it (map -> validate -> serve).
+MappedCsr map_bitpacked_csr(const std::string& path);
+
+/// The mapped-view parser over an in-memory v2 image: `bytes.data()` must
+/// be 8-byte aligned and must outlive the returned structure, which
+/// borrows the payload words in place. Used by map_bitpacked_csr and by
+/// the fuzz harnesses (hostile offsets/headers over aligned copies of the
+/// fuzz input). Throws pcq::IoError on any malformed image, including v1
+/// magic (v1 payloads are unaligned, hence unmappable).
+BitPackedCsr map_bitpacked_csr_bytes(std::span<const std::byte> bytes,
+                                     const std::string& name);
 
 }  // namespace pcq::csr

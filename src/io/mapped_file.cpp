@@ -1,0 +1,104 @@
+#include "io/mapped_file.hpp"
+
+#include <atomic>
+
+#include "par/parallel_for.hpp"
+#include "util/io_error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PCQ_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define PCQ_HAS_MMAP 0
+#endif
+
+namespace pcq::io {
+
+bool MappedFile::supported() { return PCQ_HAS_MMAP != 0; }
+
+#if PCQ_HAS_MMAP
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw IoError(path, "cannot open file for mapping");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw IoError(path, "cannot stat file for mapping");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    throw IoError(path, "cannot map empty file");
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the inode
+  if (addr == MAP_FAILED) throw IoError(path, "mmap failed");
+  MappedFile f;
+  f.addr_ = addr;
+  f.size_ = size;
+  f.path_ = path;
+  return f;
+}
+
+void MappedFile::reset() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+  addr_ = nullptr;
+  size_ = 0;
+  path_.clear();
+}
+
+void MappedFile::advise_random() const {
+  if (addr_ != nullptr) ::madvise(addr_, size_, MADV_RANDOM);
+}
+
+void MappedFile::advise_sequential() const {
+  if (addr_ != nullptr) ::madvise(addr_, size_, MADV_SEQUENTIAL);
+}
+
+void MappedFile::advise_willneed() const {
+  if (addr_ != nullptr) ::madvise(addr_, size_, MADV_WILLNEED);
+}
+
+#else  // !PCQ_HAS_MMAP
+
+MappedFile MappedFile::open(const std::string& path) {
+  throw IoError(path, "memory mapping is not supported on this host");
+}
+
+void MappedFile::reset() {
+  addr_ = nullptr;
+  size_ = 0;
+  path_.clear();
+}
+
+void MappedFile::advise_random() const {}
+void MappedFile::advise_sequential() const {}
+void MappedFile::advise_willneed() const {}
+
+#endif  // PCQ_HAS_MMAP
+
+std::uint64_t MappedFile::touch_pages(int num_threads) const {
+  if (addr_ == nullptr) return 0;
+  advise_willneed();
+  constexpr std::size_t kPage = 4096;
+  const std::size_t pages = (size_ + kPage - 1) / kPage;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(addr_);
+  // Chunk-per-thread faulting with a local accumulator; one atomic fold
+  // per chunk keeps the checksum (which makes the reads unelidable) off
+  // the fault path.
+  std::atomic<std::uint64_t> total{0};
+  par::parallel_for_chunks(
+      pages, num_threads, [bytes, &total](std::size_t, par::ChunkRange r) {
+        std::uint64_t local = 0;
+        for (std::size_t pg = r.begin; pg < r.end; ++pg)
+          local += bytes[pg * kPage];
+        total.fetch_add(local, std::memory_order_relaxed);
+      });
+  return total.load(std::memory_order_relaxed);
+}
+
+}  // namespace pcq::io

@@ -1,0 +1,83 @@
+// pcq::io::MappedFile — read-only memory mapping of an on-disk artifact.
+//
+// The buffered loaders copy every packed payload through fread into heap
+// BitVectors, so service startup cost and resident memory both scale with
+// graph size. Mapping the file instead makes load time O(1): the packed
+// arrays are queried in place (BitVector/FixedWidthArray borrowed views),
+// and the kernel pages bytes in on demand — or up front via the parallel
+// page-touch warmup.
+//
+// Portability: mmap is POSIX. On non-Unix hosts `supported()` returns
+// false and `open()` throws; the map_csr/map_tcsr entry points fall back
+// to the buffered loader, so callers never need their own #ifdefs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+namespace pcq::io {
+
+class MappedFile {
+ public:
+  /// An empty mapping (no file). data() is null, size() is 0.
+  MappedFile() = default;
+
+  /// Maps `path` read-only. Throws pcq::IoError when the file cannot be
+  /// opened, stat'd or mapped, and on hosts without mmap support.
+  static MappedFile open(const std::string& path);
+
+  /// True when this host can memory-map files at all.
+  static bool supported();
+
+  ~MappedFile() { reset(); }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { swap(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      reset();
+      swap(other);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] const std::byte* data() const {
+    return static_cast<const std::byte*>(addr_);
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return addr_ == nullptr; }
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return {data(), size_};
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// madvise hints (no-ops where unsupported): the serving access pattern
+  /// is random row decodes; the warmup pass is sequential.
+  void advise_random() const;
+  void advise_sequential() const;
+  void advise_willneed() const;
+
+  /// Parallel page-touch warmup: reads one byte per page across
+  /// `num_threads` chunks (0 = all hardware threads), forcing the kernel
+  /// to fault the whole mapping in before serving starts. Returns a
+  /// checksum of the touched bytes so the reads cannot be elided.
+  std::uint64_t touch_pages(int num_threads) const;
+
+ private:
+  void reset();
+  void swap(MappedFile& other) noexcept {
+    std::swap(addr_, other.addr_);
+    std::swap(size_, other.size_);
+    std::swap(path_, other.path_);
+  }
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace pcq::io

@@ -13,10 +13,19 @@ namespace pcq::tcsr {
 
 namespace {
 
-// Format v2: v1 lacked the endianness canary, so a big-endian (or
-// bit-flipped) file decoded into garbage counts instead of being rejected.
-constexpr char kMagic[8] = {'P', 'C', 'Q', 'T', 'C', 'S', 'R', '2'};
+// Format lineage: v1 lacked the endianness canary (a big-endian or
+// bit-flipped file decoded into garbage counts instead of being rejected);
+// v2 added it; v3 keeps the v2 headers but 64-byte-aligns every frame
+// payload so the file can be queried in place through mmap.
+constexpr char kMagicV2[8] = {'P', 'C', 'Q', 'T', 'C', 'S', 'R', '2'};
+constexpr char kMagicV3[8] = {'P', 'C', 'Q', 'T', 'C', 'S', 'R', '3'};
 constexpr std::uint32_t kEndianCanary = 0x01020304;
+
+constexpr std::size_t kPayloadAlign = 64;
+
+constexpr std::size_t align_up(std::size_t pos) {
+  return (pos + kPayloadAlign - 1) & ~(kPayloadAlign - 1);
+}
 
 struct FileHeader {
   char magic[8];
@@ -67,6 +76,25 @@ void write_bits(const File& f, const pcq::bits::BitVector& bits) {
     f.fail("short write");
 }
 
+/// Writes zero bytes advancing `pos` to the next payload boundary.
+void write_pad(const File& f, std::size_t& pos) {
+  static constexpr char kZeros[kPayloadAlign] = {};
+  const std::size_t pad = align_up(pos) - pos;
+  if (pad != 0 && std::fwrite(kZeros, 1, pad, f.get()) != pad)
+    f.fail("short write");
+  pos += pad;
+}
+
+/// Consumes padding up to the next payload boundary (fread, not fseek, so
+/// pipes and fmemopen streams behave identically).
+void skip_pad(const File& f, std::size_t& pos) {
+  char sink[kPayloadAlign];
+  const std::size_t pad = align_up(pos) - pos;
+  if (pad != 0 && std::fread(sink, 1, pad, f.get()) != pad)
+    f.fail("truncated TCSR file");
+  pos += pad;
+}
+
 pcq::bits::BitVector read_bits(const File& f, std::uint64_t nbits) {
   const auto total = static_cast<std::size_t>((nbits + 63) / 64);
   // Bounded-slab read: a corrupt frame header can declare a payload of many
@@ -87,31 +115,52 @@ pcq::bits::BitVector read_bits(const File& f, std::uint64_t nbits) {
   return pcq::bits::BitVector::from_words(std::move(words), nbits);
 }
 
-void validate_header(const File& f, const FileHeader& h) {
-  if (std::memcmp(h.magic, kMagic, 8) != 0) {
+/// Shared by the buffered and mapped parsers; throws IoError labelled with
+/// `name`. Returns true for the padded (v3) layout.
+bool validate_header(const std::string& name, const FileHeader& h) {
+  const bool v3 = std::memcmp(h.magic, kMagicV3, 8) == 0;
+  if (!v3 && std::memcmp(h.magic, kMagicV2, 8) != 0) {
     // The v1 layout is header-incompatible (no canary field); name the
     // actual problem instead of a generic magic failure.
-    if (std::memcmp(h.magic, kMagic, 7) == 0 && h.magic[7] == '1')
-      f.fail("unsupported TCSR format v1 — re-run tcompress");
-    f.fail("bad TCSR magic");
+    if (std::memcmp(h.magic, kMagicV2, 7) == 0 && h.magic[7] == '1')
+      throw IoError(name, "unsupported TCSR format v1 — re-run tcompress");
+    throw IoError(name, "bad TCSR magic");
   }
-  if (h.canary != kEndianCanary) f.fail("endianness canary mismatch");
+  if (h.canary != kEndianCanary)
+    throw IoError(name, "endianness canary mismatch");
   if (h.num_nodes > std::numeric_limits<graph::VertexId>::max() - 1)
-    f.fail("corrupt TCSR header: node count exceeds VertexId range");
+    throw IoError(name, "corrupt TCSR header: node count exceeds VertexId range");
   if (h.num_frames > std::numeric_limits<graph::TimeFrame>::max())
-    f.fail("corrupt TCSR header: frame count exceeds TimeFrame range");
+    throw IoError(name, "corrupt TCSR header: frame count exceeds TimeFrame range");
+  return v3;
 }
 
-void validate_frame(const File& f, const FileHeader& h, const FrameHeader& fh) {
+void validate_frame(const std::string& name, const FileHeader& h,
+                    const FrameHeader& fh) {
   if (fh.offset_width < 1 || fh.offset_width > 64 || fh.column_width < 1 ||
       fh.column_width > 64)
-    f.fail("corrupt TCSR frame: bit width out of [1, 64]");
+    throw IoError(name, "corrupt TCSR frame: bit width out of [1, 64]");
   if (fh.num_edges > (std::uint64_t{1} << 57))
-    f.fail("corrupt TCSR frame: implausible edge count");
+    throw IoError(name, "corrupt TCSR frame: implausible edge count");
   if (fh.offset_bits != (h.num_nodes + 1) * fh.offset_width)
-    f.fail("corrupt TCSR frame: offset bit count mismatch");
+    throw IoError(name, "corrupt TCSR frame: offset bit count mismatch");
   if (fh.column_bits != fh.num_edges * fh.column_width)
-    f.fail("corrupt TCSR frame: column bit count mismatch");
+    throw IoError(name, "corrupt TCSR frame: column bit count mismatch");
+}
+
+csr::BitPackedCsr assemble_frame(const std::string& name, const FileHeader& h,
+                                 const FrameHeader& fh,
+                                 pcq::bits::FixedWidthArray offsets,
+                                 pcq::bits::FixedWidthArray columns) {
+  // O(1) per-frame payload spot checks (full scan: validate_tcsr).
+  if (offsets.get(0) != 0)
+    throw IoError(name, "corrupt TCSR frame payload: first offset not 0");
+  if (offsets.get(static_cast<std::size_t>(h.num_nodes)) != fh.num_edges)
+    throw IoError(name, "corrupt TCSR frame payload: final offset != edge count");
+  return csr::BitPackedCsr::from_parts(
+      static_cast<graph::VertexId>(h.num_nodes),
+      static_cast<std::size_t>(fh.num_edges), std::move(offsets),
+      std::move(columns));
 }
 
 }  // namespace
@@ -119,11 +168,12 @@ void validate_frame(const File& f, const FileHeader& h, const FrameHeader& fh) {
 void save_tcsr(const DifferentialTcsr& tcsr, const std::string& path) {
   File f(path, "wb");
   FileHeader h{};
-  std::memcpy(h.magic, kMagic, 8);
+  std::memcpy(h.magic, kMagicV3, 8);
   h.canary = kEndianCanary;
   h.num_nodes = tcsr.num_nodes();
   h.num_frames = tcsr.num_frames();
   if (std::fwrite(&h, sizeof h, 1, f.get()) != 1) f.fail("short write");
+  std::size_t pos = sizeof h;
   for (graph::TimeFrame t = 0; t < tcsr.num_frames(); ++t) {
     const csr::BitPackedCsr& d = tcsr.delta(t);
     FrameHeader fh{};
@@ -133,43 +183,47 @@ void save_tcsr(const DifferentialTcsr& tcsr, const std::string& path) {
     fh.offset_bits = d.packed_offsets().bits().size();
     fh.column_bits = d.packed_columns().bits().size();
     if (std::fwrite(&fh, sizeof fh, 1, f.get()) != 1) f.fail("short write");
+    pos += sizeof fh;
+    write_pad(f, pos);
     write_bits(f, d.packed_offsets().bits());
+    pos += d.packed_offsets().bits().words().size() * 8;
+    write_pad(f, pos);
     write_bits(f, d.packed_columns().bits());
+    pos += d.packed_columns().bits().words().size() * 8;
   }
   if (std::fflush(f.get()) != 0) f.fail("short write");
 }
 
 namespace {
 
-DifferentialTcsr load_from(const File& f) {
+DifferentialTcsr load_from(const File& f, const std::string& name) {
   FileHeader h{};
   if (std::fread(&h, sizeof h, 1, f.get()) != 1) f.fail("truncated header");
-  validate_header(f, h);
+  const bool padded = validate_header(name, h);
 
   std::vector<csr::BitPackedCsr> deltas;
   // A corrupt frame count is caught by the first truncated frame read;
   // cap the reserve so it cannot pre-allocate gigabytes before that.
   deltas.reserve(std::min<std::uint64_t>(h.num_frames, 1 << 16));
+  std::size_t pos = sizeof h;
   for (std::uint64_t t = 0; t < h.num_frames; ++t) {
     FrameHeader fh{};
     if (std::fread(&fh, sizeof fh, 1, f.get()) != 1)
       f.fail("truncated frame header");
-    validate_frame(f, h, fh);
+    validate_frame(name, h, fh);
+    pos += sizeof fh;
+    if (padded) skip_pad(f, pos);
     auto offsets = pcq::bits::FixedWidthArray::from_bits(
         read_bits(f, fh.offset_bits),
         static_cast<std::size_t>(h.num_nodes) + 1, fh.offset_width);
+    pos += static_cast<std::size_t>((fh.offset_bits + 63) / 64) * 8;
+    if (padded) skip_pad(f, pos);
     auto columns = pcq::bits::FixedWidthArray::from_bits(
         read_bits(f, fh.column_bits),
         static_cast<std::size_t>(fh.num_edges), fh.column_width);
-    // O(1) per-frame payload spot checks (full scan: validate_tcsr).
-    if (offsets.get(0) != 0)
-      f.fail("corrupt TCSR frame payload: first offset not 0");
-    if (offsets.get(static_cast<std::size_t>(h.num_nodes)) != fh.num_edges)
-      f.fail("corrupt TCSR frame payload: final offset != edge count");
-    deltas.push_back(csr::BitPackedCsr::from_parts(
-        static_cast<graph::VertexId>(h.num_nodes),
-        static_cast<std::size_t>(fh.num_edges), std::move(offsets),
-        std::move(columns)));
+    pos += static_cast<std::size_t>((fh.column_bits + 63) / 64) * 8;
+    deltas.push_back(
+        assemble_frame(name, h, fh, std::move(offsets), std::move(columns)));
   }
   return DifferentialTcsr::from_parts(static_cast<graph::VertexId>(h.num_nodes),
                                       std::move(deltas));
@@ -179,12 +233,79 @@ DifferentialTcsr load_from(const File& f) {
 
 DifferentialTcsr load_tcsr(const std::string& path) {
   File f(path, "rb");
-  return load_from(f);
+  return load_from(f, path);
 }
 
 DifferentialTcsr load_tcsr_stream(std::FILE* stream, const std::string& name) {
   File f(stream, name);
-  return load_from(f);
+  return load_from(f, name);
+}
+
+DifferentialTcsr map_tcsr_bytes(std::span<const std::byte> bytes,
+                                const std::string& name) {
+  PCQ_CHECK_MSG(reinterpret_cast<std::uintptr_t>(bytes.data()) % 8 == 0,
+                "mapped TCSR image must be 8-byte aligned");
+  if (bytes.size() < sizeof(FileHeader))
+    throw IoError(name, "truncated header");
+  FileHeader h{};
+  std::memcpy(&h, bytes.data(), sizeof h);
+  if (!validate_header(name, h))
+    throw IoError(name, "TCSR v2 layout is not mappable (unaligned payload)");
+
+  std::vector<csr::BitPackedCsr> deltas;
+  deltas.reserve(std::min<std::uint64_t>(h.num_frames, 1 << 16));
+  std::size_t pos = sizeof h;
+  const auto words_at = [&](std::size_t at, std::size_t count) {
+    return std::span<const std::uint64_t>(
+        reinterpret_cast<const std::uint64_t*>(bytes.data() + at), count);
+  };
+  for (std::uint64_t t = 0; t < h.num_frames; ++t) {
+    if (pos + sizeof(FrameHeader) > bytes.size())
+      throw IoError(name, "truncated frame header");
+    FrameHeader fh{};
+    std::memcpy(&fh, bytes.data() + pos, sizeof fh);
+    validate_frame(name, h, fh);
+    // Bit counts were just validated as products of bounded factors, so
+    // the word counts and running position cannot overflow.
+    const auto owords = static_cast<std::size_t>((fh.offset_bits + 63) / 64);
+    const auto cwords = static_cast<std::size_t>((fh.column_bits + 63) / 64);
+    const std::size_t opos = align_up(pos + sizeof fh);
+    const std::size_t cpos = align_up(opos + owords * 8);
+    if (cpos + cwords * 8 > bytes.size())
+      throw IoError(name, "truncated TCSR file");
+    auto offsets = pcq::bits::FixedWidthArray::view(
+        words_at(opos, owords), static_cast<std::size_t>(h.num_nodes) + 1,
+        fh.offset_width);
+    auto columns = pcq::bits::FixedWidthArray::view(
+        words_at(cpos, cwords), static_cast<std::size_t>(fh.num_edges),
+        fh.column_width);
+    deltas.push_back(
+        assemble_frame(name, h, fh, std::move(offsets), std::move(columns)));
+    pos = cpos + cwords * 8;
+  }
+  return DifferentialTcsr::from_parts(static_cast<graph::VertexId>(h.num_nodes),
+                                      std::move(deltas));
+}
+
+MappedTcsr map_tcsr(const std::string& path) {
+  MappedTcsr out;
+  if (!pcq::io::MappedFile::supported()) {
+    out.tcsr = load_tcsr(path);
+    return out;
+  }
+  pcq::io::MappedFile file = pcq::io::MappedFile::open(path);
+  // v2 files have unaligned payloads: fall back to the buffered loader
+  // rather than refusing files older releases wrote.
+  if (file.size() >= 8 && std::memcmp(file.data(), kMagicV2, 8) == 0) {
+    file = pcq::io::MappedFile();
+    out.tcsr = load_tcsr(path);
+    return out;
+  }
+  out.tcsr = map_tcsr_bytes(file.bytes(), path);
+  file.advise_random();
+  out.file = std::move(file);
+  out.mapped = true;
+  return out;
 }
 
 }  // namespace pcq::tcsr

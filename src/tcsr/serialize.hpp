@@ -1,28 +1,65 @@
 // On-disk persistence of the differential TCSR: one header plus each
 // frame's bit-packed delta arrays, so a compressed history is built once
 // and queried by later runs.
+//
+// Two layouts share the header/canary scheme:
+//   * v2 — headers and payloads packed back to back (legacy; read-only).
+//   * v3 — every frame's packed payload (delta iA, delta jA) starts on a
+//     64-byte boundary relative to the file start. Written by save_tcsr;
+//     the alignment makes the file directly memory-mappable so every
+//     frame's arrays can be queried in place with zero payload copies
+//     (map_tcsr below).
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
+#include <span>
 #include <string>
 
+#include "io/mapped_file.hpp"
 #include "tcsr/tcsr.hpp"
 
 namespace pcq::tcsr {
 
-/// Writes `tcsr` to `path` (format v2: canary-carrying header + one
-/// bit-packed delta pair per frame). Throws pcq::IoError on I/O failure.
+/// Writes `tcsr` to `path` (format v3: canary-carrying header + one
+/// 64-byte-aligned bit-packed delta pair per frame). Throws pcq::IoError
+/// on I/O failure.
 void save_tcsr(const DifferentialTcsr& tcsr, const std::string& path);
 
-/// Reads a history previously written by save_tcsr. Throws pcq::IoError on
-/// open/read failure, bad magic (including v1 files), a wrong endianness
-/// canary, inconsistent frame geometry, or a truncated payload — never
-/// returning a partially-constructed structure.
+/// Reads a history previously written by save_tcsr (v3) or by older
+/// releases (v2). Throws pcq::IoError on open/read failure, bad magic
+/// (including v1 files), a wrong endianness canary, inconsistent frame
+/// geometry, or a truncated payload — never returning a
+/// partially-constructed structure.
 DifferentialTcsr load_tcsr(const std::string& path);
 
 /// Same parser over an already-open stream (the caller keeps ownership and
 /// closes it). `name` labels IoError diagnostics. Used by the fuzz
 /// harnesses to feed arbitrary bytes through the loader via fmemopen.
 DifferentialTcsr load_tcsr_stream(std::FILE* stream, const std::string& name);
+
+/// A differential TCSR whose per-frame packed arrays borrow from a mapped
+/// file; the mapping must outlive the structure. `mapped` is false when
+/// map_tcsr fell back to the buffered loader (v2 file, or no mmap on this
+/// host), in which case `file` is empty and `tcsr` owns its storage.
+struct MappedTcsr {
+  pcq::io::MappedFile file;
+  DifferentialTcsr tcsr;
+  bool mapped = false;
+};
+
+/// Zero-copy load: maps `path` and constructs every frame's delta CSR
+/// directly over the mapped payload bytes — O(frames), independent of the
+/// payload size. Falls back to the buffered loader for v2 files and hosts
+/// without mmap. Throws pcq::IoError exactly like load_tcsr. The result is
+/// untrusted until pcq::check::validate_tcsr passes on it.
+MappedTcsr map_tcsr(const std::string& path);
+
+/// The mapped-view parser over an in-memory v3 image: `bytes.data()` must
+/// be 8-byte aligned and outlive the returned structure, which borrows
+/// every frame payload in place. Used by map_tcsr and the fuzz harnesses.
+/// Throws pcq::IoError on any malformed image, including v1/v2 magic.
+DifferentialTcsr map_tcsr_bytes(std::span<const std::byte> bytes,
+                                const std::string& name);
 
 }  // namespace pcq::tcsr

@@ -43,6 +43,16 @@ grep -q "tcsr.differential_scan" "$TMP/snap.json"
 "$PCQ" check "$TMP/g.csr" | grep -q "check OK"
 "$PCQ" check "$TMP/t.tcsr" --threads 2 | grep -q "check OK"
 
+# Zero-copy mapped serving: --mmap must answer every query identically to
+# the buffered path, and check must pass over the mapped views.
+"$PCQ" query "$TMP/g.csr" --edge 0,1 --mmap | grep -q "present"
+"$PCQ" query "$TMP/g.csr" --node 0 --mmap | grep -q "neighbors(0) \[2\]: 1 2"
+"$PCQ" check "$TMP/g.csr" --mmap | grep -q "check OK"
+"$PCQ" check "$TMP/g.csr" --mmap | grep -q "(mapped)"
+"$PCQ" tquery "$TMP/t.tcsr" --edge 0,1 --frame 1 --mmap | grep -q "frame 1: active"
+"$PCQ" tquery "$TMP/t.tcsr" --node 1 --frame 1 --mmap | grep -q "neighbors(1) at frame 1 \[1\]: 2"
+"$PCQ" check "$TMP/t.tcsr" --mmap | grep -q "check OK"
+
 # --- Negative cases: corrupt inputs are refused with a typed IoError -------
 # (exit 3, "error: ..." on stderr), never a crash/abort. `set -e` is
 # suspended around each expected failure via the if-negation idiom.
@@ -84,6 +94,17 @@ expect_ioerror "query truncated payload" "$PCQ" query "$TMP/trunc-payload.csr" -
 head -c 40 "$TMP/t.tcsr" > "$TMP/trunc.tcsr"
 expect_ioerror "tquery truncated tcsr" "$PCQ" tquery "$TMP/trunc.tcsr" --edge 0,1 --frame 0
 
+# The mapped load path must refuse the same corrupted fixtures with the
+# same typed IoError (exit 3) — a bad file is rejected identically whether
+# it is read or mapped.
+expect_ioerror "mmap query garbage csr"      "$PCQ" query "$TMP/bad.csr" --node 0 --mmap
+expect_ioerror "mmap check garbage csr"      "$PCQ" check "$TMP/bad.csr" --mmap
+expect_ioerror "mmap query truncated header" "$PCQ" query "$TMP/trunc-header.csr" --node 0 --mmap
+expect_ioerror "mmap query truncated payload" "$PCQ" query "$TMP/trunc-payload.csr" --node 0 --mmap
+expect_ioerror "mmap tquery garbage tcsr"    "$PCQ" tquery "$TMP/bad.tcsr" --edge 0,1 --frame 0 --mmap
+expect_ioerror "mmap check garbage tcsr"     "$PCQ" check "$TMP/bad.tcsr" --mmap
+expect_ioerror "mmap tquery truncated tcsr"  "$PCQ" tquery "$TMP/trunc.tcsr" --edge 0,1 --frame 0 --mmap
+
 # Binary edge lists: bad magic and a truncated payload (the header's edge
 # count promises more than the file holds).
 printf "NOTMAGIC" > "$TMP/bad.bin"
@@ -120,6 +141,15 @@ if [ -n "$SERVE" ]; then
   grep -q "edge (0, 1): present" "$TMP/serve_t.out"
   grep -q "edge (0, 1): absent" "$TMP/serve_t.out"
   "$SERVE" "$TMP/g.csr" --demo 2000 --shards 2 | grep -q "demo done"
+  # Mapped serving: same answers straight off the mapping, with warmup and
+  # the pre-serve validation gate; a corrupt file is refused identically.
+  printf "degree 0\nn 0\nquit\n" | "$SERVE" "$TMP/g.csr" --tcsr "$TMP/t.tcsr" \
+      --mmap --warm --validate > "$TMP/serve_m.out"
+  grep -q "loaded in .* (mapped)" "$TMP/serve_m.out"
+  grep -q "warmed" "$TMP/serve_m.out"
+  grep -q "validation passed" "$TMP/serve_m.out"
+  grep -q "degree(0) = 2" "$TMP/serve_m.out"
+  grep -q "neighbors(0) \[2\]: 1 2" "$TMP/serve_m.out"
   # STATS dumps the service snapshot plus the pcq::obs registry; TRACE
   # exports the span flight-recorder as Chrome trace JSON.
   printf "degree 0\nSTATS\nTRACE %s\nquit\n" "$TMP/serve_trace.json" \
@@ -135,6 +165,9 @@ if [ -n "$SERVE" ]; then
   printf "garbage" > "$TMP/bad.csr"
   if "$SERVE" "$TMP/bad.csr" < /dev/null > /dev/null 2>&1; then
     echo "corrupt csr was not refused"; exit 1
+  fi
+  if "$SERVE" "$TMP/bad.csr" --mmap < /dev/null > /dev/null 2>&1; then
+    echo "corrupt csr was not refused under --mmap"; exit 1
   fi
 fi
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "bits/bitvector.hpp"
@@ -263,6 +264,25 @@ TEST(ValidateTcsr, ParityRoundtripRunsCleanOnValidHistories) {
   opts.parity_roundtrip = true;
   const ValidationReport report = validate_tcsr(tcsr, opts);
   EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(PackedGeometry, FromBitsRefusesOverflowingSizeTimesWidth) {
+  // Regression: `storage.size() >= size * width` used to wrap for a
+  // header-supplied size near SIZE_MAX, letting an adversarial file pass
+  // the geometry gate with a tiny buffer. The checked multiply must die
+  // loudly instead of wrapping quietly.
+  bits::BitVector storage;
+  storage.push_back(true);
+  constexpr std::size_t kHuge = std::numeric_limits<std::size_t>::max() / 8;
+  EXPECT_DEATH(
+      (void)bits::FixedWidthArray::from_bits(std::move(storage), kHuge, 64),
+      "overflow");
+}
+
+TEST(PackedGeometry, ViewRefusesOverflowingSizeTimesWidth) {
+  const std::vector<std::uint64_t> words(4);
+  constexpr std::size_t kHuge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_DEATH((void)bits::FixedWidthArray::view(words, kHuge, 3), "overflow");
 }
 
 }  // namespace

@@ -1,0 +1,351 @@
+// Differential suite for the zero-copy mmap load path: whatever the
+// buffered loader answers, the mapped view must answer byte for byte — on
+// randomized graphs and on the layout's edge cases (empty graph, single
+// vertex, zero-edge frames, width-64 columns). Plus the lifetime/safety
+// contract: borrowed views refuse short spans, MappedFile turns every
+// malformed file into a typed IoError, and a v1 file falls back to the
+// buffered loader instead of being misparsed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "bits/packed_array.hpp"
+#include "check/validate.hpp"
+#include "csr/builder.hpp"
+#include "csr/serialize.hpp"
+#include "graph/generators.hpp"
+#include "io/mapped_file.hpp"
+#include "tcsr/serialize.hpp"
+#include "tcsr/tcsr.hpp"
+#include "util/io_error.hpp"
+
+namespace pcq {
+namespace {
+
+using graph::TimeFrame;
+using graph::VertexId;
+
+class MmapSerializeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pcq_mmap_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  /// Overwrites one byte at `at` (corruption injection).
+  void poke(const std::string& file, std::size_t at, unsigned char value) {
+    std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(static_cast<std::streamoff>(at));
+    f.write(reinterpret_cast<const char*>(&value), 1);
+  }
+
+  /// Truncates `file` to its first `keep` bytes.
+  void truncate(const std::string& file, std::size_t keep) {
+    std::filesystem::resize_file(file, keep);
+  }
+
+  std::filesystem::path dir_;
+};
+
+csr::BitPackedCsr sample_csr(std::uint64_t seed) {
+  graph::EdgeList g = graph::rmat(1 << 10, 20'000, 0.57, 0.19, 0.19, seed, 4);
+  g.sort(4);
+  return csr::build_bitpacked_csr_from_sorted(g, 1 << 10, 4);
+}
+
+void expect_same_answers(const csr::BitPackedCsr& a,
+                         const csr::BitPackedCsr& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(a.packed_offsets() == b.packed_offsets());
+  EXPECT_TRUE(a.packed_columns() == b.packed_columns());
+  for (VertexId u = 0; u < a.num_nodes(); ++u) {
+    ASSERT_EQ(a.degree(u), b.degree(u)) << "u=" << u;
+    ASSERT_EQ(a.neighbors(u), b.neighbors(u)) << "u=" << u;
+  }
+  for (VertexId u = 0; u < a.num_nodes(); u += 13)
+    for (VertexId v = 0; v < a.num_nodes(); v += 29)
+      ASSERT_EQ(a.has_edge(u, v), b.has_edge(u, v)) << u << "," << v;
+}
+
+TEST_F(MmapSerializeTest, CsrBufferedAndMappedAgreeOnRandomGraphs) {
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    const csr::BitPackedCsr original = sample_csr(seed);
+    save_bitpacked_csr(original, path("g.csr"));
+    const csr::BitPackedCsr buffered = csr::load_bitpacked_csr(path("g.csr"));
+    const csr::MappedCsr mapped = csr::map_bitpacked_csr(path("g.csr"));
+    if (io::MappedFile::supported()) {
+      EXPECT_TRUE(mapped.mapped);
+    }
+    expect_same_answers(buffered, mapped.csr);
+    expect_same_answers(original, mapped.csr);
+  }
+}
+
+TEST_F(MmapSerializeTest, CsrEmptyGraphMaps) {
+  const auto empty = csr::build_csr_from_sorted(graph::EdgeList{}, 8, 2);
+  const auto packed = csr::BitPackedCsr::from_csr(empty, 2);
+  save_bitpacked_csr(packed, path("empty.csr"));
+  const csr::MappedCsr mapped = csr::map_bitpacked_csr(path("empty.csr"));
+  EXPECT_EQ(mapped.csr.num_nodes(), 8u);
+  EXPECT_EQ(mapped.csr.num_edges(), 0u);
+  EXPECT_TRUE(mapped.csr.neighbors(0).empty());
+}
+
+TEST_F(MmapSerializeTest, CsrSingleVertexMaps) {
+  graph::EdgeList g;
+  g.push_back({0, 0});  // one self-loop on the only vertex
+  g.sort(1);
+  const auto packed = csr::build_bitpacked_csr_from_sorted(g, 1, 1);
+  save_bitpacked_csr(packed, path("one.csr"));
+  const csr::MappedCsr mapped = csr::map_bitpacked_csr(path("one.csr"));
+  expect_same_answers(packed, mapped.csr);
+}
+
+TEST_F(MmapSerializeTest, CsrWidth64ColumnsMap) {
+  // Maximum-width packed entries exercise the codec's word-crossing path
+  // and the view geometry at its extreme (one word per element).
+  const std::vector<std::uint64_t> offs = {0, 2, 3};
+  const std::vector<std::uint64_t> cols = {0, 1, 1};
+  const auto packed = csr::BitPackedCsr::from_parts(
+      2, 3, bits::FixedWidthArray::pack_with_width(offs, 64, 1),
+      bits::FixedWidthArray::pack_with_width(cols, 64, 1));
+  save_bitpacked_csr(packed, path("w64.csr"));
+  const csr::BitPackedCsr buffered = csr::load_bitpacked_csr(path("w64.csr"));
+  const csr::MappedCsr mapped = csr::map_bitpacked_csr(path("w64.csr"));
+  expect_same_answers(buffered, mapped.csr);
+  EXPECT_EQ(mapped.csr.offset_bits(), 64u);
+  EXPECT_EQ(mapped.csr.column_bits(), 64u);
+}
+
+TEST_F(MmapSerializeTest, ValidatorPassesOnMappedCsr) {
+  save_bitpacked_csr(sample_csr(9), path("g.csr"));
+  const csr::MappedCsr mapped = csr::map_bitpacked_csr(path("g.csr"));
+  const auto report = check::validate_csr(mapped.csr);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(MmapSerializeTest, MappedCsrBorrowsFilePayload) {
+  // The zero-copy claim, asserted directly: the packed arrays' word
+  // storage must point INTO the mapping, not at heap copies.
+  if (!io::MappedFile::supported()) GTEST_SKIP() << "no mmap on this host";
+  save_bitpacked_csr(sample_csr(11), path("g.csr"));
+  const csr::MappedCsr mapped = csr::map_bitpacked_csr(path("g.csr"));
+  ASSERT_TRUE(mapped.mapped);
+  const auto* base = reinterpret_cast<const unsigned char*>(mapped.file.data());
+  const auto* end = base + mapped.file.size();
+  const auto in_file = [&](std::span<const std::uint64_t> words) {
+    const auto* p = reinterpret_cast<const unsigned char*>(words.data());
+    return p >= base && p + words.size() * 8 <= end;
+  };
+  EXPECT_TRUE(in_file(mapped.csr.packed_offsets().bits().words()));
+  EXPECT_TRUE(in_file(mapped.csr.packed_columns().bits().words()));
+  EXPECT_FALSE(mapped.csr.packed_offsets().bits().owns_storage());
+  EXPECT_FALSE(mapped.csr.packed_columns().bits().owns_storage());
+}
+
+TEST_F(MmapSerializeTest, V1CsrFallsBackToBufferedLoad) {
+  // Hand-written v1 image (unaligned payloads): one vertex with a
+  // self-loop. iA = [0, 1] at width 1 (bits 0b10), jA = [0] at width 1.
+  struct V1Header {
+    char magic[8];
+    std::uint32_t canary, offset_width, column_width, reserved;
+    std::uint64_t num_nodes, num_edges, offset_bits, column_bits;
+  };
+  static_assert(sizeof(V1Header) == 56);
+  V1Header h{};
+  std::memcpy(h.magic, "PCQCSRv1", 8);
+  h.canary = 0x01020304;
+  h.offset_width = h.column_width = 1;
+  h.num_nodes = h.num_edges = 1;
+  h.offset_bits = 2;
+  h.column_bits = 1;
+  const std::uint64_t ia_word = 0b10, ja_word = 0;
+  {
+    std::ofstream f(path("v1.csr"), std::ios::binary);
+    f.write(reinterpret_cast<const char*>(&h), sizeof h);
+    f.write(reinterpret_cast<const char*>(&ia_word), 8);
+    f.write(reinterpret_cast<const char*>(&ja_word), 8);
+  }
+  const csr::MappedCsr loaded = csr::map_bitpacked_csr(path("v1.csr"));
+  EXPECT_FALSE(loaded.mapped);  // legacy layout: buffered fallback
+  EXPECT_EQ(loaded.csr.num_nodes(), 1u);
+  EXPECT_EQ(loaded.csr.degree(0), 1u);
+  EXPECT_TRUE(loaded.csr.has_edge(0, 0));
+  // The in-memory mapped parser must refuse the same image outright.
+  std::vector<std::uint64_t> raw(9);
+  std::memcpy(raw.data(), &h, sizeof h);
+  raw[7] = ia_word;
+  raw[8] = ja_word;
+  EXPECT_THROW(csr::map_bitpacked_csr_bytes(
+                   std::as_bytes(std::span(raw)), "v1"),
+               IoError);
+}
+
+// ---- TCSR ----
+
+tcsr::DifferentialTcsr sample_tcsr(std::uint64_t seed) {
+  const auto events = graph::evolving_graph(100, 5000, 12, seed, 4);
+  return tcsr::DifferentialTcsr::build(events, 100, 12, 4);
+}
+
+void expect_same_history(const tcsr::DifferentialTcsr& a,
+                         const tcsr::DifferentialTcsr& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_frames(), b.num_frames());
+  for (TimeFrame t = 0; t < a.num_frames(); ++t) {
+    EXPECT_TRUE(a.delta(t).packed_offsets() == b.delta(t).packed_offsets())
+        << "t=" << t;
+    EXPECT_TRUE(a.delta(t).packed_columns() == b.delta(t).packed_columns())
+        << "t=" << t;
+    for (VertexId u = 0; u < a.num_nodes(); u += 17)
+      ASSERT_EQ(a.neighbors_at(u, t), b.neighbors_at(u, t))
+          << "u=" << u << " t=" << t;
+  }
+  for (VertexId u = 0; u < a.num_nodes(); u += 13)
+    for (VertexId v = 0; v < a.num_nodes(); v += 29)
+      ASSERT_EQ(a.edge_active(u, v, a.num_frames() - 1),
+                b.edge_active(u, v, b.num_frames() - 1));
+}
+
+TEST_F(MmapSerializeTest, TcsrBufferedAndMappedAgreeOnRandomHistories) {
+  for (std::uint64_t seed : {2u, 23u}) {
+    const auto original = sample_tcsr(seed);
+    save_tcsr(original, path("h.tcsr"));
+    const auto buffered = tcsr::load_tcsr(path("h.tcsr"));
+    const tcsr::MappedTcsr mapped = tcsr::map_tcsr(path("h.tcsr"));
+    if (io::MappedFile::supported()) {
+      EXPECT_TRUE(mapped.mapped);
+    }
+    expect_same_history(buffered, mapped.tcsr);
+    expect_same_history(original, mapped.tcsr);
+  }
+}
+
+TEST_F(MmapSerializeTest, TcsrZeroEdgeFramesMap) {
+  // Events only at frames 0 and 4 of 6 — the middle frames carry empty
+  // deltas, whose zero-length payloads still get aligned slots on disk.
+  graph::TemporalEdgeList events;
+  events.push_back({0, 1, 0});
+  events.push_back({1, 2, 0});
+  events.push_back({0, 1, 4});
+  events.sort(1);
+  const auto original = tcsr::DifferentialTcsr::build(events, 3, 6, 1);
+  ASSERT_EQ(original.num_frames(), 6u);
+  save_tcsr(original, path("sparse.tcsr"));
+  const auto buffered = tcsr::load_tcsr(path("sparse.tcsr"));
+  const tcsr::MappedTcsr mapped = tcsr::map_tcsr(path("sparse.tcsr"));
+  expect_same_history(buffered, mapped.tcsr);
+  EXPECT_TRUE(mapped.tcsr.edge_active(0, 1, 0));
+  EXPECT_TRUE(mapped.tcsr.edge_active(0, 1, 3));   // still on
+  EXPECT_FALSE(mapped.tcsr.edge_active(0, 1, 4));  // toggled off
+}
+
+TEST_F(MmapSerializeTest, ValidatorPassesOnMappedTcsr) {
+  save_tcsr(sample_tcsr(5), path("h.tcsr"));
+  const tcsr::MappedTcsr mapped = tcsr::map_tcsr(path("h.tcsr"));
+  const auto report = check::validate_tcsr(mapped.tcsr);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(MmapSerializeTest, MappedTcsrBorrowsFilePayload) {
+  if (!io::MappedFile::supported()) GTEST_SKIP() << "no mmap on this host";
+  save_tcsr(sample_tcsr(8), path("h.tcsr"));
+  const tcsr::MappedTcsr mapped = tcsr::map_tcsr(path("h.tcsr"));
+  ASSERT_TRUE(mapped.mapped);
+  const auto* base = reinterpret_cast<const unsigned char*>(mapped.file.data());
+  const auto* end = base + mapped.file.size();
+  for (TimeFrame t = 0; t < mapped.tcsr.num_frames(); ++t) {
+    const auto words = mapped.tcsr.delta(t).packed_offsets().bits().words();
+    const auto* p = reinterpret_cast<const unsigned char*>(words.data());
+    EXPECT_TRUE(p >= base && p + words.size() * 8 <= end) << "t=" << t;
+    EXPECT_FALSE(mapped.tcsr.delta(t).packed_columns().bits().owns_storage());
+  }
+}
+
+// ---- Lifetime / safety ----
+
+TEST_F(MmapSerializeTest, BitVectorViewRefusesShortSpan) {
+  const std::vector<std::uint64_t> words(2);
+  EXPECT_DEATH((void)bits::BitVector::view(words, 129),
+               "span shorter than nbits");
+}
+
+TEST_F(MmapSerializeTest, FixedWidthViewRefusesShortSpan) {
+  const std::vector<std::uint64_t> words(1);
+  EXPECT_DEATH((void)bits::FixedWidthArray::view(words, 100, 64),
+               "span shorter than nbits");
+}
+
+TEST_F(MmapSerializeTest, BorrowedViewRefusesMutableAccess) {
+  const std::vector<std::uint64_t> words(2, 0xffffffffffffffffull);
+  bits::BitVector view = bits::BitVector::view(words, 128);
+  EXPECT_DEATH((void)view.mutable_words(), "borrowed BitVector view");
+}
+
+TEST_F(MmapSerializeTest, TouchPagesChecksumIsThreadInvariant) {
+  if (!io::MappedFile::supported()) {
+    GTEST_SKIP() << "no mmap on this host";
+  }
+  save_bitpacked_csr(sample_csr(5), path("warm.csr"));
+  const io::MappedFile file = io::MappedFile::open(path("warm.csr"));
+  // The checksum sums the first byte of every 4 KiB page; recompute it
+  // sequentially and require every thread count to agree with it.
+  std::uint64_t expected = 0;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(file.data());
+  for (std::size_t pg = 0; pg * 4096 < file.size(); ++pg)
+    expected += bytes[pg * 4096];
+  EXPECT_EQ(file.touch_pages(1), expected);
+  EXPECT_EQ(file.touch_pages(4), expected);
+  EXPECT_EQ(file.touch_pages(0), expected);  // 0 = all hardware threads
+}
+
+TEST_F(MmapSerializeTest, MappedFileMissingThrows) {
+  EXPECT_THROW((void)io::MappedFile::open(path("nope.csr")), IoError);
+  EXPECT_THROW((void)csr::map_bitpacked_csr(path("nope.csr")), IoError);
+  EXPECT_THROW((void)tcsr::map_tcsr(path("nope.tcsr")), IoError);
+}
+
+TEST_F(MmapSerializeTest, MappedFileEmptyThrows) {
+  { std::ofstream f(path("empty.bin"), std::ios::binary); }
+  EXPECT_THROW((void)io::MappedFile::open(path("empty.bin")), IoError);
+}
+
+TEST_F(MmapSerializeTest, TruncatedMappedCsrThrows) {
+  save_bitpacked_csr(sample_csr(3), path("g.csr"));
+  const auto full = std::filesystem::file_size(path("g.csr"));
+  truncate(path("g.csr"), static_cast<std::size_t>(full) - 16);
+  EXPECT_THROW((void)csr::map_bitpacked_csr(path("g.csr")), IoError);
+  truncate(path("g.csr"), 40);  // mid-header
+  EXPECT_THROW((void)csr::map_bitpacked_csr(path("g.csr")), IoError);
+}
+
+TEST_F(MmapSerializeTest, BadCanaryMappedCsrThrows) {
+  save_bitpacked_csr(sample_csr(3), path("g.csr"));
+  poke(path("g.csr"), 8, 0xff);  // canary low byte
+  EXPECT_THROW((void)csr::map_bitpacked_csr(path("g.csr")), IoError);
+}
+
+TEST_F(MmapSerializeTest, TruncatedMappedTcsrThrows) {
+  save_tcsr(sample_tcsr(3), path("h.tcsr"));
+  const auto full = std::filesystem::file_size(path("h.tcsr"));
+  truncate(path("h.tcsr"), static_cast<std::size_t>(full) - 16);
+  EXPECT_THROW((void)tcsr::map_tcsr(path("h.tcsr")), IoError);
+}
+
+TEST_F(MmapSerializeTest, BadCanaryMappedTcsrThrows) {
+  save_tcsr(sample_tcsr(3), path("h.tcsr"));
+  poke(path("h.tcsr"), 8, 0xff);
+  EXPECT_THROW((void)tcsr::map_tcsr(path("h.tcsr")), IoError);
+}
+
+}  // namespace
+}  // namespace pcq

@@ -6,13 +6,14 @@
 //             writes it to disk (optionally degree-relabeled first).
 //   stats     <in.txt|in.bin|g.csr> [--threads N]
 //             prints node/edge counts, sizes and the degree profile.
-//   query     <g.csr> --node U | --edge U,V [--threads N]
-//             answers a neighbourhood or edge-existence query.
+//   query     <g.csr> --node U | --edge U,V [--threads N] [--mmap]
+//             answers a neighbourhood or edge-existence query; --mmap
+//             answers it from a zero-copy mapped view of the file.
 //   convert   <in.txt> --out out.bin   (text <-> binary edge lists)
 //   tcompress <events.txt> --out h.tcsr [--threads N]
 //             builds and saves the differential TCSR of a temporal list.
-//   tquery    <h.tcsr> --edge U,V --frame T | --node U --frame T
-//   check     <g.csr|h.tcsr> [--threads N]
+//   tquery    <h.tcsr> --edge U,V --frame T | --node U --frame T [--mmap]
+//   check     <g.csr|h.tcsr> [--threads N] [--mmap]
 //             runs the pcq::check structural validators over a compressed
 //             artifact; exit 0 = valid, 4 = invariant violations (printed).
 //
@@ -172,9 +173,28 @@ int cmd_stats(const util::Flags& flags, const std::string& input) {
   return 0;
 }
 
+/// Loads a .csr either buffered or zero-copy mapped (--mmap). The returned
+/// struct keeps the mapping alive for as long as the CSR is queried.
+csr::MappedCsr load_csr_arg(const util::Flags& flags,
+                            const std::string& input) {
+  if (flags.has("mmap")) return csr::map_bitpacked_csr(input);
+  csr::MappedCsr out;
+  out.csr = csr::load_bitpacked_csr(input);
+  return out;
+}
+
+tcsr::MappedTcsr load_tcsr_arg(const util::Flags& flags,
+                               const std::string& input) {
+  if (flags.has("mmap")) return tcsr::map_tcsr(input);
+  tcsr::MappedTcsr out;
+  out.tcsr = tcsr::load_tcsr(input);
+  return out;
+}
+
 int cmd_query(const util::Flags& flags, const std::string& input) {
   const int threads = static_cast<int>(flags.get_int("threads", 0));
-  const csr::BitPackedCsr packed = csr::load_bitpacked_csr(input);
+  const csr::MappedCsr loaded = load_csr_arg(flags, input);
+  const csr::BitPackedCsr& packed = loaded.csr;
 
   if (flags.has("edge")) {
     VertexId u = 0, v = 0;
@@ -316,15 +336,18 @@ int cmd_check(const util::Flags& flags, const std::string& input) {
   opts.num_threads = threads;
   check::ValidationReport report;
   if (ends_with(input, ".tcsr")) {
-    const auto tcsr = tcsr::load_tcsr(input);
+    const auto loaded = load_tcsr_arg(flags, input);
+    const auto& tcsr = loaded.tcsr;
     report = check::validate_tcsr(tcsr, opts);
-    std::printf("%s: %u nodes, %u frames\n", input.c_str(), tcsr.num_nodes(),
-                tcsr.num_frames());
+    std::printf("%s: %u nodes, %u frames%s\n", input.c_str(), tcsr.num_nodes(),
+                tcsr.num_frames(), loaded.mapped ? " (mapped)" : "");
   } else {
-    const auto packed = csr::load_bitpacked_csr(input);
+    const auto loaded = load_csr_arg(flags, input);
+    const auto& packed = loaded.csr;
     report = check::validate_csr(packed, opts);
-    std::printf("%s: %u nodes, %zu edges\n", input.c_str(),
-                packed.num_nodes(), packed.num_edges());
+    std::printf("%s: %u nodes, %zu edges%s\n", input.c_str(),
+                packed.num_nodes(), packed.num_edges(),
+                loaded.mapped ? " (mapped)" : "");
   }
   if (report.ok()) {
     std::printf("check OK: all format invariants hold\n");
@@ -336,7 +359,8 @@ int cmd_check(const util::Flags& flags, const std::string& input) {
 
 int cmd_tquery(const util::Flags& flags, const std::string& input) {
   maybe_enable_tracing(flags);
-  const auto tcsr = tcsr::load_tcsr(input);
+  const auto loaded = load_tcsr_arg(flags, input);
+  const auto& tcsr = loaded.tcsr;
   const auto frame =
       static_cast<graph::TimeFrame>(flags.get_int("frame", 0));
   if (frame >= tcsr.num_frames()) {
@@ -396,7 +420,8 @@ int main(int argc, char** argv) {
                      {"frame", "time-frame for temporal queries"},
                      {"snapshot", "materialize the frame's full snapshot"},
                      {"trace", "write Chrome trace JSON of the build here"},
-                     {"stats", "print the per-phase span table"}});
+                     {"stats", "print the per-phase span table"},
+                     {"mmap", "query/check straight from a mapped file"}});
   const auto& pos = flags.positional();
   if (pos.size() < 2) {
     std::fprintf(stderr,

@@ -4,6 +4,15 @@
 //
 //   pcq_serve <g.csr> [--tcsr h.tcsr] [--shards N] [--batch N]
 //             [--window-us W] [--kernel-threads N] [--demo N]
+//             [--mmap] [--warm] [--validate]
+//
+// --mmap serves straight from memory-mapped files: the packed arrays are
+// borrowed views over the mapping (zero payload copies), so startup cost is
+// independent of graph size and pages fault in lazily as queries touch
+// them. --warm adds a parallel page-touch pass before serving (trades
+// startup time for no first-touch latency spikes); --validate runs the full
+// pcq::check scan on whatever was loaded before serving it (the
+// map -> validate -> serve discipline for files of untrusted provenance).
 //
 // Line protocol (whitespace-separated):
 //   degree U            degree of node U
@@ -21,6 +30,7 @@
 //
 // --demo N skips stdin and pushes N random mixed queries through the
 // service instead — a smoke workload for scripts and the CLI test.
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <iostream>
@@ -28,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "check/validate.hpp"
 #include "csr/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -213,7 +224,10 @@ int main(int argc, char** argv) {
        {"batch", "max requests per dispatched batch (default 256)"},
        {"window-us", "micro-batch flush window in microseconds (default 200)"},
        {"kernel-threads", "threads per batch-kernel call (default 1)"},
-       {"demo", "run N random queries instead of reading stdin"}});
+       {"demo", "run N random queries instead of reading stdin"},
+       {"mmap", "serve from memory-mapped files (zero payload copies)"},
+       {"warm", "with --mmap: parallel page-touch warmup before serving"},
+       {"validate", "run the full pcq::check scan before serving"}});
   const auto& pos = flags.positional();
   if (pos.empty()) {
     std::fprintf(stderr, "usage: pcq_serve <g.csr> [flags]\n");
@@ -223,10 +237,72 @@ int main(int argc, char** argv) {
   // can dump the recent past without any prior opt-in.
   pcq::obs::set_trace_enabled(true);
   try {
-    const pcq::csr::BitPackedCsr graph = pcq::csr::load_bitpacked_csr(pos[0]);
-    pcq::tcsr::DifferentialTcsr history;
+    using Clock = std::chrono::steady_clock;
+    const bool use_mmap = flags.has("mmap");
     const bool temporal = flags.has("tcsr");
-    if (temporal) history = pcq::tcsr::load_tcsr(flags.get("tcsr", ""));
+
+    // The mapped structs pair the borrowed-view structure with the mapping
+    // that backs it; in buffered mode the same structs just own their
+    // storage (mapped == false) so everything below is one code path.
+    const auto t0 = Clock::now();
+    pcq::csr::MappedCsr mc;
+    if (use_mmap)
+      mc = pcq::csr::map_bitpacked_csr(pos[0]);
+    else
+      mc.csr = pcq::csr::load_bitpacked_csr(pos[0]);
+    pcq::tcsr::MappedTcsr mh;
+    if (temporal) {
+      if (use_mmap)
+        mh = pcq::tcsr::map_tcsr(flags.get("tcsr", ""));
+      else
+        mh.tcsr = pcq::tcsr::load_tcsr(flags.get("tcsr", ""));
+    }
+    const auto load_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             Clock::now() - t0)
+                             .count();
+    const pcq::csr::BitPackedCsr& graph = mc.csr;
+    const pcq::tcsr::DifferentialTcsr& history = mh.tcsr;
+    std::printf("loaded in %lld us (%s%s)\n",
+                static_cast<long long>(load_us),
+                mc.mapped ? "mapped" : "buffered",
+                use_mmap && !mc.mapped ? " — mmap fallback" : "");
+
+    if (flags.has("warm")) {
+      const auto w0 = Clock::now();
+      const int warm_threads =
+          static_cast<int>(flags.get_int("kernel-threads", 0));
+      std::uint64_t touched = mc.file.touch_pages(warm_threads);
+      touched += mh.file.touch_pages(warm_threads);
+      const auto warm_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                w0)
+              .count();
+      std::printf("warmed %s mapped bytes in %lld us (checksum %llu)\n",
+                  pcq::util::with_commas(mc.file.size() + mh.file.size())
+                      .c_str(),
+                  static_cast<long long>(warm_us),
+                  static_cast<unsigned long long>(touched));
+    }
+
+    if (flags.has("validate")) {
+      pcq::check::ValidateOptions vopts;
+      vopts.num_threads = 0;
+      const auto report = pcq::check::validate_csr(graph, vopts);
+      if (!report.ok()) {
+        std::fprintf(stderr, "error: CSR failed validation:\n%s\n",
+                     report.to_string().c_str());
+        return 4;
+      }
+      if (temporal) {
+        const auto treport = pcq::check::validate_tcsr(history, vopts);
+        if (!treport.ok()) {
+          std::fprintf(stderr, "error: TCSR failed validation:\n%s\n",
+                       treport.to_string().c_str());
+          return 4;
+        }
+      }
+      std::printf("validation passed\n");
+    }
 
     pcq::svc::ServiceConfig config;
     config.shards = static_cast<int>(flags.get_int("shards", 1));
