@@ -32,6 +32,8 @@
 #include "csr/builder.hpp"
 #include "csr/serialize.hpp"
 #include "graph/generators.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/trace.hpp"
 #include "svc/service.hpp"
 #include "tcsr/serialize.hpp"
@@ -65,6 +67,7 @@ struct BenchConfig {
   std::uint64_t seed = 42;
   std::string mode = "compare";
   std::string mix = "mixed";  ///< mixed | degree
+  std::size_t connections = 4;  ///< TCP connections for --mode net
 };
 
 /// Deterministic workload. "mixed": 40% degree, 30% edge-exists, 30%
@@ -350,6 +353,109 @@ RunResult run_calibration(const std::vector<Request>& reqs) {
   return result;
 }
 
+/// Open-loop TCP load over the pcq::net frame protocol: `connections`
+/// sockets, each with a dedicated sender (flooding, or pacing its share of
+/// the offered rate on a Poisson process) and the spawning thread as the
+/// receiver. The server answers every admitted frame with exactly one
+/// response — kOk or an explicit kRejected backpressure frame — so each
+/// receiver reads until it has one response per request sent. Latency is
+/// sampled 1-in-kSampleStride, stamped at send time and resolved when the
+/// matching id comes back, so socket/queue delay is part of the number
+/// (the honest open-loop methodology, now including the wire).
+RunResult run_net_load(const std::string& host, std::uint16_t port,
+                       const std::vector<Request>& reqs,
+                       std::size_t connections, double rate,
+                       std::uint64_t seed) {
+  RunResult result;
+  result.offered_qps = rate;
+  connections = std::max<std::size_t>(1, connections);
+  struct ConnResult {
+    std::uint64_t ok = 0;
+    std::uint64_t rejected = 0;
+    std::vector<double> latencies_us;
+  };
+  std::vector<ConnResult> per(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const auto start = pcq::svc::Clock::now();
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      const std::size_t begin = reqs.size() * c / connections;
+      const std::size_t end = reqs.size() * (c + 1) / connections;
+      const std::size_t n = end - begin;
+      if (n == 0) return;
+      pcq::net::Client client;
+      client.connect(host, port);
+      // Send-time stamps, written by the sender thread and read by the
+      // receiver once the matching id returns; atomics because the socket
+      // round-trip orders the values but not the C++ accesses.
+      std::vector<std::atomic<std::int64_t>> stamps_ns(n / kSampleStride + 1);
+      std::thread sender([&] {
+        pcq::util::SplitMix64 rng(seed ^ (0x5bf0'3635ull * (c + 1)));
+        const double conn_rate = rate / static_cast<double>(connections);
+        auto next_arrival = pcq::svc::Clock::now();
+        for (std::size_t i = 0; i < n; ++i) {
+          if (conn_rate > 0) {
+            const double gap_s =
+                -std::log(1.0 - rng.next_double()) / conn_rate;
+            next_arrival += std::chrono::nanoseconds(
+                static_cast<std::int64_t>(gap_s * 1e9));
+            while (pcq::svc::Clock::now() < next_arrival)
+              std::this_thread::yield();
+          }
+          const Request& r = reqs[begin + i];
+          pcq::net::WireRequest w;
+          w.id = i;  // per-connection sequence number
+          w.kind = static_cast<std::uint8_t>(r.kind);
+          w.u = r.u;
+          w.v = r.v;
+          w.t = r.t;
+          if (i % kSampleStride == 0)
+            stamps_ns[i / kSampleStride].store(
+                pcq::svc::Clock::now().time_since_epoch().count(),
+                std::memory_order_relaxed);
+          client.send_request(w);
+        }
+      });
+      ConnResult& mine = per[c];
+      for (std::size_t received = 0; received < n; ++received) {
+        pcq::net::WireResponse resp;
+        if (!client.read_response(&resp)) break;  // server went away
+        if (resp.status == static_cast<std::uint8_t>(Status::kRejected))
+          ++mine.rejected;
+        else
+          ++mine.ok;
+        if (resp.id % kSampleStride == 0) {
+          const std::int64_t sent_ns =
+              stamps_ns[resp.id / kSampleStride].load(
+                  std::memory_order_relaxed);
+          mine.latencies_us.push_back(
+              static_cast<double>(
+                  pcq::svc::Clock::now().time_since_epoch().count() -
+                  sent_ns) /
+              1e3);
+        }
+      }
+      sender.join();
+      client.close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.elapsed_s =
+      std::chrono::duration<double>(pcq::svc::Clock::now() - start).count();
+  std::vector<double> latencies;
+  for (const auto& p : per) {
+    result.completed += p.ok;
+    result.rejected += p.rejected;
+    latencies.insert(latencies.end(), p.latencies_us.begin(),
+                     p.latencies_us.end());
+  }
+  result.sustained_qps =
+      static_cast<double>(result.completed) / std::max(result.elapsed_s, 1e-9);
+  result.client_latency_us = pcq::bench::summarize_latencies(latencies);
+  return result;
+}
+
 void print_run(const char* label, const RunResult& r) {
   std::printf("%-22s %9.0f qps  (%llu completed, %llu rejected, %.2fs)\n",
               label, r.sustained_qps,
@@ -460,9 +566,14 @@ int main(int argc, char** argv) {
           {"frames", "TCSR frames; 0 = static-only workload (default 0)"},
           {"seed", "workload seed (default 42)"},
           {"mode",
-           "compare | capacity | open | closed | calibrate | load (default\n"
-           "compare); load = buffered vs mapped startup-cost table"},
+           "compare | capacity | open | closed | calibrate | load | net\n"
+           "(default compare); load = buffered vs mapped startup-cost table;\n"
+           "net = open-loop TCP load over the pcq::net frame protocol"},
           {"mix", "mixed | degree (degree isolates dispatch overhead)"},
+          {"connections", "TCP connections for --mode net (default 4)"},
+          {"connect",
+           "net mode: drive an external pcq_serve --listen at HOST:PORT\n"
+           "instead of an in-process server"},
           {"json", "write the run results as a JSON document to this file"},
           {"trace", "write Chrome trace JSON of the benched runs here"},
       });
@@ -486,6 +597,8 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   cfg.mode = flags.get("mode", cfg.mode);
   cfg.mix = flags.get("mix", cfg.mix);
+  cfg.connections = static_cast<std::size_t>(
+      flags.get_int("connections", cfg.connections));
 
   std::fprintf(stderr, "[bench_svc] building R-MAT n=%u m=%zu...\n", cfg.nodes,
                cfg.edges);
@@ -612,6 +725,70 @@ int main(int argc, char** argv) {
                 "QPS\n",
                 batched_run.sustained_qps /
                     std::max(single_run.sustained_qps, 1e-9));
+    return emit_outputs(flags, runs);
+  }
+  if (cfg.mode == "net") {
+    // Saturation throughput, tail latency, and rejection behaviour over
+    // real sockets. Default: an in-process TcpServer on an ephemeral port
+    // (drained via the shutdown control frame afterwards, so the run also
+    // asserts a clean drain); --connect drives an external
+    // `pcq_serve --listen` instead and leaves it running.
+    const std::string target = flags.get("connect", "");
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::optional<pcq::svc::QueryService> service;
+    std::optional<pcq::net::TcpServer> server;
+    std::thread server_thread;
+    if (target.empty()) {
+      service.emplace(graph, history_ptr, batched);
+      server.emplace(*service, pcq::net::ServerOptions{});
+      port = server->port();
+      server_thread = std::thread([&] { server->run(); });
+      std::fprintf(stderr, "[bench_svc] in-process server on port %u\n",
+                   static_cast<unsigned>(port));
+    } else {
+      const auto colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "error: --connect wants HOST:PORT\n");
+        return 2;
+      }
+      host = target.substr(0, colon);
+      port = static_cast<std::uint16_t>(std::stoul(target.substr(colon + 1)));
+    }
+    RunResult net_run = run_net_load(host, port, reqs, cfg.connections,
+                                     cfg.rate, cfg.seed + 11);
+    if (service) net_run.service = service->metrics();
+    report("net open-loop", net_run);
+    std::printf("  %zu connections, %llu of %zu answered kOk (%.1f%% "
+                "rejected under backpressure)\n",
+                cfg.connections,
+                static_cast<unsigned long long>(net_run.completed),
+                reqs.size(),
+                100.0 * static_cast<double>(net_run.rejected) /
+                    static_cast<double>(std::max<std::size_t>(reqs.size(), 1)));
+    if (server) {
+      pcq::net::Client stopper;
+      stopper.connect(host, port);
+      pcq::net::WireRequest w;
+      w.id = ~0ull;
+      w.kind = pcq::net::kShutdownKind;
+      stopper.send_request(w);
+      pcq::net::WireResponse ack;
+      PCQ_CHECK(stopper.read_response(&ack) &&
+                ack.status == static_cast<std::uint8_t>(Status::kOk));
+      // Clean drain: the server answers the ack, flushes, and closes —
+      // the next read is a clean EOF, then run() returns.
+      PCQ_CHECK(!stopper.read_response(&ack));
+      server_thread.join();
+      const pcq::net::ServerStats& s = server->stats();
+      std::printf("  server drained: %llu conns, %llu frames in, %llu out, "
+                  "%llu rejected, %llu protocol errors\n",
+                  static_cast<unsigned long long>(s.accepted.load()),
+                  static_cast<unsigned long long>(s.frames_in.load()),
+                  static_cast<unsigned long long>(s.frames_out.load()),
+                  static_cast<unsigned long long>(s.rejected.load()),
+                  static_cast<unsigned long long>(s.protocol_errors.load()));
+    }
     return emit_outputs(flags, runs);
   }
   if (cfg.mode == "closed") {

@@ -1,0 +1,123 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+namespace pcq::net {
+
+namespace {
+
+// Little-endian scalar append/read. memcpy keeps every access aligned-safe
+// and the byte order is the host's on every platform this builds for; the
+// explicit shifts below would also work but memcpy optimizes to a plain
+// store.
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  std::uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T get(const std::uint8_t* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+bool is_query_kind(std::uint8_t kind) {
+  return kind <= static_cast<std::uint8_t>(svc::QueryKind::kForemostArrival);
+}
+
+void encode_request(const WireRequest& request,
+                    std::vector<std::uint8_t>& out) {
+  put<std::uint32_t>(out, kRequestPayloadBytes);
+  put<std::uint64_t>(out, request.id);
+  put<std::uint8_t>(out, request.kind);
+  put<std::uint32_t>(out, request.u);
+  put<std::uint32_t>(out, request.v);
+  put<std::uint32_t>(out, request.t);
+  put<std::uint32_t>(out, request.deadline_ms);
+}
+
+void encode_response(const WireResponse& response,
+                     std::vector<std::uint8_t>& out) {
+  const std::size_t payload =
+      kResponseHeaderBytes + 4 * response.neighbors.size();
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(payload));
+  put<std::uint64_t>(out, response.id);
+  put<std::uint8_t>(out, response.status);
+  put<std::uint8_t>(out, response.exists);
+  put<std::uint32_t>(out, response.degree);
+  put<std::uint32_t>(out, response.arrival);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(response.neighbors.size()));
+  for (const std::uint32_t v : response.neighbors) put<std::uint32_t>(out, v);
+}
+
+DecodeResult decode_request(const std::uint8_t* data, std::size_t size,
+                            WireRequest* request, std::size_t* consumed) {
+  if (size < kLengthBytes) return DecodeResult::kNeedMore;
+  const auto len = get<std::uint32_t>(data);
+  // Requests are fixed-size; any other declared length is a corrupt or
+  // foreign stream, not a frame to wait for.
+  if (len != kRequestPayloadBytes) return DecodeResult::kError;
+  if (size < kLengthBytes + len) return DecodeResult::kNeedMore;
+  const std::uint8_t* p = data + kLengthBytes;
+  request->id = get<std::uint64_t>(p);
+  request->kind = get<std::uint8_t>(p + 8);
+  request->u = get<std::uint32_t>(p + 9);
+  request->v = get<std::uint32_t>(p + 13);
+  request->t = get<std::uint32_t>(p + 17);
+  request->deadline_ms = get<std::uint32_t>(p + 21);
+  *consumed = kLengthBytes + len;
+  return DecodeResult::kOk;
+}
+
+DecodeResult decode_response(const std::uint8_t* data, std::size_t size,
+                             WireResponse* response, std::size_t* consumed) {
+  if (size < kLengthBytes) return DecodeResult::kNeedMore;
+  const auto len = get<std::uint32_t>(data);
+  if (len < kResponseHeaderBytes || len > kMaxFrameBytes ||
+      (len - kResponseHeaderBytes) % 4 != 0)
+    return DecodeResult::kError;
+  if (size < kLengthBytes + len) return DecodeResult::kNeedMore;
+  const std::uint8_t* p = data + kLengthBytes;
+  response->id = get<std::uint64_t>(p);
+  response->status = get<std::uint8_t>(p + 8);
+  response->exists = get<std::uint8_t>(p + 9);
+  response->degree = get<std::uint32_t>(p + 10);
+  response->arrival = get<std::uint32_t>(p + 14);
+  const auto n = get<std::uint32_t>(p + 18);
+  if (static_cast<std::size_t>(n) * 4 != len - kResponseHeaderBytes)
+    return DecodeResult::kError;
+  response->neighbors.resize(n);
+  if (n > 0) std::memcpy(response->neighbors.data(), p + 22, n * 4u);
+  *consumed = kLengthBytes + len;
+  return DecodeResult::kOk;
+}
+
+svc::Request to_service_request(const WireRequest& request,
+                                svc::Clock::time_point now) {
+  svc::Request r;
+  r.kind = static_cast<svc::QueryKind>(request.kind);
+  r.u = request.u;
+  r.v = request.v;
+  r.t = request.t;
+  if (request.deadline_ms > 0)
+    r.deadline = now + std::chrono::milliseconds(request.deadline_ms);
+  return r;
+}
+
+WireResponse from_service_response(std::uint64_t id, svc::Response&& response) {
+  WireResponse w;
+  w.id = id;
+  w.status = static_cast<std::uint8_t>(response.status);
+  w.exists = response.exists ? 1 : 0;
+  w.degree = response.degree;
+  w.arrival = response.arrival;
+  w.neighbors = std::move(response.neighbors);
+  return w;
+}
+
+}  // namespace pcq::net

@@ -1,0 +1,109 @@
+// pcq::net wire protocol — length-prefixed binary frames mapping 1:1 onto
+// svc::Request / svc::Response.
+//
+// Every frame is a 4-byte little-endian payload length followed by the
+// payload. A client sends fixed-size request frames and receives exactly
+// one response frame per request frame, in any order (responses carry the
+// request's id, so pipelined clients match them up). All integers are
+// little-endian.
+//
+//   request payload (kRequestPayloadBytes == 25):
+//     u64 id           echoed verbatim in the response
+//     u8  kind         svc::QueryKind (0..5), or kShutdownKind (255)
+//     u32 u, v, t      query operands (unused ones are ignored)
+//     u32 deadline_ms  0 = none; else deadline relative to server receipt
+//
+//   response payload (22 + 4 * n_neighbors bytes):
+//     u64 id
+//     u8  status       svc::Status
+//     u8  exists
+//     u32 degree
+//     u32 arrival
+//     u32 n_neighbors
+//     u32 neighbors[n_neighbors]
+//
+// The shutdown control frame (kind == kShutdownKind) is answered with
+// status kOk and then starts the server's graceful drain: stop accepting,
+// answer everything in flight, flush write buffers, exit — the same path
+// SIGINT takes. A frame whose declared length is not a well-formed request
+// (wrong size, or over kMaxFrameBytes on the response side) is a protocol
+// error: the server closes that connection rather than guessing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "svc/request.hpp"
+
+namespace pcq::net {
+
+/// Request kind value (outside svc::QueryKind) asking the server to drain
+/// and exit gracefully.
+inline constexpr std::uint8_t kShutdownKind = 255;
+
+inline constexpr std::size_t kLengthBytes = 4;
+inline constexpr std::size_t kRequestPayloadBytes = 25;
+inline constexpr std::size_t kResponseHeaderBytes = 22;
+/// Upper bound on any payload this implementation will accept; a response
+/// carrying a full neighbour row of the paper's largest graphs fits with
+/// room to spare, and anything larger is treated as a corrupt stream.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// One request as it travels the wire: the svc::Request fields plus the
+/// client-chosen id and a relative deadline (absolute time_points don't
+/// cross machines).
+struct WireRequest {
+  std::uint64_t id = 0;
+  std::uint8_t kind = 0;  ///< svc::QueryKind value, or kShutdownKind
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  std::uint32_t t = 0;
+  std::uint32_t deadline_ms = 0;  ///< 0 = no deadline
+};
+
+/// One response as it travels the wire.
+struct WireResponse {
+  std::uint64_t id = 0;
+  std::uint8_t status = 0;  ///< svc::Status value
+  std::uint8_t exists = 0;
+  std::uint32_t degree = 0;
+  std::uint32_t arrival = 0;
+  std::vector<std::uint32_t> neighbors;
+};
+
+/// Result of trying to decode one frame from a byte stream.
+enum class DecodeResult : std::uint8_t {
+  kOk,        ///< one frame decoded; `consumed` bytes were used
+  kNeedMore,  ///< the buffer holds a frame prefix; read more bytes
+  kError,     ///< malformed frame — close the connection
+};
+
+/// Appends one encoded request frame to `out`.
+void encode_request(const WireRequest& request, std::vector<std::uint8_t>& out);
+
+/// Appends one encoded response frame to `out`.
+void encode_response(const WireResponse& response,
+                     std::vector<std::uint8_t>& out);
+
+/// Decodes one request frame from `data[0..size)`. On kOk, `*consumed` is
+/// the total frame size (length prefix included).
+DecodeResult decode_request(const std::uint8_t* data, std::size_t size,
+                            WireRequest* request, std::size_t* consumed);
+
+/// Decodes one response frame from `data[0..size)`.
+DecodeResult decode_response(const std::uint8_t* data, std::size_t size,
+                             WireResponse* response, std::size_t* consumed);
+
+/// WireRequest -> svc::Request. `now` anchors the relative deadline. The
+/// kind must be a query kind (not kShutdownKind; check is_query first).
+svc::Request to_service_request(const WireRequest& request,
+                                svc::Clock::time_point now);
+
+/// svc::Response -> WireResponse (moves the neighbour row, no copy).
+WireResponse from_service_response(std::uint64_t id, svc::Response&& response);
+
+/// True when the kind byte names a servable svc::QueryKind.
+[[nodiscard]] bool is_query_kind(std::uint8_t kind);
+
+}  // namespace pcq::net

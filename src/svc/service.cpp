@@ -47,8 +47,10 @@ QueryService::QueryService(const csr::BitPackedCsr& graph,
 QueryService::~QueryService() { stop(); }
 
 void QueryService::stop() {
-  if (stopped_) return;
-  stopped_ = true;
+  // Only one caller wins the exchange; a concurrent second stop() (signal
+  // handler path vs. destructor) returns immediately instead of racing on
+  // the queue close / pool teardown below.
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
   for (auto& shard : shards_) shard->queue.close();
   // WorkerPool's destructor closes its job queue and joins; the shard
   // loops exit once their queues drain, so everything still queued is
@@ -126,24 +128,12 @@ void QueryService::shard_loop(Shard& shard) {
     else
       flush_deadline.add(1);
     execute_batch(shard, batch);
-    if (config_.adaptive_window) {
-      // A full batch means the size trigger flushed — arrivals can fill
-      // the batch, so relax the window back toward the configured one. A
-      // partial batch means the deadline flushed: the wait did not fill
-      // the batch (too few requests in flight), so it was pure added
-      // latency — halve it. The shrink is what keeps a closed-loop client
-      // with fewer than max_batch outstanding requests from stalling a
-      // full window on every batch, and what gives an idle service
-      // single-request latency; a growing backlog produces full batches
-      // again and restores the window on its own.
-      if (n >= config_.max_batch) {
-        window = std::min(config_.batch_window,
-                          window + config_.batch_window / 8 +
-                              std::chrono::microseconds{1});
-      } else {
-        window /= 2;
-      }
-    }
+    // The shrink half of the controller is what keeps a closed-loop
+    // client with fewer than max_batch outstanding requests from stalling
+    // a full window on every batch, and what gives an idle service
+    // single-request latency; near-full batches restore the window on
+    // their own (see adapt_window for the floor/near-full rationale).
+    if (config_.adaptive_window) window = adapt_window(window, n, config_);
   }
 }
 
@@ -182,8 +172,11 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
     // The CSR and TCSR are independent artifacts, so temporal kinds
     // validate against the history's node/frame space, not the CSR's.
     const VertexId limit = temporal ? history_->num_nodes() : n;
+    const bool has_target = r.kind == QueryKind::kEdgeExists ||
+                            r.kind == QueryKind::kTemporalEdge ||
+                            r.kind == QueryKind::kForemostArrival;
     if (r.u >= limit || (temporal && r.t >= frames) ||
-        (r.kind == QueryKind::kForemostArrival && r.v >= limit)) {
+        (has_target && r.v >= limit)) {
       early.status = Status::kInvalid;
       complete(shard, p, std::move(early), now);
       continue;

@@ -28,6 +28,8 @@
 // while queued is answered kExpired without touching the graph.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -55,6 +57,26 @@ struct ServiceConfig {
   int kernel_threads = 1;           ///< threads per batch-kernel call
   csr::RowSearch edge_search = csr::RowSearch::kBinary;
 };
+
+/// One step of the adaptive batch-window controller (pure, so it is
+/// unit-testable without a live service). A near-full batch (>= 7/8 of
+/// max_batch — arrivals are keeping up with the window, even if the exact
+/// size trigger didn't fire) relaxes the window back toward the configured
+/// one; a partial batch means the deadline flushed and the wait was pure
+/// added latency, so the window halves — but never below a 1us floor, or
+/// an idle spell would decay it to a permanent 0 from which a moderately
+/// loaded shard could never re-form batches.
+inline std::chrono::microseconds adapt_window(std::chrono::microseconds window,
+                                              std::size_t batch_size,
+                                              const ServiceConfig& config) {
+  const std::size_t near_full = config.max_batch - config.max_batch / 8;
+  if (batch_size >= near_full) {
+    return std::min(config.batch_window,
+                    window + config.batch_window / 8 +
+                        std::chrono::microseconds{1});
+  }
+  return std::max(window / 2, std::chrono::microseconds{1});
+}
 
 class QueryService {
  public:
@@ -113,7 +135,9 @@ class QueryService {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<par::WorkerPool> pool_;
   Clock::time_point started_;
-  bool stopped_ = false;
+  /// exchange() makes stop() idempotent under concurrent callers (signal
+  /// path vs. destructor) — a plain bool read-modify-write here is a race.
+  std::atomic<bool> stopped_{false};
 };
 
 }  // namespace pcq::svc

@@ -169,6 +169,46 @@ if [ -n "$SERVE" ]; then
   if "$SERVE" "$TMP/bad.csr" --mmap < /dev/null > /dev/null 2>&1; then
     echo "corrupt csr was not refused under --mmap"; exit 1
   fi
+
+  # TCP serving: --listen 0 binds an ephemeral port and prints it; the
+  # --connect client drives the same line protocol over the binary frame
+  # protocol; the shutdown control frame triggers a graceful drain (every
+  # in-flight answer flushed, "drain complete" printed, exit 0).
+  "$SERVE" "$TMP/g.csr" --tcsr "$TMP/t.tcsr" --listen 0 > "$TMP/listen.out" 2>&1 &
+  LISTEN_PID=$!
+  PORT=""
+  i=0
+  while [ $i -lt 50 ]; do
+    PORT=$(sed -n 's/^listening on 127.0.0.1:\([0-9][0-9]*\)$/\1/p' "$TMP/listen.out")
+    [ -n "$PORT" ] && break
+    i=$((i + 1)); sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "pcq_serve --listen never printed its port"; exit 1; }
+  printf "degree 0\ne 0 1\ne 1 0\nn 0\nte 0 1 1\nte 0 1 2\nshutdown\n" \
+      | "$SERVE" --connect "127.0.0.1:$PORT" > "$TMP/connect.out"
+  grep -q "degree(0) = 2" "$TMP/connect.out"
+  grep -q "edge (0, 1): present" "$TMP/connect.out"
+  grep -q "edge (1, 0): absent" "$TMP/connect.out"
+  grep -q "neighbors(0) \[2\]: 1 2" "$TMP/connect.out"
+  grep -q "shutdown acknowledged" "$TMP/connect.out"
+  wait "$LISTEN_PID" || { echo "pcq_serve --listen exited nonzero"; exit 1; }
+  grep -q "drain complete" "$TMP/listen.out"
+
+  # SIGINT takes the same graceful-drain path.
+  "$SERVE" "$TMP/g.csr" --listen 0 > "$TMP/listen2.out" 2>&1 &
+  LISTEN_PID=$!
+  PORT=""
+  i=0
+  while [ $i -lt 50 ]; do
+    PORT=$(sed -n 's/^listening on 127.0.0.1:\([0-9][0-9]*\)$/\1/p' "$TMP/listen2.out")
+    [ -n "$PORT" ] && break
+    i=$((i + 1)); sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "second --listen never printed its port"; exit 1; }
+  printf "degree 1\nquit\n" | "$SERVE" --connect "127.0.0.1:$PORT" > /dev/null
+  kill -INT "$LISTEN_PID"
+  wait "$LISTEN_PID" || { echo "SIGINT drain exited nonzero"; exit 1; }
+  grep -q "drain complete" "$TMP/listen2.out"
 fi
 
 echo CLI_OK

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "svc/service.hpp"
+
 namespace pcq::svc {
 namespace {
 
@@ -125,6 +127,39 @@ TEST(BoundedMpmcQueue, ConcurrentProducersConsumersDeliverEverything) {
   const std::uint64_t total = kProducers * kPerProducer;
   EXPECT_EQ(popped.load(), total);
   EXPECT_EQ(sum.load(), total * (total - 1) / 2);
+}
+
+// The adaptive batch-window controller. Regression: repeated halving used
+// to decay the window to a permanent 0us (0 / 2 == 0), silently turning
+// the service into single-dispatch mode with no way back. The controller
+// must floor at 1us and grow again when batches run near-full.
+TEST(AdaptiveWindow, ShrinkFloorsAtOneMicrosecondAndRecovers) {
+  ServiceConfig config;
+  config.max_batch = 256;
+  config.batch_window = std::chrono::microseconds(200);
+  auto window = config.batch_window;
+  for (int i = 0; i < 64; ++i)
+    window = adapt_window(window, /*batch_size=*/1, config);
+  EXPECT_EQ(window, std::chrono::microseconds(1));  // floored, not zero
+  // A run of near-full batches must reopen the window from the floor.
+  for (int i = 0; i < 64 && window < config.batch_window; ++i)
+    window = adapt_window(window, config.max_batch, config);
+  EXPECT_EQ(window, config.batch_window);
+}
+
+TEST(AdaptiveWindow, GrowsOnlyOnNearFullBatches) {
+  ServiceConfig config;
+  config.max_batch = 256;
+  config.batch_window = std::chrono::microseconds(200);
+  const auto mid = std::chrono::microseconds(100);
+  // 7/8 of max_batch is the near-full threshold: one request below it
+  // still shrinks, at it the window grows.
+  const std::size_t near_full = config.max_batch - config.max_batch / 8;
+  EXPECT_LT(adapt_window(mid, near_full - 1, config), mid);
+  EXPECT_GT(adapt_window(mid, near_full, config), mid);
+  // Growth saturates at the configured window, never beyond.
+  EXPECT_EQ(adapt_window(config.batch_window, config.max_batch, config),
+            config.batch_window);
 }
 
 }  // namespace

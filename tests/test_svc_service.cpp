@@ -186,13 +186,38 @@ TEST(QueryService, OutOfRangeNodeIsInvalidNotFatal) {
                 .get()
                 .status,
             Status::kInvalid);
-  // Edge target out of range is a valid question with answer "absent".
-  const Response r = service.submit(make(QueryKind::kEdgeExists, 0, n)).get();
-  EXPECT_EQ(r.status, Status::kOk);
-  EXPECT_FALSE(r.exists);
   // The service keeps serving after invalid requests.
   EXPECT_EQ(service.submit(make(QueryKind::kDegree, 0)).get().status,
             Status::kOk);
+}
+
+// Regression: an out-of-range *target* must be kInvalid for every edge
+// kind, exactly like an out-of-range source. kEdgeExists used to answer
+// kOk/absent for these while kDegree on the same id said kInvalid — the
+// same nonsense id got two different verdicts depending on which operand
+// slot it arrived in.
+TEST(QueryService, OutOfRangeTargetIsInvalidForAllEdgeKinds) {
+  const Fixture& f = fixture();
+  QueryService service(f.csr, &f.tcsr, ServiceConfig{});
+  const VertexId n = f.csr.num_nodes();
+  const VertexId tn = f.tcsr.num_nodes();
+  EXPECT_EQ(service.submit(make(QueryKind::kEdgeExists, 0, n)).get().status,
+            Status::kInvalid);
+  EXPECT_EQ(service.submit(make(QueryKind::kEdgeExists, 0, n + 123)).get()
+                .status,
+            Status::kInvalid);
+  // Temporal kinds validate v against the history's (smaller) node space.
+  EXPECT_EQ(service.submit(make(QueryKind::kTemporalEdge, 0, tn, 0)).get()
+                .status,
+            Status::kInvalid);
+  EXPECT_EQ(service.submit(make(QueryKind::kForemostArrival, 0, tn, 0)).get()
+                .status,
+            Status::kInvalid);
+  // Largest in-range target still answers normally.
+  const Response r =
+      service.submit(make(QueryKind::kEdgeExists, 0, n - 1)).get();
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.exists, f.csr.has_edge(0, n - 1));
 }
 
 TEST(QueryService, TemporalWithoutHistoryIsUnsupported) {
@@ -310,6 +335,25 @@ TEST(QueryService, ConcurrentClientsStress) {
   for (auto& t : clients) t.join();
   service.stop();
   EXPECT_EQ(answered.load(), kClients * kPerClient);
+}
+
+// TSan target: stop() must be idempotent and safe to race — the TCP
+// front-end calls it from a signal-triggered path while the owning thread
+// may be tearing the service down. stopped_ is an atomic exchanged once;
+// only the winner joins the workers.
+TEST(QueryService, ConcurrentStopIsIdempotent) {
+  const Fixture& f = fixture();
+  for (int round = 0; round < 8; ++round) {
+    QueryService service(f.csr, nullptr, ServiceConfig{});
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 64; ++i)
+      futures.push_back(service.submit(make(QueryKind::kDegree, 1)));
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 4; ++t)
+      stoppers.emplace_back([&service] { service.stop(); });
+    for (auto& t : stoppers) t.join();
+    for (auto& fut : futures) EXPECT_EQ(fut.get().status, Status::kOk);
+  }
 }
 
 }  // namespace

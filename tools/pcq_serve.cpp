@@ -1,10 +1,22 @@
 // pcq_serve — drives the pcq::svc batch query service over a compressed
-// graph, answering queries from stdin (one per line) until EOF, then
-// printing the service metrics block.
+// graph: answering queries from stdin (one per line) until EOF, serving
+// the pcq::net binary frame protocol over TCP (--listen), or acting as an
+// interactive TCP client (--connect). Stdin modes print the service
+// metrics block on exit; --listen prints the drain summary as well.
 //
 //   pcq_serve <g.csr> [--tcsr h.tcsr] [--shards N] [--batch N]
 //             [--window-us W] [--kernel-threads N] [--demo N]
-//             [--mmap] [--warm] [--validate]
+//             [--mmap] [--warm] [--validate] [--listen PORT]
+//   pcq_serve --connect HOST:PORT
+//
+// --listen starts the epoll TCP front-end (src/net) instead of reading
+// stdin: it prints "listening on 127.0.0.1:<port>" (port 0 binds an
+// ephemeral port and prints the real one) and serves frames until SIGINT/
+// SIGTERM or a shutdown control frame, then drains gracefully — stops
+// accepting, answers everything in flight, flushes write buffers — and
+// prints "drain complete". --connect is the matching interactive client:
+// it speaks the same line protocol on stdin but ships each query over TCP
+// ("shutdown" sends the drain control frame, "quit" just disconnects).
 //
 // --mmap serves straight from memory-mapped files: the packed arrays are
 // borrowed views over the mapping (zero payload copies), so startup cost is
@@ -30,7 +42,9 @@
 //
 // --demo N skips stdin and pushes N random mixed queries through the
 // service instead — a smoke workload for scripts and the CLI test.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <future>
 #include <iostream>
@@ -40,6 +54,8 @@
 
 #include "check/validate.hpp"
 #include "csr/serialize.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "svc/service.hpp"
@@ -113,27 +129,41 @@ void print_response(const svc::Request& req, const svc::Response& r) {
 }
 
 int run_demo(svc::QueryService& service, const csr::BitPackedCsr& graph,
-             bool temporal, std::size_t count) {
+             const tcsr::DifferentialTcsr* history, std::size_t count) {
   util::SplitMix64 rng(2024);
   const VertexId n = graph.num_nodes();
   if (n == 0) {
     std::fprintf(stderr, "error: empty graph\n");
     return 2;
   }
+  // Temporal demo queries must be drawn from the history's own node/frame
+  // space — the TCSR is an independent (usually smaller) artifact, and
+  // CSR-ranged u with t pinned to 0 made every temporal pick silently
+  // answer kInvalid without ever exercising frames > 0.
+  const bool temporal = history != nullptr && history->num_nodes() > 0 &&
+                        history->num_frames() > 0;
+  const VertexId tn = temporal ? history->num_nodes() : 0;
+  const graph::TimeFrame tf = temporal ? history->num_frames() : 0;
   std::vector<std::future<svc::Response>> futures;
   futures.reserve(count);
   std::size_t rejected = 0;
   for (std::size_t i = 0; i < count; ++i) {
     svc::Request req;
     const auto pick = rng.next_below(temporal ? 5 : 3);
-    req.u = static_cast<VertexId>(rng.next_below(n));
-    req.v = static_cast<VertexId>(rng.next_below(n));
+    if (pick >= 3) {
+      req.u = static_cast<VertexId>(rng.next_below(tn));
+      req.v = static_cast<VertexId>(rng.next_below(tn));
+      req.t = static_cast<graph::TimeFrame>(rng.next_below(tf));
+    } else {
+      req.u = static_cast<VertexId>(rng.next_below(n));
+      req.v = static_cast<VertexId>(rng.next_below(n));
+    }
     switch (pick) {
       case 0: req.kind = svc::QueryKind::kDegree; break;
       case 1: req.kind = svc::QueryKind::kNeighbors; break;
       case 2: req.kind = svc::QueryKind::kEdgeExists; break;
-      case 3: req.kind = svc::QueryKind::kTemporalEdge; req.t = 0; break;
-      default: req.kind = svc::QueryKind::kTemporalNeighbors; req.t = 0; break;
+      case 3: req.kind = svc::QueryKind::kTemporalEdge; break;
+      default: req.kind = svc::QueryKind::kTemporalNeighbors; break;
     }
     futures.push_back(service.submit(req));
     // A demo client is closed-loop-ish: cap outstanding work so the
@@ -214,6 +244,120 @@ int run_stdin(svc::QueryService& service) {
   return 0;
 }
 
+// SIGINT/SIGTERM ask the TCP front-end for a graceful drain; request_stop
+// is async-signal-safe (one eventfd write).
+std::atomic<net::TcpServer*> g_server{nullptr};
+
+extern "C" void handle_stop_signal(int) {
+  net::TcpServer* server = g_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->request_stop();
+}
+
+int run_listen(svc::QueryService& service, std::uint16_t port) {
+  net::ServerOptions options;
+  options.port = port;
+  net::TcpServer server(service, options);
+  g_server.store(&server, std::memory_order_release);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::printf("listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  server.run();
+  g_server.store(nullptr, std::memory_order_release);
+  const net::ServerStats& s = server.stats();
+  std::printf("drain complete: %s in flight answered, all buffers flushed\n",
+              util::with_commas(
+                  s.drained_in_flight.load(std::memory_order_relaxed))
+                  .c_str());
+  std::printf("connections %s | frames in %s | frames out %s | "
+              "rejected %s | protocol errors %s\n",
+              util::with_commas(s.accepted.load()).c_str(),
+              util::with_commas(s.frames_in.load()).c_str(),
+              util::with_commas(s.frames_out.load()).c_str(),
+              util::with_commas(s.rejected.load()).c_str(),
+              util::with_commas(s.protocol_errors.load()).c_str());
+  print_metrics(service.metrics());
+  return 0;
+}
+
+/// Interactive TCP client: the stdin line protocol, shipped as binary
+/// frames. Lock-step (one request, one response) — a latency-measuring
+/// pipelined client lives in bench_svc --mode net.
+int run_connect(const std::string& target) {
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "error: --connect wants HOST:PORT\n");
+    return 2;
+  }
+  net::Client client;
+  client.connect(target.substr(0, colon),
+                 static_cast<std::uint16_t>(
+                     std::stoul(target.substr(colon + 1))));
+  std::uint64_t next_id = 1;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string op;
+    if (!(in >> op)) continue;
+    if (op == "quit") break;
+    net::WireRequest w;
+    w.id = next_id++;
+    svc::Request req;  // mirrors the wire request for print_response
+    bool ok = false;
+    if (op == "shutdown") {
+      w.kind = net::kShutdownKind;
+      client.send_request(w);
+      net::WireResponse resp;
+      if (client.read_response(&resp) &&
+          resp.status == static_cast<std::uint8_t>(svc::Status::kOk))
+        std::printf("shutdown acknowledged, server draining\n");
+      break;
+    } else if (op == "degree" && (in >> w.u)) {
+      req.kind = svc::QueryKind::kDegree;
+      ok = true;
+    } else if (op == "n" && (in >> w.u)) {
+      req.kind = svc::QueryKind::kNeighbors;
+      ok = true;
+    } else if (op == "e" && (in >> w.u >> w.v)) {
+      req.kind = svc::QueryKind::kEdgeExists;
+      ok = true;
+    } else if (op == "te" && (in >> w.u >> w.v >> w.t)) {
+      req.kind = svc::QueryKind::kTemporalEdge;
+      ok = true;
+    } else if (op == "tn" && (in >> w.u >> w.t)) {
+      req.kind = svc::QueryKind::kTemporalNeighbors;
+      ok = true;
+    } else if (op == "j" && (in >> w.u >> w.v >> w.t)) {
+      req.kind = svc::QueryKind::kForemostArrival;
+      ok = true;
+    }
+    if (!ok) {
+      std::printf("? unknown query '%s'\n", line.c_str());
+      continue;
+    }
+    w.kind = static_cast<std::uint8_t>(req.kind);
+    req.u = w.u;
+    req.v = w.v;
+    req.t = w.t;
+    client.send_request(w);
+    net::WireResponse resp;
+    if (!client.read_response(&resp)) {
+      std::fprintf(stderr, "error: server closed the connection\n");
+      return 3;
+    }
+    svc::Response r;
+    r.status = static_cast<svc::Status>(resp.status);
+    r.exists = resp.exists != 0;
+    r.degree = resp.degree;
+    r.arrival = resp.arrival;
+    r.neighbors.assign(resp.neighbors.begin(), resp.neighbors.end());
+    print_response(req, r);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,10 +371,23 @@ int main(int argc, char** argv) {
        {"demo", "run N random queries instead of reading stdin"},
        {"mmap", "serve from memory-mapped files (zero payload copies)"},
        {"warm", "with --mmap: parallel page-touch warmup before serving"},
-       {"validate", "run the full pcq::check scan before serving"}});
+       {"validate", "run the full pcq::check scan before serving"},
+       {"listen", "serve the binary frame protocol on TCP port N (0 = "
+                  "ephemeral, prints the bound port)"},
+       {"connect", "act as an interactive TCP client against HOST:PORT"}});
+  if (flags.has("connect")) {
+    try {
+      return run_connect(flags.get("connect", ""));
+    } catch (const pcq::IoError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 3;
+    }
+  }
   const auto& pos = flags.positional();
   if (pos.empty()) {
-    std::fprintf(stderr, "usage: pcq_serve <g.csr> [flags]\n");
+    std::fprintf(stderr,
+                 "usage: pcq_serve <g.csr> [flags] | pcq_serve --connect "
+                 "HOST:PORT\n");
     return 2;
   }
   // Flight-recorder mode: record spans from startup so the TRACE command
@@ -319,8 +476,11 @@ int main(int argc, char** argv) {
                 pcq::util::with_commas(graph.num_edges()).c_str(),
                 service.shards(), temporal ? " + temporal history" : "");
 
+    if (flags.has("listen"))
+      return run_listen(service, static_cast<std::uint16_t>(
+                                     flags.get_int("listen", 0)));
     if (flags.has("demo"))
-      return run_demo(service, graph, temporal,
+      return run_demo(service, graph, temporal ? &history : nullptr,
                       static_cast<std::size_t>(flags.get_int("demo", 10000)));
     return run_stdin(service);
   } catch (const pcq::IoError& e) {
