@@ -31,6 +31,7 @@
 #include "common.hpp"
 #include "csr/builder.hpp"
 #include "csr/serialize.hpp"
+#include "dyn/hybrid.hpp"
 #include "graph/generators.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
@@ -68,6 +69,7 @@ struct BenchConfig {
   std::string mode = "compare";
   std::string mix = "mixed";  ///< mixed | degree
   std::size_t connections = 4;  ///< TCP connections for --mode net
+  double write_pct = 0;  ///< --mode mixed: 0 = run both 5% and 50% presets
 };
 
 /// Deterministic workload. "mixed": 40% degree, 30% edge-exists, 30%
@@ -101,6 +103,33 @@ std::vector<Request> make_workload(const BenchConfig& cfg) {
   return reqs;
 }
 
+/// Read/write mix for --mode mixed: mutations are add-biased (the ingest
+/// shape: a stream that mostly grows, with some retractions) and reads
+/// reuse the static mix so the two modes are comparable.
+std::vector<Request> make_mixed_workload(const BenchConfig& cfg,
+                                         double write_fraction) {
+  pcq::util::SplitMix64 rng(cfg.seed ^ 0xd1b54a32d192ed03ull);
+  std::vector<Request> reqs(cfg.requests);
+  for (auto& r : reqs) {
+    r.u = static_cast<VertexId>(rng.next_below(cfg.nodes));
+    r.v = static_cast<VertexId>(rng.next_below(cfg.nodes));
+    const double roll = rng.next_double();
+    if (roll < write_fraction) {
+      r.kind = rng.next_double() < 0.8 ? QueryKind::kAddEdges
+                                       : QueryKind::kRemoveEdges;
+    } else {
+      const double read = (roll - write_fraction) / (1.0 - write_fraction);
+      if (read < 0.40)
+        r.kind = QueryKind::kDegree;
+      else if (read < 0.70)
+        r.kind = QueryKind::kEdgeExists;
+      else
+        r.kind = QueryKind::kNeighbors;
+    }
+  }
+  return reqs;
+}
+
 struct RunResult {
   double elapsed_s = 0;
   std::uint64_t completed = 0;
@@ -115,6 +144,12 @@ struct RunResult {
   double drain_qps = 0;
   pcq::bench::LatencySummary client_latency_us;  ///< submit -> callback
   pcq::svc::MetricsSnapshot service;
+  /// --mode mixed only: kOk completions and sampled client latency, split
+  /// by polarity (reads vs kAddEdges/kRemoveEdges mutations).
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_completed = 0;
+  pcq::bench::LatencySummary read_latency_us;
+  pcq::bench::LatencySummary write_latency_us;
 };
 
 void spin_until_done(const std::atomic<std::uint64_t>& done,
@@ -212,6 +247,75 @@ RunResult run_open_loop(pcq::svc::QueryService& service,
   result.drain_qps = drain_s > 1e-9
                          ? static_cast<double>(result.drain_completed) / drain_s
                          : 0.0;
+  return finish_run(service, ctx, std::move(result));
+}
+
+/// Open-loop mixed read/write run: identical arrival process to
+/// run_open_loop, but sampled latencies carry the request's polarity so the
+/// read tail can be reported separately from (and concurrent with) the
+/// mutation stream hitting the same shards.
+RunResult run_mixed_open_loop(pcq::svc::QueryService& service,
+                              const std::vector<Request>& reqs, double rate,
+                              std::uint64_t seed) {
+  RunResult result;
+  result.offered_qps = rate;
+  pcq::util::SplitMix64 rng(seed);
+  ClientCtx ctx;
+  const std::size_t samples = reqs.size() / kSampleStride + 1;
+  ctx.stamps.resize(samples);
+  ctx.latencies_us.assign(samples, -1.0);
+  std::vector<std::uint8_t> slot_is_write(samples, 0);
+  std::uint64_t accepted = 0;
+
+  const auto start = pcq::svc::Clock::now();
+  auto next_arrival = start;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (rate > 0) {
+      const double gap_s = -std::log(1.0 - rng.next_double()) / rate;
+      next_arrival +=
+          std::chrono::nanoseconds(static_cast<std::int64_t>(gap_s * 1e9));
+      while (pcq::svc::Clock::now() < next_arrival) std::this_thread::yield();
+    }
+    const bool is_write = pcq::svc::is_mutation_kind(reqs[i].kind);
+    const std::uint32_t slot =
+        i % kSampleStride == 0 ? static_cast<std::uint32_t>(i / kSampleStride)
+                               : kUnsampled;
+    if (slot != kUnsampled) {
+      ctx.stamps[slot] = pcq::svc::Clock::now();
+      slot_is_write[slot] = is_write ? 1 : 0;
+    }
+    ClientCtx* c = &ctx;
+    const bool ok = service.submit(reqs[i], [c, slot](Response&&) {
+      if (slot != kUnsampled)
+        c->latencies_us[slot] = std::chrono::duration<double, std::micro>(
+                                    pcq::svc::Clock::now() - c->stamps[slot])
+                                    .count();
+      c->done.fetch_add(1, std::memory_order_release);
+    });
+    if (ok) {
+      ++accepted;
+      if (is_write)
+        ++result.writes_completed;
+      else
+        ++result.reads_completed;
+    } else {
+      ++result.rejected;
+    }
+  }
+  spin_until_done(ctx.done, accepted);
+  result.elapsed_s =
+      std::chrono::duration<double>(pcq::svc::Clock::now() - start).count();
+  result.completed = accepted;
+  result.sustained_qps =
+      static_cast<double>(accepted) / std::max(result.elapsed_s, 1e-9);
+
+  std::vector<double> reads, writes;
+  for (std::size_t s = 0; s < samples; ++s) {
+    if (ctx.latencies_us[s] < 0) continue;
+    (slot_is_write[s] != 0 ? writes : reads).push_back(ctx.latencies_us[s]);
+  }
+  result.read_latency_us = pcq::bench::summarize_latencies(reads);
+  result.write_latency_us = pcq::bench::summarize_latencies(writes);
   return finish_run(service, ctx, std::move(result));
 }
 
@@ -372,7 +476,11 @@ RunResult run_net_load(const std::string& host, std::uint16_t port,
   struct ConnResult {
     std::uint64_t ok = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
     std::vector<double> latencies_us;
+    std::vector<double> read_latencies_us;
+    std::vector<double> write_latencies_us;
   };
   std::vector<ConnResult> per(connections);
   std::vector<std::thread> threads;
@@ -421,19 +529,32 @@ RunResult run_net_load(const std::string& host, std::uint16_t port,
       for (std::size_t received = 0; received < n; ++received) {
         pcq::net::WireResponse resp;
         if (!client.read_response(&resp)) break;  // server went away
-        if (resp.status == static_cast<std::uint8_t>(Status::kRejected))
+        // resp.id is the per-connection sequence number, so the request it
+        // answers is reqs[begin + id] — that recovers the kind for the
+        // read/write split without widening the wire format.
+        const bool is_write =
+            pcq::svc::is_mutation_kind(reqs[begin + resp.id].kind);
+        if (resp.status == static_cast<std::uint8_t>(Status::kRejected)) {
           ++mine.rejected;
-        else
+        } else {
           ++mine.ok;
+          if (is_write)
+            ++mine.writes;
+          else
+            ++mine.reads;
+        }
         if (resp.id % kSampleStride == 0) {
           const std::int64_t sent_ns =
               stamps_ns[resp.id / kSampleStride].load(
                   std::memory_order_relaxed);
-          mine.latencies_us.push_back(
+          const double us =
               static_cast<double>(
                   pcq::svc::Clock::now().time_since_epoch().count() -
                   sent_ns) /
-              1e3);
+              1e3;
+          mine.latencies_us.push_back(us);
+          (is_write ? mine.write_latencies_us : mine.read_latencies_us)
+              .push_back(us);
         }
       }
       sender.join();
@@ -443,16 +564,24 @@ RunResult run_net_load(const std::string& host, std::uint16_t port,
   for (auto& t : threads) t.join();
   result.elapsed_s =
       std::chrono::duration<double>(pcq::svc::Clock::now() - start).count();
-  std::vector<double> latencies;
+  std::vector<double> latencies, read_lat, write_lat;
   for (const auto& p : per) {
     result.completed += p.ok;
     result.rejected += p.rejected;
+    result.reads_completed += p.reads;
+    result.writes_completed += p.writes;
     latencies.insert(latencies.end(), p.latencies_us.begin(),
                      p.latencies_us.end());
+    read_lat.insert(read_lat.end(), p.read_latencies_us.begin(),
+                    p.read_latencies_us.end());
+    write_lat.insert(write_lat.end(), p.write_latencies_us.begin(),
+                     p.write_latencies_us.end());
   }
   result.sustained_qps =
       static_cast<double>(result.completed) / std::max(result.elapsed_s, 1e-9);
   result.client_latency_us = pcq::bench::summarize_latencies(latencies);
+  result.read_latency_us = pcq::bench::summarize_latencies(read_lat);
+  result.write_latency_us = pcq::bench::summarize_latencies(write_lat);
   return result;
 }
 
@@ -478,6 +607,19 @@ void print_run(const char* label, const RunResult& r) {
     std::printf("  drain (service-side) %8.0f qps over %llu requests\n",
                 r.drain_qps,
                 static_cast<unsigned long long>(r.drain_completed));
+}
+
+void print_mixed_split(const RunResult& r) {
+  std::printf("  reads  %9llu completed  latency us  p50 %8.1f  p95 %8.1f  "
+              "p99 %8.1f\n",
+              static_cast<unsigned long long>(r.reads_completed),
+              r.read_latency_us.p50, r.read_latency_us.p95,
+              r.read_latency_us.p99);
+  std::printf("  writes %9llu completed  latency us  p50 %8.1f  p95 %8.1f  "
+              "p99 %8.1f\n",
+              static_cast<unsigned long long>(r.writes_completed),
+              r.write_latency_us.p50, r.write_latency_us.p95,
+              r.write_latency_us.p99);
 }
 
 /// Post-run outputs: the labeled runs as a JSON document (--json FILE) and
@@ -514,6 +656,17 @@ int emit_outputs(const pcq::util::Flags& flags,
           r.client_latency_us.mean, r.client_latency_us.p50,
           r.client_latency_us.p95, r.client_latency_us.p99,
           r.client_latency_us.max);
+      out << buf;
+      std::snprintf(
+          buf, sizeof buf,
+          "\"reads\":%llu,\"writes\":%llu,"
+          "\"read_latency_us\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f},"
+          "\"write_latency_us\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f},",
+          static_cast<unsigned long long>(r.reads_completed),
+          static_cast<unsigned long long>(r.writes_completed),
+          r.read_latency_us.p50, r.read_latency_us.p95, r.read_latency_us.p99,
+          r.write_latency_us.p50, r.write_latency_us.p95,
+          r.write_latency_us.p99);
       out << buf;
       std::snprintf(
           buf, sizeof buf,
@@ -566,10 +719,14 @@ int main(int argc, char** argv) {
           {"frames", "TCSR frames; 0 = static-only workload (default 0)"},
           {"seed", "workload seed (default 42)"},
           {"mode",
-           "compare | capacity | open | closed | calibrate | load | net\n"
-           "(default compare); load = buffered vs mapped startup-cost table;\n"
-           "net = open-loop TCP load over the pcq::net frame protocol"},
+           "compare | capacity | open | closed | calibrate | load | net |\n"
+           "mixed (default compare); load = buffered vs mapped startup-cost\n"
+           "table; net = open-loop TCP load over the pcq::net frame protocol;\n"
+           "mixed = read/write load on the dynamic (HybridGraph) service"},
           {"mix", "mixed | degree (degree isolates dispatch overhead)"},
+          {"write-pct",
+           "mixed mode: mutation percentage 0-100; 0 = run both the 5%% and\n"
+           "50%% presets (default 0)"},
           {"connections", "TCP connections for --mode net (default 4)"},
           {"connect",
            "net mode: drive an external pcq_serve --listen at HOST:PORT\n"
@@ -599,6 +756,7 @@ int main(int argc, char** argv) {
   cfg.mix = flags.get("mix", cfg.mix);
   cfg.connections = static_cast<std::size_t>(
       flags.get_int("connections", cfg.connections));
+  cfg.write_pct = flags.get_double("write-pct", cfg.write_pct);
 
   std::fprintf(stderr, "[bench_svc] building R-MAT n=%u m=%zu...\n", cfg.nodes,
                cfg.edges);
@@ -788,6 +946,52 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s.frames_out.load()),
                   static_cast<unsigned long long>(s.rejected.load()),
                   static_cast<unsigned long long>(s.protocol_errors.load()));
+    }
+    return emit_outputs(flags, runs);
+  }
+  if (cfg.mode == "mixed") {
+    // Live-ingest serving: reads and kAddEdges/kRemoveEdges mutations hit
+    // the same dynamic service. Default runs both canonical mixes; each one
+    // gets a fresh HybridGraph copy of the base so the second mix is not
+    // measured against the first one's mutated edge set. With --connect the
+    // load drives an external `pcq_serve --dynamic --listen` over TCP
+    // (whose graph does accumulate the mutations — that's the live-server
+    // smoke CI runs).
+    std::vector<double> fractions;
+    if (cfg.write_pct > 0)
+      fractions.push_back(cfg.write_pct / 100.0);
+    else
+      fractions = {0.05, 0.50};
+    const std::string target = flags.get("connect", "");
+    for (const double wf : fractions) {
+      const std::vector<Request> mixed = make_mixed_workload(cfg, wf);
+      char label[64];
+      std::snprintf(label, sizeof label, "mixed %.0f/%.0f r/w",
+                    100.0 * (1.0 - wf), 100.0 * wf);
+      RunResult r;
+      if (!target.empty()) {
+        const auto colon = target.rfind(':');
+        if (colon == std::string::npos) {
+          std::fprintf(stderr, "error: --connect wants HOST:PORT\n");
+          return 2;
+        }
+        const std::string host = target.substr(0, colon);
+        const auto port =
+            static_cast<std::uint16_t>(std::stoul(target.substr(colon + 1)));
+        r = run_net_load(host, port, mixed, cfg.connections, cfg.rate,
+                         cfg.seed + 13);
+      } else {
+        pcq::dyn::HybridGraph hybrid(graph);
+        pcq::svc::QueryService service(hybrid, history_ptr, batched);
+        r = run_mixed_open_loop(service, mixed, cfg.rate, cfg.seed + 13);
+        std::fprintf(stderr,
+                     "[bench_svc] hybrid after %s: %zu edges, %zu delta "
+                     "keys pending\n",
+                     label, hybrid.num_edges(), hybrid.delta_keys());
+      }
+      print_run(label, r);
+      print_mixed_split(r);
+      runs.emplace_back(label, r);
     }
     return emit_outputs(flags, runs);
   }

@@ -1,0 +1,94 @@
+// Fuzzes pcq::dyn::Cpma (the compressed-PMA mutable tier): the input bytes
+// script a sequence of interleaved insert/erase batches which are applied
+// both to the CPMA and to a std::set<Key> oracle. After every batch the
+// structural invariants must hold (strict key order, directory consistency,
+// per-leaf byte budget) and the contents must equal the oracle exactly —
+// keys(), contains() and the returned changed-counts all cross-checked.
+// Leaf byte budget and key skew come from the input too, so tiny-leaf
+// window splits and grow/shrink rebuilds are all reachable.
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "dyn/cpma.hpp"
+#include "fuzz_util.hpp"
+
+namespace {
+
+using pcq::dyn::Cpma;
+using pcq::dyn::Key;
+using pcq::fuzz::ByteReader;
+
+// Bounded work per input: enough rounds/keys to cross leaf boundaries and
+// trigger grows and shrinks, small enough to keep the mutation sweep fast.
+constexpr int kMaxRounds = 24;
+constexpr std::size_t kMaxBatch = 512;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  ByteReader reader(data, size);
+
+  Cpma::Config config;
+  // Leaf budgets from the 64-byte minimum (pathological: a few wide deltas
+  // per leaf) to 574 bytes.
+  config.leaf_bytes = 64 + std::size_t{reader.u8()} * 2;
+  Cpma cpma(config);
+  std::set<Key> oracle;
+
+  // Key skew selector: dense keys exercise 1-byte deltas and deep leaves,
+  // sparse ones exercise wide varints and window splits.
+  const std::uint64_t key_space =
+      std::uint64_t{1} << (4 + reader.u8() % 44);
+  const int threads = 1 + reader.u8() % 4;
+
+  for (int round = 0; round < kMaxRounds && reader.remaining() > 0; ++round) {
+    const bool erase = (reader.u8() & 1) != 0;
+    const std::size_t n = 1 + reader.u8() * 2;
+    std::vector<Key> batch;
+    batch.reserve(n < kMaxBatch ? n : kMaxBatch);
+    std::uint64_t walk = reader.u64() % key_space;
+    for (std::size_t i = 0; i < n && i < kMaxBatch; ++i) {
+      // Mix absolute draws with short strides so batches hit both fresh
+      // leaves and the neighbourhood of previous keys.
+      if ((reader.u8() & 3) == 0)
+        walk = reader.u64() % key_space;
+      else
+        walk = (walk + 1 + reader.u8() % 16) % key_space;
+      batch.push_back(walk);
+    }
+
+    std::size_t expect_changed = 0;
+    const std::set<Key> unique(batch.begin(), batch.end());
+    if (erase) {
+      for (const Key k : unique) expect_changed += oracle.erase(k);
+      const std::size_t erased = cpma.erase_batch(batch, threads);
+      PCQ_FUZZ_ASSERT(erased == expect_changed,
+                      "erase_batch count disagrees with oracle");
+    } else {
+      for (const Key k : unique)
+        expect_changed += oracle.insert(k).second ? 1 : 0;
+      const std::size_t inserted = cpma.insert_batch(batch, threads);
+      PCQ_FUZZ_ASSERT(inserted == expect_changed,
+                      "insert_batch count disagrees with oracle");
+    }
+
+    const Cpma::Snapshot snap = cpma.snapshot();
+    PCQ_FUZZ_ASSERT(snap.check_invariants(), "structural invariants broken");
+    PCQ_FUZZ_ASSERT(snap.size() == oracle.size(),
+                    "size disagrees with oracle");
+    // Membership spot-checks: everything in this batch, both polarities.
+    for (const Key k : unique)
+      PCQ_FUZZ_ASSERT(snap.contains(k) == (oracle.count(k) > 0),
+                      "contains() disagrees with oracle");
+  }
+
+  // Full-content sweep once per input (ordered iteration == ordered set).
+  const std::vector<Key> keys = cpma.snapshot().keys();
+  PCQ_FUZZ_ASSERT(keys.size() == oracle.size(), "final size mismatch");
+  auto it = oracle.begin();
+  for (const Key k : keys)
+    PCQ_FUZZ_ASSERT(k == *it++, "final contents diverge from oracle");
+  return 0;
+}

@@ -1,14 +1,37 @@
 #include "csr/dynamic.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "csr/builder.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace pcq::csr {
 
 using graph::Edge;
 using graph::VertexId;
+
+namespace {
+
+// Registry lookups are name-hashed; cache the stable references once so the
+// single-edge mutation path stays a couple of loads. Mirrors the dyn.cpma.*
+// family (src/dyn/cpma.cpp) so dashboards can overlay the two tiers.
+struct ObsHandles {
+  obs::Counter& rebuilds;
+  obs::LogHistogram& rebuild_us;
+  obs::Gauge& overlay;
+
+  static ObsHandles& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static ObsHandles h{reg.counter("csr.dynamic.rebuilds"),
+                        reg.histogram("csr.dynamic.rebuild_us"),
+                        reg.gauge("csr.dynamic.overlay")};
+    return h;
+  }
+};
+
+}  // namespace
 
 std::size_t DynamicCsr::num_edges() const {
   // Every overlay entry either adds an edge absent from the base or
@@ -30,6 +53,7 @@ void DynamicCsr::toggle(VertexId u, VertexId v) {
     overlay_.erase(it);
   else
     overlay_.insert(it, e);
+  ObsHandles::get().overlay.set(static_cast<std::int64_t>(overlay_.size()));
 }
 
 void DynamicCsr::add_edge(VertexId u, VertexId v) {
@@ -88,6 +112,7 @@ bool DynamicCsr::needs_rebuild() const {
 }
 
 void DynamicCsr::rebuild(int num_threads) {
+  const auto t0 = std::chrono::steady_clock::now();
   graph::EdgeList merged;
   merged.reserve(num_edges());
   const VertexId n = base_.num_nodes();
@@ -97,6 +122,13 @@ void DynamicCsr::rebuild(int num_threads) {
   // `merged` is emitted in (u, v) order, so the sorted-input pipeline
   // applies directly.
   base_ = build_bitpacked_csr_from_sorted(merged, n, num_threads);
+  ObsHandles& obs = ObsHandles::get();
+  obs.rebuilds.add(1);
+  obs.rebuild_us.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  obs.overlay.set(0);
 }
 
 }  // namespace pcq::csr

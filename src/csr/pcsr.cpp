@@ -228,8 +228,44 @@ bool PmaCsr::remove_edge(VertexId u, VertexId v) {
   --count_;
   rebuild_directory(seg, seg + 1);
   // Shrink when globally sparse (quarter density), keeping a floor.
-  if (slots_.size() > 16 && count_ * 4 < slots_.size())
+  if (slots_.size() > 16 && count_ * 4 < slots_.size()) {
     resize_capacity(std::max<std::size_t>(16, slots_.size() / 2));
+    return true;
+  }
+  // Low-density window rebalance — the downward mirror of add_edge's
+  // walk. A partial drain can empty this segment while the array as a
+  // whole stays above the shrink trigger; without redistribution the
+  // emptied run grows with every delete (neighbors() and find_segment
+  // walk backwards over it) and a later skewed insert burst pays the
+  // worst-case redistribute. Walk up to the smallest enclosing
+  // power-of-two window still at/above its min-density bound and spread
+  // its keys evenly; if even the root window is below its bound (the
+  // [0.25, 0.30) gap the global trigger leaves), rebalance the whole
+  // array in place.
+  if (tree_height() > 0 &&
+      static_cast<double>(seg_count_[seg]) <
+          min_density(0) * static_cast<double>(segment_size_)) {
+    const std::size_t segs = num_segments();
+    std::size_t window = 2;
+    unsigned level = 1;
+    bool balanced = false;
+    while (window <= segs) {
+      const std::size_t first = (seg / window) * window;
+      const std::size_t last = std::min(first + window, segs);
+      std::size_t used = 0;
+      for (std::size_t s = first; s < last; ++s) used += seg_count_[s];
+      if (static_cast<double>(used) >=
+          min_density(level) *
+              static_cast<double>((last - first) * segment_size_)) {
+        redistribute(first, last);
+        balanced = true;
+        break;
+      }
+      window *= 2;
+      ++level;
+    }
+    if (!balanced) redistribute(0, segs);
+  }
   return true;
 }
 

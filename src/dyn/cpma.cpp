@@ -1,0 +1,610 @@
+#include "dyn/cpma.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+#include "bits/codecs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "par/parallel_for.hpp"
+#include "par/radix_sort.hpp"
+#include "util/check.hpp"
+
+namespace pcq::dyn {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::size_t varint_size(Key v) {
+  return (static_cast<std::size_t>(std::bit_width(v | 1)) + 6) / 7;
+}
+
+std::uint64_t to_us(Clock::duration d) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+/// Density bounds interpolated from leaf (level 0) to root (level
+/// `height`). The leaf max stays under 1.0 so a redistribution's per-leaf
+/// head overhead (<= 10 bytes) still fits the byte budget.
+double max_density(unsigned level, unsigned height, double root) {
+  constexpr double kLeafMax = 0.92;
+  if (height == 0) return kLeafMax;
+  return kLeafMax - (kLeafMax - root) * static_cast<double>(level) /
+                        static_cast<double>(height);
+}
+
+double min_density(unsigned level, unsigned height, double root) {
+  constexpr double kLeafMin = 0.05;
+  if (height == 0) return kLeafMin;
+  return kLeafMin + (root - kLeafMin) * static_cast<double>(level) /
+                        static_cast<double>(height);
+}
+
+/// Sum of varint sizes when `keys` is encoded as one head + delta stream.
+/// Parallelised: chunk-local sums need only each chunk's left neighbour
+/// key, which is available by index.
+std::size_t delta_stream_bytes(std::span<const Key> keys, int num_threads) {
+  if (keys.empty()) return 0;
+  const std::size_t n = keys.size();
+  const auto p = static_cast<std::size_t>(par::clamp_threads(num_threads));
+  const std::size_t chunks = par::num_nonempty_chunks(n, p);
+  std::vector<std::size_t> partial(chunks, 0);
+  par::parallel_for_chunks(n, num_threads, [&](std::size_t c, par::ChunkRange r) {
+    std::size_t sum = 0;
+    for (std::size_t i = r.begin; i < r.end; ++i)
+      sum += varint_size(i == 0 ? keys[0] : keys[i] - keys[i - 1]);
+    partial[c] = sum;
+  });
+  std::size_t total = 0;
+  for (const std::size_t s : partial) total += s;
+  return total;
+}
+
+/// Greedy byte-balanced split of `keys` into leaves of <= `budget` encoded
+/// bytes. Returns cut offsets (cuts[i]..cuts[i+1] is leaf i's key range);
+/// empty result if more than `max_leaves` leaves would be needed.
+std::vector<std::size_t> greedy_cuts(std::span<const Key> keys,
+                                     std::size_t max_leaves,
+                                     std::size_t budget) {
+  std::vector<std::size_t> cuts{0};
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const bool fresh = i == cuts.back();
+    const std::size_t sz =
+        fresh ? varint_size(keys[i]) : varint_size(keys[i] - keys[i - 1]);
+    if (!fresh && used + sz > budget) {
+      if (cuts.size() > max_leaves) return {};
+      cuts.push_back(i);
+      used = varint_size(keys[i]);
+    } else {
+      used += sz;
+    }
+  }
+  if (!keys.empty() && cuts.size() > max_leaves) return {};
+  cuts.push_back(keys.size());
+  return cuts;
+}
+
+Cpma::LeafPtr encode_leaf(std::span<const Key> keys) {
+  auto leaf = std::make_shared<Cpma::Leaf>();
+  leaf->count = static_cast<std::uint32_t>(keys.size());
+  leaf->bytes.reserve(keys.size() + 9);
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    bits::varint_encode(i == 0 ? keys[0] : keys[i] - keys[i - 1],
+                        leaf->bytes);
+  return leaf;
+}
+
+const Cpma::LeafPtr& empty_leaf() {
+  static const Cpma::LeafPtr kEmpty = std::make_shared<Cpma::Leaf>();
+  return kEmpty;
+}
+
+/// Rebuilds heads / search_heads / count / bytes from the leaves array.
+void rebuild_directory(Cpma::State& state) {
+  const std::size_t L = state.leaves.size();
+  state.heads.resize(L);
+  state.search_heads.resize(L);
+  state.count = 0;
+  state.bytes = 0;
+  Key running = 0;  // leading empties map to 0 so every key finds a leaf
+  for (std::size_t l = 0; l < L; ++l) {
+    const Cpma::Leaf& leaf = *state.leaves[l];
+    if (leaf.count == 0) {
+      state.heads[l] = Cpma::kNoKey;
+    } else {
+      std::size_t pos = 0;
+      state.heads[l] = bits::varint_decode(leaf.bytes, pos);
+      running = state.heads[l];
+      state.count += leaf.count;
+      state.bytes += leaf.bytes.size();
+    }
+    state.search_heads[l] = running;
+  }
+}
+
+/// Index of the leaf responsible for `key`: the nearest non-empty leaf at
+/// or before the last leaf whose effective head is <= key (leaf 0 when the
+/// whole prefix is empty).
+std::size_t leaf_of(const Cpma::State& state, Key key) {
+  const auto it = std::upper_bound(state.search_heads.begin(),
+                                   state.search_heads.end(), key);
+  std::size_t l =
+      it == state.search_heads.begin()
+          ? 0
+          : static_cast<std::size_t>(it - state.search_heads.begin()) - 1;
+  while (l > 0 && state.heads[l] == Cpma::kNoKey) --l;
+  return l;
+}
+
+struct ObsHandles {
+  obs::Counter& batches;
+  obs::Counter& rebalances;
+  obs::Counter& grows;
+  obs::Counter& shrinks;
+  obs::LogHistogram& batch_keys;
+  obs::LogHistogram& batch_us;
+  obs::Gauge& keys;
+  obs::Gauge& bytes;
+  obs::Gauge& leaves;
+
+  static ObsHandles& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static ObsHandles h{reg.counter("dyn.cpma.batches"),
+                        reg.counter("dyn.cpma.rebalances"),
+                        reg.counter("dyn.cpma.grows"),
+                        reg.counter("dyn.cpma.shrinks"),
+                        reg.histogram("dyn.cpma.batch_keys"),
+                        reg.histogram("dyn.cpma.batch_us"),
+                        reg.gauge("dyn.cpma.keys"),
+                        reg.gauge("dyn.cpma.bytes"),
+                        reg.gauge("dyn.cpma.leaves")};
+    return h;
+  }
+};
+
+}  // namespace
+
+struct Cpma::RebalanceStats {
+  std::size_t rebalances = 0;
+  std::size_t grows = 0;
+  std::size_t shrinks = 0;
+};
+
+void Cpma::decode_leaf(const Leaf& leaf, std::vector<Key>& out) {
+  out.clear();
+  out.reserve(leaf.count);
+  std::size_t pos = 0;
+  Key running = 0;
+  for (std::uint32_t i = 0; i < leaf.count; ++i) {
+    running += bits::varint_decode(leaf.bytes, pos);
+    out.push_back(running);
+  }
+  PCQ_DCHECK(pos == leaf.bytes.size());
+}
+
+Cpma::Cpma(Config config) : config_(config) {
+  PCQ_CHECK(config_.leaf_bytes >= 64);
+  PCQ_CHECK(config_.max_root_density > config_.min_root_density);
+  auto state = std::make_shared<State>();
+  state->config = config_;
+  state->leaves.assign(1, empty_leaf());
+  rebuild_directory(*state);
+  state_ = std::move(state);
+}
+
+Cpma::Snapshot Cpma::snapshot() const { return Snapshot(load_state()); }
+
+std::size_t Cpma::Snapshot::size_bytes() const {
+  return state_->bytes +
+         state_->leaves.size() *
+             (sizeof(LeafPtr) + 2 * sizeof(Key) + sizeof(Leaf));
+}
+
+bool Cpma::Snapshot::contains(Key key) const {
+  const State& s = *state_;
+  if (s.count == 0) return false;
+  const Leaf& leaf = *s.leaves[leaf_of(s, key)];
+  std::size_t pos = 0;
+  Key running = 0;
+  for (std::uint32_t i = 0; i < leaf.count; ++i) {
+    running += bits::varint_decode(leaf.bytes, pos);
+    if (running == key) return true;
+    if (running > key) return false;
+  }
+  return false;
+}
+
+std::vector<graph::VertexId> Cpma::Snapshot::row(graph::VertexId u) const {
+  const State& s = *state_;
+  std::vector<graph::VertexId> out;
+  if (s.count == 0) return out;
+  const Key lo = key_of(u, 0);
+  for (std::size_t l = leaf_of(s, lo); l < s.leaves.size(); ++l) {
+    const Leaf& leaf = *s.leaves[l];
+    std::size_t pos = 0;
+    Key running = 0;
+    for (std::uint32_t i = 0; i < leaf.count; ++i) {
+      running += bits::varint_decode(leaf.bytes, pos);
+      const graph::VertexId ku = key_u(running);
+      if (ku > u) return out;
+      if (ku == u) out.push_back(key_v(running));
+    }
+  }
+  return out;
+}
+
+std::vector<Key> Cpma::Snapshot::keys() const {
+  std::vector<Key> out;
+  out.reserve(state_->count);
+  std::vector<Key> buf;
+  for (const LeafPtr& leaf : state_->leaves) {
+    decode_leaf(*leaf, buf);
+    out.insert(out.end(), buf.begin(), buf.end());
+  }
+  return out;
+}
+
+bool Cpma::Snapshot::check_invariants() const {
+  const State& s = *state_;
+  if (s.leaves.empty()) return false;
+  if (s.heads.size() != s.leaves.size() ||
+      s.search_heads.size() != s.leaves.size())
+    return false;
+  std::size_t count = 0, bytes = 0;
+  Key prev = 0;
+  bool first = true;
+  Key running_head = 0;
+  std::vector<Key> buf;
+  for (std::size_t l = 0; l < s.leaves.size(); ++l) {
+    const Leaf& leaf = *s.leaves[l];
+    if (leaf.bytes.size() > s.config.leaf_bytes) return false;
+    decode_leaf(leaf, buf);
+    if (buf.size() != leaf.count) return false;
+    if (leaf.count == 0) {
+      if (s.heads[l] != kNoKey) return false;
+    } else {
+      if (s.heads[l] != buf.front()) return false;
+      running_head = buf.front();
+      count += leaf.count;
+      bytes += leaf.bytes.size();
+      for (const Key k : buf) {
+        if (!first && k <= prev) return false;
+        prev = k;
+        first = false;
+      }
+    }
+    if (s.search_heads[l] != running_head) return false;
+  }
+  return count == s.count && bytes == s.bytes;
+}
+
+void Cpma::normalize_batch(std::vector<Key>& keys, int num_threads) {
+  par::parallel_radix_sort(std::span<Key>(keys), num_threads,
+                           [](Key k) { return k; });
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+Cpma::StatePtr Cpma::build_state(const Config& config, std::vector<Key> keys,
+                                 std::uint64_t version, int num_threads,
+                                 RebalanceStats* stats) {
+  auto state = std::make_shared<State>();
+  state->config = config;
+  state->version = version;
+
+  if (keys.empty()) {
+    state->leaves.assign(1, empty_leaf());
+    rebuild_directory(*state);
+    return state;
+  }
+
+  // Target ~50% byte density: greedy-cut at half the leaf budget, then pad
+  // the leaf count to a power of two (so window arithmetic sees a full
+  // PMA tree). The padded root density lands in [0.25, 0.5] — inside the
+  // root bounds, so the next batch never immediately re-triggers.
+  const std::size_t budget = std::max<std::size_t>(config.leaf_bytes / 2, 16);
+  std::vector<std::size_t> cuts = greedy_cuts(keys, keys.size() + 1, budget);
+  PCQ_CHECK(!cuts.empty());
+  const std::size_t produced = cuts.size() - 1;
+  const std::size_t L = std::bit_ceil(produced);
+  state->leaves.assign(L, empty_leaf());
+
+  // Spread the produced leaves across the padded array so the gaps sit
+  // between runs instead of piling at the tail (classic PMA layout).
+  std::vector<std::size_t> slot(produced);
+  for (std::size_t i = 0; i < produced; ++i) slot[i] = i * L / produced;
+  par::parallel_for(produced, num_threads, [&](std::size_t i) {
+    state->leaves[slot[i]] = encode_leaf(
+        std::span<const Key>(keys).subspan(cuts[i], cuts[i + 1] - cuts[i]));
+  });
+  rebuild_directory(*state);
+  if (stats != nullptr) ++stats->rebalances;
+  return state;
+}
+
+std::size_t Cpma::insert_batch(std::span<const Key> keys, int num_threads) {
+  std::vector<Key> sorted(keys.begin(), keys.end());
+  normalize_batch(sorted, num_threads);
+  return apply_batch(sorted, {}, num_threads).inserted;
+}
+
+std::size_t Cpma::erase_batch(std::span<const Key> keys, int num_threads) {
+  std::vector<Key> sorted(keys.begin(), keys.end());
+  normalize_batch(sorted, num_threads);
+  return apply_batch({}, sorted, num_threads).erased;
+}
+
+void Cpma::clear() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const StatePtr old = load_state();
+  auto next = std::make_shared<State>();
+  next->config = config_;
+  next->version = old->version + 1;
+  next->leaves.assign(1, empty_leaf());
+  rebuild_directory(*next);
+  publish(std::move(next));
+  ObsHandles& obs = ObsHandles::get();
+  obs.keys.set(0);
+  obs.bytes.set(0);
+  obs.leaves.set(1);
+}
+
+Cpma::ApplyResult Cpma::apply_batch(std::span<const Key> inserts,
+                                    std::span<const Key> erases,
+                                    int num_threads,
+                                    std::vector<std::uint8_t>* changed_inserts,
+                                    std::vector<std::uint8_t>* changed_erases) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return apply_locked(inserts, erases, num_threads, changed_inserts,
+                      changed_erases);
+}
+
+Cpma::ApplyResult Cpma::apply_locked(
+    std::span<const Key> inserts, std::span<const Key> erases,
+    int num_threads, std::vector<std::uint8_t>* changed_inserts,
+    std::vector<std::uint8_t>* changed_erases) {
+  PCQ_TRACE_SCOPE("dyn.cpma.apply", inserts.size() + erases.size());
+  const auto t0 = Clock::now();
+  ApplyResult result;
+  if (changed_inserts != nullptr)
+    changed_inserts->assign(inserts.size(), 0);
+  if (changed_erases != nullptr) changed_erases->assign(erases.size(), 0);
+  if (inserts.empty() && erases.empty()) return result;
+
+  const StatePtr old = load_state();
+  const State& prev = *old;
+  const std::size_t L = prev.leaves.size();
+
+  // Partition both batches by responsible leaf. Inputs are sorted, and
+  // leaf_of is monotone in the key, so per-leaf ranges are contiguous.
+  auto partition = [&](std::span<const Key> batch, std::vector<std::size_t>& idx) {
+    idx.resize(batch.size());
+    par::parallel_for(batch.size(), num_threads,
+                      [&](std::size_t i) { idx[i] = leaf_of(prev, batch[i]); });
+  };
+  std::vector<std::size_t> ins_leaf, ers_leaf;
+  partition(inserts, ins_leaf);
+  partition(erases, ers_leaf);
+
+  struct LeafWork {
+    std::size_t leaf;
+    std::size_t ins_begin = 0, ins_end = 0;
+    std::size_t ers_begin = 0, ers_end = 0;
+  };
+  std::vector<LeafWork> work;
+  {
+    std::size_t i = 0, e = 0;
+    while (i < inserts.size() || e < erases.size()) {
+      const std::size_t li =
+          i < inserts.size() ? ins_leaf[i] : static_cast<std::size_t>(-1);
+      const std::size_t le =
+          e < erases.size() ? ers_leaf[e] : static_cast<std::size_t>(-1);
+      const std::size_t l = std::min(li, le);
+      LeafWork w;
+      w.leaf = l;
+      w.ins_begin = i;
+      while (i < inserts.size() && ins_leaf[i] == l) ++i;
+      w.ins_end = i;
+      w.ers_begin = e;
+      while (e < erases.size() && ers_leaf[e] == l) ++e;
+      w.ers_end = e;
+      work.push_back(w);
+    }
+  }
+
+  // Merge phase: rewrite each affected leaf in parallel. A merged leaf may
+  // transiently exceed the byte budget; the rebalance pass below restores
+  // the density bounds before publication.
+  auto next = std::make_shared<State>();
+  next->config = config_;
+  next->leaves = prev.leaves;  // shared_ptr copies; untouched leaves shared
+  std::vector<std::size_t> inserted_per(work.size(), 0);
+  std::vector<std::size_t> erased_per(work.size(), 0);
+  par::parallel_for(work.size(), num_threads, [&](std::size_t w) {
+    const LeafWork& lw = work[w];
+    std::vector<Key> existing;
+    decode_leaf(*prev.leaves[lw.leaf], existing);
+    std::vector<Key> merged;
+    merged.reserve(existing.size() + (lw.ins_end - lw.ins_begin));
+    std::size_t x = 0;  // existing cursor
+    std::size_t ii = lw.ins_begin, ee = lw.ers_begin;
+    while (x < existing.size() || ii < lw.ins_end) {
+      // Erase cursor advances with the merged stream; an erase key absent
+      // from the leaf is skipped (changed flag stays 0).
+      const Key nxt = ii < lw.ins_end &&
+                              (x >= existing.size() ||
+                               inserts[ii] < existing[x])
+                          ? inserts[ii]
+                          : existing[x];
+      while (ee < lw.ers_end && erases[ee] < nxt) ++ee;
+      if (ii < lw.ins_end && inserts[ii] == nxt &&
+          (x >= existing.size() || existing[x] != nxt)) {
+        // Fresh insert (not already present).
+        if (ee < lw.ers_end && erases[ee] == nxt) {
+          // Caller guarantees disjoint batches; unreachable, but keep the
+          // erase cursor honest in release builds.
+          ++ee;
+        }
+        merged.push_back(nxt);
+        if (changed_inserts != nullptr) (*changed_inserts)[ii] = 1;
+        ++inserted_per[w];
+        ++ii;
+        continue;
+      }
+      if (ii < lw.ins_end && inserts[ii] == nxt) ++ii;  // duplicate of existing
+      // nxt comes from `existing`.
+      if (ee < lw.ers_end && erases[ee] == nxt) {
+        if (changed_erases != nullptr) (*changed_erases)[ee] = 1;
+        ++erased_per[w];
+        ++ee;
+        ++x;
+        continue;
+      }
+      merged.push_back(existing[x]);
+      ++x;
+    }
+    next->leaves[lw.leaf] =
+        merged.empty() ? empty_leaf() : encode_leaf(merged);
+  });
+  for (std::size_t w = 0; w < work.size(); ++w) {
+    result.inserted += inserted_per[w];
+    result.erased += erased_per[w];
+  }
+
+  RebalanceStats stats;
+  // Root bounds first: a batch that lands outside them rebuilds the whole
+  // array at ~50% density (grow and shrink are the same rebuild; only the
+  // stats differ). Otherwise rebalance the windows the batch overflowed or
+  // underflowed, bottom-up.
+  std::size_t total_bytes = 0;
+  for (const LeafPtr& leaf : next->leaves) total_bytes += leaf->bytes.size();
+  const double root_cap =
+      static_cast<double>(L) * static_cast<double>(config_.leaf_bytes);
+  const bool over_root =
+      static_cast<double>(total_bytes) > config_.max_root_density * root_cap;
+  const bool under_root =
+      L > 1 && static_cast<double>(total_bytes) <
+                   config_.min_root_density * root_cap;
+  if (over_root || under_root) {
+    std::vector<Key> all;
+    all.reserve(prev.count + result.inserted);
+    std::vector<Key> buf;
+    for (const LeafPtr& leaf : next->leaves) {
+      decode_leaf(*leaf, buf);
+      all.insert(all.end(), buf.begin(), buf.end());
+    }
+    StatePtr rebuilt =
+        build_state(config_, std::move(all), prev.version + 1, num_threads,
+                    &stats);
+    if (rebuilt->leaves.size() > L)
+      ++stats.grows;
+    else
+      ++stats.shrinks;
+    next = std::make_shared<State>(*rebuilt);
+  } else {
+    const auto height = static_cast<unsigned>(L <= 1 ? 0 : std::bit_width(L - 1));
+    std::vector<std::uint8_t> settled(L, 0);
+    for (const LeafWork& lw : work) {
+      if (settled[lw.leaf] != 0) continue;
+      const std::size_t used0 = next->leaves[lw.leaf]->bytes.size();
+      const bool over =
+          static_cast<double>(used0) >
+          max_density(0, height, config_.max_root_density) *
+              static_cast<double>(config_.leaf_bytes);
+      const bool under =
+          next->leaves[lw.leaf]->count == 0 ||
+          static_cast<double>(used0) <
+              min_density(0, height, config_.min_root_density) *
+                  static_cast<double>(config_.leaf_bytes);
+      if (!over && !under) continue;
+      // Walk windows up until the density bound holds, then redistribute
+      // the window's keys byte-evenly across its leaves.
+      for (unsigned level = 1; level <= height; ++level) {
+        const std::size_t window = std::size_t{1} << level;
+        const std::size_t first = (lw.leaf / window) * window;
+        const std::size_t last = std::min(first + window, L);
+        const std::size_t W = last - first;
+        std::size_t used = 0;
+        for (std::size_t l = first; l < last; ++l)
+          used += next->leaves[l]->bytes.size();
+        const double cap =
+            static_cast<double>(W) * static_cast<double>(config_.leaf_bytes);
+        const bool ok =
+            over ? static_cast<double>(used) <=
+                       max_density(level, height, config_.max_root_density) * cap
+                 : static_cast<double>(used) >=
+                       min_density(level, height, config_.min_root_density) * cap;
+        if (!ok && level < height) continue;
+        // Gather window keys and re-split. est bounds the encoded size
+        // after splitting (delta stream + one <=10-byte head per leaf), so
+        // the greedy budget below always fits `W` leaves.
+        std::vector<Key> window_keys;
+        std::vector<Key> buf;
+        for (std::size_t l = first; l < last; ++l) {
+          decode_leaf(*next->leaves[l], buf);
+          window_keys.insert(window_keys.end(), buf.begin(), buf.end());
+        }
+        const std::size_t est =
+            delta_stream_bytes(window_keys, num_threads) + 10 * W;
+        const std::size_t budget = est / W + 11;
+        if (budget > config_.leaf_bytes && level < height) continue;
+        if (budget > config_.leaf_bytes) {
+          // Even the root window is too dense for this batch shape (a
+          // degenerate skew the density bounds missed): grow globally.
+          std::vector<Key> all;
+          all.reserve(next->count);
+          for (const LeafPtr& leaf : next->leaves) {
+            decode_leaf(*leaf, buf);
+            all.insert(all.end(), buf.begin(), buf.end());
+          }
+          StatePtr rebuilt = build_state(config_, std::move(all),
+                                         prev.version + 1, num_threads, &stats);
+          ++stats.grows;
+          next = std::make_shared<State>(*rebuilt);
+          std::fill(settled.begin(), settled.end(), 1);
+          break;
+        }
+        const std::vector<std::size_t> cuts =
+            greedy_cuts(window_keys, W, budget);
+        PCQ_CHECK(!cuts.empty());
+        const std::size_t produced = cuts.size() - 1;
+        std::vector<std::size_t> slot(produced);
+        for (std::size_t i = 0; i < produced; ++i)
+          slot[i] = first + i * W / std::max<std::size_t>(produced, 1);
+        for (std::size_t l = first; l < last; ++l)
+          next->leaves[l] = empty_leaf();
+        par::parallel_for(produced, num_threads, [&](std::size_t i) {
+          next->leaves[slot[i]] = encode_leaf(
+              std::span<const Key>(window_keys)
+                  .subspan(cuts[i], cuts[i + 1] - cuts[i]));
+        });
+        for (std::size_t l = first; l < last; ++l) settled[l] = 1;
+        ++stats.rebalances;
+        break;
+      }
+      // height == 0 (single leaf): nothing to redistribute into; the root
+      // checks above own growth, and a lone underfull leaf is legal.
+    }
+    next->version = prev.version + 1;
+    rebuild_directory(*next);
+  }
+
+  publish(next);
+
+  ObsHandles& obs = ObsHandles::get();
+  obs.batches.add(1);
+  obs.rebalances.add(stats.rebalances);
+  obs.grows.add(stats.grows);
+  obs.shrinks.add(stats.shrinks);
+  obs.batch_keys.record(inserts.size() + erases.size());
+  obs.batch_us.record(to_us(Clock::now() - t0));
+  obs.keys.set(static_cast<std::int64_t>(next->count));
+  obs.bytes.set(static_cast<std::int64_t>(next->bytes));
+  obs.leaves.set(static_cast<std::int64_t>(next->leaves.size()));
+  return result;
+}
+
+}  // namespace pcq::dyn

@@ -27,7 +27,9 @@ T get(const std::uint8_t* data) {
 }  // namespace
 
 bool is_query_kind(std::uint8_t kind) {
-  return kind <= static_cast<std::uint8_t>(svc::QueryKind::kForemostArrival);
+  // Mutation kinds ride the same frames; a read-only service answers them
+  // kUnsupported, so admitting them here is always safe.
+  return kind <= static_cast<std::uint8_t>(svc::QueryKind::kRemoveEdges);
 }
 
 void encode_request(const WireRequest& request,

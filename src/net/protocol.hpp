@@ -9,7 +9,8 @@
 //
 //   request payload (kRequestPayloadBytes == 25):
 //     u64 id           echoed verbatim in the response
-//     u8  kind         svc::QueryKind (0..5), or kShutdownKind (255)
+//     u8  kind         svc::QueryKind (0..7, incl. the kAddEdges/
+//                      kRemoveEdges mutations), or kShutdownKind (255)
 //     u32 u, v, t      query operands (unused ones are ignored)
 //     u32 deadline_ms  0 = none; else deadline relative to server receipt
 //

@@ -29,6 +29,7 @@ struct ShardMetrics {
   std::atomic<std::uint64_t> expired{0};    ///< deadline passed while queued
   std::atomic<std::uint64_t> completed{0};  ///< answered (incl. invalid/unsup.)
   std::atomic<std::uint64_t> batches{0};    ///< batch dispatches
+  std::atomic<std::uint64_t> mutations{0};  ///< kAddEdges/kRemoveEdges answered kOk
   LogHistogram latency_us;     ///< enqueue -> completion
   LogHistogram queue_wait_us;  ///< enqueue -> batch dispatch (queueing only)
   LogHistogram batch_size;     ///< requests per dispatched batch
@@ -42,6 +43,7 @@ struct MetricsSnapshot {
   std::uint64_t expired = 0;
   std::uint64_t completed = 0;
   std::uint64_t batches = 0;
+  std::uint64_t mutations = 0;
   double elapsed_seconds = 0;   ///< since service start
   double qps = 0;               ///< completed / elapsed
   double mean_batch_size = 0;

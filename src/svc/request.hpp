@@ -26,7 +26,18 @@ enum class QueryKind : std::uint8_t {
   kTemporalEdge,     ///< is (u, v) active at frame t? (TCSR parity query)
   kTemporalNeighbors,///< neighbours of u at frame t (temporal Alg. 6)
   kForemostArrival,  ///< earliest frame >= t at which v is reachable from u
+  // Mutation kinds (dynamic services only; kUnsupported otherwise). Each
+  // request carries one (u, v) edge; the shard loop coalesces a batch's
+  // mutations into one HybridGraph::add_edges/remove_edges call, so the
+  // CPMA absorbs them batch-parallel just like queries hit batch kernels.
+  kAddEdges,         ///< make (u, v) visible
+  kRemoveEdges,      ///< make (u, v) invisible
 };
+
+/// True for the kinds that mutate the graph instead of reading it.
+inline constexpr bool is_mutation_kind(QueryKind kind) {
+  return kind == QueryKind::kAddEdges || kind == QueryKind::kRemoveEdges;
+}
 
 /// One query. `u` is always the primary node (also the shard-routing key);
 /// `v` is the target for edge/journey kinds; `t` the time-frame for
@@ -55,7 +66,9 @@ enum class Status : std::uint8_t {
 /// record).
 struct Response {
   Status status = Status::kOk;
-  bool exists = false;                       ///< kEdgeExists / kTemporalEdge
+  /// kEdgeExists / kTemporalEdge; for mutation kinds: true iff the edge's
+  /// visibility actually changed (false = the mutation was a no-op).
+  bool exists = false;
   std::uint32_t degree = 0;                  ///< kDegree
   graph::TimeFrame arrival = 0;              ///< kForemostArrival
   std::vector<graph::VertexId> neighbors;    ///< kNeighbors / kTemporalNeighbors

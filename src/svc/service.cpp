@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "dyn/hybrid.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/parallel_for.hpp"
 #include "par/worker_pool.hpp"
 #include "tcsr/journeys.hpp"
 #include "util/check.hpp"
@@ -30,8 +32,20 @@ std::uint64_t to_us(std::chrono::nanoseconds ns) {
 QueryService::QueryService(const csr::BitPackedCsr& graph,
                            const tcsr::DifferentialTcsr* history,
                            ServiceConfig config)
-    : graph_(graph), history_(history), config_(config),
+    : static_graph_(&graph), history_(history), config_(config),
       started_(Clock::now()) {
+  start_workers();
+}
+
+QueryService::QueryService(dyn::HybridGraph& graph,
+                           const tcsr::DifferentialTcsr* history,
+                           ServiceConfig config)
+    : dynamic_(&graph), history_(history), config_(config),
+      started_(Clock::now()) {
+  start_workers();
+}
+
+void QueryService::start_workers() {
   PCQ_CHECK(config_.shards >= 1);
   PCQ_CHECK(config_.max_batch >= 1);
   shards_.reserve(static_cast<std::size_t>(config_.shards));
@@ -42,6 +56,13 @@ QueryService::QueryService(const csr::BitPackedCsr& graph,
     Shard* raw = shard.get();
     pool_->submit([this, raw] { shard_loop(*raw); });
   }
+}
+
+graph::VertexId QueryService::num_nodes() const {
+  // Stable across the service's lifetime: compaction swaps the base but
+  // never the node-id space.
+  return dynamic_ != nullptr ? dynamic_->num_nodes()
+                             : static_graph_->num_nodes();
 }
 
 QueryService::~QueryService() { stop(); }
@@ -140,7 +161,7 @@ void QueryService::shard_loop(Shard& shard) {
 void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
   PCQ_TRACE_SCOPE("svc.batch", batch.size());
   const auto now = Clock::now();
-  const VertexId n = graph_.num_nodes();
+  const VertexId n = num_nodes();
   const graph::TimeFrame frames =
       history_ == nullptr ? 0 : history_->num_frames();
 
@@ -148,6 +169,7 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
   // graph (expired / invalid / unsupported) complete right here.
   std::vector<std::size_t> degree_ids, neighbor_ids, edge_ids;
   std::vector<std::size_t> tedge_ids, tneighbor_ids, journey_ids;
+  std::vector<std::size_t> add_ids, remove_ids;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Pending& p = batch[i];
     const Request& r = p.request;
@@ -164,7 +186,8 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
     const bool temporal = r.kind == QueryKind::kTemporalEdge ||
                           r.kind == QueryKind::kTemporalNeighbors ||
                           r.kind == QueryKind::kForemostArrival;
-    if (temporal && history_ == nullptr) {
+    if ((temporal && history_ == nullptr) ||
+        (is_mutation_kind(r.kind) && dynamic_ == nullptr)) {
       early.status = Status::kUnsupported;
       complete(shard, p, std::move(early), now);
       continue;
@@ -174,7 +197,8 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
     const VertexId limit = temporal ? history_->num_nodes() : n;
     const bool has_target = r.kind == QueryKind::kEdgeExists ||
                             r.kind == QueryKind::kTemporalEdge ||
-                            r.kind == QueryKind::kForemostArrival;
+                            r.kind == QueryKind::kForemostArrival ||
+                            is_mutation_kind(r.kind);
     if (r.u >= limit || (temporal && r.t >= frames) ||
         (has_target && r.v >= limit)) {
       early.status = Status::kInvalid;
@@ -188,10 +212,19 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
       case QueryKind::kTemporalEdge: tedge_ids.push_back(i); break;
       case QueryKind::kTemporalNeighbors: tneighbor_ids.push_back(i); break;
       case QueryKind::kForemostArrival: journey_ids.push_back(i); break;
+      case QueryKind::kAddEdges: add_ids.push_back(i); break;
+      case QueryKind::kRemoveEdges: remove_ids.push_back(i); break;
     }
   }
 
   const int kt = config_.kernel_threads;
+
+  // The dynamic read path pins ONE View for the whole batch: every read in
+  // the batch sees the same (base, delta) epoch regardless of concurrent
+  // mutations on other shards. This shard's own mutations run after the
+  // reads below, so within a batch reads-before-writes ordering holds too.
+  dyn::HybridGraph::View view;
+  if (dynamic_ != nullptr) view = dynamic_->view();
 
   if (!degree_ids.empty()) {
     std::vector<VertexId> nodes(degree_ids.size());
@@ -200,7 +233,12 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
     std::vector<std::uint32_t> degrees(nodes.size());
     {
       PCQ_TRACE_SCOPE("svc.kernel.degree", degree_ids.size());
-      csr::batch_degrees_into(graph_, nodes, degrees, kt);
+      if (dynamic_ != nullptr)
+        par::parallel_for(nodes.size(), kt, [&](std::size_t j) {
+          degrees[j] = view.degree(nodes[j]);
+        });
+      else
+        csr::batch_degrees_into(*static_graph_, nodes, degrees, kt);
     }
     const auto done = Clock::now();
     for (std::size_t j = 0; j < degree_ids.size(); ++j) {
@@ -219,7 +257,12 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
     std::vector<std::vector<VertexId>> rows(nodes.size());
     {
       PCQ_TRACE_SCOPE("svc.kernel.neighbors", neighbor_ids.size());
-      csr::batch_neighbors_into(graph_, nodes, rows, kt);
+      if (dynamic_ != nullptr)
+        par::parallel_for(nodes.size(), kt, [&](std::size_t j) {
+          rows[j] = view.neighbors(nodes[j]);
+        });
+      else
+        csr::batch_neighbors_into(*static_graph_, nodes, rows, kt);
     }
     const auto done = Clock::now();
     for (std::size_t j = 0; j < neighbor_ids.size(); ++j) {
@@ -237,8 +280,13 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
     std::vector<std::uint8_t> hits(edges.size());
     {
       PCQ_TRACE_SCOPE("svc.kernel.edge", edge_ids.size());
-      csr::batch_edge_existence_into(graph_, edges, hits, kt,
-                                     config_.edge_search);
+      if (dynamic_ != nullptr)
+        par::parallel_for(edges.size(), kt, [&](std::size_t j) {
+          hits[j] = view.has_edge(edges[j].u, edges[j].v) ? 1 : 0;
+        });
+      else
+        csr::batch_edge_existence_into(*static_graph_, edges, hits, kt,
+                                       config_.edge_search);
     }
     const auto done = Clock::now();
     for (std::size_t j = 0; j < edge_ids.size(); ++j) {
@@ -246,6 +294,16 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
       r.exists = hits[j] != 0;
       complete(shard, batch[edge_ids[j]], std::move(r), done);
     }
+  }
+
+  if (!add_ids.empty()) execute_mutations(shard, batch, add_ids, true);
+  if (!remove_ids.empty()) execute_mutations(shard, batch, remove_ids, false);
+  if (!add_ids.empty() || !remove_ids.empty()) {
+    // Opportunistic background compaction: at most one shard worker runs
+    // it (maybe_compact's flag), readers keep their pinned snapshots, and
+    // the other shards keep serving while this one folds the delta in.
+    PCQ_TRACE_SCOPE("svc.maybe_compact", 0);
+    dynamic_->maybe_compact(kt);
   }
 
   if (!tedge_ids.empty()) {
@@ -301,6 +359,31 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
   }
 }
 
+void QueryService::execute_mutations(Shard& shard, std::vector<Pending>& batch,
+                                     const std::vector<std::size_t>& ids,
+                                     bool add) {
+  // One HybridGraph call per polarity: the batch's mutations land in the
+  // CPMA as a single batch-parallel apply (and a single published epoch).
+  std::vector<graph::Edge> edges(ids.size());
+  for (std::size_t j = 0; j < ids.size(); ++j)
+    edges[j] = {batch[ids[j]].request.u, batch[ids[j]].request.v};
+  std::vector<std::uint8_t> changed;
+  {
+    PCQ_TRACE_SCOPE("svc.kernel.mutate", ids.size());
+    if (add)
+      dynamic_->add_edges(edges, config_.kernel_threads, &changed);
+    else
+      dynamic_->remove_edges(edges, config_.kernel_threads, &changed);
+  }
+  shard.metrics.mutations.fetch_add(ids.size(), std::memory_order_relaxed);
+  const auto done = Clock::now();
+  for (std::size_t j = 0; j < ids.size(); ++j) {
+    Response r;
+    r.exists = changed[j] != 0;
+    complete(shard, batch[ids[j]], std::move(r), done);
+  }
+}
+
 MetricsSnapshot QueryService::metrics() const {
   MetricsSnapshot snap;
   LogHistogram::Snapshot latency;
@@ -313,6 +396,7 @@ MetricsSnapshot QueryService::metrics() const {
     snap.expired += m.expired.load(std::memory_order_relaxed);
     snap.completed += m.completed.load(std::memory_order_relaxed);
     snap.batches += m.batches.load(std::memory_order_relaxed);
+    snap.mutations += m.mutations.load(std::memory_order_relaxed);
     m.latency_us.accumulate(latency);
     m.queue_wait_us.accumulate(queue_wait);
     m.batch_size.accumulate(sizes);

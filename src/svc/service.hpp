@@ -46,6 +46,10 @@ namespace pcq::par {
 class WorkerPool;
 }
 
+namespace pcq::dyn {
+class HybridGraph;
+}
+
 namespace pcq::svc {
 
 struct ServiceConfig {
@@ -81,9 +85,19 @@ inline std::chrono::microseconds adapt_window(std::chrono::microseconds window,
 class QueryService {
  public:
   /// `graph` must outlive the service. `history` may be null (temporal
-  /// queries then answer kUnsupported).
+  /// queries then answer kUnsupported). Mutation kinds answer kUnsupported
+  /// on this read-only form.
   QueryService(const csr::BitPackedCsr& graph,
                const tcsr::DifferentialTcsr* history, ServiceConfig config);
+
+  /// Live-ingest form: reads AND mutations flow through `graph`'s CPMA
+  /// tier. Reads pin one HybridGraph::View per batch (snapshot-consistent
+  /// against concurrent mutations from other shards); a batch's mutations
+  /// coalesce into one add_edges/remove_edges call, after which the worker
+  /// opportunistically runs the ratio-triggered compaction — readers stay
+  /// wait-free throughout, only co-writers block on it.
+  QueryService(dyn::HybridGraph& graph, const tcsr::DifferentialTcsr* history,
+               ServiceConfig config);
 
   /// Stops and drains (see stop()).
   ~QueryService();
@@ -126,10 +140,17 @@ class QueryService {
   std::size_t shard_of(graph::VertexId u) const;
   void shard_loop(Shard& shard);
   void execute_batch(Shard& shard, std::vector<Pending>& batch);
+  void execute_mutations(Shard& shard, std::vector<Pending>& batch,
+                         const std::vector<std::size_t>& ids, bool add);
   void complete(Shard& shard, Pending& pending, Response&& response,
                 Clock::time_point now);
+  [[nodiscard]] graph::VertexId num_nodes() const;
+  void start_workers();
 
-  const csr::BitPackedCsr& graph_;
+  /// Exactly one of these is set; the static pair answers reads with the
+  /// batch kernels, the dynamic one through per-batch pinned Views.
+  const csr::BitPackedCsr* static_graph_ = nullptr;
+  dyn::HybridGraph* dynamic_ = nullptr;
   const tcsr::DifferentialTcsr* history_;
   ServiceConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -144,8 +144,10 @@ TEST(Protocol, OversizedResponseLengthIsError) {
 }
 
 TEST(Protocol, IsQueryKind) {
-  for (std::uint8_t k = 0; k <= 5; ++k) EXPECT_TRUE(is_query_kind(k));
-  EXPECT_FALSE(is_query_kind(6));
+  // 0..5 are reads, 6..7 the kAddEdges/kRemoveEdges mutations — all ride
+  // the same frames (read-only services answer mutations kUnsupported).
+  for (std::uint8_t k = 0; k <= 7; ++k) EXPECT_TRUE(is_query_kind(k));
+  EXPECT_FALSE(is_query_kind(8));
   EXPECT_FALSE(is_query_kind(kShutdownKind));
 }
 

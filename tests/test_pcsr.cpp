@@ -135,5 +135,55 @@ TEST(PmaCsr, SkewedHubInsertions) {
   EXPECT_TRUE(pma.check_invariants());
 }
 
+// Regression: remove_edge used to rebalance only on the global
+// quarter-density shrink, so clustered deletions could drain a window far
+// below its minimum density (and leave the root in the gap between the
+// shrink trigger and the root bound) without any redistribution. The
+// low-density window walk must keep the structure consistent and the
+// drained region fully usable for re-insertion.
+TEST(PmaCsr, ClusteredDeletionRebalances) {
+  PmaCsr pma;
+  // ~60 rows of 100 neighbours; rows 20-39 will be fully drained, which
+  // concentrates the deletions in a contiguous key range (one region of
+  // segments) while the global density stays above the shrink trigger.
+  for (VertexId u = 0; u < 60; ++u)
+    for (VertexId v = 0; v < 100; ++v) ASSERT_TRUE(pma.add_edge(u, v));
+  for (VertexId u = 20; u < 40; ++u)
+    for (VertexId v = 0; v < 100; ++v) ASSERT_TRUE(pma.remove_edge(u, v));
+  EXPECT_EQ(pma.num_edges(), 4000u);
+  ASSERT_TRUE(pma.check_invariants());
+  for (VertexId u = 0; u < 60; ++u) {
+    const bool drained = u >= 20 && u < 40;
+    EXPECT_EQ(pma.neighbors(u).size(), drained ? 0u : 100u) << u;
+  }
+  // The drained key range must still route inserts correctly.
+  for (VertexId u = 20; u < 40; ++u) {
+    for (VertexId v = 0; v < 50; ++v) ASSERT_TRUE(pma.add_edge(u, v)) << u;
+  }
+  EXPECT_EQ(pma.num_edges(), 5000u);
+  EXPECT_TRUE(pma.check_invariants());
+}
+
+TEST(PmaCsr, DrainToSparseKeepsDensityBounds) {
+  // Delete all but a sliver, in key order (the pattern that starves leading
+  // windows), crossing the global shrink threshold several times. Every
+  // intermediate structure must stay consistent and queryable.
+  PmaCsr pma;
+  for (VertexId i = 0; i < 6000; ++i)
+    ASSERT_TRUE(pma.add_edge(i / 75, i % 75));
+  std::size_t removed = 0;
+  for (VertexId i = 0; i < 6000; ++i) {
+    if (i % 40 == 39) continue;  // survivors spread across the key space
+    ASSERT_TRUE(pma.remove_edge(i / 75, i % 75)) << i;
+    if (++removed % 500 == 0) {
+      ASSERT_TRUE(pma.check_invariants()) << i;
+    }
+  }
+  ASSERT_TRUE(pma.check_invariants());
+  EXPECT_EQ(pma.num_edges(), 150u);
+  for (VertexId i = 0; i < 6000; ++i)
+    EXPECT_EQ(pma.has_edge(i / 75, i % 75), i % 40 == 39) << i;
+}
+
 }  // namespace
 }  // namespace pcq::csr

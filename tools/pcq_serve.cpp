@@ -4,10 +4,15 @@
 // interactive TCP client (--connect). Stdin modes print the service
 // metrics block on exit; --listen prints the drain summary as well.
 //
-//   pcq_serve <g.csr> [--tcsr h.tcsr] [--shards N] [--batch N]
+//   pcq_serve <g.csr> [--tcsr h.tcsr] [--dynamic] [--shards N] [--batch N]
 //             [--window-us W] [--kernel-threads N] [--demo N]
 //             [--mmap] [--warm] [--validate] [--listen PORT]
 //   pcq_serve --connect HOST:PORT
+//
+// --dynamic serves the graph through a dyn::HybridGraph (CPMA mutable tier
+// in front of the loaded CSR): the add/del line commands and the
+// kAddEdges/kRemoveEdges wire kinds mutate it live while queries keep
+// flowing, and the STATS registry dump shows the dyn.* ingest counters.
 //
 // --listen starts the epoll TCP front-end (src/net) instead of reading
 // stdin: it prints "listening on 127.0.0.1:<port>" (port 0 binds an
@@ -33,6 +38,8 @@
 //   te U V T            was (U, V) active at frame T? (needs --tcsr)
 //   tn U T              neighbours of U at frame T (needs --tcsr)
 //   j U V T             earliest frame >= T reaching V from U (needs --tcsr)
+//   add U V             make edge (U, V) visible (needs --dynamic)
+//   del U V             make edge (U, V) invisible (needs --dynamic)
 //   metrics             print the metrics snapshot
 //   STATS               metrics snapshot + the pcq::obs registry dump
 //   TRACE <file>        export the span flight-recorder as Chrome trace JSON
@@ -48,12 +55,15 @@
 #include <cstdio>
 #include <future>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "check/validate.hpp"
 #include "csr/serialize.hpp"
+#include "dyn/hybrid.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
@@ -82,6 +92,8 @@ void print_metrics(const svc::MetricsSnapshot& m) {
   std::printf("batches %s | size mean %.1f p50 %.0f p95 %.0f p99 %.0f\n",
               util::with_commas(m.batches).c_str(), m.mean_batch_size,
               m.batch_p50, m.batch_p95, m.batch_p99);
+  if (m.mutations > 0)
+    std::printf("mutations %s\n", util::with_commas(m.mutations).c_str());
   std::printf("latency us mean %.0f p50 %.0f p95 %.0f p99 %.0f\n",
               m.latency_mean_us, m.latency_p50_us, m.latency_p95_us,
               m.latency_p99_us);
@@ -96,7 +108,8 @@ void print_response(const svc::Request& req, const svc::Response& r) {
     case svc::Status::kExpired: std::printf("expired\n"); return;
     case svc::Status::kInvalid: std::printf("invalid (out of range)\n"); return;
     case svc::Status::kUnsupported:
-      std::printf("unsupported (no --tcsr loaded)\n");
+      std::printf("unsupported (needs --tcsr for temporal, --dynamic for "
+                  "mutations)\n");
       return;
     case svc::Status::kOk: break;
   }
@@ -124,6 +137,14 @@ void print_response(const svc::Request& req, const svc::Response& r) {
                     r.arrival);
       else
         std::printf("journey %u -> %u: unreachable\n", req.u, req.v);
+      break;
+    case svc::QueryKind::kAddEdges:
+      std::printf("add (%u, %u): %s\n", req.u, req.v,
+                  r.exists ? "added" : "already present");
+      break;
+    case svc::QueryKind::kRemoveEdges:
+      std::printf("del (%u, %u): %s\n", req.u, req.v,
+                  r.exists ? "removed" : "already absent");
       break;
   }
 }
@@ -233,6 +254,12 @@ int run_stdin(svc::QueryService& service) {
     } else if (op == "j" && (in >> req.u >> req.v >> req.t)) {
       req.kind = svc::QueryKind::kForemostArrival;
       ok = true;
+    } else if (op == "add" && (in >> req.u >> req.v)) {
+      req.kind = svc::QueryKind::kAddEdges;
+      ok = true;
+    } else if (op == "del" && (in >> req.u >> req.v)) {
+      req.kind = svc::QueryKind::kRemoveEdges;
+      ok = true;
     }
     if (!ok) {
       std::printf("? unknown query '%s'\n", line.c_str());
@@ -332,6 +359,12 @@ int run_connect(const std::string& target) {
     } else if (op == "j" && (in >> w.u >> w.v >> w.t)) {
       req.kind = svc::QueryKind::kForemostArrival;
       ok = true;
+    } else if (op == "add" && (in >> w.u >> w.v)) {
+      req.kind = svc::QueryKind::kAddEdges;
+      ok = true;
+    } else if (op == "del" && (in >> w.u >> w.v)) {
+      req.kind = svc::QueryKind::kRemoveEdges;
+      ok = true;
     }
     if (!ok) {
       std::printf("? unknown query '%s'\n", line.c_str());
@@ -364,6 +397,8 @@ int main(int argc, char** argv) {
   pcq::util::Flags flags(
       argc, argv,
       {{"tcsr", "temporal history (.tcsr) to serve alongside the CSR"},
+       {"dynamic", "serve through a CPMA mutable tier (enables add/del and "
+                   "the wire mutation kinds)"},
        {"shards", "shared-nothing shards (default 1)"},
        {"batch", "max requests per dispatched batch (default 256)"},
        {"window-us", "micro-batch flush window in microseconds (default 200)"},
@@ -469,20 +504,32 @@ int main(int argc, char** argv) {
         std::chrono::microseconds(flags.get_int("window-us", 200));
     config.kernel_threads =
         static_cast<int>(flags.get_int("kernel-threads", 1));
-    pcq::svc::QueryService service(graph, temporal ? &history : nullptr,
-                                   config);
-    std::printf("serving %s nodes / %s edges on %d shard(s)%s\n",
+    // --dynamic wraps the loaded CSR in the CPMA-backed hybrid; the hybrid
+    // copies the packed arrays (views stay borrowed under --mmap, and the
+    // mapping outlives the service), so `graph` stays usable for the demo.
+    std::optional<pcq::dyn::HybridGraph> hybrid;
+    std::unique_ptr<pcq::svc::QueryService> service;
+    if (flags.has("dynamic")) {
+      hybrid.emplace(graph);
+      service = std::make_unique<pcq::svc::QueryService>(
+          *hybrid, temporal ? &history : nullptr, config);
+    } else {
+      service = std::make_unique<pcq::svc::QueryService>(
+          graph, temporal ? &history : nullptr, config);
+    }
+    std::printf("serving %s nodes / %s edges on %d shard(s)%s%s\n",
                 pcq::util::with_commas(graph.num_nodes()).c_str(),
                 pcq::util::with_commas(graph.num_edges()).c_str(),
-                service.shards(), temporal ? " + temporal history" : "");
+                service->shards(), temporal ? " + temporal history" : "",
+                hybrid.has_value() ? " + dynamic tier" : "");
 
     if (flags.has("listen"))
-      return run_listen(service, static_cast<std::uint16_t>(
-                                     flags.get_int("listen", 0)));
+      return run_listen(*service, static_cast<std::uint16_t>(
+                                      flags.get_int("listen", 0)));
     if (flags.has("demo"))
-      return run_demo(service, graph, temporal ? &history : nullptr,
+      return run_demo(*service, graph, temporal ? &history : nullptr,
                       static_cast<std::size_t>(flags.get_int("demo", 10000)));
-    return run_stdin(service);
+    return run_stdin(*service);
   } catch (const pcq::IoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;
