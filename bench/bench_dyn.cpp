@@ -18,7 +18,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
           {"base-edges", "base CSR size for the hybrid experiment "
                          "(default 2000000)"},
           {"seed", "R-MAT seed (default 42)"},
+          {"json", "write the results as a JSON document to this file"},
       });
   const auto nodes =
       static_cast<VertexId>(flags.get_int("nodes", 1 << 20));
@@ -140,6 +143,7 @@ int main(int argc, char** argv) {
               speedup);
 
   // --- cpma single-thread batches (scaling attribution) -----------------
+  double cpma_t1_insert_s;
   {
     Cpma cpma;
     pcq::util::Timer t;
@@ -147,11 +151,14 @@ int main(int argc, char** argv) {
       const std::size_t len = std::min(batch, n - off);
       cpma.insert_batch({keys.data() + off, len}, 1);
     }
+    cpma_t1_insert_s = t.seconds();
     std::printf("cpma  batch insert (t=1)  %10.0f edges/s  (%.3fs)\n",
-                rate(n, t.seconds()), t.seconds());
+                rate(n, cpma_t1_insert_s), cpma_t1_insert_s);
   }
 
   // --- hybrid live ingest ------------------------------------------------
+  double hybrid_s;
+  std::size_t hybrid_compactions, hybrid_delta_keys;
   {
     std::fprintf(stderr, "[bench_dyn] building %zu-edge base CSR...\n",
                  base_edges);
@@ -169,11 +176,58 @@ int main(int argc, char** argv) {
       hybrid.add_edges({stream.data() + off, len}, threads);
       if (hybrid.maybe_compact(threads)) ++compactions;
     }
-    const double hybrid_s = t.seconds();
+    hybrid_s = t.seconds();
+    hybrid_compactions = compactions;
+    hybrid_delta_keys = hybrid.delta_keys();
     std::printf("hybrid live ingest        %10.0f edges/s  (%.3fs, %zu "
                 "compactions, %zu -> %zu edges, %zu delta keys pending)\n",
                 rate(n, hybrid_s), hybrid_s, compactions, before,
-                hybrid.num_edges(), hybrid.delta_keys());
+                hybrid.num_edges(), hybrid_delta_keys);
+  }
+
+  // --- consolidated JSON document (--json FILE) --------------------------
+  const std::string json = flags.get("json", "");
+  if (!json.empty()) {
+    std::ofstream out(json, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write results to %s\n", json.c_str());
+      return 3;
+    }
+    char buf[512];
+    out << "{\"bench\":\"bench_dyn\",";
+    std::snprintf(buf, sizeof buf,
+                  "\"config\":{\"nodes\":%llu,\"edges\":%zu,\"batch\":%zu,"
+                  "\"threads\":%d,\"base_edges\":%zu,\"seed\":%llu},",
+                  static_cast<unsigned long long>(nodes), n, batch, threads,
+                  base_edges, static_cast<unsigned long long>(seed));
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "\"pcsr\":{\"insert_edges_per_s\":%.1f,\"elapsed_s\":%.6f,"
+                  "\"bytes_per_edge\":%.2f},",
+                  rate(n, pcsr_insert_s), pcsr_insert_s,
+                  pcsr_bytes / static_cast<double>(n));
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "\"cpma\":{\"insert_edges_per_s\":%.1f,\"insert_s\":%.6f,"
+                  "\"erase_edges_per_s\":%.1f,\"erase_s\":%.6f,"
+                  "\"bytes_per_edge\":%.2f,\"t1_insert_edges_per_s\":%.1f,"
+                  "\"speedup_vs_pcsr\":%.3f},",
+                  rate(n, cpma_insert_s), cpma_insert_s,
+                  rate(n / 2, cpma_erase_s), cpma_erase_s,
+                  cpma_bytes / static_cast<double>(n),
+                  rate(n, cpma_t1_insert_s), speedup);
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "\"hybrid\":{\"ingest_edges_per_s\":%.1f,\"elapsed_s\":%.6f,"
+                  "\"compactions\":%zu,\"delta_keys_pending\":%zu}}\n",
+                  rate(n, hybrid_s), hybrid_s, hybrid_compactions,
+                  hybrid_delta_keys);
+    out << buf;
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write results to %s\n", json.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "[bench_dyn] wrote results %s\n", json.c_str());
   }
   return 0;
 }

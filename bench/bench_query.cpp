@@ -461,4 +461,35 @@ BENCHMARK(BM_LoadMappedWarm);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus a `--json FILE` convenience spelling, so all three
+// bench binaries share one machine-readable output flag: it expands to
+// google-benchmark's --benchmark_out=FILE --benchmark_out_format=json
+// before Initialize() consumes the argv.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string file;
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      file = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i].rfind("--json=", 0) == 0) {
+      file = args[i].substr(7);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      continue;
+    }
+    args.push_back("--benchmark_out=" + file);
+    args.push_back("--benchmark_out_format=json");
+    break;
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (auto& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -35,6 +35,7 @@
 #include "graph/generators.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/slowlog.hpp"
 #include "obs/trace.hpp"
 #include "svc/service.hpp"
 #include "tcsr/serialize.hpp"
@@ -622,10 +623,11 @@ void print_mixed_split(const RunResult& r) {
               r.write_latency_us.p99);
 }
 
-/// Post-run outputs: the labeled runs as a JSON document (--json FILE) and
-/// the span flight-recorder as Chrome trace JSON (--trace FILE). Returns
-/// the process exit code.
-int emit_outputs(const pcq::util::Flags& flags,
+/// Post-run outputs: the labeled runs as a consolidated JSON document
+/// (--json FILE, with the resolved config so a result file is
+/// self-describing) and the span flight-recorder as Chrome trace JSON
+/// (--trace FILE). Returns the process exit code.
+int emit_outputs(const pcq::util::Flags& flags, const BenchConfig& cfg,
                  const std::vector<std::pair<std::string, RunResult>>& runs) {
   const std::string json = flags.get("json", "");
   if (!json.empty()) {
@@ -634,8 +636,31 @@ int emit_outputs(const pcq::util::Flags& flags,
       std::fprintf(stderr, "error: cannot write results to %s\n", json.c_str());
       return 3;
     }
-    out << "{\"runs\":[";
     char buf[512];
+    out << "{\"bench\":\"bench_svc\",";
+    std::snprintf(
+        buf, sizeof buf,
+        "\"config\":{\"nodes\":%llu,\"edges\":%llu,\"requests\":%llu,"
+        "\"rate\":%.1f,\"outstanding\":%llu,\"shards\":%d,\"queue\":%llu,"
+        "\"max_batch\":%llu,\"window_us\":%ld,\"kernel_threads\":%d,"
+        "\"frames\":%llu,\"seed\":%llu,",
+        static_cast<unsigned long long>(cfg.nodes),
+        static_cast<unsigned long long>(cfg.edges),
+        static_cast<unsigned long long>(cfg.requests), cfg.rate,
+        static_cast<unsigned long long>(cfg.outstanding), cfg.shards,
+        static_cast<unsigned long long>(cfg.queue),
+        static_cast<unsigned long long>(cfg.max_batch), cfg.window_us,
+        cfg.kernel_threads, static_cast<unsigned long long>(cfg.frames),
+        static_cast<unsigned long long>(cfg.seed));
+    out << buf;
+    std::snprintf(
+        buf, sizeof buf,
+        "\"mode\":\"%s\",\"mix\":\"%s\",\"write_pct\":%.1f,"
+        "\"connections\":%llu},",
+        cfg.mode.c_str(), cfg.mix.c_str(), cfg.write_pct,
+        static_cast<unsigned long long>(cfg.connections));
+    out << buf;
+    out << "\"runs\":[";
     for (std::size_t i = 0; i < runs.size(); ++i) {
       const auto& [label, r] = runs[i];
       std::snprintf(
@@ -733,8 +758,13 @@ int main(int argc, char** argv) {
            "instead of an in-process server"},
           {"json", "write the run results as a JSON document to this file"},
           {"trace", "write Chrome trace JSON of the benched runs here"},
+          {"slow-us", "slow-query capture threshold in microseconds for the\n"
+                      "benched service (0 = sampling off, the default) — the\n"
+                      "S17 telemetry-overhead experiment"},
       });
   if (flags.has("trace")) pcq::obs::set_trace_enabled(true);
+  pcq::obs::SlowLog::global().set_threshold_us(
+      static_cast<std::uint64_t>(flags.get_int("slow-us", 0)));
   BenchConfig cfg;
   cfg.nodes = static_cast<VertexId>(flags.get_int("nodes", cfg.nodes));
   cfg.edges = static_cast<std::size_t>(flags.get_int("edges", cfg.edges));
@@ -860,7 +890,7 @@ int main(int argc, char** argv) {
 
   if (cfg.mode == "calibrate") {
     report("client loopback", run_calibration(reqs));
-    return emit_outputs(flags, runs);
+    return emit_outputs(flags, cfg, runs);
   }
   if (cfg.mode == "capacity") {
     // Pre-loaded drain for both configs: the queue must hold the whole
@@ -883,7 +913,7 @@ int main(int argc, char** argv) {
                 "QPS\n",
                 batched_run.sustained_qps /
                     std::max(single_run.sustained_qps, 1e-9));
-    return emit_outputs(flags, runs);
+    return emit_outputs(flags, cfg, runs);
   }
   if (cfg.mode == "net") {
     // Saturation throughput, tail latency, and rejection behaviour over
@@ -947,7 +977,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s.rejected.load()),
                   static_cast<unsigned long long>(s.protocol_errors.load()));
     }
-    return emit_outputs(flags, runs);
+    return emit_outputs(flags, cfg, runs);
   }
   if (cfg.mode == "mixed") {
     // Live-ingest serving: reads and kAddEdges/kRemoveEdges mutations hit
@@ -993,19 +1023,19 @@ int main(int argc, char** argv) {
       print_mixed_split(r);
       runs.emplace_back(label, r);
     }
-    return emit_outputs(flags, runs);
+    return emit_outputs(flags, cfg, runs);
   }
   if (cfg.mode == "closed") {
     pcq::svc::QueryService service(graph, history_ptr, batched);
     report("closed-loop batched", run_closed_loop(service, reqs,
                                                   cfg.outstanding));
-    return emit_outputs(flags, runs);
+    return emit_outputs(flags, cfg, runs);
   }
   if (cfg.mode == "open") {
     pcq::svc::QueryService service(graph, history_ptr, batched);
     report("open-loop batched",
            run_open_loop(service, reqs, cfg.rate, cfg.seed + 7));
-    return emit_outputs(flags, runs);
+    return emit_outputs(flags, cfg, runs);
   }
 
   // compare: identical open-loop offered load, single-dispatch vs adaptive
@@ -1027,5 +1057,5 @@ int main(int argc, char** argv) {
   if (single_run.drain_completed > 0 && batched_run.drain_completed > 0)
     std::printf("batching speedup (service side, drain phase): %.2fx\n",
                 batched_run.drain_qps / std::max(single_run.drain_qps, 1e-9));
-  return emit_outputs(flags, runs);
+  return emit_outputs(flags, cfg, runs);
 }

@@ -1,0 +1,208 @@
+#include "net/admin.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "net/server.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slowlog.hpp"
+#include "obs/trace.hpp"
+#include "svc/service.hpp"
+
+namespace pcq::net {
+
+namespace {
+
+std::string build_response(int status, const char* reason,
+                           const char* content_type, const std::string& body) {
+  // HTTP/1.0 + Connection: close keeps the connection lifecycle trivial:
+  // the server half-closes after the body and the drain machinery it
+  // already has finishes the job. Content-Length still set so HTTP/1.1
+  // clients (curl, Prometheus) are happy too.
+  std::string out;
+  out.reserve(body.size() + 128);
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.0 %d %s\r\nContent-Type: %s\r\n"
+                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                status, reason, content_type, body.size());
+  out += head;
+  out += body;
+  return out;
+}
+
+std::string not_found() {
+  return build_response(404, "Not Found", "text/plain; charset=utf-8",
+                        "not found\n");
+}
+
+void append_double(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_hist(std::string& out, const char* name, double mean, double p50,
+                 double p95, double p99) {
+  out += "\"";
+  out += name;
+  out += "\":{\"mean\":";
+  append_double(out, mean);
+  out += ",\"p50\":";
+  append_double(out, p50);
+  out += ",\"p95\":";
+  append_double(out, p95);
+  out += ",\"p99\":";
+  append_double(out, p99);
+  out += "}";
+}
+
+std::string metrics_json(const AdminContext& ctx) {
+  std::string body = "{\"uptime_s\":";
+  append_double(body,
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - ctx.started)
+                    .count());
+  if (ctx.server_stats != nullptr) {
+    const ServerStats& s = *ctx.server_stats;
+    body += ",\"server\":{\"accepted\":";
+    append_u64(body, s.accepted.load(std::memory_order_relaxed));
+    body += ",\"open_conns\":";
+    body += std::to_string(s.open_conns.load(std::memory_order_relaxed));
+    body += ",\"frames_in\":";
+    append_u64(body, s.frames_in.load(std::memory_order_relaxed));
+    body += ",\"frames_out\":";
+    append_u64(body, s.frames_out.load(std::memory_order_relaxed));
+    body += ",\"bytes_in\":";
+    append_u64(body, s.bytes_in.load(std::memory_order_relaxed));
+    body += ",\"bytes_out\":";
+    append_u64(body, s.bytes_out.load(std::memory_order_relaxed));
+    body += ",\"rejected\":";
+    append_u64(body, s.rejected.load(std::memory_order_relaxed));
+    body += ",\"protocol_errors\":";
+    append_u64(body, s.protocol_errors.load(std::memory_order_relaxed));
+    body += ",\"admin_requests\":";
+    append_u64(body, s.admin_requests.load(std::memory_order_relaxed));
+    body += "}";
+  }
+  if (ctx.service != nullptr) {
+    const svc::MetricsSnapshot m = ctx.service->metrics();
+    body += ",\"service\":{\"submitted\":";
+    append_u64(body, m.submitted);
+    body += ",\"completed\":";
+    append_u64(body, m.completed);
+    body += ",\"rejected\":";
+    append_u64(body, m.rejected);
+    body += ",\"expired\":";
+    append_u64(body, m.expired);
+    body += ",\"batches\":";
+    append_u64(body, m.batches);
+    body += ",\"mutations\":";
+    append_u64(body, m.mutations);
+    body += ",\"qps\":";
+    append_double(body, m.qps);
+    body += ",";
+    append_hist(body, "latency_us", m.latency_mean_us, m.latency_p50_us,
+                m.latency_p95_us, m.latency_p99_us);
+    body += ",";
+    append_hist(body, "queue_wait_us", m.queue_wait_mean_us,
+                m.queue_wait_p50_us, m.queue_wait_p95_us, m.queue_wait_p99_us);
+    body += ",";
+    append_hist(body, "batch_size", m.mean_batch_size, m.batch_p50,
+                m.batch_p95, m.batch_p99);
+    body += ",\"queue_depths\":[";
+    const std::vector<std::size_t> depths = ctx.service->queue_depths();
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+      if (i > 0) body += ",";
+      body += std::to_string(depths[i]);
+    }
+    body += "]}";
+  }
+  const obs::SlowLog& slow = obs::SlowLog::global();
+  body += ",\"slowlog\":{\"threshold_us\":";
+  append_u64(body, slow.threshold_us());
+  body += ",\"captured\":";
+  append_u64(body, slow.captured());
+  body += ",\"capacity\":";
+  append_u64(body, slow.capacity());
+  body += "},\"registry\":";
+  std::ostringstream registry;
+  obs::MetricsRegistry::global().write_json(registry);
+  body += registry.str();
+  body += "}";
+  return body;
+}
+
+std::string buildinfo_json() {
+  std::string body = "{\"project\":\"pcq\",\"component\":\"pcq_serve\"";
+  body += ",\"trace_compiled_in\":";
+  body += obs::kTraceCompiledIn ? "true" : "false";
+#ifdef NDEBUG
+  body += ",\"build\":\"release\"";
+#else
+  body += ",\"build\":\"debug\"";
+#endif
+#ifdef __VERSION__
+  body += ",\"compiler\":\"";
+  body += __VERSION__;
+  body += "\"";
+#endif
+  body += "}";
+  return body;
+}
+
+}  // namespace
+
+std::string handle_admin_request(const AdminContext& context,
+                                 std::string_view method,
+                                 std::string_view target) {
+  if (method != "GET")
+    return build_response(405, "Method Not Allowed",
+                          "text/plain; charset=utf-8", "GET only\n");
+  // Ignore a query string: "/metrics?x=1" scrapes /metrics.
+  const std::size_t q = target.find('?');
+  const std::string_view path =
+      q == std::string_view::npos ? target : target.substr(0, q);
+
+  if (path == "/healthz")
+    return build_response(200, "OK", "text/plain; charset=utf-8", "ok\n");
+
+  if (path == "/buildinfo")
+    return build_response(200, "OK", "application/json", buildinfo_json());
+
+  if (path == "/metrics") {
+    if (context.refresh) context.refresh();
+    std::ostringstream body;
+    obs::write_prometheus(obs::MetricsRegistry::global(), body);
+    return build_response(200, "OK",
+                          "text/plain; version=0.0.4; charset=utf-8",
+                          body.str());
+  }
+
+  if (path == "/metrics.json") {
+    if (context.refresh) context.refresh();
+    return build_response(200, "OK", "application/json",
+                          metrics_json(context));
+  }
+
+  if (path == "/slow") {
+    std::ostringstream body;
+    obs::SlowLog::global().write_json(body);
+    return build_response(200, "OK", "application/json", body.str());
+  }
+
+  if (path == "/trace") {
+    std::ostringstream body;
+    obs::write_chrome_trace(body);
+    return build_response(200, "OK", "application/json", body.str());
+  }
+
+  return not_found();
+}
+
+}  // namespace pcq::net

@@ -1,0 +1,55 @@
+// pcq::net — admin (scrape) endpoint request handling.
+//
+// The TcpServer can open a SECOND listener whose connections speak a
+// minimal HTTP/1.0 subset instead of the binary frame protocol, so CI,
+// load generators, Prometheus and dashboards can observe a running server
+// without linking the wire codec. One request per connection (the
+// response always says `Connection: close`), GET only. Routes:
+//
+//   /metrics       Prometheus text exposition of the global registry
+//   /metrics.json  composite JSON: uptime, service snapshot (qps, latency
+//                  percentiles, per-shard queue depths), server counters,
+//                  slow-query summary, and the full registry dump
+//   /slow          the bounded slow-query log (obs::SlowLog) as JSON
+//   /trace         Chrome trace-event JSON of everything recorded
+//   /healthz       "ok" — liveness for scripts and orchestrators
+//   /buildinfo     compiler / build-mode / trace-compiled-in JSON
+//
+// The handler is pure request -> response-bytes: TcpServer does the
+// socket work; tests call handle_admin_request directly. `refresh` (when
+// set) runs before any metrics route so sampled gauges (queue depths,
+// rusage, connection stats) are at most one call old.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace pcq::svc {
+class QueryService;
+}
+
+namespace pcq::net {
+
+struct ServerStats;
+
+/// What the admin routes report on. Pointers may be null (the route then
+/// omits that section); everything pointed at must outlive the handler.
+struct AdminContext {
+  svc::QueryService* service = nullptr;
+  const ServerStats* server_stats = nullptr;
+  /// Runs registered gauge samplers before a metrics scrape (usually
+  /// Reporter::run_samplers on the serving process's reporter).
+  std::function<void()> refresh;
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
+};
+
+/// Builds the COMPLETE HTTP response (status line, headers, body) for one
+/// admin request. Never throws; unknown paths get 404, non-GET 405.
+[[nodiscard]] std::string handle_admin_request(const AdminContext& context,
+                                               std::string_view method,
+                                               std::string_view target);
+
+}  // namespace pcq::net

@@ -108,6 +108,9 @@ svc::Request to_service_request(const WireRequest& request,
   r.t = request.t;
   if (request.deadline_ms > 0)
     r.deadline = now + std::chrono::milliseconds(request.deadline_ms);
+  // The wire id doubles as the trace id: slow-query log entries and trace
+  // spans for this request are findable from the client's own id space.
+  r.trace_id = request.id;
   return r;
 }
 

@@ -23,6 +23,7 @@ namespace pcq::net {
 
 struct TcpServer::Conn {
   int fd = -1;
+  bool admin = false;      ///< accepted on the admin listener (HTTP path)
   bool reading = true;     ///< EPOLLIN registered
   bool want_write = false; ///< EPOLLOUT registered
   std::vector<std::uint8_t> rbuf;
@@ -50,33 +51,50 @@ namespace {
   throw IoError("tcp", what + ": " + std::strerror(errno));
 }
 
+/// Opens a nonblocking listening socket bound to host:port; writes the
+/// resolved port (for ephemeral port = 0) through `bound`. Throws IoError.
+int open_listener(const std::string& host, std::uint16_t port, int backlog,
+                  std::uint16_t* bound) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw IoError(host, "not an IPv4 address");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError(host + ":" + std::to_string(port),
+                  std::string("bind/listen: ") + std::strerror(err));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound = ntohs(addr.sin_port);
+  return fd;
+}
+
 }  // namespace
 
 TcpServer::TcpServer(svc::QueryService& service, ServerOptions options)
     : service_(service), options_(std::move(options)) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw IoError(options_.host, "not an IPv4 address");
+  listen_fd_ =
+      open_listener(options_.host, options_.port, options_.backlog, &port_);
+  if (options_.admin_enabled) {
+    try {
+      admin_listen_fd_ = open_listener(options_.host, options_.admin_port,
+                                       options_.backlog, &admin_port_);
+    } catch (...) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw;
+    }
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(listen_fd_, options_.backlog) < 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw IoError(options_.host + ":" + std::to_string(options_.port),
-                  std::string("bind/listen: ") + std::strerror(err));
-  }
-  socklen_t len = sizeof addr;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
@@ -85,6 +103,10 @@ TcpServer::TcpServer(svc::QueryService& service, ServerOptions options)
     if (wake_fd_ >= 0) ::close(wake_fd_);
     ::close(listen_fd_);
     listen_fd_ = -1;
+    if (admin_listen_fd_ >= 0) {
+      ::close(admin_listen_fd_);
+      admin_listen_fd_ = -1;
+    }
     throw_errno("epoll/eventfd");
   }
   epoll_event ev{};
@@ -93,6 +115,11 @@ TcpServer::TcpServer(svc::QueryService& service, ServerOptions options)
   PCQ_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
   ev.data.fd = wake_fd_;
   PCQ_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+  if (admin_listen_fd_ >= 0) {
+    ev.data.fd = admin_listen_fd_;
+    PCQ_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, admin_listen_fd_, &ev) ==
+              0);
+  }
 }
 
 TcpServer::~TcpServer() {
@@ -105,6 +132,7 @@ TcpServer::~TcpServer() {
   }
   conns_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (admin_listen_fd_ >= 0) ::close(admin_listen_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
 }
@@ -134,7 +162,11 @@ void TcpServer::run() {
         continue;
       }
       if (ev.data.fd == listen_fd_) {
-        accept_ready();
+        accept_ready(listen_fd_, /*admin=*/false);
+        continue;
+      }
+      if (admin_listen_fd_ >= 0 && ev.data.fd == admin_listen_fd_) {
+        accept_ready(admin_listen_fd_, /*admin=*/true);
         continue;
       }
       const auto it = conns_.find(ev.data.fd);
@@ -193,20 +225,22 @@ void TcpServer::run() {
     if (!conn->closed) {
       conn->closed = true;
       ::close(conn->fd);
+      stats_.open_conns.fetch_sub(1, std::memory_order_relaxed);
     }
   }
   conns_.clear();
 }
 
-void TcpServer::accept_ready() {
+void TcpServer::accept_ready(int listen_fd, bool admin) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN, or a racing client that went away
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
+    conn->admin = admin;
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -216,16 +250,23 @@ void TcpServer::accept_ready() {
     }
     conns_.emplace(fd, std::move(conn));
     stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.open_conns.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void TcpServer::conn_readable(const std::shared_ptr<Conn>& conn) {
   if (conn->closed) return;
+  if (conn->admin) {
+    admin_readable(conn);
+    return;
+  }
   std::uint8_t chunk[64 * 1024];
   bool eof = false;
   for (;;) {
     const ssize_t got = ::read(conn->fd, chunk, sizeof chunk);
     if (got > 0) {
+      stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(got),
+                                std::memory_order_relaxed);
       // During the drain inbound bytes are read and DISCARDED, not parsed:
       // leaving them unread would make the final close() an RST, and an
       // RST can destroy flushed responses the client has not read yet —
@@ -291,6 +332,84 @@ void TcpServer::conn_readable(const std::shared_ptr<Conn>& conn) {
     return;
   }
   update_read_interest(conn);
+}
+
+void TcpServer::admin_readable(const std::shared_ptr<Conn>& conn) {
+  // One HTTP request per connection, answered inline on the epoll thread
+  // (building a scrape body is microseconds of string work; it shares the
+  // thread the same way accept and flush do). The response is appended
+  // straight to wbuf — the epoll thread owns wbuf, no lock needed — and
+  // half_closed makes flush() tear the connection down once it drains.
+  constexpr std::size_t kMaxAdminHeader = 16 * 1024;
+  std::uint8_t chunk[4096];
+  bool eof = false;
+  for (;;) {
+    const ssize_t got = ::read(conn->fd, chunk, sizeof chunk);
+    if (got > 0) {
+      stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(got),
+                                std::memory_order_relaxed);
+      if (draining_) continue;  // discard, same rationale as the frame path
+      conn->rbuf.insert(conn->rbuf.end(), chunk,
+                        chunk + static_cast<std::size_t>(got));
+      if (conn->rbuf.size() > kMaxAdminHeader) {
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        close_conn(conn);
+        return;
+      }
+      continue;
+    }
+    if (got == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(conn);
+    return;
+  }
+  if (draining_) {
+    if (eof) {
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->half_closed = true;
+      }
+      flush(conn);
+    }
+    return;
+  }
+  const std::string_view buf(reinterpret_cast<const char*>(conn->rbuf.data()),
+                             conn->rbuf.size());
+  if (buf.find("\r\n\r\n") == std::string_view::npos) {
+    if (eof) close_conn(conn);  // the peer gave up mid-request
+    return;
+  }
+  const std::string_view line = buf.substr(0, buf.find("\r\n"));
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  std::string response;
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    response =
+        "HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n"
+        "Connection: close\r\n\r\n";
+  } else if (!admin_handler_) {
+    response =
+        "HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n"
+        "Connection: close\r\n\r\n";
+  } else {
+    response = admin_handler_(line.substr(0, sp1),
+                              line.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+  stats_.admin_requests.fetch_add(1, std::memory_order_relaxed);
+  conn->rbuf.clear();
+  conn->rpos = 0;
+  conn->wbuf.insert(conn->wbuf.end(), response.begin(), response.end());
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->half_closed = true;  // respond-and-close
+  }
+  flush(conn);
 }
 
 void TcpServer::handle_frame(const std::shared_ptr<Conn>& conn,
@@ -410,6 +529,8 @@ void TcpServer::flush(const std::shared_ptr<Conn>& conn) {
         ::send(conn->fd, conn->wbuf.data() + conn->wpos,
                conn->wbuf.size() - conn->wpos, MSG_NOSIGNAL);
     if (sent > 0) {
+      stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(sent),
+                                 std::memory_order_relaxed);
       conn->wpos += static_cast<std::size_t>(sent);
       continue;
     }
@@ -477,6 +598,7 @@ void TcpServer::close_conn(const std::shared_ptr<Conn>& conn) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
   conns_.erase(conn->fd);
+  stats_.open_conns.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void TcpServer::begin_drain() {
@@ -484,6 +606,11 @@ void TcpServer::begin_drain() {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
   ::close(listen_fd_);
   listen_fd_ = -1;
+  if (admin_listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, admin_listen_fd_, nullptr);
+    ::close(admin_listen_fd_);
+    admin_listen_fd_ = -1;
+  }
   stats_.drained_in_flight.store(in_flight_.load(std::memory_order_acquire),
                                  std::memory_order_relaxed);
   // Stop parsing everywhere: requests already admitted are answered and
@@ -519,8 +646,9 @@ TcpServer::TcpServer(svc::QueryService& service, ServerOptions options)
 TcpServer::~TcpServer() = default;
 void TcpServer::run() {}
 void TcpServer::request_stop() {}
-void TcpServer::accept_ready() {}
+void TcpServer::accept_ready(int, bool) {}
 void TcpServer::conn_readable(const std::shared_ptr<Conn>&) {}
+void TcpServer::admin_readable(const std::shared_ptr<Conn>&) {}
 void TcpServer::conn_writable(const std::shared_ptr<Conn>&) {}
 void TcpServer::handle_frame(const std::shared_ptr<Conn>&, const WireRequest&) {}
 void TcpServer::queue_response(const std::shared_ptr<Conn>&, WireResponse&&,

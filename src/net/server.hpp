@@ -27,9 +27,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +48,11 @@ struct ServerOptions {
   /// (flow control), so a slow reader throttles itself instead of growing
   /// the server's memory.
   std::size_t write_buffer_limit = 8u << 20;
+  /// Opens a SECOND listener on the same epoll thread whose connections
+  /// speak the minimal HTTP subset of net/admin.hpp (scrapes, slow-query
+  /// log, trace export) instead of the binary frame protocol.
+  bool admin_enabled = false;
+  std::uint16_t admin_port = 0;  ///< 0 = ephemeral; read via admin_port()
 };
 
 /// Counters the epoll thread maintains; read them after run() returns (or
@@ -54,9 +61,13 @@ struct ServerStats {
   std::atomic<std::uint64_t> accepted{0};        ///< connections accepted
   std::atomic<std::uint64_t> frames_in{0};       ///< request frames decoded
   std::atomic<std::uint64_t> frames_out{0};      ///< response frames flushed
+  std::atomic<std::uint64_t> bytes_in{0};        ///< payload bytes read
+  std::atomic<std::uint64_t> bytes_out{0};       ///< payload bytes written
   std::atomic<std::uint64_t> rejected{0};        ///< kRejected answered
   std::atomic<std::uint64_t> protocol_errors{0}; ///< connections closed on bad frames
   std::atomic<std::uint64_t> drained_in_flight{0};///< answered during drain
+  std::atomic<std::uint64_t> admin_requests{0};  ///< admin HTTP requests answered
+  std::atomic<std::int64_t> open_conns{0};       ///< currently open connections
 };
 
 class TcpServer {
@@ -73,6 +84,19 @@ class TcpServer {
   /// The bound port (resolves an ephemeral Options::port = 0).
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
+  /// The bound admin port; 0 when Options::admin_enabled is false.
+  [[nodiscard]] std::uint16_t admin_port() const { return admin_port_; }
+
+  /// Installs the admin request handler (net/admin.hpp's
+  /// handle_admin_request bound to an AdminContext). Must be set before
+  /// run(); without one, admin connections answer 503.
+  void set_admin_handler(
+      std::function<std::string(std::string_view method,
+                                std::string_view target)>
+          handler) {
+    admin_handler_ = std::move(handler);
+  }
+
   /// Runs the epoll loop on the calling thread. Returns after a graceful
   /// drain completes: every admitted request answered, every response
   /// frame flushed (or its connection gone), all sockets closed.
@@ -88,8 +112,11 @@ class TcpServer {
  private:
   struct Conn;
 
-  void accept_ready();
+  void accept_ready(int listen_fd, bool admin);
   void conn_readable(const std::shared_ptr<Conn>& conn);
+  /// HTTP parse/respond path for admin connections: one request, one
+  /// response, half-close (flush()'s existing teardown finishes the job).
+  void admin_readable(const std::shared_ptr<Conn>& conn);
   void conn_writable(const std::shared_ptr<Conn>& conn);
   void handle_frame(const std::shared_ptr<Conn>& conn, const WireRequest& w);
   /// Appends one encoded response to the connection's outbound bytes and
@@ -109,9 +136,13 @@ class TcpServer {
   ServerOptions options_;
   ServerStats stats_;
   int listen_fd_ = -1;
+  int admin_listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  ///< eventfd: completion wakeups + stop requests
   std::uint16_t port_ = 0;
+  std::uint16_t admin_port_ = 0;
+  std::function<std::string(std::string_view, std::string_view)>
+      admin_handler_;
   std::atomic<bool> stop_requested_{false};
   bool draining_ = false;
   /// Requests admitted to the service whose responses have not yet been

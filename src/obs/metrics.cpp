@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <map>
@@ -45,6 +46,10 @@ void LogHistogram::accumulate(Snapshot& into) const {
         buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
   into.count += count_.load(std::memory_order_relaxed);
   into.sum += sum_.load(std::memory_order_relaxed);
+  into.min_seen =
+      std::min(into.min_seen, min_.load(std::memory_order_relaxed));
+  into.max_seen =
+      std::max(into.max_seen, max_.load(std::memory_order_relaxed));
 }
 
 double LogHistogram::Snapshot::quantile(double q) const {
@@ -115,7 +120,8 @@ void MetricsRegistry::write_text(std::ostream& out) const {
     const auto s = h.snapshot();
     out << name << " count " << s.count << " mean " << s.mean() << " p50 "
         << s.quantile(0.50) << " p95 " << s.quantile(0.95) << " p99 "
-        << s.quantile(0.99) << "\n";
+        << s.quantile(0.99) << " min " << s.min() << " max " << s.max()
+        << "\n";
   }
 }
 
@@ -141,9 +147,25 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     out << "\"" << name << "\":{\"count\":" << s.count
         << ",\"mean\":" << s.mean() << ",\"p50\":" << s.quantile(0.50)
         << ",\"p95\":" << s.quantile(0.95) << ",\"p99\":" << s.quantile(0.99)
-        << "}";
+        << ",\"min\":" << s.min() << ",\"max\":" << s.max() << "}";
   }
   out << "}";
+}
+
+void MetricsRegistry::for_each(
+    const std::function<void(const std::string&, std::uint64_t)>& on_counter,
+    const std::function<void(const std::string&, std::int64_t)>& on_gauge,
+    const std::function<void(const std::string&,
+                             const LogHistogram::Snapshot&)>& on_histogram)
+    const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (on_counter)
+    for (const auto& [name, c] : impl_->counters) on_counter(name, c.value());
+  if (on_gauge)
+    for (const auto& [name, g] : impl_->gauges) on_gauge(name, g.value());
+  if (on_histogram)
+    for (const auto& [name, h] : impl_->histograms)
+      on_histogram(name, h.snapshot());
 }
 
 void MetricsRegistry::reset() {

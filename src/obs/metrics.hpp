@@ -13,6 +13,7 @@
 #include <atomic>
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -47,12 +48,27 @@ class LogHistogram {
         1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
+    // Exact min/max anchor the tails the bucketed quantiles only estimate.
+    // After warmup the CAS loops almost never run: the loads are relaxed
+    // and the compare fails the loop guard for any in-range sample.
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed))
+      ;
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed))
+      ;
   }
 
   struct Snapshot {
     std::vector<std::uint64_t> buckets;  ///< kBuckets counts
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
+    /// Raw extremes (min_seen is the ~0 sentinel while empty); read them
+    /// through min()/max(), which normalise the empty case to 0.
+    std::uint64_t min_seen = ~std::uint64_t{0};
+    std::uint64_t max_seen = 0;
 
     /// Quantile estimate, q in [0, 1]; 0 when empty. Exact for values
     /// below kSub, geometric midpoint of the winning bucket otherwise
@@ -62,6 +78,11 @@ class LogHistogram {
       return count == 0 ? 0.0
                         : static_cast<double>(sum) / static_cast<double>(count);
     }
+    /// Exact smallest/largest recorded sample; 0 when empty.
+    [[nodiscard]] std::uint64_t min() const {
+      return count == 0 ? 0 : min_seen;
+    }
+    [[nodiscard]] std::uint64_t max() const { return max_seen; }
   };
 
   [[nodiscard]] Snapshot snapshot() const;
@@ -79,6 +100,8 @@ class LogHistogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 /// Monotonic event counter.
@@ -136,6 +159,19 @@ class MetricsRegistry {
 
   /// Snapshot as a single JSON object keyed by metric name.
   void write_json(std::ostream& out) const;
+
+  /// Visits every registered metric (counters, then gauges, then
+  /// histograms — each group in name order) under the registry mutex.
+  /// Histograms are handed over as point-in-time snapshots. The visitors
+  /// must not call back into the registry (the lock is held throughout);
+  /// they power the Prometheus exposition writer and the reporter's
+  /// interval-delta snapshots.
+  void for_each(
+      const std::function<void(const std::string&, std::uint64_t)>& on_counter,
+      const std::function<void(const std::string&, std::int64_t)>& on_gauge,
+      const std::function<void(const std::string&,
+                               const LogHistogram::Snapshot&)>& on_histogram)
+      const;
 
   /// Zeroes counters/gauges and drops histogram contents — quiescent use
   /// (tests, tools between runs). Registered names and references survive.

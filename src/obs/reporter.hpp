@@ -1,0 +1,112 @@
+// pcq::obs — periodic telemetry reporter: interval-delta snapshots of the
+// MetricsRegistry exported as a JSONL time series.
+//
+// The registry's counters are monotonic by design; what an operator wants
+// on a chart is rates. The reporter owns one background thread that every
+// `interval`:
+//
+//   1. runs the registered samplers — callbacks that refresh gauges whose
+//      sources live outside the registry (per-shard queue depths, the TCP
+//      server's connection stats, rusage/maxrss, dyn compaction progress);
+//   2. snapshots every counter and gauge, differences the counters against
+//      the previous tick, and appends ONE JSON object line to the
+//      configured file: {"ts_ms":..,"uptime_s":..,"interval_s":..,
+//      "counters":{name:{"total":..,"rate":..}},"gauges":{name:..}}.
+//
+// The samplers are shared with the admin endpoint: run_samplers() is
+// thread-safe and the admin handler calls it before building a /metrics
+// response, so scrapes see gauges at most one call old instead of one
+// reporter interval old.
+//
+// tick(out) exposes a single snapshot-delta step for tests and one-shot
+// tools; start()/stop() manage the background thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pcq::obs {
+
+struct ReporterOptions {
+  std::chrono::milliseconds interval{1000};
+  /// JSONL output path; appended to (a serving process restarted onto the
+  /// same path extends the series). Empty = sample gauges but write nothing.
+  std::string jsonl_path;
+};
+
+class Reporter {
+ public:
+  Reporter() = default;
+  ~Reporter() { stop(); }
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  /// Registers a gauge-refresh callback (see file comment). Callable before
+  /// or after start(); callbacks must be thread-safe and cheap.
+  void add_sampler(std::function<void()> sampler);
+
+  /// Runs every registered sampler once (the admin scrape path).
+  void run_samplers();
+
+  /// Starts the background thread. Returns false (and does not start) when
+  /// the JSONL file cannot be opened. No-op when already running.
+  bool start(ReporterOptions options);
+
+  /// Stops and joins the background thread, flushing a final line so short
+  /// runs still produce a series. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Completed ticks (lines written when a file is configured).
+  [[nodiscard]] std::uint64_t ticks() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+  /// One sampler + snapshot + interval-delta step, writing one JSONL line
+  /// to `out`. The delta baseline persists across calls (first call reports
+  /// rates since construction). Exposed for tests and one-shot tools; do
+  /// not mix with a running background thread (they would share the
+  /// baseline).
+  void tick(std::ostream& out);
+
+ private:
+  void loop();
+
+  std::mutex samplers_mu_;
+  std::vector<std::function<void()>> samplers_;
+
+  /// Delta baseline: counter totals at the previous tick.
+  std::map<std::string, std::uint64_t> prev_counters_;
+  std::chrono::steady_clock::time_point prev_tick_{
+      std::chrono::steady_clock::now()};
+  std::chrono::steady_clock::time_point started_{
+      std::chrono::steady_clock::now()};
+
+  ReporterOptions options_;
+  std::ofstream out_;
+  std::thread thread_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> ticks_{0};
+};
+
+/// Refreshes process-level gauges in the global registry from getrusage:
+/// proc.maxrss_kb, proc.user_cpu_ms, proc.sys_cpu_ms (no-op off unix). The
+/// standard rusage sampler to hand to Reporter::add_sampler.
+void sample_process_gauges();
+
+}  // namespace pcq::obs

@@ -1,0 +1,59 @@
+#include "obs/slowlog.hpp"
+
+#include <ostream>
+
+namespace pcq::obs {
+
+SlowLog& SlowLog::global() {
+  static SlowLog* log = new SlowLog();  // never destroyed: worker threads
+  return *log;  // may record past main()'s static teardown
+}
+
+void SlowLog::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::size_t SlowLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void SlowLog::record(const SlowQuery& q) {
+  captured_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= capacity_) entries_.pop_front();
+  entries_.push_back(q);
+}
+
+std::vector<SlowQuery> SlowLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQuery>(entries_.begin(), entries_.end());
+}
+
+void SlowLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  captured_.store(0, std::memory_order_relaxed);
+}
+
+void SlowLog::write_json(std::ostream& out) const {
+  const std::vector<SlowQuery> entries = snapshot();
+  out << "{\"threshold_us\":" << threshold_us() << ",\"captured\":"
+      << captured() << ",\"capacity\":" << capacity() << ",\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SlowQuery& q = entries[i];
+    if (i > 0) out << ",";
+    out << "{\"trace_id\":" << q.trace_id
+        << ",\"kind\":" << static_cast<unsigned>(q.kind)
+        << ",\"status\":" << static_cast<unsigned>(q.status) << ",\"u\":"
+        << q.u << ",\"v\":" << q.v << ",\"t\":" << q.t << ",\"total_us\":"
+        << q.total_us << ",\"queue_us\":" << q.queue_us << ",\"service_us\":"
+        << q.service_us << ",\"batch_size\":" << q.batch_size << ",\"shard\":"
+        << q.shard << ",\"ts_ns\":" << q.ts_ns << "}";
+  }
+  out << "]}";
+}
+
+}  // namespace pcq::obs

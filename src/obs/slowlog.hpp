@@ -1,0 +1,94 @@
+// pcq::obs — bounded slow-query log with tail-based sampling.
+//
+// The serving path cannot afford full per-request span capture at several
+// hundred thousand qps, and a uniform sample mostly records the boring
+// median. Tail-based sampling inverts that: every completed request does
+// ONE relaxed atomic load (the latency threshold; 0 = sampling off) and
+// only requests at or above the threshold take the slow path — a mutex
+// push into a bounded ring of SlowQuery records plus full phase spans into
+// the TraceRing. The hot path therefore costs a load and a predicted
+// branch per request; the mutex is only ever contended by requests that
+// are already milliseconds late.
+//
+// The log is bounded (drop-oldest): it is a flight recorder of the worst
+// recent requests, queryable at runtime via the admin endpoint (/slow) and
+// in-process via snapshot(). `captured` counts everything ever recorded,
+// so `captured - min(captured, capacity)` is the evicted tail.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+namespace pcq::obs {
+
+/// One captured slow request: identity, phase split and context. Times are
+/// microseconds; ts_ns is the completion instant on the trace clock.
+struct SlowQuery {
+  std::uint64_t trace_id = 0;  ///< wire request id (0 for in-process submits)
+  std::uint8_t kind = 0;       ///< svc::QueryKind value
+  std::uint8_t status = 0;     ///< svc::Status value
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  std::uint32_t t = 0;
+  std::uint64_t total_us = 0;   ///< enqueue -> completion
+  std::uint64_t queue_us = 0;   ///< enqueue -> batch dispatch
+  std::uint64_t service_us = 0; ///< batch dispatch -> completion (kernel side)
+  std::uint32_t batch_size = 0; ///< size of the dispatched batch it rode in
+  std::uint32_t shard = 0;
+  std::uint64_t ts_ns = 0;      ///< completion time (trace clock)
+};
+
+/// Process-wide bounded slow-query log. All methods are thread-safe; only
+/// threshold_us() is on the per-request hot path.
+class SlowLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  /// The instance the service instrumentation records into.
+  static SlowLog& global();
+
+  /// Capture threshold in microseconds; 0 disables sampling entirely.
+  void set_threshold_us(std::uint64_t us) {
+    threshold_us_.store(us, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t threshold_us() const {
+    return threshold_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Bound on retained records; older entries are evicted first. Shrinking
+  /// drops the oldest overflow immediately.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+
+  /// Appends one record (drop-oldest beyond capacity).
+  void record(const SlowQuery& q);
+
+  /// Records ever captured (including since-evicted ones).
+  [[nodiscard]] std::uint64_t captured() const {
+    return captured_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies the retained records, oldest first.
+  [[nodiscard]] std::vector<SlowQuery> snapshot() const;
+
+  /// Drops all retained records and zeroes the captured count (tests /
+  /// tools between runs).
+  void clear();
+
+  /// Writes the retained records as a JSON document:
+  /// {"threshold_us":..,"captured":..,"capacity":..,"entries":[...]}.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::atomic<std::uint64_t> threshold_us_{0};
+  std::atomic<std::uint64_t> captured_{0};
+  mutable std::mutex mu_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::deque<SlowQuery> entries_;
+};
+
+}  // namespace pcq::obs

@@ -135,6 +135,12 @@ void set_trace_enabled(bool enabled) {
 
 std::uint64_t trace_now_ns() { return detail::now_ns(); }
 
+std::uint64_t trace_time_ns(std::chrono::steady_clock::time_point tp) {
+  const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      tp - detail::trace_epoch());
+  return d.count() < 0 ? 0 : static_cast<std::uint64_t>(d.count());
+}
+
 void record_span(const char* name, std::uint64_t start_ns,
                  std::uint64_t end_ns, std::uint64_t arg) {
   if (!trace_enabled()) return;

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -163,6 +164,11 @@ void record_span(const char* name, std::uint64_t start_ns,
 
 /// Current trace clock (ns since epoch) — pairs with record_span.
 std::uint64_t trace_now_ns();
+
+/// Converts a steady_clock time_point into trace-clock nanoseconds, so
+/// timestamps stamped outside the tracer (svc enqueue times, net receipt)
+/// can become span endpoints. Points before the trace epoch clamp to 0.
+std::uint64_t trace_time_ns(std::chrono::steady_clock::time_point tp);
 
 /// Drains every ring. Events are sorted by (tid, start, longer-first), so
 /// each thread's lane is time-ordered with parents before children.

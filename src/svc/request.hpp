@@ -51,6 +51,10 @@ struct Request {
   /// deadline is answered kExpired without touching the graph (admission
   /// control under overload). Clock::time_point::max() = no deadline.
   Clock::time_point deadline = Clock::time_point::max();
+  /// Caller-assigned id threaded through the shard queue into the slow-query
+  /// log and per-request trace spans (the net front-end puts the wire
+  /// request id here). 0 = unidentified; spans are still recorded.
+  std::uint64_t trace_id = 0;
 };
 
 enum class Status : std::uint8_t {

@@ -1,10 +1,12 @@
 #include "svc/service.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "dyn/hybrid.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slowlog.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
 #include "par/worker_pool.hpp"
@@ -49,8 +51,10 @@ void QueryService::start_workers() {
   PCQ_CHECK(config_.shards >= 1);
   PCQ_CHECK(config_.max_batch >= 1);
   shards_.reserve(static_cast<std::size_t>(config_.shards));
-  for (int s = 0; s < config_.shards; ++s)
+  for (int s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
+    shards_.back()->index = static_cast<std::uint32_t>(s);
+  }
   pool_ = std::make_unique<par::WorkerPool>(config_.shards);
   for (auto& shard : shards_) {
     Shard* raw = shard.get();
@@ -114,8 +118,43 @@ void QueryService::complete(Shard& shard, Pending& pending,
   // answers became ready at the same instant (kernel completion), so one
   // clock read serves the whole sweep instead of one per request.
   response.latency = now - pending.enqueued;
-  shard.metrics.latency_us.record(to_us(response.latency));
+  const std::uint64_t lat_us = to_us(response.latency);
+  shard.metrics.latency_us.record(lat_us);
   shard.metrics.completed.fetch_add(1, std::memory_order_relaxed);
+  // Tail-based sampling: one relaxed load + predicted branch per request;
+  // only requests already past the threshold (milliseconds late) take the
+  // capture path below.
+  const std::uint64_t threshold = obs::SlowLog::global().threshold_us();
+  if (threshold != 0 && lat_us >= threshold) {
+    obs::SlowQuery slow;
+    slow.trace_id = pending.request.trace_id;
+    slow.kind = static_cast<std::uint8_t>(pending.request.kind);
+    slow.status = static_cast<std::uint8_t>(response.status);
+    slow.u = pending.request.u;
+    slow.v = pending.request.v;
+    slow.t = pending.request.t;
+    slow.total_us = lat_us;
+    // Early completions (expired/invalid) finish at dispatch time, so the
+    // phase split clamps instead of wrapping negative durations.
+    slow.queue_us = shard.batch_dispatch > pending.enqueued
+                        ? to_us(shard.batch_dispatch - pending.enqueued)
+                        : lat_us;
+    slow.service_us =
+        now > shard.batch_dispatch ? to_us(now - shard.batch_dispatch) : 0;
+    slow.batch_size = static_cast<std::uint32_t>(shard.batch_n);
+    slow.shard = shard.index;
+    slow.ts_ns = obs::trace_now_ns();
+    obs::SlowLog::global().record(slow);
+    // Full phase spans for the captured tail only: the Chrome trace shows
+    // a queue bar and a service bar per slow request, keyed by trace id.
+    if (obs::kTraceCompiledIn && obs::trace_enabled()) {
+      const std::uint64_t t0 = obs::trace_time_ns(pending.enqueued);
+      const std::uint64_t t1 = obs::trace_time_ns(shard.batch_dispatch);
+      const std::uint64_t t2 = obs::trace_time_ns(now);
+      if (t1 >= t0) obs::record_span("req.queue", t0, t1, slow.trace_id);
+      if (t2 >= t1) obs::record_span("req.service", t1, t2, slow.trace_id);
+    }
+  }
   if (pending.callback) pending.callback(std::move(response));
 }
 
@@ -161,6 +200,10 @@ void QueryService::shard_loop(Shard& shard) {
 void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
   PCQ_TRACE_SCOPE("svc.batch", batch.size());
   const auto now = Clock::now();
+  // Per-batch slow-query context: complete() reads these on this same
+  // thread to split total latency into queue vs. service phases.
+  shard.batch_dispatch = now;
+  shard.batch_n = batch.size();
   const VertexId n = num_nodes();
   const graph::TimeFrame frames =
       history_ == nullptr ? 0 : history_->num_frames();
@@ -218,6 +261,12 @@ void QueryService::execute_batch(Shard& shard, std::vector<Pending>& batch) {
   }
 
   const int kt = config_.kernel_threads;
+
+  // Test/CI hook: injected kernel delay lands after dispatch, so it shows
+  // up in the service phase of every request in the batch and
+  // deterministically trips the slow-query threshold.
+  if (config_.debug_kernel_delay.count() > 0)
+    std::this_thread::sleep_for(config_.debug_kernel_delay);
 
   // The dynamic read path pins ONE View for the whole batch: every read in
   // the batch sees the same (base, delta) epoch regardless of concurrent
@@ -382,6 +431,13 @@ void QueryService::execute_mutations(Shard& shard, std::vector<Pending>& batch,
     r.exists = changed[j] != 0;
     complete(shard, batch[ids[j]], std::move(r), done);
   }
+}
+
+std::vector<std::size_t> QueryService::queue_depths() const {
+  std::vector<std::size_t> depths;
+  depths.reserve(shards_.size());
+  for (const auto& shard : shards_) depths.push_back(shard->queue.size());
+  return depths;
 }
 
 MetricsSnapshot QueryService::metrics() const {

@@ -60,6 +60,11 @@ struct ServiceConfig {
   bool adaptive_window = true;      ///< shrink window under light load
   int kernel_threads = 1;           ///< threads per batch-kernel call
   csr::RowSearch edge_search = csr::RowSearch::kBinary;
+  /// Test/CI hook: sleep this long after dispatching each query batch,
+  /// before the kernels run, so the added time lands inside the measured
+  /// service phase. Deterministically produces slow requests for the
+  /// slow-query log and tail-sampling tests. 0 (the default) = off.
+  std::chrono::microseconds debug_kernel_delay{0};
 };
 
 /// One step of the adaptive batch-window controller (pure, so it is
@@ -122,6 +127,10 @@ class QueryService {
   /// Aggregated counters + latency/batch-size percentiles across shards.
   [[nodiscard]] MetricsSnapshot metrics() const;
 
+  /// Instantaneous queued-request count per shard (telemetry gauges; each
+  /// read takes that shard's queue mutex briefly).
+  [[nodiscard]] std::vector<std::size_t> queue_depths() const;
+
   [[nodiscard]] int shards() const { return static_cast<int>(shards_.size()); }
 
  private:
@@ -135,6 +144,12 @@ class QueryService {
     explicit Shard(std::size_t capacity) : queue(capacity) {}
     BoundedMpmcQueue<Pending> queue;
     ShardMetrics metrics;
+    /// Per-batch context for slow-query capture; written only by the
+    /// shard's own worker at dispatch, read by complete() on that same
+    /// thread — no synchronisation needed.
+    Clock::time_point batch_dispatch{};
+    std::size_t batch_n = 0;
+    std::uint32_t index = 0;
   };
 
   std::size_t shard_of(graph::VertexId u) const;

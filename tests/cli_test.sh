@@ -1,10 +1,12 @@
 #!/bin/sh
 # End-to-end test of the pcq CLI: compress -> stats -> query -> convert ->
-# temporal round trip, plus (when given) a pcq_serve smoke run.
-# Usage: cli_test.sh <path-to-pcq-binary> [path-to-pcq_serve-binary]
+# temporal round trip, plus (when given) a pcq_serve smoke run and an
+# admin-endpoint scrape via pcq_top.
+# Usage: cli_test.sh <pcq-binary> [pcq_serve-binary] [pcq_top-binary]
 set -e
 PCQ="$1"
 SERVE="$2"
+TOP="$3"
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -193,6 +195,51 @@ if [ -n "$SERVE" ]; then
   grep -q "shutdown acknowledged" "$TMP/connect.out"
   wait "$LISTEN_PID" || { echo "pcq_serve --listen exited nonzero"; exit 1; }
   grep -q "drain complete" "$TMP/listen.out"
+
+  # Admin telemetry plane: a second --listen run with --admin 0 prints the
+  # admin port; pcq_top --scrape drives every route. --slow-us 1 plus an
+  # injected kernel delay guarantees the slow-query log fills, and the
+  # reporter writes a JSONL series.
+  if [ -n "$TOP" ]; then
+    "$SERVE" "$TMP/g.csr" --listen 0 --admin 0 --slow-us 1 \
+        --inject-delay-us 500 --report "$TMP/report.jsonl" \
+        --report-interval-ms 100 > "$TMP/admin.out" 2>&1 &
+    LISTEN_PID=$!
+    PORT=""; ADMIN_PORT=""
+    i=0
+    while [ $i -lt 50 ]; do
+      PORT=$(sed -n 's/^listening on 127.0.0.1:\([0-9][0-9]*\)$/\1/p' "$TMP/admin.out")
+      ADMIN_PORT=$(sed -n 's/^admin on 127.0.0.1:\([0-9][0-9]*\)$/\1/p' "$TMP/admin.out")
+      [ -n "$PORT" ] && [ -n "$ADMIN_PORT" ] && break
+      i=$((i + 1)); sleep 0.1
+    done
+    [ -n "$ADMIN_PORT" ] || { echo "pcq_serve --admin never printed its port"; exit 1; }
+    "$TOP" "127.0.0.1:$ADMIN_PORT" --scrape /healthz | grep -q "ok"
+    printf "degree 0\ne 0 1\nn 0\nquit\n" | "$SERVE" --connect "127.0.0.1:$PORT" > /dev/null
+    "$TOP" "127.0.0.1:$ADMIN_PORT" --scrape /metrics > "$TMP/metrics.txt"
+    grep -q "# TYPE svc_flush_size counter" "$TMP/metrics.txt"
+    "$TOP" "127.0.0.1:$ADMIN_PORT" --scrape /metrics.json > "$TMP/metrics.json"
+    grep -q '"completed":3' "$TMP/metrics.json"
+    "$TOP" "127.0.0.1:$ADMIN_PORT" --scrape /slow > "$TMP/slow.json"
+    grep -q '"trace_id":' "$TMP/slow.json"
+    "$TOP" "127.0.0.1:$ADMIN_PORT" --scrape /trace > "$TMP/admin_trace.json"
+    grep -q '"traceEvents"' "$TMP/admin_trace.json"
+    "$TOP" "127.0.0.1:$ADMIN_PORT" --once | grep -q "pcq_top"
+    if command -v python3 > /dev/null 2>&1; then
+      python3 -m json.tool "$TMP/metrics.json" > /dev/null
+      python3 -m json.tool "$TMP/slow.json" > /dev/null
+      python3 -m json.tool "$TMP/admin_trace.json" > /dev/null
+    fi
+    printf "shutdown\n" | "$SERVE" --connect "127.0.0.1:$PORT" > /dev/null
+    wait "$LISTEN_PID" || { echo "admin --listen exited nonzero"; exit 1; }
+    grep -q "drain complete" "$TMP/admin.out"
+    test -s "$TMP/report.jsonl"
+    if command -v python3 > /dev/null 2>&1; then
+      python3 -c 'import json,sys
+for line in open(sys.argv[1]):
+    json.loads(line)' "$TMP/report.jsonl"
+    fi
+  fi
 
   # SIGINT takes the same graceful-drain path.
   "$SERVE" "$TMP/g.csr" --listen 0 > "$TMP/listen2.out" 2>&1 &

@@ -23,6 +23,14 @@
 // it speaks the same line protocol on stdin but ships each query over TCP
 // ("shutdown" sends the drain control frame, "quit" just disconnects).
 //
+// --admin PORT (with --listen) opens the HTTP scrape endpoint on a second
+// port of the same epoll thread: /metrics (Prometheus text), /metrics.json
+// (composite snapshot), /slow (the slow-query log), /trace (Chrome trace),
+// /healthz, /buildinfo. --slow-us sets the tail-sampling threshold
+// (default 10ms), --slow-cap the log bound; --report FILE appends one
+// JSONL line per --report-interval-ms with counter rates and sampled
+// gauges. tools/pcq_top renders a live dashboard from /metrics.json.
+//
 // --mmap serves straight from memory-mapped files: the packed arrays are
 // borrowed views over the mapping (zero payload copies), so startup cost is
 // independent of graph size and pages fault in lazily as queries touch
@@ -64,9 +72,12 @@
 #include "check/validate.hpp"
 #include "csr/serialize.hpp"
 #include "dyn/hybrid.hpp"
+#include "net/admin.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/reporter.hpp"
+#include "obs/slowlog.hpp"
 #include "obs/trace.hpp"
 #include "svc/service.hpp"
 #include "tcsr/serialize.hpp"
@@ -280,19 +291,81 @@ extern "C" void handle_stop_signal(int) {
   if (server != nullptr) server->request_stop();
 }
 
-int run_listen(svc::QueryService& service, std::uint16_t port) {
+int run_listen(svc::QueryService& service, const util::Flags& flags) {
   net::ServerOptions options;
-  options.port = port;
+  options.port = static_cast<std::uint16_t>(flags.get_int("listen", 0));
+  options.admin_enabled = flags.has("admin");
+  options.admin_port =
+      static_cast<std::uint16_t>(flags.get_int("admin", 0));
   net::TcpServer server(service, options);
+
+  // The reporter thread runs whenever we listen: its samplers keep the
+  // sampled gauges (queue depths, connection stats, rusage) fresh for both
+  // the JSONL series (--report) and admin scrapes (which also call
+  // run_samplers directly, so a scrape is never stale).
+  obs::Reporter reporter;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reporter.add_sampler([&service, &reg] {
+    const std::vector<std::size_t> depths = service.queue_depths();
+    std::size_t total = 0;
+    std::size_t deepest = 0;
+    for (const std::size_t d : depths) {
+      total += d;
+      deepest = std::max(deepest, d);
+    }
+    reg.gauge("svc.queue_depth").set(static_cast<std::int64_t>(total));
+    reg.gauge("svc.queue_depth_max").set(static_cast<std::int64_t>(deepest));
+  });
+  const net::ServerStats& live = server.stats();
+  reporter.add_sampler([&live, &reg] {
+    const auto mirror = [&reg](const char* name, std::uint64_t v) {
+      reg.gauge(name).set(static_cast<std::int64_t>(v));
+    };
+    reg.gauge("net.open_conns")
+        .set(live.open_conns.load(std::memory_order_relaxed));
+    mirror("net.accepted", live.accepted.load(std::memory_order_relaxed));
+    mirror("net.frames_in", live.frames_in.load(std::memory_order_relaxed));
+    mirror("net.frames_out", live.frames_out.load(std::memory_order_relaxed));
+    mirror("net.bytes_in", live.bytes_in.load(std::memory_order_relaxed));
+    mirror("net.bytes_out", live.bytes_out.load(std::memory_order_relaxed));
+    mirror("net.rejected", live.rejected.load(std::memory_order_relaxed));
+    mirror("net.protocol_errors",
+           live.protocol_errors.load(std::memory_order_relaxed));
+    mirror("net.admin_requests",
+           live.admin_requests.load(std::memory_order_relaxed));
+  });
+  reporter.add_sampler(obs::sample_process_gauges);
+
+  net::AdminContext admin_ctx;
+  admin_ctx.service = &service;
+  admin_ctx.server_stats = &server.stats();
+  admin_ctx.refresh = [&reporter] { reporter.run_samplers(); };
+  server.set_admin_handler(
+      [admin_ctx](std::string_view method, std::string_view target) {
+        return net::handle_admin_request(admin_ctx, method, target);
+      });
+
+  obs::ReporterOptions ropts;
+  ropts.interval = std::chrono::milliseconds(
+      flags.get_int("report-interval-ms", 1000));
+  ropts.jsonl_path = flags.get("report", "");
+  if (!reporter.start(ropts))
+    std::fprintf(stderr, "warning: cannot open report file %s\n",
+                 ropts.jsonl_path.c_str());
+
   g_server.store(&server, std::memory_order_release);
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
   std::signal(SIGPIPE, SIG_IGN);
   std::printf("listening on 127.0.0.1:%u\n",
               static_cast<unsigned>(server.port()));
+  if (options.admin_enabled)
+    std::printf("admin on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server.admin_port()));
   std::fflush(stdout);
   server.run();
   g_server.store(nullptr, std::memory_order_release);
+  reporter.stop();
   const net::ServerStats& s = server.stats();
   std::printf("drain complete: %s in flight answered, all buffers flushed\n",
               util::with_commas(
@@ -409,6 +482,15 @@ int main(int argc, char** argv) {
        {"validate", "run the full pcq::check scan before serving"},
        {"listen", "serve the binary frame protocol on TCP port N (0 = "
                   "ephemeral, prints the bound port)"},
+       {"admin", "with --listen: HTTP admin/scrape endpoint on port N (0 = "
+                 "ephemeral, prints the bound port)"},
+       {"slow-us", "slow-query capture threshold in microseconds "
+                   "(default 10000; 0 disables)"},
+       {"slow-cap", "slow-query log capacity (default 256)"},
+       {"inject-delay-us", "debug: sleep N us inside every batch dispatch "
+                           "(deterministic slow queries for tests)"},
+       {"report", "append interval-delta JSONL telemetry to FILE"},
+       {"report-interval-ms", "reporter tick interval (default 1000)"},
        {"connect", "act as an interactive TCP client against HOST:PORT"}});
   if (flags.has("connect")) {
     try {
@@ -504,6 +586,15 @@ int main(int argc, char** argv) {
         std::chrono::microseconds(flags.get_int("window-us", 200));
     config.kernel_threads =
         static_cast<int>(flags.get_int("kernel-threads", 1));
+    config.debug_kernel_delay =
+        std::chrono::microseconds(flags.get_int("inject-delay-us", 0));
+    // Tail sampling is on by default at 10ms — cheap enough to always run
+    // (one relaxed load per completion) and the flight recorder is exactly
+    // what you want populated when something was slow.
+    pcq::obs::SlowLog::global().set_threshold_us(
+        static_cast<std::uint64_t>(flags.get_int("slow-us", 10000)));
+    pcq::obs::SlowLog::global().set_capacity(
+        static_cast<std::size_t>(flags.get_int("slow-cap", 256)));
     // --dynamic wraps the loaded CSR in the CPMA-backed hybrid; the hybrid
     // copies the packed arrays (views stay borrowed under --mmap, and the
     // mapping outlives the service), so `graph` stays usable for the demo.
@@ -523,9 +614,7 @@ int main(int argc, char** argv) {
                 service->shards(), temporal ? " + temporal history" : "",
                 hybrid.has_value() ? " + dynamic tier" : "");
 
-    if (flags.has("listen"))
-      return run_listen(*service, static_cast<std::uint16_t>(
-                                      flags.get_int("listen", 0)));
+    if (flags.has("listen")) return run_listen(*service, flags);
     if (flags.has("demo"))
       return run_demo(*service, graph, temporal ? &history : nullptr,
                       static_cast<std::size_t>(flags.get_int("demo", 10000)));
