@@ -1,67 +1,111 @@
 #!/bin/sh
-# Static-analysis sweep: clang-format --dry-run and clang-tidy over the core
-# library sources, using the repo's .clang-tidy check set. This is the same
-# gate CI runs (.github/workflows/ci.yml), so contributors can reproduce a
-# CI failure locally before pushing.
+# Single static-analysis entry point — the same gate CI runs
+# (.github/workflows/ci.yml), reproducible locally before pushing:
+#
+#   1. concurrency lint  scripts/concurrency_lint.py over src/ and tools/
+#                        (atomic memory orders, epoll-thread blocking,
+#                        seqlock/epoch-publication protocol, raw-mutex ban).
+#                        Dependency-free: always runs, everywhere.
+#   2. clang-format      --dry-run drift check (skipped when absent).
+#   3. clang-tidy        repo .clang-tidy set over the core library layers
+#                        (skipped when absent — the dev container ships gcc
+#                        only; CI installs clang).
+#   4. clang-query       scripts/lint-rules/*.cq AST rules, type-accurate
+#                        doubles of the concurrency lint (skipped when
+#                        absent).
 #
 # Usage: scripts/lint.sh [build-dir]
 #   build-dir  a configured build with compile_commands.json
-#              (default: build; created with CMAKE_EXPORT_COMPILE_COMMANDS=ON
-#              if missing)
+#              (default: build; created if missing)
 #
-# Exits 0 when clean, 1 on findings, 3 when clang-tidy is not installed
-# (the dev container ships gcc only; CI installs clang-tidy — treat 3 as
-# "skipped", not "passed").
+# Exit status: 0 clean (skipped optional tools do not fail the run),
+# 1 findings from any tool that ran, 2 setup error.
 set -u
 
 BUILD_DIR="${1:-build}"
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
-cd "$ROOT" || exit 1
+cd "$ROOT" || exit 2
 
-# Formatting first: cheap, and a formatting diff makes tidy fix-its noisy.
+STATUS=0
+
+# --- 1. concurrency lint (always available: python3 + stdlib) --------------
+if command -v python3 >/dev/null 2>&1; then
+    if ! python3 scripts/concurrency_lint.py src tools; then
+        echo "lint.sh: concurrency lint found violations" >&2
+        STATUS=1
+    fi
+else
+    echo "lint.sh: python3 not found — cannot run the concurrency lint" >&2
+    exit 2
+fi
+
+# --- 2. formatting (cheap; a format diff makes tidy fix-its noisy) ---------
 FORMAT=$(command -v clang-format || true)
 if [ -n "$FORMAT" ]; then
     # shellcheck disable=SC2046
     if ! "$FORMAT" --dry-run -Werror \
          $(find src tools fuzz -name '*.cpp' -o -name '*.hpp' 2>/dev/null); then
         echo "lint.sh: clang-format found formatting drift" >&2
-        exit 1
+        STATUS=1
     fi
 else
     echo "lint.sh: clang-format not found — skipping format check" >&2
 fi
 
+# --- shared setup for the clang tools ---------------------------------------
 TIDY=$(command -v clang-tidy || true)
-if [ -z "$TIDY" ]; then
-    echo "lint.sh: clang-tidy not found on PATH — skipping (install it or run in CI)" >&2
-    exit 3
+QUERY=$(command -v clang-query || true)
+if [ -n "$TIDY" ] || [ -n "$QUERY" ]; then
+    if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+        echo "lint.sh: generating compile_commands.json in $BUILD_DIR" >&2
+        cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+              -DPCQ_BUILD_BENCH=OFF -DPCQ_BUILD_EXAMPLES=OFF >/dev/null || exit 2
+    fi
 fi
 
-if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
-    echo "lint.sh: generating compile_commands.json in $BUILD_DIR" >&2
-    cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-          -DPCQ_BUILD_BENCH=OFF -DPCQ_BUILD_EXAMPLES=OFF >/dev/null || exit 1
-fi
-
-# The gate covers the packed formats and everything they trust: bits, csr,
-# tcsr, check, io (the mmap trust boundary), plus the util/par layers they
-# build on. Tests and benches are out of scope (gtest macros trip half the
-# checks).
-FILES=$(find src/bits src/csr src/tcsr src/check src/io src/util src/par \
-        -name '*.cpp' 2>/dev/null)
-if [ -z "$FILES" ]; then
-    echo "lint.sh: no sources found (run from the repo root)" >&2
-    exit 1
-fi
-
-RUNNER=$(command -v run-clang-tidy || true)
-if [ -n "$RUNNER" ]; then
-    # shellcheck disable=SC2086 — file list is intentionally word-split
-    "$RUNNER" -p "$BUILD_DIR" -quiet $FILES
+# --- 3. clang-tidy ----------------------------------------------------------
+if [ -n "$TIDY" ]; then
+    # The tidy gate covers the packed formats and everything they trust:
+    # bits, csr, tcsr, check, io (the mmap trust boundary), plus the
+    # util/par layers they build on. Tests and benches are out of scope
+    # (gtest macros trip half the checks).
+    FILES=$(find src/bits src/csr src/tcsr src/check src/io src/util src/par \
+            -name '*.cpp' 2>/dev/null)
+    if [ -z "$FILES" ]; then
+        echo "lint.sh: no sources found (run from the repo root)" >&2
+        exit 2
+    fi
+    RUNNER=$(command -v run-clang-tidy || true)
+    if [ -n "$RUNNER" ]; then
+        # shellcheck disable=SC2086 — file list is intentionally word-split
+        "$RUNNER" -p "$BUILD_DIR" -quiet $FILES || STATUS=1
+    else
+        for f in $FILES; do
+            "$TIDY" -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+        done
+    fi
 else
-    STATUS=0
-    for f in $FILES; do
-        "$TIDY" -p "$BUILD_DIR" --quiet "$f" || STATUS=1
-    done
-    exit $STATUS
+    echo "lint.sh: clang-tidy not found — skipping (install it or run in CI)" >&2
 fi
+
+# --- 4. clang-query AST rules -----------------------------------------------
+if [ -n "$QUERY" ]; then
+    # Matches print as `note:` lines; any output from a rule is a finding.
+    # raw-mutex.cq legitimately matches the std::mutex wrapped inside
+    # util/thread_annotations.hpp, so that file is filtered out.
+    CQ_FILES=$(git ls-files 'src/*/*.cpp' 'tools/*.cpp' 2>/dev/null)
+    for rule in scripts/lint-rules/*.cq; do
+        # shellcheck disable=SC2086
+        OUT=$("$QUERY" -p "$BUILD_DIR" -f "$rule" $CQ_FILES 2>/dev/null \
+              | grep 'note:' | grep -v 'util/thread_annotations.hpp' || true)
+        if [ -n "$OUT" ]; then
+            echo "lint.sh: $rule findings:" >&2
+            echo "$OUT" >&2
+            STATUS=1
+        fi
+    done
+else
+    echo "lint.sh: clang-query not found — skipping AST rules" >&2
+fi
+
+exit $STATUS

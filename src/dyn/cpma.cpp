@@ -193,7 +193,7 @@ Cpma::Cpma(Config config) : config_(config) {
   state->config = config_;
   state->leaves.assign(1, empty_leaf());
   rebuild_directory(*state);
-  state_ = std::move(state);
+  publish(std::move(state));
 }
 
 Cpma::Snapshot Cpma::snapshot() const { return Snapshot(load_state()); }
@@ -338,7 +338,7 @@ std::size_t Cpma::erase_batch(std::span<const Key> keys, int num_threads) {
 }
 
 void Cpma::clear() {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   const StatePtr old = load_state();
   auto next = std::make_shared<State>();
   next->config = config_;
@@ -357,7 +357,7 @@ Cpma::ApplyResult Cpma::apply_batch(std::span<const Key> inserts,
                                     int num_threads,
                                     std::vector<std::uint8_t>* changed_inserts,
                                     std::vector<std::uint8_t>* changed_erases) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   return apply_locked(inserts, erases, num_threads, changed_inserts,
                       changed_erases);
 }

@@ -33,11 +33,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pcq::dyn {
 
@@ -173,10 +173,11 @@ class Cpma {
   ApplyResult apply_batch(std::span<const Key> inserts,
                           std::span<const Key> erases, int num_threads,
                           std::vector<std::uint8_t>* changed_inserts = nullptr,
-                          std::vector<std::uint8_t>* changed_erases = nullptr);
+                          std::vector<std::uint8_t>* changed_erases = nullptr)
+      PCQ_EXCLUDES(write_mu_);
 
   /// Drops every key (one empty-epoch publication).
-  void clear();
+  void clear() PCQ_EXCLUDES(write_mu_);
 
   /// Sort + dedupe helper shared with callers that pre-normalise batches.
   static void normalize_batch(std::vector<Key>& keys, int num_threads);
@@ -203,11 +204,15 @@ class Cpma {
   ApplyResult apply_locked(std::span<const Key> inserts,
                            std::span<const Key> erases, int num_threads,
                            std::vector<std::uint8_t>* changed_inserts,
-                           std::vector<std::uint8_t>* changed_erases);
+                           std::vector<std::uint8_t>* changed_erases)
+      PCQ_REQUIRES(write_mu_);
 
   Config config_;
-  StatePtr state_;     ///< accessed via atomic_load/atomic_store
-  std::mutex write_mu_; ///< serializes mutators; readers never take it
+  // pcq:epoch-published — mutate only via std::atomic_store_explicit /
+  // atomic_exchange; readers pin epochs with atomic_load and never take
+  // write_mu_.
+  StatePtr state_;
+  util::Mutex write_mu_;  ///< serializes mutators; readers never take it
 };
 
 }  // namespace pcq::dyn

@@ -85,7 +85,7 @@ HybridGraph::HybridGraph(csr::BitPackedCsr base, Config config)
   state->base = std::make_shared<const csr::BitPackedCsr>(std::move(base));
   state->delta = cpma_.snapshot();
   state->num_edges = state->base->num_edges();
-  state_ = std::move(state);
+  publish(std::move(state));
   ObsHandles::get().edges.set(static_cast<std::int64_t>(num_edges()));
 }
 
@@ -108,7 +108,7 @@ std::size_t HybridGraph::apply_edges(std::span<const graph::Edge> edges,
   if (changed != nullptr) changed->assign(edges.size(), 0);
   if (edges.empty()) return 0;
 
-  std::lock_guard<std::mutex> lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   const StatePtr old = load_state();
   const csr::BitPackedCsr& base = *old->base;
   const graph::VertexId limit = base.num_nodes();
@@ -193,7 +193,7 @@ bool HybridGraph::needs_compaction() const {
 }
 
 bool HybridGraph::compact(int num_threads) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   const StatePtr old = load_state();
   if (old->delta.empty()) return false;
   PCQ_TRACE_SCOPE("dyn.hybrid.compact", old->delta.size());
@@ -269,16 +269,24 @@ bool HybridGraph::compact(int num_threads) {
 
 bool HybridGraph::maybe_compact(int num_threads) {
   if (!needs_compaction()) return false;
+  // acq_rel on the winning CAS + release on the store pair up so the next
+  // winner observes everything the previous compaction wrote before it
+  // released the flag; seq_cst (the former default) was stronger than the
+  // flag needs and relaxed would be too weak on the failure path, where the
+  // loser may go on to read state the winner published.
   bool expected = false;
-  if (!compacting_.compare_exchange_strong(expected, true)) return false;
+  if (!compacting_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire))
+    return false;
   bool did = false;
   try {
     did = compact(num_threads);
   } catch (...) {
-    compacting_.store(false);
+    compacting_.store(false, std::memory_order_release);
     throw;
   }
-  compacting_.store(false);
+  compacting_.store(false, std::memory_order_release);
   return did;
 }
 

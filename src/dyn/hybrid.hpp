@@ -31,13 +31,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "csr/bitpacked_csr.hpp"
 #include "dyn/cpma.hpp"
 #include "graph/edge_list.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pcq::dyn {
 
@@ -118,12 +118,14 @@ class HybridGraph {
   /// < num_nodes(). Returns the number of edges that actually became
   /// visible; `changed` (optional) gets one flag per input edge.
   std::size_t add_edges(std::span<const graph::Edge> edges, int num_threads,
-                        std::vector<std::uint8_t>* changed = nullptr);
+                        std::vector<std::uint8_t>* changed = nullptr)
+      PCQ_EXCLUDES(write_mu_);
 
   /// Batch edge removal (symmetric). Returns edges actually hidden.
   std::size_t remove_edges(std::span<const graph::Edge> edges,
                            int num_threads,
-                           std::vector<std::uint8_t>* changed = nullptr);
+                           std::vector<std::uint8_t>* changed = nullptr)
+      PCQ_EXCLUDES(write_mu_);
 
   /// True when the delta has outgrown the configured ratio of the base.
   [[nodiscard]] bool needs_compaction() const;
@@ -131,12 +133,12 @@ class HybridGraph {
   /// Folds base ⊕ delta into a fresh bit-packed CSR and resets the delta.
   /// Blocks other writers; readers keep their pinned Views. Returns false
   /// when the delta was already empty.
-  bool compact(int num_threads);
+  bool compact(int num_threads) PCQ_EXCLUDES(write_mu_);
 
   /// compact() iff needs_compaction(), skipping out when another thread
   /// is already inside — the shard-worker entry point: at most one
   /// compaction runs while the others keep absorbing batches.
-  bool maybe_compact(int num_threads);
+  bool maybe_compact(int num_threads) PCQ_EXCLUDES(write_mu_);
 
  private:
   [[nodiscard]] StatePtr load_state() const {
@@ -152,12 +154,16 @@ class HybridGraph {
   /// add_edges vs remove_edges polarity.
   std::size_t apply_edges(std::span<const graph::Edge> edges, bool add,
                           int num_threads,
-                          std::vector<std::uint8_t>* changed);
+                          std::vector<std::uint8_t>* changed)
+      PCQ_EXCLUDES(write_mu_);
 
   Config config_;
   Cpma cpma_;
-  StatePtr state_;  ///< accessed via atomic_load/atomic_store
-  std::mutex write_mu_;
+  // pcq:epoch-published — mutate only via std::atomic_store_explicit /
+  // atomic_exchange (the lint enforces it); plain assignment would race
+  // every concurrent load_state().
+  StatePtr state_;
+  util::Mutex write_mu_;
   std::atomic<bool> compacting_{false};
 };
 

@@ -22,6 +22,10 @@
 namespace pcq::net {
 
 struct TcpServer::Conn {
+  // The fields above `mu` are owned by the epoll thread (see the
+  // pcq:epoll-thread markers below): only that thread reads or writes
+  // them, so they need no lock — the concurrency lint enforces that the
+  // owning functions never block.
   int fd = -1;
   bool admin = false;      ///< accepted on the admin listener (HTTP path)
   bool reading = true;     ///< EPOLLIN registered
@@ -36,13 +40,18 @@ struct TcpServer::Conn {
   /// (client did shutdown(SHUT_WR) after pipelining): the connection stays
   /// open until its in-flight answers are written, then closes — so a
   /// one-shot client can send N frames, half-close, and read N responses.
-  std::mutex mu;
-  std::vector<std::uint8_t> pending;
-  std::uint64_t pending_frames = 0;
-  std::uint64_t inflight = 0;  ///< admitted requests not yet queued back
-  bool dirty_queued = false;
-  bool half_closed = false;
-  bool closed = false;
+  util::Mutex mu;
+  std::vector<std::uint8_t> pending PCQ_GUARDED_BY(mu);
+  std::uint64_t pending_frames PCQ_GUARDED_BY(mu) = 0;
+  /// Admitted requests not yet queued back.
+  std::uint64_t inflight PCQ_GUARDED_BY(mu) = 0;
+  bool dirty_queued PCQ_GUARDED_BY(mu) = false;
+  bool half_closed PCQ_GUARDED_BY(mu) = false;
+  /// Single-writer (epoll thread) lifecycle flag. Written with mu held so
+  /// worker threads deciding whether to append (queue_response) can't race
+  /// the teardown; the owning epoll thread reads it lock-free — relaxed is
+  /// enough, every cross-thread transition is ordered by mu.
+  std::atomic<bool> closed{false};
 };
 
 namespace {
@@ -124,9 +133,9 @@ TcpServer::TcpServer(svc::QueryService& service, ServerOptions options)
 
 TcpServer::~TcpServer() {
   for (auto& [fd, conn] : conns_) {
-    std::lock_guard<std::mutex> lock(conn->mu);
-    if (!conn->closed) {
-      conn->closed = true;
+    util::MutexLock lock(conn->mu);
+    if (!conn->closed.load(std::memory_order_relaxed)) {
+      conn->closed.store(true, std::memory_order_relaxed);
       ::close(conn->fd);
     }
   }
@@ -144,6 +153,8 @@ void TcpServer::request_stop() {
   [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
 }
 
+// pcq:epoll-thread — run() IS the epoll thread; everything it calls below
+// carries the same marker and must never block on a condvar/sleep/join.
 void TcpServer::run() {
   std::vector<epoll_event> events(128);
   for (;;) {
@@ -177,7 +188,9 @@ void TcpServer::run() {
         continue;
       }
       if ((ev.events & EPOLLIN) != 0) conn_readable(conn);
-      if ((ev.events & EPOLLOUT) != 0 && !conn->closed) conn_writable(conn);
+      if ((ev.events & EPOLLOUT) != 0 &&
+          !conn->closed.load(std::memory_order_relaxed))
+        conn_writable(conn);
     }
     sweep_dirty();
     if (stop_requested_.load(std::memory_order_acquire) && !draining_)
@@ -193,12 +206,7 @@ void TcpServer::run() {
   const auto linger_deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
   for (auto& [fd, conn] : conns_) {
-    bool closed = false;
-    {
-      std::lock_guard<std::mutex> lock(conn->mu);
-      closed = conn->closed;
-    }
-    if (closed) continue;
+    if (conn->closed.load(std::memory_order_relaxed)) continue;
     ::shutdown(conn->fd, SHUT_WR);
     std::uint8_t chunk[4096];
     for (;;) {
@@ -221,9 +229,9 @@ void TcpServer::run() {
     }
   }
   for (auto& [fd, conn] : conns_) {
-    std::lock_guard<std::mutex> lock(conn->mu);
-    if (!conn->closed) {
-      conn->closed = true;
+    util::MutexLock lock(conn->mu);
+    if (!conn->closed.load(std::memory_order_relaxed)) {
+      conn->closed.store(true, std::memory_order_relaxed);
       ::close(conn->fd);
       stats_.open_conns.fetch_sub(1, std::memory_order_relaxed);
     }
@@ -231,6 +239,7 @@ void TcpServer::run() {
   conns_.clear();
 }
 
+// pcq:epoll-thread
 void TcpServer::accept_ready(int listen_fd, bool admin) {
   for (;;) {
     const int fd = ::accept4(listen_fd, nullptr, nullptr,
@@ -254,8 +263,9 @@ void TcpServer::accept_ready(int listen_fd, bool admin) {
   }
 }
 
+// pcq:epoll-thread
 void TcpServer::conn_readable(const std::shared_ptr<Conn>& conn) {
-  if (conn->closed) return;
+  if (conn->closed.load(std::memory_order_relaxed)) return;
   if (conn->admin) {
     admin_readable(conn);
     return;
@@ -293,7 +303,7 @@ void TcpServer::conn_readable(const std::shared_ptr<Conn>& conn) {
   if (draining_) {
     if (eof) {
       {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        util::MutexLock lock(conn->mu);
         conn->half_closed = true;
       }
       flush(conn);
@@ -315,15 +325,15 @@ void TcpServer::conn_readable(const std::shared_ptr<Conn>& conn) {
     }
     conn->rpos += consumed;
     handle_frame(conn, w);
-    if (conn->closed || draining_) break;
+    if (conn->closed.load(std::memory_order_relaxed) || draining_) break;
   }
-  if (conn->closed) return;
+  if (conn->closed.load(std::memory_order_relaxed)) return;
   conn->rbuf.erase(conn->rbuf.begin(),
                    conn->rbuf.begin() + static_cast<std::ptrdiff_t>(conn->rpos));
   conn->rpos = 0;
   if (eof) {
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      util::MutexLock lock(conn->mu);
       conn->half_closed = true;
     }
     // May close immediately (nothing in flight, nothing buffered) or
@@ -334,6 +344,7 @@ void TcpServer::conn_readable(const std::shared_ptr<Conn>& conn) {
   update_read_interest(conn);
 }
 
+// pcq:epoll-thread
 void TcpServer::admin_readable(const std::shared_ptr<Conn>& conn) {
   // One HTTP request per connection, answered inline on the epoll thread
   // (building a scrape body is microseconds of string work; it shares the
@@ -370,7 +381,7 @@ void TcpServer::admin_readable(const std::shared_ptr<Conn>& conn) {
   if (draining_) {
     if (eof) {
       {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        util::MutexLock lock(conn->mu);
         conn->half_closed = true;
       }
       flush(conn);
@@ -406,12 +417,13 @@ void TcpServer::admin_readable(const std::shared_ptr<Conn>& conn) {
   conn->rpos = 0;
   conn->wbuf.insert(conn->wbuf.end(), response.begin(), response.end());
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    util::MutexLock lock(conn->mu);
     conn->half_closed = true;  // respond-and-close
   }
   flush(conn);
 }
 
+// pcq:epoll-thread
 void TcpServer::handle_frame(const std::shared_ptr<Conn>& conn,
                              const WireRequest& w) {
   stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
@@ -438,7 +450,7 @@ void TcpServer::handle_frame(const std::shared_ptr<Conn>& conn,
   // worker thread before submit even returns.
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    util::MutexLock lock(conn->mu);
     ++conn->inflight;
   }
   const bool admitted =
@@ -459,7 +471,7 @@ void TcpServer::handle_frame(const std::shared_ptr<Conn>& conn,
   if (!admitted) {
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      util::MutexLock lock(conn->mu);
       --conn->inflight;
     }
     stats_.rejected.fetch_add(1, std::memory_order_relaxed);
@@ -476,9 +488,9 @@ void TcpServer::queue_response(const std::shared_ptr<Conn>& conn,
                                WireResponse&& w, bool completes_inflight) {
   bool need_wake = false;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    util::MutexLock lock(conn->mu);
     if (completes_inflight) --conn->inflight;
-    if (conn->closed) return;
+    if (conn->closed.load(std::memory_order_relaxed)) return;
     encode_response(w, conn->pending);
     ++conn->pending_frames;
     if (!conn->dirty_queued) {
@@ -488,7 +500,7 @@ void TcpServer::queue_response(const std::shared_ptr<Conn>& conn,
   }
   if (need_wake) {
     {
-      std::lock_guard<std::mutex> lock(dirty_mu_);
+      util::MutexLock lock(dirty_mu_);
       dirty_.push_back(conn);
     }
     const std::uint64_t one = 1;
@@ -496,22 +508,25 @@ void TcpServer::queue_response(const std::shared_ptr<Conn>& conn,
   }
 }
 
+// pcq:epoll-thread
 void TcpServer::sweep_dirty() {
   std::vector<std::weak_ptr<Conn>> batch;
   {
-    std::lock_guard<std::mutex> lock(dirty_mu_);
+    util::MutexLock lock(dirty_mu_);
     batch.swap(dirty_);
   }
   for (auto& weak : batch) {
     const std::shared_ptr<Conn> conn = weak.lock();
-    if (conn == nullptr || conn->closed) continue;
+    if (conn == nullptr || conn->closed.load(std::memory_order_relaxed))
+      continue;
     flush(conn);
   }
 }
 
+// pcq:epoll-thread
 void TcpServer::flush(const std::shared_ptr<Conn>& conn) {
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    util::MutexLock lock(conn->mu);
     conn->dirty_queued = false;
     if (!conn->pending.empty()) {
       conn->wbuf.insert(conn->wbuf.end(), conn->pending.begin(),
@@ -554,7 +569,7 @@ void TcpServer::flush(const std::shared_ptr<Conn>& conn) {
   // has nothing left to live for; everything it asked is on the wire.
   bool close_now = false;
   if (!conn->want_write) {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    util::MutexLock lock(conn->mu);
     close_now =
         conn->half_closed && conn->inflight == 0 && conn->pending.empty();
   }
@@ -565,12 +580,14 @@ void TcpServer::flush(const std::shared_ptr<Conn>& conn) {
   update_read_interest(conn);
 }
 
+// pcq:epoll-thread
 void TcpServer::conn_writable(const std::shared_ptr<Conn>& conn) {
   flush(conn);
 }
 
+// pcq:epoll-thread
 void TcpServer::update_read_interest(const std::shared_ptr<Conn>& conn) {
-  if (conn->closed) return;
+  if (conn->closed.load(std::memory_order_relaxed)) return;
   // Flow control: a connection whose outbound bytes exceed the limit is
   // not read until its reader catches up. During drain reading stays on —
   // conn_readable discards instead of parsing — so the receive queue is
@@ -578,7 +595,7 @@ void TcpServer::update_read_interest(const std::shared_ptr<Conn>& conn) {
   std::size_t outbound = conn->wbuf.size() - conn->wpos;
   bool half_closed = false;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    util::MutexLock lock(conn->mu);
     outbound += conn->pending.size();
     half_closed = conn->half_closed;
   }
@@ -591,16 +608,18 @@ void TcpServer::update_read_interest(const std::shared_ptr<Conn>& conn) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
 }
 
+// pcq:epoll-thread
 void TcpServer::close_conn(const std::shared_ptr<Conn>& conn) {
-  std::lock_guard<std::mutex> lock(conn->mu);
-  if (conn->closed) return;
-  conn->closed = true;
+  util::MutexLock lock(conn->mu);
+  if (conn->closed.load(std::memory_order_relaxed)) return;
+  conn->closed.store(true, std::memory_order_relaxed);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
   conns_.erase(conn->fd);
   stats_.open_conns.fetch_sub(1, std::memory_order_relaxed);
 }
 
+// pcq:epoll-thread
 void TcpServer::begin_drain() {
   draining_ = true;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
@@ -620,11 +639,12 @@ void TcpServer::begin_drain() {
   for (auto& [fd, conn] : conns_) update_read_interest(conn);
 }
 
+// pcq:epoll-thread
 bool TcpServer::drain_complete() const {
   if (in_flight_.load(std::memory_order_acquire) != 0) return false;
   for (const auto& [fd, conn] : conns_) {
     if (conn->wpos < conn->wbuf.size()) return false;
-    std::lock_guard<std::mutex> lock(conn->mu);
+    util::MutexLock lock(conn->mu);
     if (!conn->pending.empty()) return false;
   }
   return true;

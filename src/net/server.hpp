@@ -29,7 +29,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -37,6 +36,7 @@
 
 #include "net/protocol.hpp"
 #include "svc/service.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pcq::net {
 
@@ -151,8 +151,8 @@ class TcpServer {
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;
   /// Connections with freshly completed responses, filled by service
   /// worker threads, swapped out and flushed by the epoll thread.
-  std::mutex dirty_mu_;
-  std::vector<std::weak_ptr<Conn>> dirty_;
+  util::Mutex dirty_mu_;
+  std::vector<std::weak_ptr<Conn>> dirty_ PCQ_GUARDED_BY(dirty_mu_);
 };
 
 }  // namespace pcq::net

@@ -4,10 +4,11 @@
 #include <bit>
 #include <cmath>
 #include <map>
-#include <mutex>
 #include <new>
 #include <ostream>
 #include <type_traits>
+
+#include "util/thread_annotations.hpp"
 
 namespace pcq::obs {
 
@@ -16,7 +17,7 @@ int LogHistogram::bucket_index(std::uint64_t value) {
   // larger values land in octave `bit_width - kSubBits` with the top
   // kSubBits bits after the leading one selecting the linear sub-bucket.
   if (value < kSub) return static_cast<int>(value);
-  const int msb = std::bit_width(value) - 1;  // >= kSubBits
+  const int msb = static_cast<int>(std::bit_width(value)) - 1;  // >= kSubBits
   const int sub =
       static_cast<int>((value >> (msb - kSubBits)) & (kSub - 1));
   const int idx = (msb - kSubBits + 1) * kSub + sub;
@@ -80,11 +81,11 @@ double LogHistogram::Snapshot::quantile(double q) const {
 // --- MetricsRegistry --------------------------------------------------------
 
 struct MetricsRegistry::Impl {
-  mutable std::mutex mu;
+  mutable util::Mutex mu;
   // Node-based maps: references handed out stay valid as entries are added.
-  std::map<std::string, Counter> counters;
-  std::map<std::string, Gauge> gauges;
-  std::map<std::string, LogHistogram> histograms;
+  std::map<std::string, Counter> counters PCQ_GUARDED_BY(mu);
+  std::map<std::string, Gauge> gauges PCQ_GUARDED_BY(mu);
+  std::map<std::string, LogHistogram> histograms PCQ_GUARDED_BY(mu);
 };
 
 MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
@@ -96,22 +97,22 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   return impl_->counters[std::string(name)];
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   return impl_->gauges[std::string(name)];
 }
 
 LogHistogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   return impl_->histograms[std::string(name)];
 }
 
 void MetricsRegistry::write_text(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   for (const auto& [name, c] : impl_->counters)
     out << name << " " << c.value() << "\n";
   for (const auto& [name, g] : impl_->gauges)
@@ -126,7 +127,7 @@ void MetricsRegistry::write_text(std::ostream& out) const {
 }
 
 void MetricsRegistry::write_json(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   out << "{";
   bool first = true;
   const auto sep = [&] {
@@ -158,7 +159,7 @@ void MetricsRegistry::for_each(
     const std::function<void(const std::string&,
                              const LogHistogram::Snapshot&)>& on_histogram)
     const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   if (on_counter)
     for (const auto& [name, c] : impl_->counters) on_counter(name, c.value());
   if (on_gauge)
@@ -169,7 +170,7 @@ void MetricsRegistry::for_each(
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   // Atomics are not assignable; rebuild each metric in place (references
   // handed out keep pointing at the same, now-zeroed, object).
   const auto rebuild = [](auto& metric) {

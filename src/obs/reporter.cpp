@@ -12,7 +12,7 @@
 namespace pcq::obs {
 
 void Reporter::add_sampler(std::function<void()> sampler) {
-  std::lock_guard<std::mutex> lock(samplers_mu_);
+  util::MutexLock lock(samplers_mu_);
   samplers_.push_back(std::move(sampler));
 }
 
@@ -21,7 +21,7 @@ void Reporter::run_samplers() {
   // (queue mutexes) must not nest inside samplers_mu_.
   std::vector<std::function<void()>> samplers;
   {
-    std::lock_guard<std::mutex> lock(samplers_mu_);
+    util::MutexLock lock(samplers_mu_);
     samplers = samplers_;
   }
   for (const auto& s : samplers) s();
@@ -88,7 +88,10 @@ bool Reporter::start(ReporterOptions options) {
     out_.open(options_.jsonl_path, std::ios::app);
     if (!out_) return false;
   }
-  stop_requested_ = false;
+  {
+    util::MutexLock lock(stop_mu_);
+    stop_requested_ = false;
+  }
   started_ = prev_tick_ = std::chrono::steady_clock::now();
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { loop(); });
@@ -98,9 +101,16 @@ bool Reporter::start(ReporterOptions options) {
 void Reporter::loop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(stop_mu_);
-      stop_cv_.wait_for(lock, options_.interval,
-                        [this] { return stop_requested_; });
+      // Explicit predicate loop in the locked scope (not a wait lambda),
+      // so the capability analysis sees every stop_requested_ read under
+      // stop_mu_. A timeout with no stop request falls through to the tick.
+      util::MutexLock lock(stop_mu_);
+      const auto deadline =
+          std::chrono::steady_clock::now() + options_.interval;
+      while (!stop_requested_) {
+        if (stop_cv_.wait_until(lock, deadline) == std::cv_status::timeout)
+          break;
+      }
       if (stop_requested_) break;
     }
     if (out_.is_open()) {
@@ -123,7 +133,7 @@ void Reporter::loop() {
 void Reporter::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    util::MutexLock lock(stop_mu_);
     stop_requested_ = true;
   }
   stop_cv_.notify_all();

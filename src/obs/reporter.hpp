@@ -24,15 +24,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <fstream>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace pcq::obs {
 
@@ -52,10 +52,10 @@ class Reporter {
 
   /// Registers a gauge-refresh callback (see file comment). Callable before
   /// or after start(); callbacks must be thread-safe and cheap.
-  void add_sampler(std::function<void()> sampler);
+  void add_sampler(std::function<void()> sampler) PCQ_EXCLUDES(samplers_mu_);
 
   /// Runs every registered sampler once (the admin scrape path).
-  void run_samplers();
+  void run_samplers() PCQ_EXCLUDES(samplers_mu_);
 
   /// Starts the background thread. Returns false (and does not start) when
   /// the JSONL file cannot be opened. No-op when already running.
@@ -63,7 +63,7 @@ class Reporter {
 
   /// Stops and joins the background thread, flushing a final line so short
   /// runs still produce a series. Idempotent.
-  void stop();
+  void stop() PCQ_EXCLUDES(stop_mu_);
 
   [[nodiscard]] bool running() const {
     return running_.load(std::memory_order_acquire);
@@ -82,10 +82,10 @@ class Reporter {
   void tick(std::ostream& out);
 
  private:
-  void loop();
+  void loop() PCQ_EXCLUDES(stop_mu_);
 
-  std::mutex samplers_mu_;
-  std::vector<std::function<void()>> samplers_;
+  util::Mutex samplers_mu_;
+  std::vector<std::function<void()>> samplers_ PCQ_GUARDED_BY(samplers_mu_);
 
   /// Delta baseline: counter totals at the previous tick.
   std::map<std::string, std::uint64_t> prev_counters_;
@@ -97,9 +97,9 @@ class Reporter {
   ReporterOptions options_;
   std::ofstream out_;
   std::thread thread_;
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stop_requested_ = false;
+  util::Mutex stop_mu_;
+  util::CondVar stop_cv_;
+  bool stop_requested_ PCQ_GUARDED_BY(stop_mu_) = false;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> ticks_{0};
 };

@@ -10,30 +10,30 @@ SlowLog& SlowLog::global() {
 }
 
 void SlowLog::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   while (entries_.size() > capacity_) entries_.pop_front();
 }
 
 std::size_t SlowLog::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return capacity_;
 }
 
 void SlowLog::record(const SlowQuery& q) {
   captured_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (entries_.size() >= capacity_) entries_.pop_front();
   entries_.push_back(q);
 }
 
 std::vector<SlowQuery> SlowLog::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return std::vector<SlowQuery>(entries_.begin(), entries_.end());
 }
 
 void SlowLog::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   entries_.clear();
   captured_.store(0, std::memory_order_relaxed);
 }

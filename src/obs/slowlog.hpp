@@ -20,8 +20,9 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
-#include <mutex>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace pcq::obs {
 
@@ -61,11 +62,11 @@ class SlowLog {
 
   /// Bound on retained records; older entries are evicted first. Shrinking
   /// drops the oldest overflow immediately.
-  void set_capacity(std::size_t capacity);
-  [[nodiscard]] std::size_t capacity() const;
+  void set_capacity(std::size_t capacity) PCQ_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t capacity() const PCQ_EXCLUDES(mu_);
 
   /// Appends one record (drop-oldest beyond capacity).
-  void record(const SlowQuery& q);
+  void record(const SlowQuery& q) PCQ_EXCLUDES(mu_);
 
   /// Records ever captured (including since-evicted ones).
   [[nodiscard]] std::uint64_t captured() const {
@@ -73,22 +74,22 @@ class SlowLog {
   }
 
   /// Copies the retained records, oldest first.
-  [[nodiscard]] std::vector<SlowQuery> snapshot() const;
+  [[nodiscard]] std::vector<SlowQuery> snapshot() const PCQ_EXCLUDES(mu_);
 
   /// Drops all retained records and zeroes the captured count (tests /
   /// tools between runs).
-  void clear();
+  void clear() PCQ_EXCLUDES(mu_);
 
   /// Writes the retained records as a JSON document:
   /// {"threshold_us":..,"captured":..,"capacity":..,"entries":[...]}.
-  void write_json(std::ostream& out) const;
+  void write_json(std::ostream& out) const PCQ_EXCLUDES(mu_);
 
  private:
   std::atomic<std::uint64_t> threshold_us_{0};
   std::atomic<std::uint64_t> captured_{0};
-  mutable std::mutex mu_;
-  std::size_t capacity_ = kDefaultCapacity;
-  std::deque<SlowQuery> entries_;
+  mutable util::Mutex mu_;
+  std::size_t capacity_ PCQ_GUARDED_BY(mu_) = kDefaultCapacity;
+  std::deque<SlowQuery> entries_ PCQ_GUARDED_BY(mu_);
 };
 
 }  // namespace pcq::obs

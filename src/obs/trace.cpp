@@ -7,9 +7,10 @@
 #include <cstring>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <sstream>
+
+#include "util/thread_annotations.hpp"
 
 namespace pcq::obs {
 
@@ -34,8 +35,8 @@ std::chrono::steady_clock::time_point trace_epoch() {
 struct RingRegistry {
   static constexpr std::size_t kMaxRings = 256;
 
-  std::mutex mu;
-  std::vector<std::unique_ptr<TraceRing>> rings;
+  util::Mutex mu;
+  std::vector<std::unique_ptr<TraceRing>> rings PCQ_GUARDED_BY(mu);
   /// Spans from threads that arrived after kMaxRings rings existed.
   std::atomic<std::uint64_t> unregistered_dropped{0};
 
@@ -59,6 +60,8 @@ std::uint64_t now_ns() {
 TraceRing::TraceRing(std::uint32_t tid)
     : slots_(new Slot[kCapacity]), tid_(tid) {}
 
+// pcq:lock-free — per-request hot path; a mutex here would serialize every
+// instrumented scope across all shard workers.
 void TraceRing::record(const char* name, std::uint64_t start_ns,
                        std::uint64_t end_ns, std::uint64_t arg) {
   const std::uint64_t h = head_.load(std::memory_order_relaxed);
@@ -77,6 +80,8 @@ void TraceRing::record(const char* name, std::uint64_t start_ns,
   head_.store(h + 1, std::memory_order_release);
 }
 
+// pcq:seqlock-reader — the lint checks this function re-reads the sequence
+// word after the field loads and carries at least one acquire.
 void TraceRing::drain(std::vector<CollectedSpan>& out) const {
   const std::uint64_t h = head_.load(std::memory_order_acquire);
   const std::uint64_t n = h < kCapacity ? h : kCapacity;
@@ -115,7 +120,7 @@ TraceRing* ring_for_this_thread() {
     return nullptr;
   }
   RingRegistry& reg = RingRegistry::instance();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  util::MutexLock lock(reg.mu);
   if (reg.rings.size() >= RingRegistry::kMaxRings) {
     rejected = true;
     reg.unregistered_dropped.fetch_add(1, std::memory_order_relaxed);
@@ -152,7 +157,7 @@ std::vector<CollectedSpan> collect_trace() {
   auto& reg = detail::RingRegistry::instance();
   std::vector<CollectedSpan> spans;
   {
-    std::lock_guard<std::mutex> lock(reg.mu);
+    util::MutexLock lock(reg.mu);
     for (const auto& ring : reg.rings) ring->drain(spans);
   }
   // Per-thread lanes in start order; ties broken longer-span-first so an
@@ -169,7 +174,7 @@ std::vector<CollectedSpan> collect_trace() {
 TraceStats trace_stats() {
   auto& reg = detail::RingRegistry::instance();
   TraceStats stats;
-  std::lock_guard<std::mutex> lock(reg.mu);
+  util::MutexLock lock(reg.mu);
   stats.threads = reg.rings.size();
   for (const auto& ring : reg.rings) {
     stats.written += ring->written();
@@ -184,7 +189,7 @@ TraceStats trace_stats() {
 
 void reset_trace() {
   auto& reg = detail::RingRegistry::instance();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  util::MutexLock lock(reg.mu);
   for (const auto& ring : reg.rings) ring->reset();
   reg.unregistered_dropped.store(0, std::memory_order_relaxed);
 }

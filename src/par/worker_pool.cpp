@@ -18,7 +18,7 @@ WorkerPool::~WorkerPool() {
 
 bool WorkerPool::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (closed_) return false;
     jobs_.push_back(std::move(job));
   }
@@ -28,7 +28,7 @@ bool WorkerPool::submit(std::function<void()> job) {
 
 void WorkerPool::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
@@ -38,8 +38,8 @@ void WorkerPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!closed_ && jobs_.empty()) cv_.wait(lock);
       if (jobs_.empty()) return;  // closed_ && drained
       job = std::move(jobs_.front());
       jobs_.pop_front();

@@ -13,12 +13,12 @@
 // only returns at shutdown); the destructor closes the job queue and joins.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace pcq::par {
 
@@ -34,20 +34,20 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Enqueues a job. Returns false (and drops the job) after close().
-  bool submit(std::function<void()> job);
+  bool submit(std::function<void()> job) PCQ_EXCLUDES(mu_);
 
   /// Stops accepting jobs; workers exit once the queue drains. Idempotent.
-  void close();
+  void close() PCQ_EXCLUDES(mu_);
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void worker_loop();
+  void worker_loop() PCQ_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> jobs_;
-  bool closed_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<std::function<void()>> jobs_ PCQ_GUARDED_BY(mu_);
+  bool closed_ PCQ_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -9,38 +9,35 @@
 // has elapsed since the first pop — the "flush on batch-size OR deadline,
 // whichever first" rule. A mutex+condvar ring keeps every path TSan-clean
 // under the std::thread backend; the hot-path cost is one uncontended
-// lock per push and ~one per popped batch.
+// lock per push and ~one per popped batch. The locking discipline is
+// capability-annotated (util/thread_annotations.hpp), so the
+// `thread-safety` preset proves every ring access holds mu_.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pcq::svc {
 
 template <typename T>
 class BoundedMpmcQueue {
  public:
-  explicit BoundedMpmcQueue(std::size_t capacity) : capacity_(capacity) {
-    PCQ_CHECK(capacity > 0);
-    // The ring is sized to the next power of two so slot indexing is a
-    // mask instead of a modulo; `capacity_` still bounds occupancy.
-    std::size_t ring = 1;
-    while (ring < capacity) ring <<= 1;
-    ring_.resize(ring);
-    mask_ = ring - 1;
-  }
+  /// Guarded members are initialized in the member-init list (exempt from
+  /// the capability analysis — no other thread can exist yet).
+  explicit BoundedMpmcQueue(std::size_t capacity)
+      : ring_(ring_size_for(capacity)), capacity_(capacity),
+        mask_(ring_size_for(capacity) - 1) {}
 
   /// Non-blocking push. Returns false when the queue is full or closed —
   /// the caller turns that into a kRejected response.
   bool try_push(T&& item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (closed_ || count_ == capacity_) return false;
       ring_[(head_ + count_) & mask_] = std::move(item);
       ++count_;
@@ -60,10 +57,18 @@ class BoundedMpmcQueue {
                         std::chrono::microseconds batch_window) {
     PCQ_CHECK(max_items > 0);
     std::size_t taken = 0;
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!cv_.wait_for(lock, wait_for_first,
-                      [this] { return count_ > 0 || closed_; }))
-      return 0;
+    util::MutexLock lock(mu_);
+    // Explicit predicate loop (not a wait lambda) so the guarded reads sit
+    // in the scope that holds the capability; a timeout re-checks once —
+    // the notify may have landed just as the deadline expired.
+    const auto first_deadline =
+        std::chrono::steady_clock::now() + wait_for_first;
+    while (count_ == 0 && !closed_) {
+      if (cv_.wait_until(lock, first_deadline) == std::cv_status::timeout) {
+        if (count_ == 0 && !closed_) return 0;
+        break;
+      }
+    }
     if (count_ == 0) return 0;  // closed and drained
     const auto flush_at = std::chrono::steady_clock::now() + batch_window;
     for (;;) {
@@ -74,8 +79,8 @@ class BoundedMpmcQueue {
         ++taken;
       }
       if (taken >= max_items || closed_) break;
-      if (!cv_.wait_until(lock, flush_at,
-                          [this] { return count_ > 0 || closed_; }))
+      if (cv_.wait_until(lock, flush_at) == std::cv_status::timeout &&
+          count_ == 0 && !closed_)
         break;  // window expired — flush what we have
     }
     return taken;
@@ -84,33 +89,42 @@ class BoundedMpmcQueue {
   /// Stops producers; consumers drain the remainder and then see 0.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return count_;
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<T> ring_;
-  std::size_t capacity_;
-  std::size_t mask_ = 0;
-  std::size_t head_ = 0;   ///< index of the oldest element
-  std::size_t count_ = 0;  ///< elements currently queued
-  bool closed_ = false;
+  /// The ring is sized to the next power of two so slot indexing is a
+  /// mask instead of a modulo; `capacity_` still bounds occupancy.
+  static std::size_t ring_size_for(std::size_t capacity) {
+    PCQ_CHECK(capacity > 0);
+    std::size_t ring = 1;
+    while (ring < capacity) ring <<= 1;
+    return ring;
+  }
+
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::vector<T> ring_ PCQ_GUARDED_BY(mu_);
+  std::size_t capacity_;  ///< immutable after construction
+  std::size_t mask_ = 0;  ///< immutable after construction
+  std::size_t head_ PCQ_GUARDED_BY(mu_) = 0;   ///< index of the oldest element
+  std::size_t count_ PCQ_GUARDED_BY(mu_) = 0;  ///< elements currently queued
+  bool closed_ PCQ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pcq::svc

@@ -1,0 +1,167 @@
+// Clang Thread Safety Analysis capability macros + annotated lock types.
+//
+// The concurrency-dense layers (svc, net, dyn, obs, par) encode their
+// locking discipline with these macros so `-Wthread-safety` (the
+// `thread-safety` CMake preset, Clang only) proves at compile time that
+// every access to a PCQ_GUARDED_BY member happens with its mutex held and
+// that every PCQ_REQUIRES function is only called under the right lock.
+// Under GCC (the default toolchain) every macro expands to nothing and the
+// wrappers compile to exactly the std primitives they hold — zero runtime
+// or layout cost either way.
+//
+// Policy (docs/CORRECTNESS.md "Concurrency discipline"):
+//   * Mutex-protected state: declare the mutex as `util::Mutex`, annotate
+//     each protected member `PCQ_GUARDED_BY(mu_)`, and lock with
+//     `util::MutexLock` (never a bare std::lock_guard — the raw std types
+//     are invisible to the analysis, and scripts/concurrency_lint.py
+//     rejects them in the concurrent layers).
+//   * Functions called with a lock already held take PCQ_REQUIRES(mu);
+//     functions that acquire a lock internally and must not be called
+//     with it held take PCQ_EXCLUDES(mu).
+//   * Condition variables: util::CondVar waits on a util::MutexLock.
+//     Predicates are written as explicit while-loops in the locked scope
+//     (not lambda predicates) so the analysis sees the guarded reads
+//     inside the scope that holds the capability.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Clang exposes the analysis attributes via __attribute__; GCC parses but
+// ignores a subset and warns on the rest, so everything no-ops off-Clang.
+#if defined(__clang__)
+#define PCQ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PCQ_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex").
+#define PCQ_CAPABILITY(x) PCQ_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define PCQ_SCOPED_CAPABILITY PCQ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the named capability held.
+#define PCQ_GUARDED_BY(x) PCQ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by the named capability.
+#define PCQ_PT_GUARDED_BY(x) PCQ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability held (and does not
+/// release it).
+#define PCQ_REQUIRES(...) \
+  PCQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PCQ_REQUIRES_SHARED(...) \
+  PCQ_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires / releases the capability itself.
+#define PCQ_ACQUIRE(...) PCQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PCQ_ACQUIRE_SHARED(...) \
+  PCQ_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define PCQ_RELEASE(...) PCQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PCQ_RELEASE_SHARED(...) \
+  PCQ_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define PCQ_TRY_ACQUIRE(...) \
+  PCQ_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the capability held (it acquires
+/// it internally, or would deadlock).
+#define PCQ_EXCLUDES(...) PCQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations.
+#define PCQ_ACQUIRED_BEFORE(...) \
+  PCQ_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PCQ_ACQUIRED_AFTER(...) \
+  PCQ_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returning a reference to the named capability.
+#define PCQ_RETURN_CAPABILITY(x) PCQ_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the capability is held (for code the analysis
+/// cannot follow, e.g. callbacks invoked under a caller's lock).
+#define PCQ_ASSERT_CAPABILITY(x) PCQ_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: suppress the analysis for one function. Every use needs a
+/// comment explaining why the discipline cannot be expressed.
+#define PCQ_NO_THREAD_SAFETY_ANALYSIS \
+  PCQ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pcq::util {
+
+class CondVar;
+class MutexLock;
+
+/// std::mutex with the capability annotation the analysis needs. Same
+/// size, same cost; lock()/unlock() exist for the rare manual pairing but
+/// MutexLock is the expected way to hold it.
+class PCQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PCQ_ACQUIRE() { mu_.lock(); }
+  void unlock() PCQ_RELEASE() { mu_.unlock(); }
+  bool try_lock() PCQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over Mutex (the std::lock_guard/unique_lock of the
+/// annotated world). Holds for its whole lifetime; CondVar waits through
+/// it (the capability is held again whenever a wait returns, which is all
+/// the analysis needs for the guarded reads around the wait).
+class PCQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PCQ_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() PCQ_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable waiting on a MutexLock. Deliberately predicate-free:
+/// callers loop on the guarded condition in their own locked scope, e.g.
+///
+///   util::MutexLock lock(mu_);
+///   while (!closed_ && jobs_.empty()) cv_.wait(lock);
+///
+/// so the analysis sees every guarded read under the capability (a lambda
+/// predicate would be analyzed as an unlocked function body).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.lock_, d);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock.lock_, tp);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pcq::util

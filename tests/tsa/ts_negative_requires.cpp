@@ -1,0 +1,39 @@
+// Thread-safety-analysis negative control #2: a *_locked helper whose
+// PCQ_REQUIRES annotation was dropped. The helper body then reads the
+// guarded member with no capability in scope, and every call site loses
+// its contract check. `-Wthread-safety -Werror=thread-safety` must REJECT
+// this TU (the `tsa_negative_requires` ctest entry asserts the non-zero
+// exit); GCC compiles it silently.
+
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace util = pcq::util;
+
+namespace {
+
+class Account {
+ public:
+  void apply_fees(std::int64_t fee) PCQ_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    apply_fee_locked(fee);
+  }
+
+ private:
+  // BUG: dropped PCQ_REQUIRES(mu_) — the guarded access below is now
+  // unprotected as far as the analysis can prove.
+  void apply_fee_locked(std::int64_t fee) {
+    balance_ -= fee;
+  }
+
+  mutable util::Mutex mu_;
+  std::int64_t balance_ PCQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void pcq_tsa_negative_requires_anchor() {
+  Account account;
+  account.apply_fees(1);
+}

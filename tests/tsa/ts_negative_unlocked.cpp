@@ -1,0 +1,33 @@
+// Thread-safety-analysis negative control #1: a PCQ_GUARDED_BY member
+// accessed without its mutex. Valid C++ (GCC compiles it silently), but
+// `-Wthread-safety -Werror=thread-safety` must REJECT it — the
+// `tsa_negative_unlocked` ctest entry asserts the non-zero exit. If this
+// TU ever compiles clean under the analysis, the guard annotations have
+// stopped guarding (macro edit, wrapper regression) and the whole
+// thread-safety preset is decorative.
+
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace util = pcq::util;
+
+namespace {
+
+class Account {
+ public:
+  void deposit(std::int64_t amount) PCQ_EXCLUDES(mu_) {
+    balance_ += amount;  // BUG: guarded write, no lock held
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  std::int64_t balance_ PCQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void pcq_tsa_negative_unlocked_anchor() {
+  Account account;
+  account.deposit(10);
+}

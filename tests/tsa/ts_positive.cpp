@@ -1,0 +1,76 @@
+// Thread-safety-analysis positive control.
+//
+// A miniature of every annotation pattern the codebase relies on, written
+// with the locking discipline intact. Two jobs:
+//
+//   * compiled into an (unlinked) object in every build, it pins the
+//     wrappers to valid C++ under GCC, where the attributes are no-ops;
+//   * compiled with `-Wthread-safety -Werror=thread-safety` (the
+//     `tsa_positive_analysis` ctest entry and the thread-safety preset),
+//     it must come out CLEAN — which proves the analysis is actually
+//     running, so its WILL_FAIL siblings in this directory cannot pass
+//     vacuously (a broken flag set would make this control fail instead).
+//
+// The negative TUs next to this file take this exact code and delete one
+// element each (an annotation, a lock) — keep them in sync when editing.
+
+#include <cstdint>
+#include <deque>
+
+#include "util/thread_annotations.hpp"
+
+namespace util = pcq::util;
+
+namespace {
+
+class Account {
+ public:
+  void deposit(std::int64_t amount) PCQ_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  // The REQUIRES contract: callers hold the lock, the callee touches the
+  // guarded member without re-acquiring.
+  void apply_fee_locked(std::int64_t fee) PCQ_REQUIRES(mu_) {
+    balance_ -= fee;
+  }
+
+  void apply_fees(const std::deque<std::int64_t>& fees) PCQ_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    for (const std::int64_t f : fees) apply_fee_locked(f);
+  }
+
+  [[nodiscard]] std::int64_t balance() const PCQ_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  // Explicit predicate loop in the locked scope — the wait pattern the
+  // condvar waits in svc/par/obs use (never a wait lambda, which the
+  // analysis would treat as a separate unlocked function).
+  void wait_for_funds(std::int64_t minimum) PCQ_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    while (balance_ < minimum) cv_.wait(lock);
+  }
+
+  void notify() { cv_.notify_all(); }
+
+ private:
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::int64_t balance_ PCQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+// The object must carry at least one symbol; also keeps Account's methods
+// instantiated so the analysis actually visits them.
+void pcq_tsa_positive_anchor() {
+  Account account;
+  account.deposit(10);
+  account.apply_fees({1, 2});
+  account.wait_for_funds(0);
+  static_cast<void>(account.balance());
+  account.notify();
+}

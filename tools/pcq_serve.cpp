@@ -371,13 +371,17 @@ int run_listen(svc::QueryService& service, const util::Flags& flags) {
               util::with_commas(
                   s.drained_in_flight.load(std::memory_order_relaxed))
                   .c_str());
-  std::printf("connections %s | frames in %s | frames out %s | "
-              "rejected %s | protocol errors %s\n",
-              util::with_commas(s.accepted.load()).c_str(),
-              util::with_commas(s.frames_in.load()).c_str(),
-              util::with_commas(s.frames_out.load()).c_str(),
-              util::with_commas(s.rejected.load()).c_str(),
-              util::with_commas(s.protocol_errors.load()).c_str());
+  // Relaxed is enough: run() has returned, so these are quiescent counters
+  // (and seq_cst, the load() default, bought nothing here anyway).
+  std::printf(
+      "connections %s | frames in %s | frames out %s | "
+      "rejected %s | protocol errors %s\n",
+      util::with_commas(s.accepted.load(std::memory_order_relaxed)).c_str(),
+      util::with_commas(s.frames_in.load(std::memory_order_relaxed)).c_str(),
+      util::with_commas(s.frames_out.load(std::memory_order_relaxed)).c_str(),
+      util::with_commas(s.rejected.load(std::memory_order_relaxed)).c_str(),
+      util::with_commas(s.protocol_errors.load(std::memory_order_relaxed))
+          .c_str());
   print_metrics(service.metrics());
   return 0;
 }
