@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bits/simd_dispatch.hpp"
 #include "common.hpp"
 #include "csr/builder.hpp"
 #include "csr/query.hpp"
@@ -204,6 +205,64 @@ void BM_DecodeColumns_Kernel(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_DecodeColumns_Kernel);
+
+// ISA side-by-side (S18): the same bulk column decode and row sweep pinned
+// to each unpack variant the host supports, so one run reports scalar vs
+// AVX2 vs AVX-512 on the identical workload. Registered dynamically —
+// only available variants appear; the dispatch default is restored after
+// each measurement.
+namespace {
+
+namespace simd = pcq::bits::simd;
+
+void decode_columns_pinned(benchmark::State& state, simd::Isa isa) {
+  const simd::Isa before = simd::active_isa();
+  simd::set_isa(isa);
+  const auto& w = workload();
+  const auto& columns = w.packed.packed_columns();
+  const std::size_t n = columns.size();
+  std::vector<VertexId> out(n);
+  for (auto _ : state) {
+    columns.get_range_into(0, n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  simd::set_isa(before);
+}
+
+void decode_rows_pinned(benchmark::State& state, simd::Isa isa) {
+  const simd::Isa before = simd::active_isa();
+  simd::set_isa(isa);
+  const auto& w = workload();
+  std::vector<VertexId> row(max_degree());
+  for (auto _ : state) {
+    for (VertexId u = 0; u < kNodes; ++u) {
+      w.packed.decode_row(u, row);
+      benchmark::DoNotOptimize(row.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.packed.num_edges()));
+  simd::set_isa(before);
+}
+
+const int kIsaBenchesRegistered = [] {
+  for (simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (!simd::variant_available(isa)) continue;
+    const std::string tag = simd::isa_name(isa);
+    benchmark::RegisterBenchmark(
+        ("BM_DecodeColumns_Kernel_" + tag).c_str(),
+        [isa](benchmark::State& s) { decode_columns_pinned(s, isa); });
+    benchmark::RegisterBenchmark(
+        ("BM_DecodeAllRows_Kernel_" + tag).c_str(),
+        [isa](benchmark::State& s) { decode_rows_pinned(s, isa); });
+  }
+  return 0;
+}();
+
+}  // namespace
 
 void BM_DecodeAllRows_RowCursor(benchmark::State& state) {
   const auto& w = workload();

@@ -5,9 +5,11 @@
 // bit-packed CSR's direct fixed-width reads.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "bits/packed_array.hpp"
+#include "bits/simd_dispatch.hpp"
 #include "bits/rank_select.hpp"
 #include "bits/wavelet_tree.hpp"
 #include "util/rng.hpp"
@@ -162,6 +164,43 @@ void BM_PackedDecode_RowCursor(benchmark::State& state) {
 }
 BENCHMARK(BM_PackedDecode_RowCursor)
     ->Arg(5)->Arg(13)->Arg(17)->Arg(32)->Arg(33)->Arg(63);
+
+// ISA side-by-side (S18): the word-stream decode pinned to each unpack
+// variant the host supports (widths within the 1..32 SIMD tier). Decodes
+// into uint32_t so the run rides the dispatched unpack32 path; dynamic
+// registration keeps unavailable variants out of the report.
+namespace simd = pcq::bits::simd;
+
+void packed_decode_pinned(benchmark::State& state, simd::Isa isa) {
+  const auto width = static_cast<unsigned>(state.range(0));
+  const simd::Isa before = simd::active_isa();
+  simd::set_isa(isa);
+  const auto& packed = decode_fixture(width);
+  std::vector<std::uint32_t> out(kSymbols);
+  for (auto _ : state) {
+    packed.get_range_into(0, kSymbols, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSymbols);
+  simd::set_isa(before);
+}
+
+const int kIsaBenchesRegistered = [] {
+  for (simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (!simd::variant_available(isa)) continue;
+    const std::string name =
+        std::string("BM_PackedDecode_WordStream_") + simd::isa_name(isa);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [isa](benchmark::State& s) {
+                                   packed_decode_pinned(s, isa);
+                                 })
+        ->Arg(5)->Arg(13)->Arg(17)->Arg(25)->Arg(32);
+  }
+  return 0;
+}();
 
 void BM_PlainVectorGet(benchmark::State& state) {
   static const std::vector<std::uint32_t> plain = [] {

@@ -1,0 +1,174 @@
+// Supplementary bench **S18**: the SIMD batched-unpack tier, ISA by ISA.
+//
+// For each requested bit width, decodes the same packed buffer through
+// every unpack variant available on this host — scalar, AVX2, AVX-512 —
+// via pcq::bits::simd::variant_fn, and reports values/s plus the speedup
+// over scalar. The buffer starts at a deliberately unaligned bit offset
+// (13) so the measurement covers the phase-handling path the row decoders
+// actually hit, not just the aligned best case.
+//
+// The per-variant checksum must match scalar's exactly: a vectorised
+// kernel that wins by decoding wrong values must fail here, not in prod.
+//
+//   ./bench_unpack --widths 4,8,13,16,25,32 --count 8000000 --repeats 7
+//   ./bench_unpack --isa avx2          # restrict to one variant (+ scalar)
+//   ./bench_unpack --json s18.json    # consolidated JSON document
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bits/simd_dispatch.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+namespace simd = pcq::bits::simd;
+
+struct Row {
+  unsigned width;
+  simd::Isa isa;
+  double values_per_s;
+  double best_s;
+};
+
+double run_variant(simd::UnpackFn32 fn, const std::uint64_t* words,
+                   std::size_t bit_begin, unsigned width, std::size_t count,
+                   std::uint32_t* out, int repeats, std::uint64_t* checksum) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    pcq::util::Timer t;
+    fn(words, bit_begin, width, count, out);
+    best = std::min(best, t.seconds());
+  }
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < count; ++i) sum += out[i];
+  *checksum = sum;
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pcq::util::Flags flags(
+      argc, argv,
+      {
+          {"widths", "comma list of bit widths to measure "
+                     "(default 1,4,8,13,16,20,25,32)"},
+          {"count", "values decoded per measurement (default 8000000)"},
+          {"repeats", "timed repetitions; best-of is reported (default 7)"},
+          {"isa", "restrict to scalar|avx2|avx512 (scalar always runs as "
+                  "the baseline)"},
+          {"seed", "payload RNG seed (default 42)"},
+          {"json", "write the results as a JSON document to this file"},
+      });
+  const std::vector<int> widths =
+      flags.get_int_list("widths", {1, 4, 8, 13, 16, 20, 25, 32});
+  const auto count = static_cast<std::size_t>(
+      flags.get_int("count", 8'000'000));
+  const int repeats = static_cast<int>(flags.get_int("repeats", 7));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const std::string only = flags.get("isa", "");
+
+  std::vector<simd::Isa> isas{simd::Isa::kScalar};
+  for (simd::Isa isa : {simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (!simd::variant_available(isa)) continue;
+    if (!only.empty() && only != simd::isa_name(isa)) continue;
+    isas.push_back(isa);
+  }
+
+  // One shared payload sized for the widest run; each width reads a
+  // prefix. Offset 13 keeps every variant on its unaligned-phase path.
+  const std::size_t bit_begin = 13;
+  const unsigned max_w = static_cast<unsigned>(
+      *std::max_element(widths.begin(), widths.end()));
+  std::vector<std::uint64_t> words(
+      (bit_begin + count * max_w + 63) / 64 + 1);
+  pcq::util::SplitMix64 rng(seed);
+  for (auto& w : words) w = rng.next();
+  std::vector<std::uint32_t> out(count);
+
+  std::printf("unpack tier: %zu values/run, best of %d, offset bit %zu\n",
+              count, repeats, bit_begin);
+  std::printf("%6s", "width");
+  for (simd::Isa isa : isas) std::printf("  %12s", simd::isa_name(isa));
+  std::printf("  %10s\n", "speedup");
+
+  std::vector<Row> rows;
+  bool checksums_ok = true;
+  for (int wi : widths) {
+    const auto width = static_cast<unsigned>(wi);
+    if (width < 1 || width > 32) {
+      std::fprintf(stderr, "error: width %u outside the tier's 1..32\n",
+                   width);
+      return 2;
+    }
+    std::printf("%6u", width);
+    double scalar_s = 0, best_simd_s = 1e300;
+    std::uint64_t ref_sum = 0;
+    for (simd::Isa isa : isas) {
+      std::uint64_t sum = 0;
+      const double s =
+          run_variant(simd::variant_fn(isa), words.data(), bit_begin, width,
+                      count, out.data(), repeats, &sum);
+      if (isa == simd::Isa::kScalar) {
+        scalar_s = s;
+        ref_sum = sum;
+      } else {
+        best_simd_s = std::min(best_simd_s, s);
+        if (sum != ref_sum) {
+          std::fprintf(stderr,
+                       "error: %s checksum mismatch at width %u "
+                       "(variant decodes wrong values)\n",
+                       simd::isa_name(isa), width);
+          checksums_ok = false;
+        }
+      }
+      rows.push_back(
+          {width, isa, static_cast<double>(count) / s, s});
+      std::printf("  %10.1f M", static_cast<double>(count) / s / 1e6);
+    }
+    if (isas.size() > 1)
+      std::printf("  %9.2fx", scalar_s / best_simd_s);
+    std::printf("\n");
+  }
+  if (!checksums_ok) return 4;
+
+  const std::string json = flags.get("json", "");
+  if (!json.empty()) {
+    std::ofstream jout(json, std::ios::binary | std::ios::trunc);
+    if (!jout) {
+      std::fprintf(stderr, "error: cannot write results to %s\n",
+                   json.c_str());
+      return 3;
+    }
+    char buf[256];
+    jout << "{\"bench\":\"bench_unpack\",";
+    std::snprintf(buf, sizeof buf,
+                  "\"config\":{\"count\":%zu,\"repeats\":%d,\"seed\":%llu,"
+                  "\"bit_begin\":%zu,\"active_isa\":\"%s\"},\"results\":[",
+                  count, repeats, static_cast<unsigned long long>(seed),
+                  bit_begin, simd::isa_name(simd::active_isa()));
+    jout << buf;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::snprintf(buf, sizeof buf,
+                    "%s{\"width\":%u,\"isa\":\"%s\","
+                    "\"values_per_s\":%.1f,\"best_s\":%.6f}",
+                    i ? "," : "", rows[i].width, simd::isa_name(rows[i].isa),
+                    rows[i].values_per_s, rows[i].best_s);
+      jout << buf;
+    }
+    jout << "]}\n";
+    if (!jout) {
+      std::fprintf(stderr, "error: cannot write results to %s\n",
+                   json.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "[bench_unpack] wrote results %s\n", json.c_str());
+  }
+  return 0;
+}

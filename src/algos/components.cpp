@@ -21,7 +21,8 @@ std::vector<VertexId> connected_components_label_prop(const csr::CsrGraph& g,
     changed.store(false, std::memory_order_relaxed);
     pcq::par::parallel_for(n, num_threads, [&](std::size_t ui) {
       const auto u = static_cast<VertexId>(ui);
-      VertexId mine = label[u].load(std::memory_order_relaxed);
+      const VertexId start = label[u].load(std::memory_order_relaxed);
+      VertexId mine = start;
       for (VertexId v : g.neighbors(u)) {
         const VertexId theirs = label[v].load(std::memory_order_relaxed);
         if (theirs < mine) {
@@ -40,6 +41,11 @@ std::vector<VertexId> connected_components_label_prop(const csr::CsrGraph& g,
       while (expected > mine && !label[u].compare_exchange_weak(
                                     expected, mine, std::memory_order_relaxed)) {
       }
+      // A pull-only decrease (the smaller label arrived from a neighbour
+      // scanned late) must also force another pass: neighbours scanned
+      // before the pull never saw `mine` and the loop would otherwise be
+      // free to terminate with the component split across two labels.
+      if (mine < start) changed.store(true, std::memory_order_relaxed);
     });
     // Pointer-jumping style shortcut: compress label chains each round.
     pcq::par::parallel_for(n, num_threads, [&](std::size_t vi) {

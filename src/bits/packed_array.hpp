@@ -90,15 +90,18 @@ class FixedWidthArray {
 
   /// get_range decoding into any integer type wide enough for the stored
   /// values (packed graph columns decode straight into VertexId buffers).
+  /// The range check is phrased subtraction-side: `begin + count` can wrap
+  /// for hostile (attacker-derived) arguments and slip past a naive gate.
   template <typename OutT>
   void get_range_into(std::size_t begin, std::size_t count, OutT* out) const {
-    PCQ_CHECK(begin + count <= size_);
+    PCQ_CHECK(begin <= size_ && count <= size_ - begin);
     unpack_words(storage_.words().data(), begin * width_, width_, count, out);
   }
 
   /// Streaming decoder over [begin, begin+count) — no scratch buffer.
+  /// Overflow-safe range gate, as in get_range_into.
   [[nodiscard]] RowCursor cursor(std::size_t begin, std::size_t count) const {
-    PCQ_CHECK(begin + count <= size_);
+    PCQ_CHECK(begin <= size_ && count <= size_ - begin);
     return RowCursor(storage_.words().data(), begin * width_, width_, count);
   }
 

@@ -1,0 +1,182 @@
+// ISA resolution for the batched unpack tier (see simd_dispatch.hpp for
+// the contract). This TU is compiled with baseline flags only: it must run
+// on any x86-64 (and any other architecture), probing at runtime what the
+// host can execute before a single vector instruction is reachable.
+#include "bits/simd_dispatch.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bits/unpack.hpp"
+
+namespace pcq::bits::simd {
+
+namespace detail {
+
+std::atomic<UnpackFn32> g_unpack32{nullptr};
+
+// Which tier the stored pointer corresponds to, for active_isa(). Written
+// together with g_unpack32; both are idempotent under racing resolution,
+// so relaxed ordering suffices (no dependent data is published).
+namespace {
+std::atomic<unsigned char> g_active_isa{0};
+}  // namespace
+
+void unpack32_scalar(const std::uint64_t* words, std::size_t bit_begin,
+                     unsigned width, std::size_t count,
+                     std::uint32_t* out) noexcept {
+  pcq::bits::detail::unpack_words_scalar(words, bit_begin, width, count, out);
+}
+
+}  // namespace detail
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool parse_isa(const char* name, Isa* out) noexcept {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = Isa::kScalar;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = Isa::kAvx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    *out = Isa::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool variant_compiled(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(PCQ_SIMD_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(PCQ_SIMD_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool cpu_supports(Isa isa) noexcept {
+  if (isa == Isa::kScalar) return true;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports handles both the cpuid feature bit and the
+  // OS-enabled state (xgetbv), which a raw cpuid probe gets wrong.
+  switch (isa) {
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Isa::kAvx512:
+      // The 512-bit kernel uses vpermb (VBMI) plus the F/BW/VL core set.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0 &&
+             __builtin_cpu_supports("avx512vbmi") != 0;
+    case Isa::kScalar:
+      return true;
+  }
+#endif
+  return false;
+}
+
+UnpackFn32 variant_fn(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return &detail::unpack32_scalar;
+    case Isa::kAvx2:
+#if defined(PCQ_SIMD_AVX2)
+      return &detail::unpack32_avx2;
+#else
+      return nullptr;
+#endif
+    case Isa::kAvx512:
+#if defined(PCQ_SIMD_AVX512)
+      return &detail::unpack32_avx512;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Truthy env var: set to anything but "" or "0".
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+/// The tier resolution picks absent any override: the best tier that is
+/// both compiled in and executable here.
+Isa best_available() {
+  if (variant_available(Isa::kAvx512)) return Isa::kAvx512;
+  if (variant_available(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+Isa pick_isa() {
+  if (env_truthy("PCQ_FORCE_SCALAR")) return Isa::kScalar;
+  if (const char* request = std::getenv("PCQ_UNPACK_ISA")) {
+    Isa isa{};
+    if (parse_isa(request, &isa) && variant_available(isa)) return isa;
+    std::fprintf(stderr,
+                 "pcq: PCQ_UNPACK_ISA=%s unavailable on this build/host; "
+                 "using %s\n",
+                 request, isa_name(best_available()));
+  }
+  return best_available();
+}
+
+void publish(Isa isa, UnpackFn32 fn) {
+  detail::g_active_isa.store(static_cast<unsigned char>(isa),
+                             std::memory_order_relaxed);
+  detail::g_unpack32.store(fn, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+UnpackFn32 resolve_unpack32() noexcept {
+  const Isa isa = pick_isa();
+  UnpackFn32 fn = variant_fn(isa);
+  if (fn == nullptr) fn = &unpack32_scalar;  // unreachable belt-and-braces
+  publish(isa, fn);
+  return fn;
+}
+
+}  // namespace detail
+
+Isa active_isa() noexcept {
+  if (detail::g_unpack32.load(std::memory_order_relaxed) == nullptr)
+    detail::resolve_unpack32();
+  return static_cast<Isa>(detail::g_active_isa.load(std::memory_order_relaxed));
+}
+
+bool set_isa(Isa isa) noexcept {
+  if (!variant_available(isa)) return false;
+  publish(isa, variant_fn(isa));
+  return true;
+}
+
+}  // namespace pcq::bits::simd

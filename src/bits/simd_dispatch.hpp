@@ -1,0 +1,108 @@
+// Runtime ISA dispatch for the batched fixed-width unpack kernels.
+//
+// One binary serves every micro-architecture: the ISA-specific kernels
+// (src/bits/unpack_simd_avx2.cpp, unpack_simd_avx512.cpp) are compiled into
+// their own translation units with that ISA's flags only, and are reached
+// exclusively through a cpuid-probed function pointer resolved on first
+// use — never statically, so the baseline build runs on any x86-64 (and the
+// scalar kernel on any architecture at all).
+//
+// Dispatch contract (see docs/SIMD.md):
+//   * Every variant decodes `count` consecutive `width`-bit values
+//     (1 <= width <= 32) starting at bit `bit_begin` of the LSB-first
+//     packed `words` into uint32_t lanes, bit-for-bit identical to the
+//     scalar reference for every (width, offset, count) — proven by the
+//     conformance grid in tests/test_unpack_simd.cpp.
+//   * No variant reads past the 64-bit word containing the last payload
+//     bit (bit_begin + count*width - 1). A buffer sized exactly to the
+//     packed payload is safe storage for every variant.
+//   * Resolution order: PCQ_FORCE_SCALAR env (any value but "" / "0")
+//     forces scalar; else PCQ_UNPACK_ISA env ("scalar" | "avx2" |
+//     "avx512") picks a tier when available (warning + best tier
+//     otherwise); else the best compiled-in tier the CPU supports.
+//   * set_isa() overrides programmatically (tests, bench --isa sweeps).
+//     It is not meant for concurrent use with in-flight decodes: variants
+//     agree bit-for-bit so racing decodes stay correct, but which variant
+//     a racing call uses is unspecified.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace pcq::bits::simd {
+
+/// Dispatch tiers, ordered by preference.
+enum class Isa : unsigned char { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Batched unpack into uint32_t lanes; valid for width in [1, 32].
+using UnpackFn32 = void (*)(const std::uint64_t* words, std::size_t bit_begin,
+                            unsigned width, std::size_t count,
+                            std::uint32_t* out);
+
+/// Stable lower-case name ("scalar" / "avx2" / "avx512").
+const char* isa_name(Isa isa) noexcept;
+
+/// Parses an isa_name back into the enum; false on unknown names.
+bool parse_isa(const char* name, Isa* out) noexcept;
+
+/// True when the variant's translation unit is linked into this binary
+/// (scalar always; AVX tiers depend on compiler support at build time).
+bool variant_compiled(Isa isa) noexcept;
+
+/// True when the host CPU can execute the variant (cpuid probe; scalar
+/// always). Independent of whether it was compiled in.
+bool cpu_supports(Isa isa) noexcept;
+
+/// True when the variant can actually run here: compiled in and supported.
+inline bool variant_available(Isa isa) noexcept {
+  return variant_compiled(isa) && cpu_supports(isa);
+}
+
+/// The variant's kernel entry point, or nullptr when not compiled in.
+/// Callers probing variants directly (conformance tests, benchmarks) must
+/// also check cpu_supports before invoking a non-null pointer.
+UnpackFn32 variant_fn(Isa isa) noexcept;
+
+/// The tier the dispatcher currently routes to (resolving it first if this
+/// is the first query).
+Isa active_isa() noexcept;
+
+/// Overrides the dispatched tier; returns false (and leaves the dispatch
+/// unchanged) when the tier is not available on this build/host.
+bool set_isa(Isa isa) noexcept;
+
+namespace detail {
+
+// The resolved kernel pointer. nullptr until first use; the resolver is
+// idempotent (every racer computes the same answer), so a relaxed
+// load/store pair is sufficient — there is no dependent data to order.
+extern std::atomic<UnpackFn32> g_unpack32;
+
+UnpackFn32 resolve_unpack32() noexcept;
+
+// Kernel entry points. The scalar variant is always defined
+// (simd_dispatch.cpp); the AVX variants exist only when their TU was
+// compiled in (reach them through variant_fn, never directly).
+void unpack32_scalar(const std::uint64_t* words, std::size_t bit_begin,
+                     unsigned width, std::size_t count,
+                     std::uint32_t* out) noexcept;
+void unpack32_avx2(const std::uint64_t* words, std::size_t bit_begin,
+                   unsigned width, std::size_t count,
+                   std::uint32_t* out) noexcept;
+void unpack32_avx512(const std::uint64_t* words, std::size_t bit_begin,
+                     unsigned width, std::size_t count,
+                     std::uint32_t* out) noexcept;
+
+}  // namespace detail
+
+/// The dispatched batched unpack: decodes through whichever tier resolution
+/// picked. Hot path is one relaxed load + one indirect call.
+inline void unpack32(const std::uint64_t* words, std::size_t bit_begin,
+                     unsigned width, std::size_t count, std::uint32_t* out) {
+  UnpackFn32 fn = detail::g_unpack32.load(std::memory_order_relaxed);
+  if (fn == nullptr) fn = detail::resolve_unpack32();
+  fn(words, bit_begin, width, count, out);
+}
+
+}  // namespace pcq::bits::simd

@@ -26,13 +26,22 @@
 // shift loop entirely and memcpy from the storage bytes; the LSB-first
 // packing makes the packed layout identical to a little-endian integer
 // array in that case.
+//
+// Widths 1-32 into 32-bit lanes additionally route through the runtime-
+// dispatched SIMD tier (simd_dispatch.hpp): AVX2/AVX-512 batched unpack
+// resolved once per process from cpuid, falling back to the scalar paths
+// here on other hosts. Every variant is bit-for-bit equal to the scalar
+// reference (tests/test_unpack_simd.cpp), so routing is purely a speed
+// decision.
 #pragma once
 
 #include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 
+#include "bits/simd_dispatch.hpp"
 #include "util/check.hpp"
 
 namespace pcq::bits {
@@ -154,6 +163,28 @@ inline void unpack_words_bytes(const std::uint64_t* words,
   }
 }
 
+/// The pure-scalar kernel: byte-aligned memcpy, unaligned 64-bit loads, or
+/// the carry loop — never the SIMD tier. This is both the dispatch
+/// fallback and the reference every vector variant is proven against.
+template <typename OutT>
+inline void unpack_words_scalar(const std::uint64_t* words,
+                                std::size_t bit_begin, unsigned width,
+                                std::size_t count, OutT* out) {
+  if (count == 0) return;
+  if constexpr (std::endian::native == std::endian::little) {
+    if ((width & 7) == 0 && (bit_begin & 7) == 0 &&
+        (width == 8 || width == 16 || width == 32 || width == 64)) {
+      detail::unpack_words_bytes(words, bit_begin, width, count, out);
+      return;
+    }
+    if (width <= 57) {
+      detail::unpack_words_unaligned(words, bit_begin, width, count, out);
+      return;
+    }
+  }
+  detail::unpack_words_carry(words, bit_begin, width, count, out);
+}
+
 }  // namespace detail
 
 /// Decodes `count` consecutive `width`-bit values starting at `bit_begin`
@@ -169,10 +200,41 @@ inline void unpack_words(const std::uint64_t* words, std::size_t bit_begin,
   PCQ_DCHECK_MSG(words != nullptr && out != nullptr,
                  "unpack_words needs source words and an output buffer");
   if constexpr (std::endian::native == std::endian::little) {
+    // Byte-aligned element widths are a little-endian integer array; a
+    // plain (glibc-vectorised) memcpy or widening copy beats any shuffle
+    // kernel, so this stays ahead of the dispatch.
     if ((width & 7) == 0 && (bit_begin & 7) == 0 &&
         (width == 8 || width == 16 || width == 32 || width == 64)) {
       detail::unpack_words_bytes(words, bit_begin, width, count, out);
       return;
+    }
+    if constexpr (sizeof(OutT) == 4 && std::is_integral_v<OutT>) {
+      if (width <= 32) {
+        simd::unpack32(words, bit_begin, width, count,
+                       reinterpret_cast<std::uint32_t*>(out));
+        return;
+      }
+    } else if constexpr (sizeof(OutT) == 8 && std::is_integral_v<OutT>) {
+      // Wide outputs of narrow values: decode through the SIMD tier into a
+      // stack block, then widen (the copy auto-vectorises). Only worth the
+      // extra pass when a vector tier actually resolved and the run is long
+      // enough to amortise it.
+      if (width <= 32 && count >= 64 &&
+          simd::active_isa() != simd::Isa::kScalar) {
+        std::uint32_t block[256];
+        std::size_t done = 0;
+        std::size_t bit = bit_begin;
+        while (done < count) {
+          const std::size_t n =
+              count - done < std::size_t{256} ? count - done : std::size_t{256};
+          simd::unpack32(words, bit, width, n, block);
+          for (std::size_t i = 0; i < n; ++i)
+            out[done + i] = static_cast<OutT>(block[i]);
+          done += n;
+          bit += n * width;
+        }
+        return;
+      }
     }
     if (width <= 57) {
       detail::unpack_words_unaligned(words, bit_begin, width, count, out);
@@ -183,9 +245,16 @@ inline void unpack_words(const std::uint64_t* words, std::size_t bit_begin,
 }
 
 /// Streaming decoder over a packed run: the zero-materialisation
-/// counterpart of unpack_words. Holds the same carry state (current word,
-/// valid-bit count) across next() calls, so iterating a row costs the
-/// same word loads as the bulk kernel but no scratch buffer.
+/// counterpart of unpack_words.
+///
+/// Two internal modes, picked at construction:
+///   * widths <= 32 over long runs refill a small block buffer through the
+///     dispatched SIMD tier (simd::unpack32), so a streamed row decodes at
+///     bulk-kernel speed while the API stays one-value-at-a-time;
+///   * otherwise the original carry state (current word, valid-bit count)
+///     is held across next() calls — same word loads as the bulk kernel,
+///     no scratch buffer, and no refill look-ahead for consumers that
+///     bail out after a handful of values.
 ///
 /// Supports both explicit iteration
 ///     for (RowCursor c = ...; !c.done();) use(c.next());
@@ -204,6 +273,13 @@ class RowCursor {
         width_(width) {
     PCQ_DCHECK(width >= 1 && width <= 64);
     if (count == 0) return;
+    if (width <= 32 && count >= kRefillMin) {
+      // Block mode: defer all decoding to refill(); nothing is read here,
+      // so constructing a cursor the consumer abandons unread stays free.
+      buffered_ = true;
+      bit_ = bit_begin;
+      return;
+    }
     w_ = bit_begin >> 6;
     const unsigned offset = static_cast<unsigned>(bit_begin & 63);
     cur_ = words_[w_] >> offset;
@@ -218,6 +294,10 @@ class RowCursor {
   std::uint64_t next() {
     PCQ_DCHECK(remaining_ > 0);
     --remaining_;
+    if (buffered_) {
+      if (buf_pos_ == buf_len_) refill();
+      return buf_[buf_pos_++];
+    }
     if (avail_ == 0) {
       cur_ = words_[++w_];
       avail_ = 64;
@@ -264,13 +344,35 @@ class RowCursor {
   static Sentinel end() { return {}; }
 
  private:
+  // Block-mode geometry: buffering pays once a run amortises the refill
+  // call; shorter runs keep the branch-free carry decode.
+  static constexpr unsigned kBlock = 32;
+  static constexpr std::size_t kRefillMin = 16;
+
+  /// Decodes the next block through the dispatched kernel. Called with at
+  /// least one value left to produce: next() already consumed its value
+  /// from remaining_, so the undecoded run is remaining_ + 1 long.
+  void refill() {
+    const std::size_t left = remaining_ + 1;
+    const std::size_t n = left < kBlock ? left : kBlock;
+    simd::unpack32(words_, bit_, width_, n, buf_);
+    bit_ += n * width_;
+    buf_len_ = static_cast<unsigned>(n);
+    buf_pos_ = 0;
+  }
+
   const std::uint64_t* words_ = nullptr;
   std::uint64_t cur_ = 0;
   std::uint64_t mask_ = 0;
   std::size_t w_ = 0;
   std::size_t remaining_ = 0;
+  std::size_t bit_ = 0;
+  std::uint32_t buf_[kBlock];
   unsigned width_ = 1;
   unsigned avail_ = 0;
+  unsigned buf_pos_ = 0;
+  unsigned buf_len_ = 0;
+  bool buffered_ = false;
 };
 
 }  // namespace pcq::bits

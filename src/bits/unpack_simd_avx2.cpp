@@ -1,0 +1,201 @@
+// AVX2 batched fixed-width unpack: widths 1-32 into uint32_t lanes.
+//
+// Compiled with -mavx2 into its own TU; reachable only through the cpuid
+// dispatch in simd_dispatch.cpp. The kernel decodes 8 values per loop
+// iteration from precomputed per-(width, bit_begin & 7) shuffle/shift
+// tables:
+//
+//   * widths 1-25: each value lies in 4 consecutive bytes after a shift of
+//     at most 7 (width + 7 <= 32). Two 16-byte loads per block (values 0-3
+//     from the block base, values 4-7 from base + hi_off) feed one in-lane
+//     vpshufb that places each lane's 4 source bytes, one vpsrlvd by the
+//     per-lane sub-byte shift, and one mask.
+//   * widths 26-32: width + 7 can exceed 32 bits, so values decode in
+//     64-bit lanes (8 source bytes, shift, mask, then narrow the four
+//     lane-lows to uint32_t) — two 4-value halves per 8-value block.
+//
+// The block geometry is what makes the tables loop-invariant: a block is
+// 8 values = 8*width bits = exactly `width` bytes, so the sub-byte phase
+// (bit_begin & 7) — and with it every shuffle control and shift vector —
+// repeats for the whole call, and the source pointer just advances by
+// `width` bytes per block.
+//
+// Bounds contract: every load stays inside the 64-bit words spanned by the
+// payload [bit_begin, bit_begin + count*width). Blocks run only while the
+// widest load window fits under that ceiling; remaining values fall back
+// to the scalar kernel (compiled here with AVX2 codegen — this TU only
+// executes on AVX2 hosts).
+#include <immintrin.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "bits/simd_dispatch.hpp"
+#include "bits/unpack.hpp"
+
+namespace pcq::bits::simd {
+namespace {
+
+/// Control block for one (width, phase) cell of the 32-bit-lane kernel
+/// (widths 1-25): vpshufb byte selectors, vpsrlvd shift counts, and the
+/// load geometry.
+struct Ctl32 {
+  alignas(32) std::uint8_t shuf[32] = {};
+  alignas(32) std::uint32_t shift[8] = {};
+  std::uint8_t hi_off = 0;  ///< byte offset of the second 16-byte load
+  std::uint8_t span = 0;    ///< bytes read from the block base (hi_off + 16)
+};
+
+constexpr Ctl32 make_ctl32(unsigned w, unsigned o) {
+  Ctl32 c{};
+  c.hi_off = static_cast<std::uint8_t>((o + 4 * w) >> 3);
+  c.span = static_cast<std::uint8_t>(c.hi_off + 16);
+  for (unsigned i = 0; i < 8; ++i) {
+    const unsigned bit = o + i * w;
+    // Lanes 0-3 select from the low 16 loaded bytes, lanes 4-7 from the 16
+    // bytes loaded at hi_off; vpshufb indexes within each 128-bit half.
+    const unsigned rel =
+        i < 4 ? bit : bit - 8u * static_cast<unsigned>(c.hi_off);
+    const unsigned byte = rel >> 3;
+    for (unsigned j = 0; j < 4; ++j)
+      c.shuf[i * 4 + j] = static_cast<std::uint8_t>(byte + j);
+    c.shift[i] = bit & 7;
+  }
+  return c;
+}
+
+/// Control block for one (width, phase) cell of the 64-bit-lane kernel
+/// (widths 26-32). An 8-value block is two 4-value halves; each half takes
+/// two 16-byte loads and its own shuffle/shift controls.
+struct Ctl64 {
+  alignas(32) std::uint8_t shuf[2][32] = {};
+  alignas(32) std::uint64_t shift[2][4] = {};
+  std::uint8_t a0[2] = {};  ///< byte offset of each half's low load
+  std::uint8_t a1[2] = {};  ///< byte offset of each half's high load
+  std::uint8_t span = 0;    ///< bytes read from the block base
+};
+
+constexpr Ctl64 make_ctl64(unsigned w, unsigned o) {
+  Ctl64 c{};
+  for (unsigned h = 0; h < 2; ++h) {
+    const unsigned start = o + 4 * w * h;
+    c.a0[h] = static_cast<std::uint8_t>(start >> 3);
+    c.a1[h] = static_cast<std::uint8_t>((start + 2 * w) >> 3);
+    for (unsigned i = 0; i < 4; ++i) {
+      const unsigned bit = start + i * w;
+      const unsigned base = 8u * static_cast<unsigned>(i < 2 ? c.a0[h] : c.a1[h]);
+      const unsigned byte = (bit - base) >> 3;
+      for (unsigned j = 0; j < 8; ++j)
+        c.shuf[h][i * 8 + j] = static_cast<std::uint8_t>(byte + j);
+      c.shift[h][i] = bit & 7;
+    }
+  }
+  c.span = static_cast<std::uint8_t>(c.a1[1] + 16);
+  return c;
+}
+
+constexpr auto kCtl32 = [] {
+  std::array<std::array<Ctl32, 8>, 26> t{};
+  for (unsigned w = 1; w <= 25; ++w)
+    for (unsigned o = 0; o < 8; ++o) t[w][o] = make_ctl32(w, o);
+  return t;
+}();
+
+constexpr auto kCtl64 = [] {
+  std::array<std::array<Ctl64, 8>, 33> t{};
+  for (unsigned w = 26; w <= 32; ++w)
+    for (unsigned o = 0; o < 8; ++o) t[w][o] = make_ctl64(w, o);
+  return t;
+}();
+
+/// Number of full 8-value blocks whose widest load (span bytes from the
+/// block base p0 + k*width) stays inside the safe byte ceiling.
+inline std::size_t full_blocks(std::size_t count, std::size_t p0,
+                               unsigned width, unsigned span,
+                               std::size_t safe_bytes) {
+  if (safe_bytes < p0 + span) return 0;
+  const std::size_t by_bounds = (safe_bytes - span - p0) / width + 1;
+  const std::size_t by_count = count / 8;
+  return by_bounds < by_count ? by_bounds : by_count;
+}
+
+}  // namespace
+
+namespace detail {
+
+void unpack32_avx2(const std::uint64_t* words, std::size_t bit_begin,
+                   unsigned width, std::size_t count,
+                   std::uint32_t* out) noexcept {
+  if (count < 16) {
+    pcq::bits::detail::unpack_words_scalar(words, bit_begin, width, count, out);
+    return;
+  }
+  const auto* bytes = reinterpret_cast<const unsigned char*>(words);
+  const std::size_t end_bits = bit_begin + count * width;
+  const std::size_t safe_bytes = ((end_bits + 63) >> 6) << 3;
+  const std::size_t p0 = bit_begin >> 3;
+  const unsigned o = static_cast<unsigned>(bit_begin & 7);
+
+  std::size_t blocks = 0;
+  if (width <= 25) {
+    const Ctl32& c = kCtl32[width][o];
+    blocks = full_blocks(count, p0, width, c.span, safe_bytes);
+    const __m256i shuf =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(c.shuf));
+    const __m256i shift =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(c.shift));
+    const __m256i mask = _mm256_set1_epi32(
+        static_cast<int>((std::uint32_t{1} << width) - 1));
+    const unsigned char* p = bytes + p0;
+    for (std::size_t k = 0; k < blocks; ++k, p += width) {
+      const __m128i lo =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+      const __m128i hi =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + c.hi_off));
+      __m256i v = _mm256_set_m128i(hi, lo);
+      v = _mm256_shuffle_epi8(v, shuf);
+      v = _mm256_srlv_epi32(v, shift);
+      v = _mm256_and_si256(v, mask);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k * 8), v);
+    }
+  } else {
+    const Ctl64& c = kCtl64[width][o];
+    blocks = full_blocks(count, p0, width, c.span, safe_bytes);
+    const __m256i shuf0 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(c.shuf[0]));
+    const __m256i shuf1 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(c.shuf[1]));
+    const __m256i shift0 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(c.shift[0]));
+    const __m256i shift1 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(c.shift[1]));
+    const __m256i mask = _mm256_set1_epi64x(
+        static_cast<long long>((std::uint64_t{1} << width) - 1));
+    const __m256i pick_lows = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    const unsigned char* p = bytes + p0;
+    for (std::size_t k = 0; k < blocks; ++k, p += width) {
+      for (unsigned h = 0; h < 2; ++h) {
+        const __m128i lo = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(p + c.a0[h]));
+        const __m128i hi = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(p + c.a1[h]));
+        __m256i v = _mm256_set_m128i(hi, lo);
+        v = _mm256_shuffle_epi8(v, h == 0 ? shuf0 : shuf1);
+        v = _mm256_srlv_epi64(v, h == 0 ? shift0 : shift1);
+        v = _mm256_and_si256(v, mask);
+        v = _mm256_permutevar8x32_epi32(v, pick_lows);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + k * 8 + h * 4),
+                         _mm256_castsi256_si128(v));
+      }
+    }
+  }
+
+  const std::size_t done = blocks * 8;
+  if (done < count)
+    pcq::bits::detail::unpack_words_scalar(words, bit_begin + done * width,
+                                           width, count - done, out + done);
+}
+
+}  // namespace detail
+}  // namespace pcq::bits::simd

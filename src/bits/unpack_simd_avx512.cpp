@@ -1,0 +1,162 @@
+// AVX-512 batched fixed-width unpack: widths 1-32 into uint32_t lanes.
+//
+// Compiled with -mavx512f/bw/vl/vbmi into its own TU; reachable only
+// through the cpuid dispatch in simd_dispatch.cpp (which demands all four
+// feature bits — the byte permute below is VBMI).
+//
+// Same table discipline as the AVX2 kernel (see unpack_simd_avx2.cpp), but
+// the full-register byte permute (vpermb) removes the in-lane shuffle
+// restriction: one 64-byte load covers a whole block, and a single
+// permute places every lane's source bytes.
+//
+//   * widths 1-25: 16 values per block. Lane 15's last source byte sits at
+//     byte (7 + 15*25)/8 + 3 = 50 < 64, so one 64-byte load at the block
+//     base feeds vpermb + vpsrlvd + mask. A block is 16*width bits =
+//     2*width bytes, a multiple of 8 bits, so the sub-byte phase — and the
+//     permute/shift controls — are loop-invariant.
+//   * widths 26-32: 8 values per block in 64-bit lanes (8 source bytes,
+//     max byte (7 + 7*32)/8 + 7 = 35 < 64), narrowed to uint32_t with
+//     vpmovqd. A block is 8*width bits = width bytes.
+//
+// Bounds contract: identical to every other variant — no load past the
+// 64-bit word holding the last payload bit. The 64-byte window makes the
+// vector loop stop earlier than AVX2's 16-byte windows; the tail falls
+// back to the scalar kernel.
+#include <immintrin.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "bits/simd_dispatch.hpp"
+#include "bits/unpack.hpp"
+
+namespace pcq::bits::simd {
+namespace {
+
+/// Control block for one (width, phase) cell of the 32-bit-lane kernel
+/// (widths 1-25): vpermb byte selectors and vpsrlvd shift counts.
+struct Ctl32z {
+  alignas(64) std::uint8_t perm[64] = {};
+  alignas(64) std::uint32_t shift[16] = {};
+};
+
+constexpr Ctl32z make_ctl32z(unsigned w, unsigned o) {
+  Ctl32z c{};
+  for (unsigned i = 0; i < 16; ++i) {
+    const unsigned bit = o + i * w;
+    const unsigned byte = bit >> 3;
+    for (unsigned j = 0; j < 4; ++j)
+      c.perm[i * 4 + j] = static_cast<std::uint8_t>(byte + j);
+    c.shift[i] = bit & 7;
+  }
+  return c;
+}
+
+/// Control block for the 64-bit-lane kernel (widths 26-32).
+struct Ctl64z {
+  alignas(64) std::uint8_t perm[64] = {};
+  alignas(64) std::uint64_t shift[8] = {};
+};
+
+constexpr Ctl64z make_ctl64z(unsigned w, unsigned o) {
+  Ctl64z c{};
+  for (unsigned i = 0; i < 8; ++i) {
+    const unsigned bit = o + i * w;
+    const unsigned byte = bit >> 3;
+    for (unsigned j = 0; j < 8; ++j)
+      c.perm[i * 8 + j] = static_cast<std::uint8_t>(byte + j);
+    c.shift[i] = bit & 7;
+  }
+  return c;
+}
+
+constexpr auto kCtl32z = [] {
+  std::array<std::array<Ctl32z, 8>, 26> t{};
+  for (unsigned w = 1; w <= 25; ++w)
+    for (unsigned o = 0; o < 8; ++o) t[w][o] = make_ctl32z(w, o);
+  return t;
+}();
+
+constexpr auto kCtl64z = [] {
+  std::array<std::array<Ctl64z, 8>, 33> t{};
+  for (unsigned w = 26; w <= 32; ++w)
+    for (unsigned o = 0; o < 8; ++o) t[w][o] = make_ctl64z(w, o);
+  return t;
+}();
+
+/// Full blocks of `per_block` values whose 64-byte load window stays under
+/// the safe byte ceiling; the block base advances `stride` bytes per block.
+inline std::size_t full_blocks(std::size_t count, unsigned per_block,
+                               std::size_t p0, unsigned stride,
+                               std::size_t safe_bytes) {
+  if (safe_bytes < p0 + 64) return 0;
+  const std::size_t by_bounds = (safe_bytes - 64 - p0) / stride + 1;
+  const std::size_t by_count = count / per_block;
+  return by_bounds < by_count ? by_bounds : by_count;
+}
+
+}  // namespace
+
+namespace detail {
+
+void unpack32_avx512(const std::uint64_t* words, std::size_t bit_begin,
+                     unsigned width, std::size_t count,
+                     std::uint32_t* out) noexcept {
+  if (count < 32) {
+    pcq::bits::detail::unpack_words_scalar(words, bit_begin, width, count, out);
+    return;
+  }
+  const auto* bytes = reinterpret_cast<const unsigned char*>(words);
+  const std::size_t end_bits = bit_begin + count * width;
+  const std::size_t safe_bytes = ((end_bits + 63) >> 6) << 3;
+  const std::size_t p0 = bit_begin >> 3;
+  const unsigned o = static_cast<unsigned>(bit_begin & 7);
+
+  std::size_t done = 0;
+  if (width <= 25) {
+    const Ctl32z& c = kCtl32z[width][o];
+    const std::size_t blocks =
+        full_blocks(count, 16, p0, 2 * width, safe_bytes);
+    const __m512i perm = _mm512_load_si512(c.perm);
+    const __m512i shift = _mm512_load_si512(c.shift);
+    const __m512i mask = _mm512_set1_epi32(
+        static_cast<int>((std::uint32_t{1} << width) - 1));
+    const unsigned char* p = bytes + p0;
+    for (std::size_t k = 0; k < blocks; ++k, p += 2 * width) {
+      __m512i v = _mm512_loadu_si512(p);
+      v = _mm512_permutexvar_epi8(perm, v);
+      v = _mm512_srlv_epi32(v, shift);
+      v = _mm512_and_si512(v, mask);
+      _mm512_storeu_si512(out + k * 16, v);
+    }
+    done = blocks * 16;
+  } else {
+    const Ctl64z& c = kCtl64z[width][o];
+    const std::size_t blocks = full_blocks(count, 8, p0, width, safe_bytes);
+    const __m512i perm = _mm512_load_si512(c.perm);
+    const __m512i shift = _mm512_load_si512(c.shift);
+    const __m512i mask = _mm512_set1_epi64(
+        static_cast<long long>((std::uint64_t{1} << width) - 1));
+    const unsigned char* p = bytes + p0;
+    for (std::size_t k = 0; k < blocks; ++k, p += width) {
+      __m512i v = _mm512_loadu_si512(p);
+      v = _mm512_permutexvar_epi8(perm, v);
+      v = _mm512_srlv_epi64(v, shift);
+      v = _mm512_and_si512(v, mask);
+      // maskz variant: the plain cvt leaves its passthrough operand
+      // formally uninitialised, which -Wmaybe-uninitialized flags.
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + k * 8),
+          _mm512_maskz_cvtepi64_epi32(static_cast<__mmask8>(0xff), v));
+    }
+    done = blocks * 8;
+  }
+
+  if (done < count)
+    pcq::bits::detail::unpack_words_scalar(words, bit_begin + done * width,
+                                           width, count - done, out + done);
+}
+
+}  // namespace detail
+}  // namespace pcq::bits::simd

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <tuple>
 #include <vector>
 
@@ -230,6 +231,50 @@ TEST(UnpackKernel, ParallelUnpackMatchesSerial) {
   const auto packed = FixedWidthArray::pack_with_width(v, 21, 4);
   EXPECT_EQ(packed.unpack(1), v);
   for (int p : {2, 3, 8, 64}) EXPECT_EQ(packed.unpack(p), v) << "p=" << p;
+}
+
+// --- Hostile-width / hostile-argument regressions (SIMD tier audit) ------
+
+TEST(UnpackKernel, Width32AllOnesThroughEveryPath) {
+  // width == 32 is the shift-by-32 trap: `value >> (32 - width)` and
+  // `mask = (1u << width) - 1` are both UB at 32 unless phrased in 64-bit
+  // arithmetic. All-ones payloads make a wrapped mask decode to 0 loudly.
+  std::vector<std::uint64_t> v(300, 0xFFFF'FFFFull);
+  v[0] = 0;  // non-saturated sentinels on both ends of the run
+  v[299] = 1;
+  const auto packed = FixedWidthArray::pack_with_width(v, 32, 2);
+  EXPECT_EQ(packed.unpack(), v);
+  std::vector<std::uint32_t> out32(257);
+  packed.get_range_into(1, 257, out32.data());  // odd begin: misaligned phase
+  for (std::size_t i = 0; i < 257; ++i)
+    ASSERT_EQ(out32[i], static_cast<std::uint32_t>(v[1 + i])) << "i=" << i;
+  RowCursor cursor = packed.cursor(0, 300);
+  for (std::size_t i = 0; i < 300; ++i) ASSERT_EQ(cursor.next(), v[i]);
+}
+
+TEST(UnpackKernel, CountZeroAtEveryBoundary) {
+  // count == 0 must early-exit without touching `out` (nullptr is legal)
+  // or reading storage — including begin == size(), the one-past-the-end
+  // position a half-open caller naturally produces.
+  const auto v = random_values(64, 13, 51);
+  const auto packed = FixedWidthArray::pack_with_width(v, 13, 1);
+  for (std::size_t begin : {std::size_t{0}, std::size_t{37}, v.size()}) {
+    packed.get_range_into(begin, 0, static_cast<std::uint32_t*>(nullptr));
+    RowCursor cursor = packed.cursor(begin, 0);
+    EXPECT_TRUE(cursor.done()) << "begin=" << begin;
+  }
+}
+
+TEST(UnpackKernel, OverflowingRangeArgumentsDie) {
+  // begin + count wrapping past SIZE_MAX must hit the range gate, not
+  // sneak through as a tiny sum and over-read storage.
+  const auto v = random_values(16, 8, 77);
+  const auto packed = FixedWidthArray::pack_with_width(v, 8, 1);
+  const std::size_t kHuge = std::numeric_limits<std::size_t>::max();
+  std::uint32_t sink[1];
+  EXPECT_DEATH(packed.get_range_into(1, kHuge, sink), "PCQ_CHECK");
+  EXPECT_DEATH((void)packed.cursor(8, kHuge - 4), "PCQ_CHECK");
+  EXPECT_DEATH((void)packed.cursor(kHuge, 2), "PCQ_CHECK");
 }
 
 }  // namespace

@@ -1,0 +1,287 @@
+// Exhaustive kernel-conformance suite for the SIMD unpack tier.
+//
+// Contract under test (docs/SIMD.md): every dispatched variant — scalar,
+// AVX2, AVX-512, present and future — decodes bit-for-bit identically to
+// the scalar reference for EVERY (width, source bit offset, count) cell,
+// and never reads past the 64-bit word holding the last payload bit.
+//
+// The grid: width 1-32 × bit offset 0-63 × count {0, 1, lane-1, lane,
+// lane+1, 4*lane+3, 1000} (lane = the variant's values-per-block), each on
+// patterned, random and all-ones (width-saturating) payloads, with the
+// source buffer sized EXACTLY to the packed payload so ASan catches any
+// vector over-read. Every variant compiled into this binary and executable
+// on this host runs the full grid; a host without AVX repeats the scalar
+// tier and still proves the grid harness itself.
+//
+// Dispatch-layer behaviour (probing, overrides, routing of unpack_words /
+// RowCursor / FixedWidthArray through the active tier) is covered at the
+// bottom; those tests flip the active ISA with set_isa and restore it.
+#include "bits/simd_dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bits/bitvector.hpp"
+#include "bits/packed_array.hpp"
+#include "bits/unpack.hpp"
+#include "util/rng.hpp"
+
+namespace pcq::bits {
+namespace {
+
+using simd::Isa;
+
+/// Every tier that can actually run here (scalar always first: it is the
+/// reference the others are compared against).
+std::vector<Isa> available_isas() {
+  std::vector<Isa> isas{Isa::kScalar};
+  if (simd::variant_available(Isa::kAvx2)) isas.push_back(Isa::kAvx2);
+  if (simd::variant_available(Isa::kAvx512)) isas.push_back(Isa::kAvx512);
+  return isas;
+}
+
+/// Values per vector block: the alignment-critical counts of the grid.
+unsigned lanes_of(Isa isa, unsigned width) {
+  switch (isa) {
+    case Isa::kAvx512:
+      return width <= 25 ? 16 : 8;
+    case Isa::kAvx2:
+    case Isa::kScalar:
+      return 8;
+  }
+  return 8;
+}
+
+enum class Payload { kPatterned, kRandom, kAllOnes };
+
+/// Builds storage holding exactly the words spanned by
+/// [bit_begin, bit_begin + count*width) — not one word more, so any load
+/// past the payload trips ASan (and the all-ones case proves no value
+/// leaks bits from its neighbours).
+std::vector<std::uint64_t> make_payload(std::size_t bit_begin, unsigned width,
+                                        std::size_t count, Payload kind,
+                                        std::uint64_t seed) {
+  const std::size_t end_bits = bit_begin + count * width;
+  const std::size_t nwords = (end_bits + 63) / 64;
+  std::vector<std::uint64_t> words(nwords);
+  switch (kind) {
+    case Payload::kPatterned:
+      for (std::size_t i = 0; i < nwords; ++i)
+        words[i] = (i & 1) ? 0xAAAAAAAAAAAAAAAAULL : 0x5555555555555555ULL;
+      break;
+    case Payload::kRandom: {
+      pcq::util::SplitMix64 rng(seed);
+      for (auto& w : words) w = rng.next();
+      break;
+    }
+    case Payload::kAllOnes:
+      for (auto& w : words) w = ~0ULL;
+      break;
+  }
+  return words;
+}
+
+/// Reference decode: the scalar kernel, which fuzz_unpack already pins
+/// against per-element BitVector::read_bits.
+std::vector<std::uint32_t> reference(const std::uint64_t* words,
+                                     std::size_t bit_begin, unsigned width,
+                                     std::size_t count) {
+  std::vector<std::uint32_t> out(count);
+  detail::unpack_words_scalar(words, bit_begin, width, count, out.data());
+  return out;
+}
+
+/// Runs one variant over the full conformance grid.
+void run_grid(Isa isa) {
+  simd::UnpackFn32 fn = simd::variant_fn(isa);
+  ASSERT_NE(fn, nullptr) << simd::isa_name(isa);
+  const Payload kinds[] = {Payload::kPatterned, Payload::kRandom,
+                           Payload::kAllOnes};
+  for (unsigned width = 1; width <= 32; ++width) {
+    const unsigned lane = lanes_of(isa, width);
+    const std::size_t counts[] = {
+        0, 1, lane - 1, lane, lane + 1, 4 * std::size_t{lane} + 3, 1000};
+    for (std::size_t bit_begin = 0; bit_begin < 64; ++bit_begin) {
+      for (const std::size_t count : counts) {
+        for (const Payload kind : kinds) {
+          const std::uint64_t seed =
+              width * 1000003ULL + bit_begin * 101ULL + count;
+          const auto words =
+              make_payload(bit_begin, width, count, kind, seed);
+          const auto expect =
+              count == 0 ? std::vector<std::uint32_t>{}
+                         : reference(words.data(), bit_begin, width, count);
+          // Output sized exactly as well: a kernel writing past `count`
+          // values is as broken as one over-reading the source.
+          std::vector<std::uint32_t> got(count);
+          fn(words.empty() ? nullptr : words.data(), bit_begin, width, count,
+             got.data());
+          ASSERT_EQ(got, expect)
+              << simd::isa_name(isa) << " width=" << width
+              << " offset=" << bit_begin << " count=" << count
+              << " payload=" << static_cast<int>(kind);
+          if (kind == Payload::kAllOnes) {
+            const std::uint32_t saturated =
+                width == 32 ? ~std::uint32_t{0}
+                            : (std::uint32_t{1} << width) - 1;
+            for (std::size_t i = 0; i < count; ++i) {
+              ASSERT_EQ(got[i], saturated)
+                  << simd::isa_name(isa) << " width=" << width
+                  << " offset=" << bit_begin << " i=" << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(UnpackSimdConformance, ScalarGrid) { run_grid(Isa::kScalar); }
+
+TEST(UnpackSimdConformance, Avx2Grid) {
+  if (!simd::variant_available(Isa::kAvx2))
+    GTEST_SKIP() << "AVX2 tier not available on this build/host";
+  run_grid(Isa::kAvx2);
+}
+
+TEST(UnpackSimdConformance, Avx512Grid) {
+  if (!simd::variant_available(Isa::kAvx512))
+    GTEST_SKIP() << "AVX-512 tier not available on this build/host";
+  run_grid(Isa::kAvx512);
+}
+
+// Long unaligned runs across every variant pair: the grid bounds counts at
+// 1000; this adds a 100k-value run so multi-page payloads and the
+// block-loop/tail seam far from the buffer edges get one deep soak each.
+TEST(UnpackSimdConformance, LongRunAllVariants) {
+  for (const unsigned width : {1u, 5u, 13u, 14u, 17u, 25u, 26u, 31u, 32u}) {
+    const std::size_t count = 100'000;
+    const std::size_t bit_begin = 13;
+    const auto words =
+        make_payload(bit_begin, width, count, Payload::kRandom, width);
+    const auto expect = reference(words.data(), bit_begin, width, count);
+    for (const Isa isa : available_isas()) {
+      std::vector<std::uint32_t> got(count);
+      simd::variant_fn(isa)(words.data(), bit_begin, width, count, got.data());
+      ASSERT_EQ(got, expect) << simd::isa_name(isa) << " width=" << width;
+    }
+  }
+}
+
+// --- dispatch layer ---------------------------------------------------------
+
+/// Restores the dispatch tier a test flipped, even on assertion failure.
+class IsaGuard {
+ public:
+  IsaGuard() : saved_(simd::active_isa()) {}
+  ~IsaGuard() { simd::set_isa(saved_); }
+
+ private:
+  Isa saved_;
+};
+
+TEST(UnpackSimdDispatch, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(simd::variant_compiled(Isa::kScalar));
+  EXPECT_TRUE(simd::cpu_supports(Isa::kScalar));
+  EXPECT_NE(simd::variant_fn(Isa::kScalar), nullptr);
+  EXPECT_TRUE(simd::variant_available(Isa::kScalar));
+}
+
+TEST(UnpackSimdDispatch, NamesRoundTrip) {
+  for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    Isa parsed{};
+    ASSERT_TRUE(simd::parse_isa(simd::isa_name(isa), &parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+  Isa parsed{};
+  EXPECT_FALSE(simd::parse_isa("neon", &parsed));
+  EXPECT_FALSE(simd::parse_isa("", &parsed));
+  EXPECT_FALSE(simd::parse_isa(nullptr, &parsed));
+}
+
+TEST(UnpackSimdDispatch, SetIsaRoutesAndRejects) {
+  IsaGuard guard;
+  for (const Isa isa : available_isas()) {
+    ASSERT_TRUE(simd::set_isa(isa)) << simd::isa_name(isa);
+    EXPECT_EQ(simd::active_isa(), isa);
+  }
+  // A tier that is not available must be refused and leave routing alone.
+  for (const Isa isa : {Isa::kAvx2, Isa::kAvx512}) {
+    if (simd::variant_available(isa)) continue;
+    const Isa before = simd::active_isa();
+    EXPECT_FALSE(simd::set_isa(isa));
+    EXPECT_EQ(simd::active_isa(), before);
+  }
+}
+
+/// unpack_words (32- and 64-bit outputs), RowCursor (both its buffered
+/// block mode and short-run carry mode) and FixedWidthArray::get_range all
+/// route through whatever tier is active: run them under each and demand
+/// identical answers.
+TEST(UnpackSimdDispatch, ConsumersAgreeUnderEveryTier) {
+  IsaGuard guard;
+  for (const unsigned width : {1u, 7u, 13u, 17u, 26u, 32u}) {
+    pcq::util::SplitMix64 rng(width);
+    const std::size_t n = 3000;
+    std::vector<std::uint64_t> values(n);
+    const std::uint64_t mask =
+        width == 64 ? ~0ULL : ((std::uint64_t{1} << width) - 1);
+    for (auto& v : values) v = rng.next() & mask;
+    const auto packed = FixedWidthArray::pack_with_width(values, width, 2);
+    for (const Isa isa : available_isas()) {
+      ASSERT_TRUE(simd::set_isa(isa));
+      // Bulk 64-bit out, offset rows so the range is not word-aligned.
+      std::vector<std::uint64_t> out64(n - 1);
+      packed.get_range(1, n - 1, out64);
+      for (std::size_t i = 0; i < n - 1; ++i)
+        ASSERT_EQ(out64[i], values[i + 1])
+            << simd::isa_name(isa) << " width=" << width << " i=" << i;
+      // Bulk 32-bit out (the VertexId column path).
+      std::vector<std::uint32_t> out32(n - 1);
+      packed.get_range_into(1, n - 1, out32.data());
+      for (std::size_t i = 0; i < n - 1; ++i)
+        ASSERT_EQ(out32[i], static_cast<std::uint32_t>(values[i + 1]))
+            << simd::isa_name(isa) << " width=" << width << " i=" << i;
+      // Streaming cursor: long run (buffered mode) and short run (carry
+      // mode), both must agree with the packed values.
+      RowCursor long_run = packed.cursor(1, n - 1);
+      for (std::size_t i = 0; i < n - 1; ++i)
+        ASSERT_EQ(long_run.next(), values[i + 1])
+            << simd::isa_name(isa) << " width=" << width << " i=" << i;
+      EXPECT_TRUE(long_run.done());
+      RowCursor short_run = packed.cursor(5, 7);
+      for (std::size_t i = 0; i < 7; ++i)
+        ASSERT_EQ(short_run.next(), values[5 + i]) << simd::isa_name(isa);
+      EXPECT_TRUE(short_run.done());
+    }
+  }
+}
+
+/// The cursor's block buffer must not read ahead past the payload: a
+/// cursor over values at the very end of an exactly-sized buffer refills
+/// in payload-clamped blocks (ASan arbitrates).
+TEST(UnpackSimdDispatch, CursorRefillStaysInExactBuffer) {
+  IsaGuard guard;
+  for (const Isa isa : available_isas()) {
+    ASSERT_TRUE(simd::set_isa(isa));
+    for (const unsigned width : {3u, 13u, 26u, 31u}) {
+      const std::size_t count = 61;  // not a multiple of any block size
+      const std::size_t bit_begin = 7;
+      const auto words =
+          make_payload(bit_begin, width, count, Payload::kRandom, width);
+      const auto expect = reference(words.data(), bit_begin, width, count);
+      RowCursor cursor(words.data(), bit_begin, width, count);
+      for (std::size_t i = 0; i < count; ++i)
+        ASSERT_EQ(cursor.next(), expect[i])
+            << simd::isa_name(isa) << " width=" << width << " i=" << i;
+      EXPECT_TRUE(cursor.done());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcq::bits
